@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                  # everything, full settings
+//	experiments -exp fig9        # one experiment
+//	experiments -quick           # reduced workloads and run length
+//	experiments -apps GUPS,BC    # subset of applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"nestedecpt/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	exp := flag.String("exp", "all", "experiment: all, table1..table4, fig9..fig14, stc (sec 9.4), memory (sec 9.5), others (sec 9.6)")
+	quick := flag.Bool("quick", false, "reduced apps and run length")
+	apps := flag.String("apps", "", "comma-separated application subset")
+	warmup := flag.Uint64("warmup", 0, "override warm-up accesses")
+	measure := flag.Uint64("measure", 0, "override measured accesses")
+	scale := flag.Uint64("scale", 0, "override footprint scale divisor")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Parse()
+
+	settings := report.DefaultSettings()
+	if *quick {
+		settings = report.QuickSettings()
+	}
+	if *apps != "" {
+		settings.Apps = strings.Split(*apps, ",")
+	}
+	if *warmup > 0 {
+		settings.Warmup = *warmup
+	}
+	if *measure > 0 {
+		settings.Measure = *measure
+	}
+	if *scale > 0 {
+		settings.Scale = *scale
+	}
+	if *verbose {
+		settings.Progress = os.Stderr
+	}
+
+	suite := report.NewSuite(settings)
+	w := os.Stdout
+
+	var err error
+	switch *exp {
+	case "all":
+		err = suite.All(w)
+	case "table1":
+		report.Table1(w)
+	case "table2":
+		report.Table2(w, settings)
+	case "table3":
+		report.Table3(w)
+	case "table4":
+		report.Table4(w, settings)
+	case "fig9":
+		err = suite.Figure9(w)
+	case "fig10":
+		err = suite.Figure10(w)
+	case "fig11":
+		err = suite.Figure11(w)
+	case "fig12":
+		err = suite.Figure12(w)
+	case "fig13":
+		err = suite.Figure13(w)
+	case "fig14":
+		err = suite.Figure14(w)
+	case "stc":
+		err = suite.Section94(w)
+	case "memory":
+		err = suite.Section95(w)
+	case "others":
+		err = suite.Section96(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+}

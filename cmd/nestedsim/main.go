@@ -1,0 +1,96 @@
+// Command nestedsim runs one (design, workload) simulation and prints
+// its headline statistics.
+//
+// Usage:
+//
+//	nestedsim -design nested-ecpt -app GUPS -thp -accesses 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/sim"
+	"nestedecpt/internal/workload"
+)
+
+var designNames = map[string]sim.Design{
+	"radix":         sim.DesignRadix,
+	"ecpt":          sim.DesignECPT,
+	"nested-radix":  sim.DesignNestedRadix,
+	"nested-ecpt":   sim.DesignNestedECPT,
+	"nested-hybrid": sim.DesignNestedHybrid,
+	"agile":         sim.DesignAgileIdeal,
+	"pom-tlb":       sim.DesignPOMTLB,
+	"flat-nested":   sim.DesignFlatNested,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nestedsim: ")
+
+	design := flag.String("design", "nested-ecpt", "page-table design: radix, ecpt, nested-radix, nested-ecpt, nested-hybrid, agile, pom-tlb, flat-nested")
+	app := flag.String("app", "GUPS", "application (Table 4 name): "+strings.Join(workload.Names(), ", "))
+	thp := flag.Bool("thp", false, "enable transparent huge pages")
+	plain := flag.Bool("plain", false, "use the Plain (§3) instead of Advanced (§4) nested ECPT design")
+	warmup := flag.Uint64("warmup", 200_000, "warm-up accesses")
+	accesses := flag.Uint64("accesses", 1_000_000, "measured accesses")
+	scale := flag.Uint64("scale", 64, "footprint scale divisor vs the paper")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	d, ok := designNames[*design]
+	if !ok {
+		log.Fatalf("unknown design %q", *design)
+	}
+	cfg := sim.DefaultConfig(d, *app, *thp)
+	cfg.WarmupAccesses = *warmup
+	cfg.MeasureAccesses = *accesses
+	cfg.WorkloadOpts = workload.Options{Scale: *scale, Seed: *seed}
+	if *plain {
+		cfg.Tech = core.PlainTechniques()
+		cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+}
+
+func printResult(r *sim.Result) {
+	w := os.Stdout
+	fmt.Fprintf(w, "design            %s  (THP=%v)\n", r.Config.Design, r.Config.THP)
+	fmt.Fprintf(w, "workload          %s  (footprint %.1f MB)\n", r.Config.Workload, float64(r.FootprintBytes)/(1<<20))
+	fmt.Fprintf(w, "instructions      %d\n", r.Instructions)
+	fmt.Fprintf(w, "cycles            %d  (IPC %.3f)\n", r.Cycles, r.IPC())
+	fmt.Fprintf(w, "L1 TLB            %v\n", &r.L1TLB)
+	fmt.Fprintf(w, "L2 TLB            %v\n", &r.L2TLB)
+	fmt.Fprintf(w, "page walks        %d  (%.2f /k-instr, mean %.0f cyc, p95 %d cyc)\n",
+		r.Walks, r.WalksPKI(), r.WalkLatency.Mean(), r.WalkLatency.Percentile(0.95))
+	fmt.Fprintf(w, "MMU busy cycles   %d (%.1f%% of cycles)\n", r.MMUBusyCycles, 100*float64(r.MMUBusyCycles)/float64(r.Cycles))
+	fmt.Fprintf(w, "MMU RPKI          %.2f\n", r.MMURPKI())
+	fmt.Fprintf(w, "L2 MPKI           %.2f   L3 MPKI %.2f\n", r.L2MPKI(), r.L3MPKI())
+	fmt.Fprintf(w, "faults (measure)  guest=%d host=%d\n", r.GuestFaults, r.HostFaults)
+	fmt.Fprintf(w, "PT memory         guest=%.1f MB host=%.1f MB (%d entries)\n",
+		float64(r.GuestPTBytes)/(1<<20), float64(r.HostPTBytes)/(1<<20), r.PTEntries)
+	if st := r.NestedECPT; st != nil {
+		fmt.Fprintf(w, "walk classes      guest[%s] host[%s]\n", st.GuestClasses, st.HostClasses)
+		fmt.Fprintf(w, "parallel accesses step1=%.1f step2=%.1f step3=%.1f\n",
+			st.Par1.Value(), st.Par2.Value(), st.Par3.Value())
+		if st.STC.Total() > 0 {
+			fmt.Fprintf(w, "STC               %v\n", &st.STC)
+		}
+	}
+	if st := r.NativeECPT; st != nil {
+		fmt.Fprintf(w, "walk classes      [%s]  parallel=%.1f\n", st.Classes, st.Par.Value())
+	}
+	if st := r.Hybrid; st != nil {
+		fmt.Fprintf(w, "host walk classes [%s]  parallel=%.1f\n", st.HostClasses, st.HostPar.Value())
+	}
+}

@@ -1,0 +1,70 @@
+// Migration path scenario (§6): an operator moving a fleet from nested
+// radix paging toward Nested ECPTs without touching guest kernels.
+// Shows the intermediate Hybrid design (legacy radix guests over an
+// ECPT host) against both endpoints, and the technique stack that
+// turns the Plain design into the Advanced one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nestedecpt"
+)
+
+func main() {
+	log.SetFlags(0)
+	app := flag.String("app", "SysBench", "application to migrate")
+	thp := flag.Bool("thp", true, "enable transparent huge pages")
+	accesses := flag.Uint64("accesses", 120_000, "measured accesses per run")
+	flag.Parse()
+
+	run := func(d nestedecpt.Design, tech *nestedecpt.Techniques) *nestedecpt.Result {
+		cfg := nestedecpt.DefaultConfig(d, *app, *thp)
+		cfg.WarmupAccesses, cfg.MeasureAccesses = 40_000, *accesses
+		if tech != nil {
+			cfg.Tech = *tech
+			cfg.NestedECPT.STCEntries = 0 // re-derive the walker config
+		}
+		res, err := nestedecpt.Run(cfg)
+		if err != nil {
+			log.Fatalf("%v: %v", d, err)
+		}
+		return res
+	}
+
+	fmt.Printf("Migration path for %s (THP=%v)\n\n", *app, *thp)
+	fmt.Println("Step 0: today — nested radix paging (guest radix + host radix)")
+	base := run(nestedecpt.NestedRadix, nil)
+	fmt.Printf("        %d cycles, mean walk %.0f\n\n", base.Cycles, base.WalkLatency.Mean())
+
+	fmt.Println("Step 1: migrate the HOST only — Hybrid design (§6)")
+	fmt.Println("        guest kernels unchanged; hypervisor switches to ECPTs")
+	hy := run(nestedecpt.NestedHybrid, nil)
+	fmt.Printf("        %d cycles (%.3fx), mean walk %.0f\n\n",
+		hy.Cycles, float64(base.Cycles)/float64(hy.Cycles), hy.WalkLatency.Mean())
+
+	fmt.Println("Step 2: migrate guests — Plain Nested ECPTs (§3)")
+	plain := nestedecpt.PlainTechniques()
+	pl := run(nestedecpt.NestedECPT, &plain)
+	fmt.Printf("        %d cycles (%.3fx), mean walk %.0f\n\n",
+		pl.Cycles, float64(base.Cycles)/float64(pl.Cycles), pl.WalkLatency.Mean())
+
+	fmt.Println("Step 3: enable the §4 techniques one by one")
+	stack := []struct {
+		name string
+		tech nestedecpt.Techniques
+	}{
+		{"+ STC", nestedecpt.Techniques{STC: true}},
+		{"+ Step-1 PTE-hCWT caching", nestedecpt.Techniques{STC: true, Step1PTECaching: true}},
+		{"+ Step-3 adaptive caching", nestedecpt.Techniques{STC: true, Step1PTECaching: true, Step3AdaptivePTE: true}},
+		{"+ 4KB page-table knowledge", nestedecpt.AdvancedTechniques()},
+	}
+	for _, st := range stack {
+		tech := st.tech
+		r := run(nestedecpt.NestedECPT, &tech)
+		fmt.Printf("        %-28s %d cycles (%.3fx)\n",
+			st.name, r.Cycles, float64(base.Cycles)/float64(r.Cycles))
+	}
+}

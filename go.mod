@@ -1,0 +1,3 @@
+module nestedecpt
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package addr defines the address types and page-size arithmetic used
+// throughout the simulator.
+//
+// Three distinct integer types keep the three x86-64 virtualization
+// address spaces from being mixed up accidentally:
+//
+//   - GVA: guest virtual address (what the application issues),
+//   - GPA: guest physical address (what the guest OS manages),
+//   - HPA: host physical address (what the hypervisor manages and the
+//     memory system actually stores).
+//
+// The package also implements the radix-level index extraction of the
+// x86-64 4-level page-table format and the virtual-page-number (VPN)
+// arithmetic shared by the hashed page-table designs.
+package addr
+
+import "fmt"
+
+// GVA is a guest virtual address.
+type GVA uint64
+
+// GPA is a guest physical address.
+type GPA uint64
+
+// HPA is a host physical address.
+type HPA uint64
+
+// PageSize enumerates the x86-64 page sizes modelled by the simulator.
+// The paper names the three ECPTs after the radix level that maps each
+// size: PTE (4KB), PMD (2MB), and PUD (1GB).
+type PageSize uint8
+
+const (
+	// Page4K is a 4KB base page (PTE level).
+	Page4K PageSize = iota
+	// Page2M is a 2MB huge page (PMD level).
+	Page2M
+	// Page1G is a 1GB huge page (PUD level).
+	Page1G
+	// NumPageSizes is the number of supported page sizes (the paper's n).
+	NumPageSizes = 3
+)
+
+// PageShift4K is the bit width of the 4KB page offset.
+const PageShift4K = 12
+
+// CacheLineBytes is the line size of every cache in the modelled
+// hierarchy (Table 2: 64B lines).
+const CacheLineBytes = 64
+
+// Shift returns log2 of the page size in bytes.
+func (s PageSize) Shift() uint {
+	switch s {
+	case Page4K:
+		return 12
+	case Page2M:
+		return 21
+	case Page1G:
+		return 30
+	}
+	panic(fmt.Sprintf("addr: invalid page size %d", s))
+}
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() uint64 { return 1 << s.Shift() }
+
+// OffsetMask returns the mask covering the page offset bits.
+func (s PageSize) OffsetMask() uint64 { return s.Bytes() - 1 }
+
+// String names the page size the way the paper does.
+func (s PageSize) String() string {
+	switch s {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return fmt.Sprintf("PageSize(%d)", uint8(s))
+}
+
+// LevelName returns the radix level that maps this page size
+// (PTE for 4KB, PMD for 2MB, PUD for 1GB), which is also how the paper
+// names the per-size ECPTs and CWTs.
+func (s PageSize) LevelName() string {
+	switch s {
+	case Page4K:
+		return "PTE"
+	case Page2M:
+		return "PMD"
+	case Page1G:
+		return "PUD"
+	}
+	return "?"
+}
+
+// Sizes lists all supported page sizes from smallest to largest.
+func Sizes() [NumPageSizes]PageSize { return [NumPageSizes]PageSize{Page4K, Page2M, Page1G} }
+
+// VPN returns the virtual page number of v for the given page size.
+func VPN(v uint64, s PageSize) uint64 { return v >> s.Shift() }
+
+// PageBase returns the base address of the page containing v.
+func PageBase(v uint64, s PageSize) uint64 { return v &^ s.OffsetMask() }
+
+// PageOffset returns the offset of v within its page.
+func PageOffset(v uint64, s PageSize) uint64 { return v & s.OffsetMask() }
+
+// Translate composes a translated page frame base with the page offset
+// of the original address.
+func Translate(frameBase, v uint64, s PageSize) uint64 {
+	return frameBase | PageOffset(v, s)
+}
+
+// RadixLevel identifies a level of the x86-64 4-level radix tree.
+// Level 4 (PGD) is the root; level 1 (PTE) is the leaf for 4KB pages.
+type RadixLevel int
+
+const (
+	// L1 is the PTE level (maps 4KB pages).
+	L1 RadixLevel = 1
+	// L2 is the PMD level (maps 2MB pages when used as a leaf).
+	L2 RadixLevel = 2
+	// L3 is the PUD level (maps 1GB pages when used as a leaf).
+	L3 RadixLevel = 3
+	// L4 is the PGD root level.
+	L4 RadixLevel = 4
+)
+
+// String names the radix level following Linux conventions.
+func (l RadixLevel) String() string {
+	switch l {
+	case L1:
+		return "PTE"
+	case L2:
+		return "PMD"
+	case L3:
+		return "PUD"
+	case L4:
+		return "PGD"
+	}
+	return fmt.Sprintf("L%d", int(l))
+}
+
+// RadixIndex extracts the 9-bit table index for the given level from a
+// virtual address: bits 47-39 for L4 down to bits 20-12 for L1
+// (Figure 1 of the paper).
+func RadixIndex(v uint64, l RadixLevel) uint64 {
+	shift := PageShift4K + 9*(uint(l)-1)
+	return (v >> shift) & 0x1FF
+}
+
+// LeafLevel returns the radix level at which a page of size s is mapped.
+func LeafLevel(s PageSize) RadixLevel {
+	switch s {
+	case Page4K:
+		return L1
+	case Page2M:
+		return L2
+	case Page1G:
+		return L3
+	}
+	panic("addr: invalid page size")
+}
+
+// SizeForLeaf is the inverse of LeafLevel. It panics for L4, which can
+// never map a page directly.
+func SizeForLeaf(l RadixLevel) PageSize {
+	switch l {
+	case L1:
+		return Page4K
+	case L2:
+		return Page2M
+	case L3:
+		return Page1G
+	}
+	panic(fmt.Sprintf("addr: level %s does not map pages", l))
+}
+
+// CanonicalGVA reports whether v is a canonical 48-bit x86-64 virtual
+// address (sign-extended bits 63-48).
+func CanonicalGVA(v GVA) bool {
+	top := uint64(v) >> 47
+	return top == 0 || top == 0x1FFFF
+}

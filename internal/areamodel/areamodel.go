@@ -1,0 +1,100 @@
+// Package areamodel estimates the silicon area and power of the MMU
+// caching structures (Table 3). The paper uses CACTI at 22nm; CACTI is
+// unavailable here, so this is an analytic SRAM/CAM model with three
+// cost terms — storage bytes, fully-associative match entries, and
+// hash units — whose coefficients are fitted to the three data points
+// Table 3 reports. EXPERIMENTS.md records model-vs-paper numbers.
+package areamodel
+
+// Structure describes one MMU cache for costing purposes.
+type Structure struct {
+	Name string
+	// Entries is the number of entries; EntryBytes the payload size.
+	Entries    int
+	EntryBytes int
+	// FullyAssociative structures pay a CAM comparator per entry.
+	FullyAssociative bool
+}
+
+// Bytes returns the structure's storage size.
+func (s Structure) Bytes() int { return s.Entries * s.EntryBytes }
+
+// Design is a named collection of MMU structures plus the number of
+// parallel hash units its walker needs.
+type Design struct {
+	Name       string
+	Structures []Structure
+	HashUnits  int
+}
+
+// Model coefficients, fitted (least-squares by hand) to Table 3's
+// 22nm CACTI results.
+const (
+	areaPerByte     = 3.6e-6 // mm^2
+	areaPerCAMEntry = 2.0e-5 // mm^2
+	areaPerHashUnit = 3.4e-3 // mm^2
+
+	powerPerByte     = 1.25e-3 // mW
+	powerPerCAMEntry = 4.0e-3  // mW
+	powerPerHashUnit = 0.38    // mW
+)
+
+// Estimate returns the design's storage bytes, area in mm^2, and power
+// in mW.
+func Estimate(d Design) (bytes int, areaMM2, powerMW float64) {
+	cam := 0
+	for _, s := range d.Structures {
+		bytes += s.Bytes()
+		if s.FullyAssociative {
+			cam += s.Entries
+		}
+	}
+	areaMM2 = float64(bytes)*areaPerByte + float64(cam)*areaPerCAMEntry + float64(d.HashUnits)*areaPerHashUnit
+	powerMW = float64(bytes)*powerPerByte + float64(cam)*powerPerCAMEntry + float64(d.HashUnits)*powerPerHashUnit
+	return bytes, areaMM2, powerMW
+}
+
+// Table3Designs returns the three nested designs with the structure
+// inventories of Table 2, sized so the totals match the paper's
+// 1680 / 1488 / 1408 bytes.
+func Table3Designs() []Design {
+	return []Design{
+		{
+			Name: "Nested Radix",
+			Structures: []Structure{
+				{Name: "NTLB", Entries: 24, EntryBytes: 16, FullyAssociative: true},
+				{Name: "PWC", Entries: 96, EntryBytes: 8, FullyAssociative: true},
+				{Name: "NPWC", Entries: 66, EntryBytes: 8, FullyAssociative: true},
+			},
+		},
+		{
+			Name: "Nested ECPTs",
+			Structures: []Structure{
+				{Name: "gCWC", Entries: 18, EntryBytes: 32, FullyAssociative: true},
+				{Name: "hCWC(step1)", Entries: 4, EntryBytes: 32, FullyAssociative: true},
+				{Name: "hCWC(step3)", Entries: 22, EntryBytes: 32, FullyAssociative: true},
+				{Name: "STC", Entries: 10, EntryBytes: 8, FullyAssociative: true},
+			},
+			HashUnits: 6,
+		},
+		{
+			Name: "Nested Hybrid",
+			Structures: []Structure{
+				{Name: "hCWC", Entries: 34, EntryBytes: 32, FullyAssociative: true},
+				{Name: "PWC", Entries: 16, EntryBytes: 8, FullyAssociative: true},
+				{Name: "NTLB", Entries: 12, EntryBytes: 16, FullyAssociative: true},
+			},
+			HashUnits: 3,
+		},
+	}
+}
+
+// PaperTable3 returns the paper's reported (bytes, mm^2, mW) per design
+// for side-by-side comparison.
+func PaperTable3() map[string][3]float64 {
+	return map[string][3]float64{
+		"Nested Radix":  {1680, 0.01, 2.9},
+		"Nested ECPTs":  {1488, 0.03, 5.2},
+		"Nested Hybrid": {1408, 0.02, 2.8},
+	}
+}

@@ -1,0 +1,64 @@
+package areamodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateWithinPaperBallpark(t *testing.T) {
+	paper := PaperTable3()
+	for _, d := range Table3Designs() {
+		bytes, area, power := Estimate(d)
+		p, ok := paper[d.Name]
+		if !ok {
+			t.Fatalf("no paper row for %s", d.Name)
+		}
+		if math.Abs(float64(bytes)-p[0])/p[0] > 0.15 {
+			t.Errorf("%s: bytes %d vs paper %.0f", d.Name, bytes, p[0])
+		}
+		if area < p[1]/3 || area > p[1]*3 {
+			t.Errorf("%s: area %.3f vs paper %.2f", d.Name, area, p[1])
+		}
+		if power < p[2]/3 || power > p[2]*3 {
+			t.Errorf("%s: power %.2f vs paper %.1f", d.Name, power, p[2])
+		}
+	}
+}
+
+func TestOrderingMatchesPaper(t *testing.T) {
+	var ecptArea, radixArea, ecptPower, radixPower float64
+	for _, d := range Table3Designs() {
+		_, a, p := Estimate(d)
+		switch d.Name {
+		case "Nested ECPTs":
+			ecptArea, ecptPower = a, p
+		case "Nested Radix":
+			radixArea, radixPower = a, p
+		}
+	}
+	// Table 3: ECPT structures cost more area and power than radix's
+	// despite fewer bytes (hash units, wider entries).
+	if ecptArea <= radixArea {
+		t.Errorf("ECPT area %.3f not above radix %.3f", ecptArea, radixArea)
+	}
+	if ecptPower <= radixPower {
+		t.Errorf("ECPT power %.2f not above radix %.2f", ecptPower, radixPower)
+	}
+}
+
+func TestEstimateMonotonicInBytes(t *testing.T) {
+	small := Design{Structures: []Structure{{Entries: 8, EntryBytes: 8}}}
+	big := Design{Structures: []Structure{{Entries: 64, EntryBytes: 8}}}
+	_, as, ps := Estimate(small)
+	_, ab, pb := Estimate(big)
+	if ab <= as || pb <= ps {
+		t.Error("estimate not monotonic in storage")
+	}
+}
+
+func TestStructureBytes(t *testing.T) {
+	s := Structure{Entries: 10, EntryBytes: 16}
+	if s.Bytes() != 160 {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+}

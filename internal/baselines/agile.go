@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/mmucache"
+)
+
+// AgileIdeal is the idealized Agile Paging design of §9.6: the guest
+// page table is walked as in shadow paging — at most four sequential
+// accesses with full PWC support — and every host-level cost
+// (shadow-table maintenance, hypervisor intervention) is waived. This
+// deliberately overestimates Agile Paging, as the paper does, so that
+// outperforming it is meaningful.
+type AgileIdeal struct {
+	mem   core.MemSystem
+	guest *kernel.Kernel
+	host  *hypervisor.Hypervisor
+	pwc   *levelCache
+}
+
+// NewAgileIdeal builds the idealized walker. The guest kernel must
+// maintain radix tables; the hypervisor provides the (free) gPA→hPA
+// composition.
+func NewAgileIdeal(mem core.MemSystem, guest *kernel.Kernel, host *hypervisor.Hypervisor) *AgileIdeal {
+	if guest.Radix() == nil {
+		panic("baselines: AgileIdeal requires a guest radix table")
+	}
+	return &AgileIdeal{
+		mem:   mem,
+		guest: guest,
+		host:  host,
+		pwc:   newLevelCache("PWC", 32, addr.L2, addr.L4),
+	}
+}
+
+// Name implements core.Walker.
+func (w *AgileIdeal) Name() string { return "Ideal Agile Paging" }
+
+// Walk implements core.Walker: a native-cost guest walk whose table
+// accesses land at host-translated addresses for free.
+func (w *AgileIdeal) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
+	var res core.WalkResult
+	steps, ok := w.guest.Radix().Walk(uint64(va))
+	if !ok {
+		return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	lat := uint64(mmucache.LatencyRT)
+	start := 0
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		if st.Leaf || st.Level < addr.L2 {
+			continue
+		}
+		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+			start = i + 1
+			break
+		}
+	}
+	for i := start; i < len(steps); i++ {
+		st := steps[i]
+		// The shadow structure keeps table pages at host addresses;
+		// composing gPA→hPA costs nothing in the ideal model.
+		hpa, _, ok := w.host.Translate(st.EntryPA)
+		if !ok {
+			return res, &core.ErrNotMapped{Space: "host", Addr: st.EntryPA}
+		}
+		alat, _ := w.mem.Access(now+lat, hpa, cachesim.SourceMMU)
+		lat += alat
+		res.Accesses++
+		if st.Leaf {
+			dataGPA := addr.Translate(st.Frame, uint64(va), st.Size)
+			hpa, hsize, ok := w.host.Translate(dataGPA)
+			if !ok {
+				return res, &core.ErrNotMapped{Space: "host", Addr: dataGPA}
+			}
+			if hsize < st.Size {
+				res.Size = hsize
+			} else {
+				res.Size = st.Size
+			}
+			res.Frame = addr.PageBase(hpa, res.Size)
+			res.Latency = lat
+			return res, nil
+		}
+		if st.Level >= addr.L2 {
+			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+		}
+	}
+	return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+}

@@ -1,0 +1,52 @@
+// Package baselines implements the three previously-proposed designs
+// §9.6 compares Nested ECPTs against:
+//
+//   - an idealized Agile Paging (Gandhi et al., ISCA'16): at most four
+//     sequential memory accesses, all radix caching structures, and no
+//     hypervisor intervention cost;
+//   - POM-TLB (Ryoo et al., ISCA'17): a very large part-of-memory TLB
+//     probed after an L2 TLB miss, modelled with a perfect page-size
+//     predictor, falling back to a full nested radix walk;
+//   - Flat nested page tables (Ahn et al., ISCA'12): a guest radix
+//     table combined with a flat (single-access) host table, reducing
+//     the worst case from 24 to 9 sequential accesses.
+package baselines
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/mmucache"
+)
+
+// levelCache is a per-radix-level LRU prefix cache (the same structure
+// core's walkers use for PWCs, duplicated here to keep the baseline
+// package self-contained).
+type levelCache struct {
+	levels [5]*mmucache.Cache
+}
+
+func newLevelCache(name string, perLevel int, lo, hi addr.RadixLevel) *levelCache {
+	c := &levelCache{}
+	for l := lo; l <= hi; l++ {
+		c.levels[l] = mmucache.New(fmt.Sprintf("%s/%s", name, l), perLevel)
+	}
+	return c
+}
+
+func prefixKey(va uint64, l addr.RadixLevel) uint64 {
+	return va >> (addr.PageShift4K + 9*(uint(l)-1))
+}
+
+func (c *levelCache) lookup(va uint64, l addr.RadixLevel) (uint64, bool) {
+	if c.levels[l] == nil {
+		return 0, false
+	}
+	return c.levels[l].Lookup(prefixKey(va, l))
+}
+
+func (c *levelCache) insert(va uint64, l addr.RadixLevel, content uint64) {
+	if c.levels[l] != nil {
+		c.levels[l].Insert(prefixKey(va, l), content)
+	}
+}

@@ -1,0 +1,139 @@
+package baselines
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/mmucache"
+)
+
+// FlatNested implements flat nested page tables (§9.6): the guest
+// keeps radix tables, while the host table is a single flat array
+// indexed by guest frame number, so each gPA→hPA translation costs one
+// memory access. The worst-case walk is 4×(1+1)+1 = 9 sequential
+// accesses. The flat table's weakness — it must reserve one entry per
+// guest frame regardless of what is mapped — is inherent to the
+// design and visible in its memory footprint.
+type FlatNested struct {
+	mem      core.MemSystem
+	guest    *kernel.Kernel
+	host     *hypervisor.Hypervisor
+	pwc      *levelCache
+	ntlb     *mmucache.Cache
+	flatBase uint64
+	flatSize uint64
+}
+
+// NewFlatNested builds the walker; it reserves the flat host table
+// (8 bytes per potential guest 4KB frame) in host physical memory.
+func NewFlatNested(mem core.MemSystem, guest *kernel.Kernel, host *hypervisor.Hypervisor) *FlatNested {
+	if guest.Radix() == nil {
+		panic("baselines: FlatNested requires a guest radix table")
+	}
+	guestFrames := guest.Allocator().Capacity() / addr.Page4K.Bytes()
+	size := guestFrames * 8
+	return &FlatNested{
+		mem:      mem,
+		guest:    guest,
+		host:     host,
+		pwc:      newLevelCache("PWC", 32, addr.L2, addr.L4),
+		ntlb:     mmucache.New("NTLB", 24),
+		flatBase: host.Allocator().AllocRegion(size, memsim.PurposePageTable),
+		flatSize: size,
+	}
+}
+
+// Name implements core.Walker.
+func (w *FlatNested) Name() string { return "Flat Nested" }
+
+// FlatTableBytes returns the reserved flat-table size.
+func (w *FlatNested) FlatTableBytes() uint64 { return w.flatSize }
+
+// hostTranslate charges one access to the flat table entry for gpa and
+// returns the functional translation.
+func (w *FlatNested) hostTranslate(now uint64, gpa uint64, res *core.WalkResult) (hpa uint64, size addr.PageSize, lat uint64, err error) {
+	entryPA := w.flatBase + addr.VPN(gpa, addr.Page4K)*8
+	alat, _ := w.mem.Access(now, entryPA, cachesim.SourceMMU)
+	res.Accesses++
+	h, hsize, ok := w.host.Translate(gpa)
+	if !ok {
+		return 0, 0, alat, &core.ErrNotMapped{Space: "host", Addr: gpa}
+	}
+	return h, hsize, alat, nil
+}
+
+// Walk implements core.Walker: Figure 8's shape with a one-access host
+// dimension.
+func (w *FlatNested) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
+	var res core.WalkResult
+	steps, ok := w.guest.Radix().Walk(uint64(va))
+	if !ok {
+		return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	lat := uint64(mmucache.LatencyRT)
+	start := 0
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		if st.Leaf || st.Level < addr.L2 {
+			continue
+		}
+		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+			start = i + 1
+			break
+		}
+	}
+
+	var dataGPA uint64
+	var gsize addr.PageSize
+	found := false
+	for i := start; i < len(steps); i++ {
+		st := steps[i]
+		// Translate the guest table page: NTLB, then the flat table.
+		lat += mmucache.LatencyRT
+		var hpa uint64
+		page := addr.PageBase(st.EntryPA, addr.Page4K)
+		if frame, hit := w.ntlb.Lookup(page); hit {
+			hpa = addr.Translate(frame, st.EntryPA, addr.Page4K)
+		} else {
+			h, _, tlat, err := w.hostTranslate(now+lat, st.EntryPA, &res)
+			lat += tlat
+			if err != nil {
+				return res, err
+			}
+			hpa = h
+			w.ntlb.Insert(page, addr.PageBase(hpa, addr.Page4K))
+		}
+		alat, _ := w.mem.Access(now+lat, hpa, cachesim.SourceMMU)
+		lat += alat
+		res.Accesses++
+		if st.Leaf {
+			dataGPA = addr.Translate(st.Frame, uint64(va), st.Size)
+			gsize = st.Size
+			found = true
+			break
+		}
+		if st.Level >= addr.L2 {
+			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+		}
+	}
+	if !found {
+		return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+
+	hpa, hsize, tlat, err := w.hostTranslate(now+lat, dataGPA, &res)
+	lat += tlat
+	if err != nil {
+		return res, err
+	}
+	if hsize < gsize {
+		res.Size = hsize
+	} else {
+		res.Size = gsize
+	}
+	res.Frame = addr.PageBase(hpa, res.Size)
+	res.Latency = lat
+	return res, nil
+}

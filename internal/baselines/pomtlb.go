@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/memsim"
+)
+
+// POMTLBConfig sizes the part-of-memory TLB.
+type POMTLBConfig struct {
+	// Entries is the number of translation entries in the in-DRAM TLB
+	// (the original design provisions on the order of a million).
+	Entries int
+	// Ways is its set associativity.
+	Ways int
+}
+
+// DefaultPOMTLBConfig returns a 1M-entry, 4-way POM-TLB.
+func DefaultPOMTLBConfig() POMTLBConfig { return POMTLBConfig{Entries: 1 << 20, Ways: 4} }
+
+type pomEntry struct {
+	vpn     uint64
+	frame   uint64
+	size    addr.PageSize
+	valid   bool
+	lastUse uint64
+}
+
+// POMTLB models the §9.6 part-of-memory TLB: after an L2 TLB miss the
+// hardware probes a very large TLB resident in DRAM (its entries are
+// cacheable in L2/L3, which is where most of its benefit comes from);
+// on a POM-TLB miss a full nested radix walk services the request and
+// installs the translation. The paper models a perfect page-size
+// predictor, so a probe costs a single set access.
+type POMTLB struct {
+	cfg      POMTLBConfig
+	mem      core.MemSystem
+	fallback *core.NestedRadix
+	sets     int
+	entries  []pomEntry
+	base     uint64
+	clock    uint64
+	hits     uint64
+	misses   uint64
+}
+
+// NewPOMTLB builds the design over a full nested-radix fallback.
+func NewPOMTLB(cfg POMTLBConfig, mem core.MemSystem, guest *kernel.Kernel, host *hypervisor.Hypervisor) *POMTLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic("baselines: bad POM-TLB geometry")
+	}
+	return &POMTLB{
+		cfg:      cfg,
+		mem:      mem,
+		fallback: core.NewNestedRadix(core.DefaultRadixWalkConfig(), mem, guest, host),
+		sets:     cfg.Entries / cfg.Ways,
+		entries:  make([]pomEntry, cfg.Entries),
+		base:     host.Allocator().AllocRegion(uint64(cfg.Entries)*16, memsim.PurposePageTable),
+	}
+}
+
+// Name implements core.Walker.
+func (w *POMTLB) Name() string { return "POM-TLB" }
+
+// HitRate returns the POM-TLB's own hit rate.
+func (w *POMTLB) HitRate() float64 {
+	t := w.hits + w.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(w.hits) / float64(t)
+}
+
+func (w *POMTLB) setFor(vpn uint64) int { return int(vpn % uint64(w.sets)) }
+
+// Walk implements core.Walker.
+func (w *POMTLB) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
+	var res core.WalkResult
+	w.clock++
+	// With a perfect page-size predictor one set probe suffices; the
+	// set's entries share a line, so one memory access covers them.
+	vpn := addr.VPN(uint64(va), addr.Page4K)
+	set := w.setFor(vpn)
+	lineAddr := w.base + uint64(set)*uint64(w.cfg.Ways)*16
+	lat, _ := w.mem.Access(now, lineAddr, cachesim.SourceMMU)
+	res.Accesses++
+
+	base := set * w.cfg.Ways
+	for i := 0; i < w.cfg.Ways; i++ {
+		e := &w.entries[base+i]
+		if e.valid && e.vpn == addr.VPN(uint64(va), e.size) {
+			w.hits++
+			e.lastUse = w.clock
+			res.Frame = e.frame
+			res.Size = e.size
+			res.Latency = lat
+			return res, nil
+		}
+	}
+
+	// POM-TLB miss: full nested radix walk, then install.
+	w.misses++
+	fres, err := w.fallback.Walk(now+lat, va)
+	if err != nil {
+		return res, err
+	}
+	res.Frame = fres.Frame
+	res.Size = fres.Size
+	res.Latency = lat + fres.Latency
+	res.Accesses += fres.Accesses
+	res.BackgroundCycles = fres.BackgroundCycles
+	res.BackgroundAccesses = fres.BackgroundAccesses
+
+	victim := base
+	for i := base; i < base+w.cfg.Ways; i++ {
+		if !w.entries[i].valid {
+			victim = i
+			break
+		}
+		if w.entries[i].lastUse < w.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	w.entries[victim] = pomEntry{
+		vpn:     addr.VPN(uint64(va), fres.Size),
+		frame:   fres.Frame,
+		size:    fres.Size,
+		valid:   true,
+		lastUse: w.clock,
+	}
+	return res, nil
+}

@@ -1,0 +1,379 @@
+// Package cachesim models the on-chip cache hierarchy and the DRAM
+// main memory of Table 2: private L1/L2, a shared L3, MSHR-limited
+// miss handling, and a channel/bank DRAM with open-row timing.
+//
+// The hierarchy serves two request sources — the processor core and
+// the MMU's page-table walker — and keeps per-source statistics so the
+// evaluation can reproduce Figure 13 (MMU requests per kilo
+// instruction, and L2/L3 misses per kilo instruction) as well as the
+// cache-pollution argument of §9.3: radix walks insert intermediate
+// page-table lines into the caches whereas ECPT walks insert only leaf
+// translation lines.
+package cachesim
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/stats"
+)
+
+// Source identifies who issued a memory request.
+type Source uint8
+
+const (
+	// SourceCPU marks demand requests from the core's loads and stores.
+	SourceCPU Source = iota
+	// SourceMMU marks requests from the page-table walker.
+	SourceMMU
+	numSources
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceCPU:
+		return "cpu"
+	case SourceMMU:
+		return "mmu"
+	}
+	return fmt.Sprintf("Source(%d)", uint8(s))
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string
+	SizeBytes uint64
+	Ways      int
+	// LatencyRT is the round-trip access latency in core cycles.
+	LatencyRT uint64
+	// MSHRs bounds the number of outstanding misses.
+	MSHRs int
+}
+
+// LevelStats aggregates a level's behaviour per request source.
+type LevelStats struct {
+	Accesses [2]uint64 // indexed by Source
+	Misses   [2]uint64
+	// MSHRSamples tracks MSHR occupancy observed when parallel groups
+	// miss in this level (mean ≈4 and max ≤12 in the paper, §9.3).
+	MSHROccupancy stats.Average
+	MSHRMax       int
+}
+
+// cacheLevel is one set-associative, LRU, write-allocate cache.
+type cacheLevel struct {
+	cfg      LevelConfig
+	sets     int
+	tags     []uint64
+	valid    []bool
+	lastUse  []uint64
+	useClock uint64
+	stats    LevelStats
+}
+
+func newCacheLevel(cfg LevelConfig) *cacheLevel {
+	lines := int(cfg.SizeBytes / addr.CacheLineBytes)
+	if lines == 0 || cfg.Ways <= 0 || lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cachesim: bad geometry for %s: %d lines, %d ways", cfg.Name, lines, cfg.Ways))
+	}
+	sets := lines / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cachesim: %s set count %d is not a power of two", cfg.Name, sets))
+	}
+	return &cacheLevel{
+		cfg:     cfg,
+		sets:    sets,
+		tags:    make([]uint64, lines),
+		valid:   make([]bool, lines),
+		lastUse: make([]uint64, lines),
+	}
+}
+
+func (c *cacheLevel) setFor(line uint64) int { return int(line) & (c.sets - 1) }
+
+// lookup probes the cache; on a hit the line's recency is refreshed.
+func (c *cacheLevel) lookup(line uint64, src Source) bool {
+	c.stats.Accesses[src]++
+	c.useClock++
+	set := c.setFor(line)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lastUse[i] = c.useClock
+			return true
+		}
+	}
+	c.stats.Misses[src]++
+	return false
+}
+
+// fill inserts the line, evicting the LRU way if needed.
+func (c *cacheLevel) fill(line uint64) {
+	c.useClock++
+	set := c.setFor(line)
+	base := set * c.cfg.Ways
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lastUse[i] < c.lastUse[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lastUse[victim] = c.useClock
+}
+
+// contains probes without updating recency or statistics.
+func (c *cacheLevel) contains(line uint64) bool {
+	set := c.setFor(line)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// HierarchyConfig configures the full memory hierarchy.
+type HierarchyConfig struct {
+	L1, L2, L3 LevelConfig
+	DRAM       DRAMConfig
+	// IssueGapCycles staggers the members of a parallel access group:
+	// even an aggressive MMU cannot inject unlimited requests per
+	// cycle, which is what bounds the bandwidth cost of ECPT's
+	// parallel probes (§3.2).
+	IssueGapCycles uint64
+}
+
+// Scaled divides each level's capacity by div (keeping associativity
+// and latency), for scaled-down workloads: preserving the ratio of
+// page-table working set to cache capacity is what keeps walk-time
+// cache behaviour faithful (DESIGN.md §5). Capacities floor at one set.
+func (c HierarchyConfig) Scaled(div int) HierarchyConfig {
+	if div <= 1 {
+		return c
+	}
+	scale := func(l LevelConfig) LevelConfig {
+		min := uint64(l.Ways) * addr.CacheLineBytes
+		l.SizeBytes /= uint64(div)
+		if l.SizeBytes < min {
+			l.SizeBytes = min
+		}
+		return l
+	}
+	c.L1 = scale(c.L1)
+	c.L2 = scale(c.L2)
+	c.L3 = scale(c.L3)
+	return c
+}
+
+// DefaultHierarchyConfig returns the Table 2 hierarchy.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:   LevelConfig{Name: "L1", SizeBytes: 32 << 10, Ways: 8, LatencyRT: 2, MSHRs: 10},
+		L2:   LevelConfig{Name: "L2", SizeBytes: 512 << 10, Ways: 8, LatencyRT: 16, MSHRs: 20},
+		L3:   LevelConfig{Name: "L3", SizeBytes: 16 << 20, Ways: 16, LatencyRT: 56, MSHRs: 20},
+		DRAM: DefaultDRAMConfig(),
+		// One new request every other core cycle.
+		IssueGapCycles: 2,
+	}
+}
+
+// dbgGroups, when non-nil, receives (groupSize, duplicateBankCount)
+// for every parallel group — a test-only hook.
+var dbgGroups func(n, dup int)
+
+// SetDebugGroupHook installs a test-only observer of parallel groups.
+func SetDebugGroupHook(f func(n, dup int)) { dbgGroups = f }
+
+// Hierarchy is the three-level cache plus DRAM memory system.
+type Hierarchy struct {
+	cfg    HierarchyConfig
+	l1     *cacheLevel
+	l2     *cacheLevel
+	l3     *cacheLevel
+	dram   *DRAM
+	remote RemoteStats
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg:  cfg,
+		l1:   newCacheLevel(cfg.L1),
+		l2:   newCacheLevel(cfg.L2),
+		l3:   newCacheLevel(cfg.L3),
+		dram: NewDRAM(cfg.DRAM),
+	}
+}
+
+// ServiceLevel reports where a request was satisfied.
+type ServiceLevel uint8
+
+// Service levels, nearest first.
+const (
+	ServedL1 ServiceLevel = iota
+	ServedL2
+	ServedL3
+	ServedDRAM
+)
+
+// String names the service level.
+func (s ServiceLevel) String() string {
+	switch s {
+	case ServedL1:
+		return "L1"
+	case ServedL2:
+		return "L2"
+	case ServedL3:
+		return "L3"
+	case ServedDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("ServiceLevel(%d)", uint8(s))
+}
+
+// Access performs one memory access at host physical address pa,
+// starting at core cycle now, and returns its latency in core cycles
+// and the level that serviced it. Writes are modelled as write-allocate
+// with the same timing as reads.
+func (h *Hierarchy) Access(now uint64, pa uint64, src Source) (lat uint64, served ServiceLevel) {
+	line := pa / addr.CacheLineBytes
+	if h.l1.lookup(line, src) {
+		return h.cfg.L1.LatencyRT, ServedL1
+	}
+	if h.l2.lookup(line, src) {
+		h.l1.fill(line)
+		return h.cfg.L2.LatencyRT, ServedL2
+	}
+	if h.l3.lookup(line, src) {
+		h.l1.fill(line)
+		h.l2.fill(line)
+		return h.cfg.L3.LatencyRT, ServedL3
+	}
+	dlat := h.dram.Access(now+h.cfg.L3.LatencyRT, pa)
+	h.l1.fill(line)
+	h.l2.fill(line)
+	h.l3.fill(line)
+	return h.cfg.L3.LatencyRT + dlat, ServedDRAM
+}
+
+// AccessParallel issues a group of simultaneous requests (one parallel
+// step of a nested ECPT walk). Requests are staggered by the issue gap;
+// the group's latency is the completion time of its slowest member.
+// The group's L2/L3 miss counts feed the MSHR occupancy statistics.
+func (h *Hierarchy) AccessParallel(now uint64, pas []uint64, src Source) uint64 {
+	if len(pas) == 0 {
+		return 0
+	}
+	if dbgGroups != nil {
+		banks := map[int]int{}
+		for _, pa := range pas {
+			banks[int(pa/h.cfg.DRAM.RowBytes)%(h.cfg.DRAM.Channels*h.cfg.DRAM.Banks)]++
+		}
+		dup := len(pas) - len(banks)
+		dbgGroups(len(pas), dup)
+	}
+	var maxLat uint64
+	l2miss, l3miss := 0, 0
+	for i, pa := range pas {
+		issue := uint64(i) * h.cfg.IssueGapCycles
+		lat, served := h.Access(now+issue, pa, src)
+		if served >= ServedL3 {
+			l2miss++
+		}
+		if served == ServedDRAM {
+			l3miss++
+		}
+		if t := issue + lat; t > maxLat {
+			maxLat = t
+		}
+	}
+	h.sampleMSHR(h.l2, l2miss)
+	h.sampleMSHR(h.l3, l3miss)
+	// If a group overflows the MSHRs, the excess must wait for earlier
+	// misses to retire: approximate with one extra DRAM round per
+	// overflow wave.
+	if over := l3miss - h.cfg.L3.MSHRs; over > 0 {
+		waves := (over + h.cfg.L3.MSHRs - 1) / h.cfg.L3.MSHRs
+		maxLat += uint64(waves) * h.dram.cfg.RowMissLatency
+	}
+	return maxLat
+}
+
+func (h *Hierarchy) sampleMSHR(lvl *cacheLevel, misses int) {
+	if misses == 0 {
+		return
+	}
+	occ := misses
+	if occ > lvl.cfg.MSHRs {
+		occ = lvl.cfg.MSHRs
+	}
+	lvl.stats.MSHROccupancy.Observe(uint64(occ))
+	if occ > lvl.stats.MSHRMax {
+		lvl.stats.MSHRMax = occ
+	}
+}
+
+// Probe reports whether pa is present at each level without disturbing
+// replacement state or statistics (used by tests).
+func (h *Hierarchy) Probe(pa uint64) (inL1, inL2, inL3 bool) {
+	line := pa / addr.CacheLineBytes
+	return h.l1.contains(line), h.l2.contains(line), h.l3.contains(line)
+}
+
+// AccessRemote models a request from another core sharing the L3: it
+// probes and fills only the shared level (remote private caches filter
+// the rest) and returns its latency. The simulator drives one core's
+// access stream and injects the co-runners' shared-cache traffic this
+// way, reproducing the 8-core contention of the paper's testbed.
+func (h *Hierarchy) AccessRemote(now uint64, pa uint64) uint64 {
+	line := pa / addr.CacheLineBytes
+	h.remote.Accesses++
+	if h.l3.contains(line) {
+		// Refresh recency without perturbing per-source stats.
+		h.l3.lookup(line, SourceCPU)
+		h.l3.stats.Accesses[SourceCPU]--
+		return h.cfg.L3.LatencyRT
+	}
+	h.remote.Misses++
+	dlat := h.dram.Access(now+h.cfg.L3.LatencyRT, pa)
+	h.l3.fill(line)
+	return h.cfg.L3.LatencyRT + dlat
+}
+
+// RemoteStats counts co-runner traffic injected via AccessRemote.
+type RemoteStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// RemoteTraffic returns the accumulated co-runner statistics.
+func (h *Hierarchy) RemoteTraffic() RemoteStats { return h.remote }
+
+// Stats returns a copy of the statistics of each level.
+func (h *Hierarchy) Stats() (l1, l2, l3 LevelStats) {
+	return h.l1.stats, h.l2.stats, h.l3.stats
+}
+
+// DRAMStats returns DRAM access statistics.
+func (h *Hierarchy) DRAMStats() DRAMStats { return h.dram.Stats() }
+
+// ResetStats zeroes all statistics (used at the end of warm-up) while
+// preserving cache contents.
+func (h *Hierarchy) ResetStats() {
+	h.l1.stats = LevelStats{}
+	h.l2.stats = LevelStats{}
+	h.l3.stats = LevelStats{}
+	h.remote = RemoteStats{}
+	h.dram.ResetStats()
+}

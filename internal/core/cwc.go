@@ -1,0 +1,267 @@
+package core
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/stats"
+)
+
+// CWCConfig sizes one cuckoo walk cache, in entries per CWT class.
+// Zero means entries of that class are never cached (e.g. no PTE class
+// in the gCWC, §4.2).
+type CWCConfig struct {
+	PTE, PMD, PUD int
+}
+
+// CWC is a Cuckoo Walk Cache: a partitioned MMU cache holding CWT
+// entries, one partition per page-size class (Table 2 partitions, e.g.
+// "16PMD + 2PUD" for the gCWC).
+type CWC struct {
+	caches [addr.NumPageSizes]*mmucache.Cache
+	// enabled lets the adaptive controller (§4.2) turn a class off
+	// without losing its contents or statistics.
+	enabled [addr.NumPageSizes]bool
+	// window tracks per-class hits/misses since the last interval
+	// sample, for Figure 12 and the adaptive thresholds.
+	window [addr.NumPageSizes]stats.Counter
+}
+
+// NewCWC builds a CWC with the given per-class capacities.
+func NewCWC(name string, cfg CWCConfig) *CWC {
+	c := &CWC{}
+	sizes := [addr.NumPageSizes]int{
+		addr.Page4K: cfg.PTE,
+		addr.Page2M: cfg.PMD,
+		addr.Page1G: cfg.PUD,
+	}
+	for _, s := range addr.Sizes() {
+		if sizes[s] > 0 {
+			c.caches[s] = mmucache.New(name+"/"+s.LevelName(), sizes[s])
+			c.enabled[s] = true
+		}
+	}
+	return c
+}
+
+// Has reports whether the class for size exists and is enabled.
+func (c *CWC) Has(size addr.PageSize) bool {
+	return c.caches[size] != nil && c.enabled[size]
+}
+
+// SetEnabled toggles a class (adaptive PTE-hCWT caching).
+func (c *CWC) SetEnabled(size addr.PageSize, on bool) {
+	if c.caches[size] != nil {
+		c.enabled[size] = on
+	}
+}
+
+// Enabled reports whether the class is currently enabled.
+func (c *CWC) Enabled(size addr.PageSize) bool { return c.Has(size) }
+
+// Lookup probes the class for a CWT entry key. A CWT entry is exactly
+// one cache line, so the CWC caches whole entries.
+func (c *CWC) Lookup(size addr.PageSize, key uint64) bool {
+	if !c.Has(size) {
+		return false
+	}
+	_, ok := c.caches[size].Lookup(key)
+	c.window[size].Record(ok)
+	return ok
+}
+
+// Insert caches a CWT entry after its background refill completes.
+func (c *CWC) Insert(size addr.PageSize, key uint64) {
+	if c.Has(size) {
+		c.caches[size].Insert(key, 1)
+	}
+}
+
+// Stats returns the cumulative hit/miss counter of one class.
+func (c *CWC) Stats(size addr.PageSize) stats.Counter {
+	if c.caches[size] == nil {
+		return stats.Counter{}
+	}
+	return c.caches[size].Stats()
+}
+
+// WindowStats returns and resets the per-interval counter of a class.
+func (c *CWC) WindowStats(size addr.PageSize) stats.Counter {
+	w := c.window[size]
+	c.window[size].Reset()
+	return w
+}
+
+// ResetStats zeroes cumulative and windowed counters.
+func (c *CWC) ResetStats() {
+	for _, s := range addr.Sizes() {
+		if c.caches[s] != nil {
+			c.caches[s].ResetStats()
+		}
+		c.window[s].Reset()
+	}
+}
+
+// refill identifies one CWT entry that must be fetched into a CWC in
+// the background after a miss.
+type refill struct {
+	size addr.PageSize
+	key  uint64
+	// pa is the CWT entry's address in the owning table set's own
+	// address space: an hPA for hCWTs, a gPA for gCWTs (which is what
+	// makes the STC necessary, §4.1).
+	pa uint64
+}
+
+// probeGroup is one (table, way-filter) the walker must probe.
+type probeGroup struct {
+	size addr.PageSize
+	way  int // ecpt.AllWays or a specific way
+}
+
+// probePlan is the outcome of consulting the CWC hierarchy for one
+// address: which ECPTs/ways to probe, the paper's walk class, and any
+// CWT entries to refill.
+type probePlan struct {
+	groups  []probeGroup
+	class   WalkClass
+	refills []refill
+	// lookups counts CWC probes performed (each costs one MMU-cache
+	// round trip, but probes of different classes go in parallel in
+	// hardware; the walker charges one round trip per sequential
+	// consult level).
+	lookups int
+	fault   bool
+}
+
+// planWalk consults the CWCs top-down (1GB, then 2MB, then 4KB) and
+// prunes the parallel probe set exactly as §3.2/§4.2 describe. set is
+// the ECPT set being walked; cwc the walk cache guarding it; usePTE
+// gates the PTE class (the Hybrid design only consults PTE-CWT entries
+// in its upper rows, §6).
+func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool) probePlan {
+	var plan probePlan
+
+	// --- 1GB (PUD) level ---
+	pud := set.Table(addr.Page1G).CWT()
+	if pud == nil || !cwc.Has(addr.Page1G) {
+		// No PUD pruning possible: nothing is known.
+		plan.groups = allGroups()
+		plan.class = WalkComplete
+		return plan
+	}
+	info1 := pud.Query(addr.VPN(va, addr.Page1G))
+	plan.lookups++
+	if !cwc.Lookup(addr.Page1G, info1.EntryKey) {
+		plan.refills = append(plan.refills, refill{addr.Page1G, info1.EntryKey, pud.EntryPA(info1.EntryKey)})
+		plan.groups = allGroups()
+		plan.class = WalkComplete
+		return plan
+	}
+	if info1.Present {
+		plan.groups = []probeGroup{{addr.Page1G, int(info1.Way)}}
+		plan.class = WalkDirect
+		return plan
+	}
+	if !info1.EntryExists || !info1.HasSmaller {
+		plan.fault = true
+		return plan
+	}
+
+	// --- 2MB (PMD) level ---
+	pmd := set.Table(addr.Page2M).CWT()
+	if pmd == nil || !cwc.Has(addr.Page2M) {
+		plan.groups = []probeGroup{{addr.Page2M, ecpt.AllWays}, {addr.Page4K, ecpt.AllWays}}
+		plan.class = WalkPartial
+		return plan
+	}
+	info2 := pmd.Query(addr.VPN(va, addr.Page2M))
+	plan.lookups++
+	if !cwc.Lookup(addr.Page2M, info2.EntryKey) {
+		plan.refills = append(plan.refills, refill{addr.Page2M, info2.EntryKey, pmd.EntryPA(info2.EntryKey)})
+		plan.groups = []probeGroup{{addr.Page2M, ecpt.AllWays}, {addr.Page4K, ecpt.AllWays}}
+		plan.class = WalkPartial
+		return plan
+	}
+	if info2.Present {
+		plan.groups = []probeGroup{{addr.Page2M, int(info2.Way)}}
+		plan.class = WalkDirect
+		return plan
+	}
+	if !info2.EntryExists || !info2.HasSmaller {
+		plan.fault = true
+		return plan
+	}
+
+	// --- 4KB (PTE) level ---
+	pte := set.Table(addr.Page4K).CWT()
+	if pte == nil || !usePTE || !cwc.Has(addr.Page4K) {
+		// No PTE CWT information: probe every way of the PTE table —
+		// the paper's Size walk, the common case for the guest (§9.4).
+		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.class = WalkSize
+		return plan
+	}
+	info4 := pte.Query(addr.VPN(va, addr.Page4K))
+	plan.lookups++
+	if !cwc.Lookup(addr.Page4K, info4.EntryKey) {
+		plan.refills = append(plan.refills, refill{addr.Page4K, info4.EntryKey, pte.EntryPA(info4.EntryKey)})
+		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.class = WalkSize
+		return plan
+	}
+	if info4.Present {
+		plan.groups = []probeGroup{{addr.Page4K, int(info4.Way)}}
+		plan.class = WalkDirect
+		return plan
+	}
+	plan.fault = true
+	return plan
+}
+
+// planPTEOnly is the Step-1 plan when the 4KB page-table-page
+// optimization (§4.3) applies: guest page tables are known to be
+// 4KB-mapped in the host, so only the PTE-hECPT can hold them. When
+// the Step-1 hCWC has a PTE class (§4.2's first technique), a hit
+// turns the Size walk into a Direct one.
+func planPTEOnly(set *ecpt.Set, cwc *CWC, va uint64) probePlan {
+	var plan probePlan
+	pte := set.Table(addr.Page4K).CWT()
+	if pte == nil || !cwc.Has(addr.Page4K) {
+		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.class = WalkSize
+		return plan
+	}
+	info := pte.Query(addr.VPN(va, addr.Page4K))
+	plan.lookups++
+	if !cwc.Lookup(addr.Page4K, info.EntryKey) {
+		plan.refills = append(plan.refills, refill{addr.Page4K, info.EntryKey, pte.EntryPA(info.EntryKey)})
+		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.class = WalkSize
+		return plan
+	}
+	if info.Present {
+		plan.groups = []probeGroup{{addr.Page4K, int(info.Way)}}
+		plan.class = WalkDirect
+		return plan
+	}
+	plan.fault = true
+	return plan
+}
+
+func allGroups() []probeGroup {
+	return []probeGroup{
+		{addr.Page1G, ecpt.AllWays},
+		{addr.Page2M, ecpt.AllWays},
+		{addr.Page4K, ecpt.AllWays},
+	}
+}
+
+// probesForPlan expands a plan into the concrete line probes.
+func probesForPlan(set *ecpt.Set, va uint64, plan probePlan) []ecpt.Probe {
+	var probes []ecpt.Probe
+	for _, g := range plan.groups {
+		probes = append(probes, set.Table(g.size).ProbesFor(addr.VPN(va, g.size), g.way)...)
+	}
+	return probes
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/memsim"
+)
+
+func newPlannerSet(t *testing.T, withPTECWT bool) *ecpt.Set {
+	t.Helper()
+	alloc := memsim.NewAllocator(1<<30, 3)
+	set, err := ecpt.NewSet(ecpt.ScaledSetConfig(withPTECWT, 64), alloc, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestCWCPartitioning(t *testing.T) {
+	c := NewCWC("t", CWCConfig{PMD: 4, PUD: 2})
+	if c.Has(addr.Page4K) {
+		t.Error("PTE class exists without capacity")
+	}
+	if !c.Has(addr.Page2M) || !c.Has(addr.Page1G) {
+		t.Error("configured classes missing")
+	}
+	if c.Lookup(addr.Page4K, 1) {
+		t.Error("lookup in absent class hit")
+	}
+	c.Insert(addr.Page2M, 5)
+	if !c.Lookup(addr.Page2M, 5) {
+		t.Error("inserted key missed")
+	}
+	if c.Lookup(addr.Page1G, 5) {
+		t.Error("classes not isolated")
+	}
+}
+
+func TestCWCEnableDisable(t *testing.T) {
+	c := NewCWC("t", CWCConfig{PTE: 4})
+	c.Insert(addr.Page4K, 1)
+	c.SetEnabled(addr.Page4K, false)
+	if c.Has(addr.Page4K) || c.Lookup(addr.Page4K, 1) {
+		t.Error("disabled class still answers")
+	}
+	c.SetEnabled(addr.Page4K, true)
+	if !c.Lookup(addr.Page4K, 1) {
+		t.Error("re-enabled class lost contents")
+	}
+}
+
+func TestCWCWindowStats(t *testing.T) {
+	c := NewCWC("t", CWCConfig{PMD: 4})
+	c.Lookup(addr.Page2M, 1) // miss
+	c.Insert(addr.Page2M, 1)
+	c.Lookup(addr.Page2M, 1) // hit
+	wnd := c.WindowStats(addr.Page2M)
+	if wnd.Hits != 1 || wnd.Misses != 1 {
+		t.Errorf("window = %+v", wnd)
+	}
+	if w2 := c.WindowStats(addr.Page2M); w2.Total() != 0 {
+		t.Error("window not reset")
+	}
+	if cum := c.Stats(addr.Page2M); cum.Total() != 2 {
+		t.Error("cumulative stats affected by window reset")
+	}
+}
+
+func warmCWC(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool) {
+	// The planner descends one level per consult round (a miss at one
+	// level stops the walk there), so warming all three levels takes
+	// up to four rounds.
+	for i := 0; i < 4; i++ {
+		plan := planWalk(set, cwc, va, usePTE)
+		for _, r := range plan.refills {
+			cwc.Insert(r.size, r.key)
+		}
+	}
+}
+
+func TestPlanWalkComplete(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	plan := planWalk(set, cwc, 0x1000, true)
+	if plan.class != WalkComplete {
+		t.Fatalf("cold plan class = %v", plan.class)
+	}
+	if len(plan.groups) != 3 {
+		t.Errorf("complete walk groups = %d", len(plan.groups))
+	}
+	if len(plan.refills) == 0 {
+		t.Error("no refill requested on CWC miss")
+	}
+}
+
+func TestPlanWalkDirect4K(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	warmCWC(set, cwc, 0x1000, true)
+	plan := planWalk(set, cwc, 0x1000, true)
+	if plan.class != WalkDirect {
+		t.Fatalf("warm 4K plan = %v", plan.class)
+	}
+	probes := probesForPlan(set, 0x1000, plan)
+	if len(probes) != 1 || !probes[0].Match {
+		t.Errorf("direct probes = %+v", probes)
+	}
+}
+
+func TestPlanWalkDirect2M(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PMD: 4, PUD: 2})
+	set.Map(0x4000_0000, addr.Page2M, 0x20_0000)
+	warmCWC(set, cwc, 0x4000_0000, true)
+	plan := planWalk(set, cwc, 0x4000_0000+0x1234, true)
+	if plan.class != WalkDirect {
+		t.Fatalf("warm 2M plan = %v", plan.class)
+	}
+	if plan.groups[0].size != addr.Page2M {
+		t.Errorf("direct group size = %v", plan.groups[0].size)
+	}
+}
+
+func TestPlanWalkSizeWithoutPTECWT(t *testing.T) {
+	set := newPlannerSet(t, false) // guest layout: no PTE-CWT
+	cwc := NewCWC("t", CWCConfig{PMD: 4, PUD: 2})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	warmCWC(set, cwc, 0x1000, true)
+	plan := planWalk(set, cwc, 0x1000, true)
+	if plan.class != WalkSize {
+		t.Fatalf("guest 4K plan = %v, want Size", plan.class)
+	}
+	if len(plan.groups) != 1 || plan.groups[0].way != ecpt.AllWays {
+		t.Errorf("size groups = %+v", plan.groups)
+	}
+}
+
+func TestPlanWalkUsePTEFlag(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	warmCWC(set, cwc, 0x1000, true)
+	plan := planWalk(set, cwc, 0x1000, false) // Hybrid lower rows
+	if plan.class != WalkSize {
+		t.Fatalf("usePTE=false plan = %v, want Size", plan.class)
+	}
+}
+
+func TestPlanWalkPartialOnPMDMiss(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 2, PUD: 2})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	// Warm only the PUD class: look up once and insert just PUD refills.
+	plan := planWalk(set, cwc, 0x1000, true)
+	for _, r := range plan.refills {
+		if r.size == addr.Page1G {
+			cwc.Insert(r.size, r.key)
+		}
+	}
+	plan = planWalk(set, cwc, 0x1000, true)
+	if plan.class != WalkPartial {
+		t.Fatalf("plan = %v, want Partial", plan.class)
+	}
+	if len(plan.groups) != 2 {
+		t.Errorf("partial groups = %+v", plan.groups)
+	}
+}
+
+func TestPlanWalkFaultOnUnmapped(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	warmCWC(set, cwc, 0x1000, true)
+	// Same covered region, different unmapped page: the warm CWT entry
+	// proves nothing is mapped there.
+	plan := planWalk(set, cwc, 0x9000, true)
+	if !plan.fault {
+		t.Errorf("plan for unmapped page = %+v, want fault", plan)
+	}
+}
+
+func TestPlanPTEOnly(t *testing.T) {
+	set := newPlannerSet(t, true)
+	cwc := NewCWC("t", CWCConfig{PTE: 4})
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	plan := planPTEOnly(set, cwc, 0x1000)
+	if plan.class != WalkSize {
+		t.Fatalf("cold planPTEOnly = %v", plan.class)
+	}
+	for _, r := range plan.refills {
+		cwc.Insert(r.size, r.key)
+	}
+	plan = planPTEOnly(set, cwc, 0x1000)
+	if plan.class != WalkDirect {
+		t.Fatalf("warm planPTEOnly = %v", plan.class)
+	}
+	// It must never touch PMD/PUD tables.
+	for _, g := range plan.groups {
+		if g.size != addr.Page4K {
+			t.Errorf("planPTEOnly probed %v", g.size)
+		}
+	}
+}
+
+func TestAdaptiveControllerDisablesAndBacksOff(t *testing.T) {
+	f := newFixture(t, false, true, false, true, false)
+	cfg := DefaultNestedECPTConfig(AdvancedTechniques())
+	cfg.AdaptIntervalCycles = 1000
+	w := NewNestedECPT(cfg, f.mem, f.kern, f.hyp)
+
+	feedPTE := func(hit bool) {
+		for i := 0; i < 20; i++ {
+			key := uint64(i * 1000)
+			if hit {
+				w.hCWC3.Insert(addr.Page4K, key)
+			}
+			w.hCWC3.Lookup(addr.Page4K, key)
+		}
+	}
+	feedPMD := func(hit bool) {
+		for i := 0; i < 20; i++ {
+			key := uint64(i * 1000)
+			if hit {
+				w.hCWC3.Insert(addr.Page2M, key)
+			}
+			w.hCWC3.Lookup(addr.Page2M, key)
+		}
+	}
+
+	// Interval 1: PTE hit rate 0 -> disable.
+	feedPTE(false)
+	w.maybeAdapt(10_000)
+	if w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("PTE caching not disabled at 0% hit rate")
+	}
+	// Interval 2: PMD hot, but backoff (cooldown=1) delays re-enable.
+	feedPMD(true)
+	w.maybeAdapt(20_000)
+	if w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("re-enabled without serving the backoff")
+	}
+	// Interval 3: PMD still hot -> re-enable.
+	feedPMD(true)
+	w.maybeAdapt(30_000)
+	if !w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("not re-enabled after backoff")
+	}
+	// Disable again: the backoff must have doubled.
+	feedPTE(false)
+	w.maybeAdapt(40_000)
+	feedPMD(true)
+	w.maybeAdapt(50_000)
+	feedPMD(true)
+	w.maybeAdapt(60_000)
+	if w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("second re-enable did not respect the doubled backoff")
+	}
+	st := w.Stats()
+	if st.AdaptDisabled == 0 {
+		t.Error("AdaptDisabled not counted")
+	}
+	if len(st.PTESeries.Points) == 0 || len(st.PMDSeries.Points) == 0 {
+		t.Error("no Figure 12 interval samples recorded")
+	}
+}

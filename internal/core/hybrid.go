@@ -1,0 +1,204 @@
+package core
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/stats"
+	"nestedecpt/internal/vhash"
+)
+
+// HybridConfig configures the §6 migration design: legacy radix page
+// tables in the guest, ECPTs in the host.
+type HybridConfig struct {
+	// PWCEntriesPerLevel sizes the guest page walk cache (Table 2
+	// hybrid row: 16 entries).
+	PWCEntriesPerLevel int
+	// NTLBEntries sizes the nested TLB (24 entries).
+	NTLBEntries int
+	// HostCWC sizes the host cuckoo walk cache
+	// ("16PTE(Rows 1-3)+16PMD+2PUD").
+	HostCWC CWCConfig
+	// PTERows is the number of walk rows (1 = gL4 ... 5 = data) whose
+	// host translations consult the PTE-hCWT class; §6 observes that
+	// PTE-CWT locality decays down the walk and uses it in rows 1–3.
+	PTERows int
+}
+
+// DefaultHybridConfig returns the Table 2 hybrid parameters.
+func DefaultHybridConfig() HybridConfig {
+	return HybridConfig{
+		PWCEntriesPerLevel: 16,
+		NTLBEntries:        24,
+		HostCWC:            CWCConfig{PTE: 16, PMD: 16, PUD: 2},
+		PTERows:            3,
+	}
+}
+
+// HybridStats aggregates hybrid walker measurements.
+type HybridStats struct {
+	Walks       uint64
+	HostClasses *stats.Distribution
+	HostPar     stats.Average
+}
+
+// Hybrid is the §6 migration walker: a guest radix walk whose host
+// translations each use one parallel ECPT step instead of four
+// sequential radix levels — nine sequential steps in the worst case.
+type Hybrid struct {
+	cfg   HybridConfig
+	mem   MemSystem
+	guest *kernel.Kernel
+	host  *hypervisor.Hypervisor
+	pwc   *pwc
+	ntlb  *mmucache.Cache
+	hcwc  *CWC
+	st    HybridStats
+	paBuf []uint64
+}
+
+// NewHybrid builds the walker over the guest radix table and host
+// ECPTs.
+func NewHybrid(cfg HybridConfig, mem MemSystem, guest *kernel.Kernel, host *hypervisor.Hypervisor) *Hybrid {
+	if guest.Radix() == nil || host.ECPTs() == nil {
+		panic("core: Hybrid requires a guest radix table and host ECPTs")
+	}
+	return &Hybrid{
+		cfg:   cfg,
+		mem:   mem,
+		guest: guest,
+		host:  host,
+		pwc:   newPWC("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
+		ntlb:  mmucache.New("NTLB", cfg.NTLBEntries),
+		hcwc:  NewCWC("hCWC", cfg.HostCWC),
+		st:    HybridStats{HostClasses: stats.NewDistribution()},
+	}
+}
+
+// Name implements Walker.
+func (w *Hybrid) Name() string { return "Nested Hybrid" }
+
+// Stats returns a snapshot of the walker statistics.
+func (w *Hybrid) Stats() HybridStats { return w.st }
+
+// ResetStats clears measurement state at the end of warm-up.
+func (w *Hybrid) ResetStats() {
+	w.st = HybridStats{HostClasses: stats.NewDistribution()}
+	w.hcwc.ResetStats()
+}
+
+// translateGPA performs one Step-3-style host ECPT translation of gpa
+// (the replacement for each hL4..hL1 row of Figure 8). row selects the
+// per-row PTE-hCWT policy.
+func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) (hpa uint64, size addr.PageSize, lat uint64, err error) {
+	plan := planWalk(w.host.ECPTs(), w.hcwc, gpa, row <= w.cfg.PTERows)
+	lat += mmucache.LatencyRT + vhash.LatencyCycles
+	if plan.fault {
+		return 0, 0, lat, &ErrNotMapped{Space: "host", Addr: gpa}
+	}
+	w.st.HostClasses.Observe(plan.class.String())
+	// hCWT refills are plain background fetches at hPAs.
+	for _, r := range plan.refills {
+		rlat, _ := w.mem.Access(now+lat, r.pa, cachesim.SourceMMU)
+		res.BackgroundCycles += rlat
+		res.BackgroundAccesses++
+		w.hcwc.Insert(r.size, r.key)
+	}
+
+	w.paBuf = w.paBuf[:0]
+	var frame uint64
+	var fsize addr.PageSize
+	found := false
+	for _, g := range plan.groups {
+		for _, p := range w.host.ECPTs().Table(g.size).ProbesFor(addr.VPN(gpa, g.size), g.way) {
+			w.paBuf = append(w.paBuf, p.PA)
+			if p.Match {
+				frame, fsize, found = p.Frame, g.size, true
+			}
+		}
+	}
+	lat += w.mem.AccessParallel(now+lat, w.paBuf, cachesim.SourceMMU)
+	res.Accesses += len(w.paBuf)
+	w.st.HostPar.Observe(uint64(len(w.paBuf)))
+	if !found {
+		return 0, 0, lat, &ErrNotMapped{Space: "host", Addr: gpa}
+	}
+	return addr.Translate(frame, gpa, fsize), fsize, lat, nil
+}
+
+// Walk implements Walker: Figure 8's nine sequential steps in the
+// worst case (4 × (host step + guest read) + final host step).
+func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	w.st.Walks++
+	var res WalkResult
+	steps, ok := w.guest.Radix().Walk(uint64(va))
+	if !ok {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	lat := uint64(mmucache.LatencyRT) // parallel guest-PWC probe round
+	start := 0
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		if st.Leaf || st.Level < addr.L2 {
+			continue
+		}
+		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+			start = i + 1
+			break
+		}
+	}
+
+	var dataGPA uint64
+	var gsize addr.PageSize
+	found := false
+	for i := start; i < len(steps); i++ {
+		st := steps[i]
+		row := 5 - int(st.Level) // gL4 is row 1 ... gL1 is row 4
+		// Translate the guest table page: NTLB first, then one host
+		// ECPT step.
+		lat += mmucache.LatencyRT
+		var hpa uint64
+		page := addr.PageBase(st.EntryPA, addr.Page4K)
+		if frame, hit := w.ntlb.Lookup(page); hit {
+			hpa = addr.Translate(frame, st.EntryPA, addr.Page4K)
+		} else {
+			h, _, tlat, err := w.translateGPA(now+lat, st.EntryPA, row, &res)
+			lat += tlat
+			if err != nil {
+				return res, err
+			}
+			hpa = h
+			w.ntlb.Insert(page, addr.PageBase(hpa, addr.Page4K))
+		}
+		// Read the guest radix entry.
+		alat, _ := w.mem.Access(now+lat, hpa, cachesim.SourceMMU)
+		lat += alat
+		res.Accesses++
+		if st.Leaf {
+			dataGPA = addr.Translate(st.Frame, uint64(va), st.Size)
+			gsize = st.Size
+			found = true
+			break
+		}
+		if st.Level >= addr.L2 {
+			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+		}
+	}
+	if !found {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+
+	// Final host ECPT step for the data page (row 5).
+	hpa, hsize, tlat, err := w.translateGPA(now+lat, dataGPA, 5, &res)
+	lat += tlat
+	if err != nil {
+		return res, err
+	}
+
+	res.Size = minSize(gsize, hsize)
+	res.Frame = addr.PageBase(hpa, res.Size)
+	res.Latency = lat
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/stats"
+	"nestedecpt/internal/vhash"
+)
+
+// NativeECPTConfig configures the native (non-virtualized) ECPT walker
+// of Skarlatos et al. — the paper's ECPTs / ECPTs THP baselines.
+type NativeECPTConfig struct {
+	// CWC sizes the single cuckoo walk cache. The native design caches
+	// PUD- and PMD-CWT entries but no PTE-CWT (§4.2's history).
+	CWC CWCConfig
+}
+
+// DefaultNativeECPTConfig mirrors the guest-side sizes of Table 2.
+func DefaultNativeECPTConfig() NativeECPTConfig {
+	return NativeECPTConfig{CWC: CWCConfig{PMD: 16, PUD: 2}}
+}
+
+// NativeECPTStats aggregates native walker measurements.
+type NativeECPTStats struct {
+	Walks   uint64
+	Classes *stats.Distribution
+	Par     stats.Average
+}
+
+// NativeECPT walks a single ECPT set whose table addresses are real
+// physical addresses: one parallel step per translation.
+type NativeECPT struct {
+	cfg    NativeECPTConfig
+	mem    MemSystem
+	kern   *kernel.Kernel
+	cwc    *CWC
+	st     NativeECPTStats
+	probes []uint64
+}
+
+// NewNativeECPT builds the walker over the kernel's ECPT set.
+func NewNativeECPT(cfg NativeECPTConfig, mem MemSystem, kern *kernel.Kernel) *NativeECPT {
+	if kern.ECPTs() == nil {
+		panic("core: NativeECPT requires kernel ECPTs")
+	}
+	return &NativeECPT{
+		cfg:  cfg,
+		mem:  mem,
+		kern: kern,
+		cwc:  NewCWC("CWC", cfg.CWC),
+		st:   NativeECPTStats{Classes: stats.NewDistribution()},
+	}
+}
+
+// Name implements Walker.
+func (w *NativeECPT) Name() string { return "ECPTs" }
+
+// Stats returns a snapshot of the walker statistics.
+func (w *NativeECPT) Stats() NativeECPTStats { return w.st }
+
+// CWC exposes the cuckoo walk cache.
+func (w *NativeECPT) CWC() *CWC { return w.cwc }
+
+// ResetStats clears measurement state at the end of warm-up.
+func (w *NativeECPT) ResetStats() {
+	w.st = NativeECPTStats{Classes: stats.NewDistribution()}
+	w.cwc.ResetStats()
+}
+
+// Walk implements Walker: one CWC consult, then one parallel group of
+// ECPT probes.
+func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	w.st.Walks++
+	var res WalkResult
+	set := w.kern.ECPTs()
+
+	plan := planWalk(set, w.cwc, uint64(va), true)
+	lat := uint64(mmucache.LatencyRT + vhash.LatencyCycles)
+	if plan.fault {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	w.st.Classes.Observe(plan.class.String())
+	// Native CWT refills are plain physical fetches.
+	for _, r := range plan.refills {
+		rlat, _ := w.mem.Access(now+lat, r.pa, cachesim.SourceMMU)
+		res.BackgroundCycles += rlat
+		res.BackgroundAccesses++
+		w.cwc.Insert(r.size, r.key)
+	}
+
+	w.probes = w.probes[:0]
+	var frame uint64
+	var size addr.PageSize
+	found := false
+	for _, g := range plan.groups {
+		for _, p := range set.Table(g.size).ProbesFor(addr.VPN(uint64(va), g.size), g.way) {
+			w.probes = append(w.probes, p.PA)
+			if p.Match {
+				frame, size, found = p.Frame, g.size, true
+			}
+		}
+	}
+	lat += w.mem.AccessParallel(now+lat, w.probes, cachesim.SourceMMU)
+	res.Accesses += len(w.probes)
+	res.Parallel1 = len(w.probes)
+	w.st.Par.Observe(uint64(len(w.probes)))
+	if !found {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+
+	res.Frame = frame
+	res.Size = size
+	res.Latency = lat
+	return res, nil
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/stats"
+	"nestedecpt/internal/vhash"
+)
+
+// Techniques selects which of the Advanced design's §4 techniques are
+// active. All false reproduces the Plain Nested ECPT design of §3;
+// all true is the Advanced design the paper calls simply Nested ECPTs.
+type Techniques struct {
+	// STC adds the Shortcut Translation Cache for gCWT refills (§4.1).
+	STC bool
+	// Step1PTECaching caches PTE-hCWT entries in the Step-1 hCWC (§4.2).
+	Step1PTECaching bool
+	// Step3AdaptivePTE adaptively caches PTE-hCWT entries in the
+	// Step-3 hCWC (§4.2).
+	Step3AdaptivePTE bool
+	// PageTable4KB exploits that page tables are only 4KB-mapped in
+	// the host, probing only the PTE-hECPT in Step 1 (§4.3).
+	PageTable4KB bool
+}
+
+// PlainTechniques returns the §3 design point.
+func PlainTechniques() Techniques { return Techniques{} }
+
+// AdvancedTechniques returns the full §4 design point.
+func AdvancedTechniques() Techniques {
+	return Techniques{STC: true, Step1PTECaching: true, Step3AdaptivePTE: true, PageTable4KB: true}
+}
+
+// NestedECPTConfig configures the nested ECPT walker's MMU structures
+// (Table 2's Nested ECPT rows).
+type NestedECPTConfig struct {
+	Tech     Techniques
+	GuestCWC CWCConfig
+	// HostCWC1 guards Step 1 (locating gECPT entries in the host);
+	// HostCWC3 guards Step 3 (locating data pages in the host). The
+	// paper uses separate hCWCs for the two steps (§8).
+	HostCWC1   CWCConfig
+	HostCWC3   CWCConfig
+	STCEntries int
+	// AdaptIntervalCycles is the monitoring interval for adaptive
+	// PTE-hCWT caching (Figure 12 samples every 5M cycles).
+	AdaptIntervalCycles uint64
+	// AdaptDisableBelow / AdaptEnableAbove are the §9.2 thresholds.
+	AdaptDisableBelow float64
+	AdaptEnableAbove  float64
+}
+
+// DefaultNestedECPTConfig returns Table 2's structure sizes for the
+// given technique set.
+func DefaultNestedECPTConfig(tech Techniques) NestedECPTConfig {
+	cfg := NestedECPTConfig{
+		Tech:                tech,
+		GuestCWC:            CWCConfig{PMD: 16, PUD: 2},
+		HostCWC1:            CWCConfig{PMD: 4, PUD: 2},
+		HostCWC3:            CWCConfig{PMD: 8, PUD: 2},
+		STCEntries:          10,
+		AdaptIntervalCycles: 5_000_000,
+		AdaptDisableBelow:   0.5,
+		AdaptEnableAbove:    0.85,
+	}
+	if tech.Step1PTECaching {
+		// Table 2 lists 4 PTE entries; our PTE-hCWT entries cover 1MB
+		// each where the paper's format covers ~4MB, so 16 entries give
+		// the same reach over the gECPT region (the property behind the
+		// 99% Step-1 hit rate of §9.4).
+		cfg.HostCWC1.PTE = 32
+	}
+	if tech.Step3AdaptivePTE {
+		cfg.HostCWC3.PTE = 16
+	}
+	return cfg
+}
+
+// NestedECPTStats aggregates the walker-level measurements the
+// evaluation reports.
+type NestedECPTStats struct {
+	Walks uint64
+	// GuestClasses / HostClasses reproduce Figure 14 (right and left
+	// bars respectively).
+	GuestClasses *stats.Distribution
+	HostClasses  *stats.Distribution
+	// Par1/2/3 reproduce §9.4's average parallel accesses per step.
+	Par1, Par2, Par3 stats.Average
+	// STC is the shortcut translation cache hit rate (§9.4: ~99%).
+	STC stats.Counter
+	// PTESeries / PMDSeries are Figure 12's per-interval hCWC hit
+	// rates for PTE and PMD hCWT entries in the Step-3 hCWC.
+	PTESeries, PMDSeries stats.Series
+	// AdaptDisabled counts intervals with PTE caching off.
+	AdaptDisabled uint64
+}
+
+// NestedECPT is the paper's walker: three sequential steps of parallel
+// probes against guest and host elastic cuckoo page tables.
+type NestedECPT struct {
+	cfg   NestedECPTConfig
+	mem   MemSystem
+	guest *kernel.Kernel
+	host  *hypervisor.Hypervisor
+
+	gCWC  *CWC
+	hCWC1 *CWC
+	hCWC3 *CWC
+	stc   *mmucache.Cache
+
+	lastAdapt uint64
+	// adaptBackoff implements the convergence §9.2 describes
+	// ("applications typically converge soon to one of the two
+	// states"): each disable doubles the number of qualifying windows
+	// required before PTE caching is re-enabled, so an application
+	// whose PTE entries genuinely do not cache well settles into the
+	// disabled state instead of oscillating.
+	adaptBackoff  uint64
+	adaptCooldown uint64
+	st            NestedECPTStats
+
+	// scratch buffers, reused across walks to keep the hot path
+	// allocation-free.
+	step1PAs []uint64
+	step2PAs []uint64
+	step3PAs []uint64
+	cand     []candidate
+}
+
+// candidate is one gECPT line probe with its resolved host location.
+type candidate struct {
+	probe ecpt.Probe
+	size  addr.PageSize
+	hpa   uint64
+}
+
+// NewNestedECPT wires a walker to the guest's ECPTs and the host's
+// ECPTs. The guest kernel and the hypervisor must both maintain ECPTs.
+func NewNestedECPT(cfg NestedECPTConfig, mem MemSystem, guest *kernel.Kernel, host *hypervisor.Hypervisor) *NestedECPT {
+	if guest.ECPTs() == nil || host.ECPTs() == nil {
+		panic("core: NestedECPT requires guest and host ECPTs")
+	}
+	w := &NestedECPT{
+		cfg:   cfg,
+		mem:   mem,
+		guest: guest,
+		host:  host,
+		gCWC:  NewCWC("gCWC", cfg.GuestCWC),
+		hCWC1: NewCWC("hCWC1", cfg.HostCWC1),
+		hCWC3: NewCWC("hCWC3", cfg.HostCWC3),
+	}
+	if cfg.Tech.STC {
+		w.stc = mmucache.New("STC", cfg.STCEntries)
+	}
+	w.st.GuestClasses = stats.NewDistribution()
+	w.st.HostClasses = stats.NewDistribution()
+	return w
+}
+
+// Name implements Walker.
+func (w *NestedECPT) Name() string {
+	switch w.cfg.Tech {
+	case Techniques{}:
+		return "Plain Nested ECPTs"
+	case AdvancedTechniques():
+		return "Nested ECPTs"
+	}
+	return "Nested ECPTs (partial techniques)"
+}
+
+// Stats returns a snapshot of the walker statistics.
+func (w *NestedECPT) Stats() NestedECPTStats { return w.st }
+
+// CWCs exposes the three cuckoo walk caches for characterization.
+func (w *NestedECPT) CWCs() (gcwc, hcwc1, hcwc3 *CWC) { return w.gCWC, w.hCWC1, w.hCWC3 }
+
+// ResetStats clears all measurement state at the end of warm-up.
+func (w *NestedECPT) ResetStats() {
+	w.st = NestedECPTStats{GuestClasses: stats.NewDistribution(), HostClasses: stats.NewDistribution()}
+	w.gCWC.ResetStats()
+	w.hCWC1.ResetStats()
+	w.hCWC3.ResetStats()
+	if w.stc != nil {
+		w.stc.ResetStats()
+	}
+}
+
+// Walk implements Walker: the three-step nested ECPT walk of Figure 6.
+func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	w.maybeAdapt(now)
+	w.st.Walks++
+	var res WalkResult
+	var lat uint64
+	gset := w.guest.ECPTs()
+	hset := w.host.ECPTs()
+
+	// ---------- Step 1: gVA -> hPTEs locating the gECPT entries ----------
+	// Consult the gCWC (all classes probed in parallel; one MMU-cache
+	// round trip) and hash the guest VPNs.
+	gplan := planWalk(gset, w.gCWC, uint64(va), true)
+	lat += mmucache.LatencyRT + vhash.LatencyCycles
+	if gplan.fault {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	w.st.GuestClasses.Observe(gplan.class.String())
+	if err := w.queueRefills(now+lat, gplan.refills, w.gCWC, true, &res); err != nil {
+		return res, err
+	}
+
+	// Expand the guest plan into candidate gECPT line probes, tagged
+	// with the table size each came from.
+	w.cand = w.cand[:0]
+	for _, g := range gplan.groups {
+		for _, p := range gset.Table(g.size).ProbesFor(addr.VPN(uint64(va), g.size), g.way) {
+			w.cand = append(w.cand, candidate{probe: p, size: g.size})
+		}
+	}
+
+	// Locate every candidate through the host ECPTs; all resulting
+	// hECPT probes form one parallel group, guarded by the Step-1 hCWC
+	// and, when enabled, the 4KB page-table-page knowledge.
+	lat += mmucache.LatencyRT + vhash.LatencyCycles
+	w.step1PAs = w.step1PAs[:0]
+	for ci := range w.cand {
+		c := &w.cand[ci]
+		var hplan probePlan
+		if w.cfg.Tech.PageTable4KB {
+			hplan = planPTEOnly(hset, w.hCWC1, c.probe.PA)
+		} else {
+			hplan = planWalk(hset, w.hCWC1, c.probe.PA, true)
+		}
+		if hplan.fault {
+			return res, &ErrNotMapped{Space: "host", Addr: c.probe.PA, PageTable: true}
+		}
+		w.st.HostClasses.Observe(hplan.class.String())
+		if err := w.queueRefills(now+lat, hplan.refills, w.hCWC1, false, &res); err != nil {
+			return res, err
+		}
+
+		matched := false
+		for _, g := range hplan.groups {
+			for _, hp := range hset.Table(g.size).ProbesFor(addr.VPN(c.probe.PA, g.size), g.way) {
+				w.step1PAs = append(w.step1PAs, hp.PA)
+				if hp.Match {
+					c.hpa = addr.Translate(hp.Frame, c.probe.PA, g.size)
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			return res, &ErrNotMapped{Space: "host", Addr: c.probe.PA, PageTable: true}
+		}
+	}
+	lat += w.mem.AccessParallel(now+lat, w.step1PAs, cachesim.SourceMMU)
+	res.Accesses += len(w.step1PAs)
+	res.Parallel1 = len(w.step1PAs)
+	w.st.Par1.Observe(uint64(len(w.step1PAs)))
+
+	// ---------- Step 2: read the candidate gECPT entries ----------
+	// The hardware cannot tell which tag-matching hPTE corresponds to
+	// the wanted guest VPN (§3.1), so it reads all candidates and
+	// checks their guest tags.
+	w.step2PAs = w.step2PAs[:0]
+	var dataGPA uint64
+	var gsize addr.PageSize
+	found := false
+	for ci := range w.cand {
+		c := &w.cand[ci]
+		w.step2PAs = append(w.step2PAs, c.hpa)
+		if c.probe.Match {
+			dataGPA = addr.Translate(c.probe.Frame, uint64(va), c.size)
+			gsize = c.size
+			found = true
+		}
+	}
+	lat += w.mem.AccessParallel(now+lat, w.step2PAs, cachesim.SourceMMU)
+	res.Accesses += len(w.step2PAs)
+	res.Parallel2 = len(w.step2PAs)
+	w.st.Par2.Observe(uint64(len(w.step2PAs)))
+	if !found {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+
+	// ---------- Step 3: data gPA -> hPA ----------
+	hplan3 := planWalk(hset, w.hCWC3, dataGPA, true)
+	lat += mmucache.LatencyRT + vhash.LatencyCycles
+	if hplan3.fault {
+		return res, &ErrNotMapped{Space: "host", Addr: dataGPA}
+	}
+	w.st.HostClasses.Observe(hplan3.class.String())
+	if err := w.queueRefills(now+lat, hplan3.refills, w.hCWC3, false, &res); err != nil {
+		return res, err
+	}
+
+	w.step3PAs = w.step3PAs[:0]
+	var hframe uint64
+	var hsize addr.PageSize
+	hfound := false
+	for _, g := range hplan3.groups {
+		for _, hp := range hset.Table(g.size).ProbesFor(addr.VPN(dataGPA, g.size), g.way) {
+			w.step3PAs = append(w.step3PAs, hp.PA)
+			if hp.Match {
+				hframe = hp.Frame
+				hsize = g.size
+				hfound = true
+			}
+		}
+	}
+	lat += w.mem.AccessParallel(now+lat, w.step3PAs, cachesim.SourceMMU)
+	res.Accesses += len(w.step3PAs)
+	res.Parallel3 = len(w.step3PAs)
+	w.st.Par3.Observe(uint64(len(w.step3PAs)))
+	if !hfound {
+		return res, &ErrNotMapped{Space: "host", Addr: dataGPA}
+	}
+
+	hpa := addr.Translate(hframe, dataGPA, hsize)
+	res.Size = minSize(gsize, hsize)
+	res.Frame = addr.PageBase(hpa, res.Size)
+	res.Latency = lat
+	return res, nil
+}
+
+// queueRefills performs the background CWT fetches a plan requested.
+// Host CWT entries live at hPAs and are fetched directly into target.
+// Guest CWT entries live at gPAs and must first be translated —
+// through the STC when the technique is on (§4.1), otherwise through
+// a full host lookup, which is exactly the overhead the STC removes.
+func (w *NestedECPT) queueRefills(now uint64, refills []refill, target *CWC, guestSide bool, res *WalkResult) error {
+	for _, r := range refills {
+		if !guestSide {
+			lat, _ := w.mem.Access(now, r.pa, cachesim.SourceMMU)
+			res.BackgroundCycles += lat
+			res.BackgroundAccesses++
+			target.Insert(r.size, r.key)
+			continue
+		}
+
+		// The STC is keyed by the gCWT entry address (§4.1 caches the
+		// translations of gCWT entries); the value is the frame of the
+		// 4KB host page holding it.
+		key := r.pa
+		var hpa uint64
+		translated := false
+		if w.stc != nil {
+			res.BackgroundCycles += mmucache.LatencyRT
+			if frame, ok := w.stc.Lookup(key); ok {
+				w.st.STC.Hit()
+				hpa = addr.Translate(frame, r.pa, addr.Page4K)
+				translated = true
+			} else {
+				w.st.STC.Miss()
+			}
+		}
+		if !translated {
+			// Full background translation of the gCWT entry's gPA,
+			// "similar to Step 3" (§4.1): consult the Step-3 hCWC and
+			// probe the hECPTs, all in the background.
+			hplan := planWalk(w.host.ECPTs(), w.hCWC3, r.pa, true)
+			res.BackgroundCycles += mmucache.LatencyRT + vhash.LatencyCycles
+			if hplan.fault {
+				// The gCWT page has no host mapping yet: surface the
+				// EPT violation so the hypervisor demand-maps it.
+				return &ErrNotMapped{Space: "host", Addr: r.pa, PageTable: true}
+			}
+			if err := w.queueRefills(now, hplan.refills, w.hCWC3, false, res); err != nil {
+				return err
+			}
+			var pas []uint64
+			ok := false
+			for _, g := range hplan.groups {
+				for _, hp := range w.host.ECPTs().Table(g.size).ProbesFor(addr.VPN(r.pa, g.size), g.way) {
+					pas = append(pas, hp.PA)
+					if hp.Match {
+						hpa = addr.Translate(hp.Frame, r.pa, g.size)
+						ok = true
+					}
+				}
+			}
+			res.BackgroundCycles += w.mem.AccessParallel(now, pas, cachesim.SourceMMU)
+			res.BackgroundAccesses += len(pas)
+			if !ok {
+				return &ErrNotMapped{Space: "host", Addr: r.pa, PageTable: true}
+			}
+			if w.stc != nil {
+				w.stc.Insert(key, addr.PageBase(hpa, addr.Page4K))
+			}
+		}
+		// Fetch the gCWT entry itself at its hPA.
+		lat, _ := w.mem.Access(now, hpa, cachesim.SourceMMU)
+		res.BackgroundCycles += lat
+		res.BackgroundAccesses++
+		w.gCWC.Insert(r.size, r.key)
+	}
+	return nil
+}
+
+// maybeAdapt runs the §4.2 adaptive controller once per interval.
+func (w *NestedECPT) maybeAdapt(now uint64) {
+	if !w.cfg.Tech.Step3AdaptivePTE {
+		return
+	}
+	if now-w.lastAdapt < w.cfg.AdaptIntervalCycles {
+		return
+	}
+	w.lastAdapt = now
+	pte := w.hCWC3.WindowStats(addr.Page4K)
+	pmd := w.hCWC3.WindowStats(addr.Page2M)
+	if pte.Total() > 0 {
+		w.st.PTESeries.Append(pte.HitRate())
+	}
+	if pmd.Total() > 0 {
+		w.st.PMDSeries.Append(pmd.HitRate())
+	}
+	if w.hCWC3.Enabled(addr.Page4K) {
+		if pte.Total() >= 16 && pte.HitRate() < w.cfg.AdaptDisableBelow {
+			w.hCWC3.SetEnabled(addr.Page4K, false)
+			if w.adaptBackoff == 0 {
+				w.adaptBackoff = 1
+			} else if w.adaptBackoff < 1<<20 {
+				w.adaptBackoff *= 2
+			}
+			w.adaptCooldown = w.adaptBackoff
+		}
+	} else {
+		w.st.AdaptDisabled++
+		if pmd.Total() >= 16 && pmd.HitRate() > w.cfg.AdaptEnableAbove {
+			if w.adaptCooldown > 0 {
+				w.adaptCooldown--
+			} else {
+				w.hCWC3.SetEnabled(addr.Page4K, true)
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/radix"
+)
+
+// RadixWalkConfig sizes the radix MMU caches (Table 2's radix rows).
+type RadixWalkConfig struct {
+	// PWCEntriesPerLevel sizes the guest/native page walk cache, which
+	// holds L4, L3 and L2 entries (L1 entries are not cached, §2.1).
+	PWCEntriesPerLevel int
+	// NPWCEntriesPerLevel sizes the nested PWC holding host hL4..hL1
+	// entries (nested configurations only).
+	NPWCEntriesPerLevel int
+	// NTLBEntries sizes the Nested TLB caching gPA→hPA translations of
+	// guest page-table pages (nested configurations only).
+	NTLBEntries int
+}
+
+// DefaultRadixWalkConfig returns Table 2's sizes.
+func DefaultRadixWalkConfig() RadixWalkConfig {
+	return RadixWalkConfig{PWCEntriesPerLevel: 32, NPWCEntriesPerLevel: 16, NTLBEntries: 24}
+}
+
+// pwc is a page walk cache partitioned per radix level.
+type pwc struct {
+	levels [5]*mmucache.Cache // indexed by RadixLevel (1..4)
+}
+
+func newPWC(name string, perLevel int, lo, hi addr.RadixLevel) *pwc {
+	p := &pwc{}
+	for l := lo; l <= hi; l++ {
+		p.levels[l] = mmucache.New(fmt.Sprintf("%s/%s", name, l), perLevel)
+	}
+	return p
+}
+
+func pwcKey(va uint64, l addr.RadixLevel) uint64 {
+	return va >> (addr.PageShift4K + 9*(uint(l)-1))
+}
+
+// lookup probes level l for va's prefix; the cached value is the
+// entry's content (the next-level table base, or the frame for an L1
+// entry in the NPWC).
+func (p *pwc) lookup(va uint64, l addr.RadixLevel) (uint64, bool) {
+	if p.levels[l] == nil {
+		return 0, false
+	}
+	return p.levels[l].Lookup(pwcKey(va, l))
+}
+
+func (p *pwc) insert(va uint64, l addr.RadixLevel, content uint64) {
+	if p.levels[l] != nil {
+		p.levels[l].Insert(pwcKey(va, l), content)
+	}
+}
+
+// hostRadixWalker translates gPAs through the host radix table (EPT)
+// with NPWC shortcuts. It is shared by the nested radix walker (for
+// every hL row of Figure 2) and kept separate so its access accounting
+// is reusable.
+type hostRadixWalker struct {
+	mem  MemSystem
+	ept  *radix.Table
+	npwc *pwc
+}
+
+// walk translates gpa, returning the host frame/size, the added
+// latency, and the number of memory accesses performed.
+func (h *hostRadixWalker) walk(now uint64, gpa uint64) (frame uint64, size addr.PageSize, lat uint64, accesses int, err error) {
+	steps, ok := h.ept.Walk(gpa)
+	if !ok {
+		return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", Addr: gpa}
+	}
+	// One parallel NPWC probe round resolves the deepest cached level.
+	lat += mmucache.LatencyRT
+	start := 0 // index into steps to resume from
+	for i := len(steps) - 1; i >= 0; i-- {
+		if content, hit := h.npwc.lookup(gpa, steps[i].Level); hit {
+			if steps[i].Leaf {
+				// A cached leaf entry ends the walk with no accesses.
+				return content, steps[i].Size, lat, accesses, nil
+			}
+			start = i + 1
+			break
+		}
+	}
+	for i := start; i < len(steps); i++ {
+		st := steps[i]
+		alat, _ := h.mem.Access(now+lat, st.EntryPA, cachesim.SourceMMU)
+		lat += alat
+		accesses++
+		if st.Leaf {
+			h.npwc.insert(gpa, st.Level, st.Frame)
+			return st.Frame, st.Size, lat, accesses, nil
+		}
+		h.npwc.insert(gpa, st.Level, st.NextPA)
+	}
+	return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", Addr: gpa}
+}
+
+// NativeRadix is the Radix baseline: an x86-64 page walk with a PWC
+// (Figure 1).
+type NativeRadix struct {
+	cfg  RadixWalkConfig
+	mem  MemSystem
+	kern *kernel.Kernel
+	pwc  *pwc
+}
+
+// NewNativeRadix builds the walker over the kernel's radix table.
+func NewNativeRadix(cfg RadixWalkConfig, mem MemSystem, kern *kernel.Kernel) *NativeRadix {
+	if kern.Radix() == nil {
+		panic("core: NativeRadix requires a kernel radix table")
+	}
+	return &NativeRadix{
+		cfg:  cfg,
+		mem:  mem,
+		kern: kern,
+		pwc:  newPWC("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
+	}
+}
+
+// Name implements Walker.
+func (w *NativeRadix) Name() string { return "Radix" }
+
+// Walk implements Walker.
+func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	var res WalkResult
+	steps, ok := w.kern.Radix().Walk(uint64(va))
+	if !ok {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	lat := uint64(mmucache.LatencyRT) // parallel PWC probe round
+	start := 0
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		if st.Leaf || st.Level < addr.L2 {
+			continue // leaves and L1 entries are not PWC-cached
+		}
+		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+			start = i + 1
+			break
+		}
+	}
+	for i := start; i < len(steps); i++ {
+		st := steps[i]
+		alat, _ := w.mem.Access(now+lat, st.EntryPA, cachesim.SourceMMU)
+		lat += alat
+		res.Accesses++
+		if st.Leaf {
+			res.Frame = st.Frame
+			res.Size = st.Size
+			res.Latency = lat
+			return res, nil
+		}
+		if st.Level >= addr.L2 {
+			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+		}
+	}
+	return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+}
+
+// NestedRadix is the Nested Radix baseline: the two-dimensional page
+// walk of Figure 2 with guest PWC, nested PWC, and Nested TLB.
+type NestedRadix struct {
+	cfg   RadixWalkConfig
+	mem   MemSystem
+	guest *kernel.Kernel
+	host  *hypervisor.Hypervisor
+	pwc   *pwc
+	npwc  *pwc
+	ntlb  *mmucache.Cache
+	hostW hostRadixWalker
+}
+
+// NewNestedRadix builds the walker over the guest radix table and the
+// host radix (EPT) table.
+func NewNestedRadix(cfg RadixWalkConfig, mem MemSystem, guest *kernel.Kernel, host *hypervisor.Hypervisor) *NestedRadix {
+	if guest.Radix() == nil || host.Radix() == nil {
+		panic("core: NestedRadix requires guest and host radix tables")
+	}
+	w := &NestedRadix{
+		cfg:   cfg,
+		mem:   mem,
+		guest: guest,
+		host:  host,
+		pwc:   newPWC("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
+		npwc:  newPWC("NPWC", cfg.NPWCEntriesPerLevel, addr.L1, addr.L4),
+		ntlb:  mmucache.New("NTLB", cfg.NTLBEntries),
+	}
+	w.hostW = hostRadixWalker{mem: mem, ept: host.Radix(), npwc: w.npwc}
+	return w
+}
+
+// Name implements Walker.
+func (w *NestedRadix) Name() string { return "Nested Radix" }
+
+// NTLBStats returns the nested TLB hit/miss counter.
+func (w *NestedRadix) NTLBStats() (hits, misses uint64) {
+	c := w.ntlb.Stats()
+	return c.Hits, c.Misses
+}
+
+// translateTablePage resolves the hPA of a guest page-table page
+// through the NTLB, falling back to a full host walk (the dotted
+// NTLB path of Figure 2).
+func (w *NestedRadix) translateTablePage(now uint64, entryGPA uint64, res *WalkResult) (hpa uint64, lat uint64, err error) {
+	lat += mmucache.LatencyRT
+	page := addr.PageBase(entryGPA, addr.Page4K)
+	if frame, ok := w.ntlb.Lookup(page); ok {
+		return addr.Translate(frame, entryGPA, addr.Page4K), lat, nil
+	}
+	frame, size, hlat, acc, err := w.hostW.walk(now+lat, entryGPA)
+	lat += hlat
+	res.Accesses += acc
+	if err != nil {
+		return 0, lat, err
+	}
+	hpa = addr.Translate(frame, entryGPA, size)
+	w.ntlb.Insert(page, addr.PageBase(hpa, addr.Page4K))
+	return hpa, lat, nil
+}
+
+// Walk implements Walker: up to 24 sequential memory accesses.
+func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	var res WalkResult
+	steps, ok := w.guest.Radix().Walk(uint64(va))
+	if !ok {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+	lat := uint64(mmucache.LatencyRT) // parallel guest-PWC probe round
+	start := 0
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		if st.Leaf || st.Level < addr.L2 {
+			continue
+		}
+		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+			start = i + 1
+			break
+		}
+	}
+
+	var dataGPA uint64
+	var gsize addr.PageSize
+	found := false
+	for i := start; i < len(steps); i++ {
+		st := steps[i]
+		// Rows of Figure 2: translate the guest table page (steps
+		// hL4..hL1), then read the guest entry (step gLi).
+		hpa, tlat, err := w.translateTablePage(now+lat, st.EntryPA, &res)
+		lat += tlat
+		if err != nil {
+			return res, err
+		}
+		alat, _ := w.mem.Access(now+lat, hpa, cachesim.SourceMMU)
+		lat += alat
+		res.Accesses++
+		if st.Leaf {
+			dataGPA = addr.Translate(st.Frame, uint64(va), st.Size)
+			gsize = st.Size
+			found = true
+			break
+		}
+		if st.Level >= addr.L2 {
+			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+		}
+	}
+	if !found {
+		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	}
+
+	// Final host walk for the data page (steps 21–24 of Figure 2).
+	hframe, hsize, hlat, acc, err := w.hostW.walk(now+lat, dataGPA)
+	lat += hlat
+	res.Accesses += acc
+	if err != nil {
+		return res, err
+	}
+
+	hpa := addr.Translate(hframe, dataGPA, hsize)
+	res.Size = minSize(gsize, hsize)
+	res.Frame = addr.PageBase(hpa, res.Size)
+	res.Latency = lat
+	return res, nil
+}

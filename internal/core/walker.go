@@ -1,0 +1,117 @@
+// Package core implements the paper's contribution: hardware page-walk
+// engines for parallel virtualized address translation with nested
+// elastic cuckoo page tables, in three variants —
+//
+//   - the Plain Nested ECPT design of §3,
+//   - the Advanced Nested ECPT design of §4 (STC, Step-1 PTE-hCWT
+//     caching, Step-3 adaptive PTE-hCWT caching, 4KB page-table-page
+//     knowledge), and
+//   - the Hybrid migration design of §6 (guest radix + host ECPTs),
+//
+// alongside the native ECPT walker and the radix walkers (native and
+// nested) they are evaluated against.
+package core
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+)
+
+// MemSystem is the memory hierarchy a walker charges its accesses to.
+// *cachesim.Hierarchy implements it; tests substitute flat-latency
+// fakes.
+type MemSystem interface {
+	Access(now uint64, pa uint64, src cachesim.Source) (lat uint64, served cachesim.ServiceLevel)
+	AccessParallel(now uint64, pas []uint64, src cachesim.Source) uint64
+}
+
+// WalkResult reports one completed page walk.
+type WalkResult struct {
+	// Frame is the host physical frame the guest virtual page maps to,
+	// and Size the TLB-entry page size (the smaller of the guest and
+	// host mapping sizes, since the TLB caches the composed mapping).
+	Frame uint64
+	Size  addr.PageSize
+	// Latency is the critical-path walk latency in core cycles,
+	// measured from the L2 TLB miss.
+	Latency uint64
+	// BackgroundCycles is MMU work off the critical path (CWC/STC
+	// refills); it occupies the walker and memory system but does not
+	// delay this translation.
+	BackgroundCycles uint64
+	// Accesses counts memory-hierarchy requests on the critical path;
+	// BackgroundAccesses counts refill traffic. Their sum drives the
+	// MMU RPKI of Figure 13(a).
+	Accesses           int
+	BackgroundAccesses int
+	// Parallel1/2/3 are the parallel access counts of the three nested
+	// ECPT steps (zero for radix walks), reproducing §9.4's 2.8/2.8/1.6.
+	Parallel1, Parallel2, Parallel3 int
+}
+
+// ErrNotMapped is returned when a walk encounters a missing guest or
+// host mapping. The simulator pre-faults pages before timed walks, so
+// a timed walk returning this indicates a page-fault path the caller
+// must service (kernel/hypervisor) before retrying.
+type ErrNotMapped struct {
+	Space string // "guest" or "host"
+	Addr  uint64
+	// PageTable marks host faults on guest page-table gPAs (§4.3:
+	// these must be mapped with 4KB host pages).
+	PageTable bool
+}
+
+// Error implements the error interface.
+func (e *ErrNotMapped) Error() string {
+	return fmt.Sprintf("core: %s address %#x not mapped", e.Space, e.Addr)
+}
+
+// Walker is a hardware page-walk engine for one design point.
+type Walker interface {
+	// Walk translates va starting at core cycle now.
+	Walk(now uint64, va addr.GVA) (WalkResult, error)
+	// Name identifies the design (matches Table 1's naming).
+	Name() string
+}
+
+// minSize returns the smaller of two page sizes: the composed nested
+// translation is only valid at the finer granularity.
+func minSize(a, b addr.PageSize) addr.PageSize {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WalkClass is the paper's naming for how much pruning the CWTs
+// achieved (§9.4 / Figure 14).
+type WalkClass uint8
+
+// Walk classes, cheapest first.
+const (
+	// WalkDirect issues a single access: table and way both known.
+	WalkDirect WalkClass = iota
+	// WalkSize accesses all d ways of one ECPT: size known, way not.
+	WalkSize
+	// WalkPartial accesses at worst all ways of two ECPTs.
+	WalkPartial
+	// WalkComplete accesses all d ways of all n ECPTs: no information.
+	WalkComplete
+)
+
+// String names the class as Figure 14 does.
+func (c WalkClass) String() string {
+	switch c {
+	case WalkDirect:
+		return "Direct"
+	case WalkSize:
+		return "Size"
+	case WalkPartial:
+		return "Partial"
+	case WalkComplete:
+		return "Complete"
+	}
+	return fmt.Sprintf("WalkClass(%d)", uint8(c))
+}

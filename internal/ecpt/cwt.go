@@ -1,0 +1,183 @@
+package ecpt
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/memsim"
+)
+
+// LinesPerCWTEntry is how many consecutive ECPT lines one CWT entry
+// summarizes. Thirty-two lines keep an entry within one 64-byte cache
+// line (per line: a 2-bit way code, an 8-bit slot-presence mask, and a
+// has-smaller bit = 11 bits; 32 x 11 = 44 bytes), giving each entry
+// the coverage the paper's CWC hit rates imply: a PTE-CWT entry covers
+// 1MB, a PMD-CWT entry 512MB, and a PUD-CWT entry 256GB of virtual
+// (or guest-physical) address space — which is how a 4-entry Step-1
+// hCWC reaches its ~99% hit rate over the few-MB gECPTs (§9.4).
+const LinesPerCWTEntry = 32
+
+// CWTEntryBytes is the in-memory size of one CWT entry: exactly one
+// cache line, so a CWC refill is a single memory access.
+const CWTEntryBytes = 64
+
+const wayAbsent = 0xFF
+
+// cwtLineInfo is the per-line payload of a CWT entry.
+type cwtLineInfo struct {
+	way        uint8 // wayAbsent when no line of this size exists here
+	present    uint8 // slot-presence mask for the 8 translations
+	hasSmaller bool  // some smaller page size maps part of this range
+}
+
+type cwtEntry struct {
+	lines [LinesPerCWTEntry]cwtLineInfo
+}
+
+// CWT is the software cuckoo walk table for one page size: the
+// OS-maintained structure that records which ECPT way (if any) holds
+// each translation, cached in hardware by the CWCs (§3.2). The
+// structure occupies real frames so CWC refills have physical
+// addresses to fetch.
+type CWT struct {
+	size    addr.PageSize
+	alloc   *memsim.Allocator
+	entries map[uint64]*cwtEntry
+	// pageBase maps a CWT page index to the frame backing it.
+	pageBase map[uint64]uint64
+}
+
+// entriesPerPage is how many CWT entries one 4KB backing page holds.
+const entriesPerPage = 4096 / CWTEntryBytes
+
+// NewCWT creates an empty cuckoo walk table for the given page size,
+// backed by frames from alloc.
+func NewCWT(size addr.PageSize, alloc *memsim.Allocator) *CWT {
+	return &CWT{
+		size:     size,
+		alloc:    alloc,
+		entries:  make(map[uint64]*cwtEntry),
+		pageBase: make(map[uint64]uint64),
+	}
+}
+
+// Size returns the page size this CWT describes.
+func (c *CWT) Size() addr.PageSize { return c.size }
+
+// EntryKey returns the key of the CWT entry covering an ECPT line tag.
+func EntryKey(tag uint64) uint64 { return tag / LinesPerCWTEntry }
+
+// KeyForVPN returns the CWT entry key covering a page number.
+func KeyForVPN(vpn uint64) uint64 { return EntryKey(lineTag(vpn)) }
+
+func (c *CWT) entry(key uint64, create bool) *cwtEntry {
+	if e, ok := c.entries[key]; ok {
+		return e
+	}
+	if !create {
+		return nil
+	}
+	e := &cwtEntry{}
+	for i := range e.lines {
+		e.lines[i].way = wayAbsent
+	}
+	c.entries[key] = e
+	pageIdx := key / entriesPerPage
+	if _, ok := c.pageBase[pageIdx]; !ok {
+		c.pageBase[pageIdx] = c.alloc.MustAlloc(addr.Page4K, memsim.PurposeCWT)
+	}
+	return e
+}
+
+// EntryPA returns the physical address (in the CWT's own address
+// space) of the entry with the given key, allocating backing storage
+// on first touch.
+func (c *CWT) EntryPA(key uint64) uint64 {
+	c.entry(key, true)
+	pageIdx := key / entriesPerPage
+	return c.pageBase[pageIdx] + (key%entriesPerPage)*CWTEntryBytes
+}
+
+// setWay records that the line with the given tag lives in way; called
+// by the ECPT on every placement, keeping CWT and table coherent.
+func (c *CWT) setWay(tag uint64, way uint8) {
+	e := c.entry(EntryKey(tag), true)
+	e.lines[tag%LinesPerCWTEntry].way = way
+}
+
+// clearWay records that no line with the given tag exists any more.
+func (c *CWT) clearWay(tag uint64) {
+	if e := c.entry(EntryKey(tag), false); e != nil {
+		li := &e.lines[tag%LinesPerCWTEntry]
+		li.way = wayAbsent
+		li.present = 0
+	}
+}
+
+// SetPresent records that the translation for vpn exists (its slot bit
+// within the line). Maintained by the OS alongside the page tables.
+func (c *CWT) SetPresent(vpn uint64) {
+	e := c.entry(KeyForVPN(vpn), true)
+	e.lines[lineTag(vpn)%LinesPerCWTEntry].present |= 1 << lineSlot(vpn)
+}
+
+// ClearPresent removes vpn's slot-presence bit.
+func (c *CWT) ClearPresent(vpn uint64) {
+	if e := c.entry(KeyForVPN(vpn), false); e != nil {
+		e.lines[lineTag(vpn)%LinesPerCWTEntry].present &^= 1 << lineSlot(vpn)
+	}
+}
+
+// MarkSmaller records that some page of a smaller size maps part of
+// the range vpn's line covers. The bit is sticky: clearing it safely
+// would need reference counting, and a stale true only costs probes,
+// never correctness — the same conservative choice real CWTs make.
+func (c *CWT) MarkSmaller(vpn uint64) {
+	e := c.entry(KeyForVPN(vpn), true)
+	e.lines[lineTag(vpn)%LinesPerCWTEntry].hasSmaller = true
+}
+
+// Info is the CWT's answer about one page number.
+type Info struct {
+	// EntryExists reports whether the covering CWT entry exists at
+	// all; when false nothing of this size (or smaller) was ever
+	// mapped in the covered range.
+	EntryExists bool
+	// WayKnown reports whether a line of this size exists for vpn's
+	// line, and Way identifies which ECPT way holds it.
+	WayKnown bool
+	Way      uint8
+	// Present reports whether vpn's own slot is populated.
+	Present bool
+	// HasSmaller reports whether a smaller page size maps part of the
+	// line's range, i.e. the walker must consult the next table down.
+	HasSmaller bool
+	// EntryKey and EntryPA locate the CWT entry, for CWC refills.
+	EntryKey uint64
+	EntryPA  uint64
+}
+
+// Query returns the walk-pruning information for vpn.
+func (c *CWT) Query(vpn uint64) Info {
+	key := KeyForVPN(vpn)
+	e := c.entry(key, false)
+	if e == nil {
+		return Info{EntryKey: key}
+	}
+	li := e.lines[lineTag(vpn)%LinesPerCWTEntry]
+	return Info{
+		EntryExists: true,
+		WayKnown:    li.way != wayAbsent,
+		Way:         li.way,
+		Present:     li.present&(1<<lineSlot(vpn)) != 0,
+		HasSmaller:  li.hasSmaller,
+		EntryKey:    key,
+		EntryPA:     c.EntryPA(key),
+	}
+}
+
+// Entries returns the number of live CWT entries.
+func (c *CWT) Entries() int { return len(c.entries) }
+
+// MemoryBytes returns the frames backing the CWT, for §9.5 accounting.
+func (c *CWT) MemoryBytes() uint64 {
+	return uint64(len(c.pageBase)) * addr.Page4K.Bytes()
+}

@@ -1,0 +1,468 @@
+// Package ecpt implements Elastic Cuckoo Page Tables (Skarlatos et
+// al., ASPLOS'20) — the hashed page tables that this paper nests for
+// guest and host — together with their Cuckoo Walk Tables (CWTs).
+//
+// One Table maps the pages of a single page size. A process (or a
+// hypervisor) owns one Table per supported size: the PTE-, PMD-, and
+// PUD-ECPTs of §3. Each table is a d-ary cuckoo hash table whose unit
+// of storage is a 64-byte line holding one VPN-group tag plus eight
+// consecutive translations, exactly as §2.3 describes. Tables resize
+// elastically: when occupancy crosses the threshold, a double-sized
+// generation is allocated and lines migrate gradually, a bounded
+// number per insert, while lookups remain correct throughout.
+package ecpt
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/vhash"
+)
+
+// TranslationsPerLine is the number of consecutive translations packed
+// into one tagged 64-byte line (§2.3: eight entries per cache line).
+const TranslationsPerLine = 8
+
+// LineBytes is the in-memory size of one ECPT line.
+const LineBytes = addr.CacheLineBytes
+
+// Config parameterizes one elastic cuckoo table.
+type Config struct {
+	// Ways is the paper's d (3 in the evaluation).
+	Ways int
+	// InitialLinesPerWay sizes each way of the first generation
+	// (Table 2 gives per-size initial sizes).
+	InitialLinesPerWay int
+	// MaxKicks bounds the cuckoo eviction chain before forcing a
+	// resize.
+	MaxKicks int
+	// LoadFactorLimit triggers an elastic resize when occupied lines
+	// exceed this fraction of capacity.
+	LoadFactorLimit float64
+	// MigratePerInsert is how many old-generation buckets are rehashed
+	// per insert during a resize.
+	MigratePerInsert int
+}
+
+// DefaultConfig returns the evaluation's cuckoo parameters with the
+// given initial way size.
+func DefaultConfig(initialLinesPerWay int) Config {
+	return Config{
+		Ways:               3,
+		InitialLinesPerWay: initialLinesPerWay,
+		MaxKicks:           32,
+		LoadFactorLimit:    0.6,
+		MigratePerInsert:   8,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Ways < 2 {
+		return fmt.Errorf("ecpt: need at least 2 ways, got %d", c.Ways)
+	}
+	if c.InitialLinesPerWay < 1 {
+		return fmt.Errorf("ecpt: need at least 1 line per way, got %d", c.InitialLinesPerWay)
+	}
+	if c.MaxKicks < 1 {
+		return fmt.Errorf("ecpt: need at least 1 kick, got %d", c.MaxKicks)
+	}
+	if c.LoadFactorLimit <= 0 || c.LoadFactorLimit >= 1 {
+		return fmt.Errorf("ecpt: load factor limit %v out of (0,1)", c.LoadFactorLimit)
+	}
+	if c.MigratePerInsert < 1 {
+		return fmt.Errorf("ecpt: need at least 1 migrated bucket per insert, got %d", c.MigratePerInsert)
+	}
+	return nil
+}
+
+// line is one tagged group of eight consecutive translations.
+type line struct {
+	valid   bool
+	tag     uint64 // VPN >> 3
+	present uint8  // bitmask over the 8 slots
+	frames  [TranslationsPerLine]uint64
+}
+
+// generation is one allocation of the elastic table: d parallel arrays
+// with per-way hash functions and physical base addresses.
+type generation struct {
+	linesPerWay int
+	ways        [][]line
+	hash        []vhash.Func
+	basePA      []uint64
+}
+
+func (t *Table) newGeneration(linesPerWay int) *generation {
+	g := &generation{
+		linesPerWay: linesPerWay,
+		ways:        make([][]line, t.cfg.Ways),
+		hash:        make([]vhash.Func, t.cfg.Ways),
+		basePA:      make([]uint64, t.cfg.Ways),
+	}
+	for w := 0; w < t.cfg.Ways; w++ {
+		g.ways[w] = make([]line, linesPerWay)
+		g.hash[w] = vhash.New(t.hashSpace+t.generations*t.cfg.Ways, w)
+		g.basePA[w] = t.alloc.AllocRegion(uint64(linesPerWay)*LineBytes, memsim.PurposePageTable)
+	}
+	t.generations++
+	return g
+}
+
+func (g *generation) index(w int, tag uint64) int {
+	return int(g.hash[w].Hash(tag) % uint64(g.linesPerWay))
+}
+
+func (g *generation) linePA(w, idx int) uint64 {
+	return g.basePA[w] + uint64(idx)*LineBytes
+}
+
+func (g *generation) bytes() uint64 {
+	return uint64(len(g.ways)) * uint64(g.linesPerWay) * LineBytes
+}
+
+// Stats counts structural events in the table's lifetime.
+type Stats struct {
+	Inserts  uint64
+	Removes  uint64
+	Kicks    uint64
+	Resizes  uint64
+	Migrated uint64
+}
+
+// Table is one elastic cuckoo page table for a single page size.
+type Table struct {
+	size  addr.PageSize
+	cfg   Config
+	alloc *memsim.Allocator
+	cwt   *CWT // may be nil (e.g. no PTE-gCWT)
+
+	cur *generation
+	// old is non-nil while an elastic resize is migrating lines out of
+	// the previous generation.
+	old *generation
+	// migratePtr[w] is the next old-generation bucket of way w to
+	// migrate; buckets below it are guaranteed empty.
+	migratePtr []int
+
+	occupied    int
+	entries     uint64
+	generations int
+	hashSpace   int
+	rng         *vhash.RNG
+	stats       Stats
+	// pending holds lines orphaned by an abandoned cuckoo displacement
+	// chain; startResize re-places them into the grown table.
+	pending []line
+}
+
+// New creates an empty table for the given page size. hashSpace
+// disambiguates the hash functions of distinct tables (e.g. guest vs
+// host) so they never share collision patterns; cwt may be nil when
+// the design keeps no CWT for this size (§4.2).
+func New(size addr.PageSize, cfg Config, alloc *memsim.Allocator, cwt *CWT, hashSpace int, seed uint64) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		size:      size,
+		cfg:       cfg,
+		alloc:     alloc,
+		cwt:       cwt,
+		hashSpace: hashSpace * 1024,
+		rng:       vhash.NewRNG(seed ^ 0xEC97EC97),
+	}
+	t.cur = t.newGeneration(cfg.InitialLinesPerWay)
+	return t, nil
+}
+
+// MustNew is New but panics on configuration errors; intended for
+// package-internal wiring where configs are static.
+func MustNew(size addr.PageSize, cfg Config, alloc *memsim.Allocator, cwt *CWT, hashSpace int, seed uint64) *Table {
+	t, err := New(size, cfg, alloc, cwt, hashSpace, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Size returns the page size this table maps.
+func (t *Table) Size() addr.PageSize { return t.size }
+
+// Ways returns the paper's d.
+func (t *Table) Ways() int { return t.cfg.Ways }
+
+// Entries returns the number of live translations.
+func (t *Table) Entries() uint64 { return t.entries }
+
+// OccupiedLines returns the number of live lines across generations.
+func (t *Table) OccupiedLines() int { return t.occupied }
+
+// CapacityLines returns the line capacity across live generations.
+func (t *Table) CapacityLines() int {
+	c := t.cfg.Ways * t.cur.linesPerWay
+	if t.old != nil {
+		c += t.cfg.Ways * t.old.linesPerWay
+	}
+	return c
+}
+
+// Resizing reports whether an elastic resize is in flight.
+func (t *Table) Resizing() bool { return t.old != nil }
+
+// Stats returns a copy of the structural statistics.
+func (t *Table) Stats() Stats { return t.stats }
+
+// MemoryBytes returns the bytes of physical memory the table's arrays
+// occupy (both generations during a resize), for §9.5 accounting.
+func (t *Table) MemoryBytes() uint64 {
+	b := t.cur.bytes()
+	if t.old != nil {
+		b += t.old.bytes()
+	}
+	return b
+}
+
+// CWT returns the table's cuckoo walk table, or nil.
+func (t *Table) CWT() *CWT { return t.cwt }
+
+func lineTag(vpn uint64) uint64 { return vpn / TranslationsPerLine }
+func lineSlot(vpn uint64) int   { return int(vpn % TranslationsPerLine) }
+
+// findLine locates the line holding tag, if present.
+func (t *Table) findLine(tag uint64) (g *generation, w, idx int, ok bool) {
+	for w := 0; w < t.cfg.Ways; w++ {
+		idx := t.cur.index(w, tag)
+		if ln := &t.cur.ways[w][idx]; ln.valid && ln.tag == tag {
+			return t.cur, w, idx, true
+		}
+	}
+	if t.old != nil {
+		for w := 0; w < t.cfg.Ways; w++ {
+			idx := t.old.index(w, tag)
+			if idx < t.migratePtr[w] {
+				continue // already migrated out
+			}
+			if ln := &t.old.ways[w][idx]; ln.valid && ln.tag == tag {
+				return t.old, w, idx, true
+			}
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// Insert maps vpn (a page number in this table's page size) to the
+// given frame base. Inserting an existing vpn updates its frame.
+func (t *Table) Insert(vpn, frame uint64) {
+	t.stats.Inserts++
+	tag, slot := lineTag(vpn), lineSlot(vpn)
+	if t.cwt != nil {
+		t.cwt.SetPresent(vpn)
+	}
+	if g, w, idx, ok := t.findLine(tag); ok {
+		ln := &g.ways[w][idx]
+		if ln.present&(1<<slot) == 0 {
+			ln.present |= 1 << slot
+			t.entries++
+		}
+		ln.frames[slot] = frame
+		t.continueMigration()
+		return
+	}
+	ln := line{valid: true, tag: tag, present: 1 << slot}
+	ln.frames[slot] = frame
+	t.placeLine(ln)
+	t.entries++
+	t.occupied++
+	t.maybeStartResize()
+	t.continueMigration()
+}
+
+// placeLine inserts a whole line into the current generation using
+// cuckoo displacement, resizing if the displacement chain is too long.
+func (t *Table) placeLine(ln line) {
+	if t.tryPlace(ln) {
+		return
+	}
+	// The displacement chain exceeded MaxKicks; ln is parked on
+	// t.pending. Grow the table — startResize re-places pending lines
+	// into the doubled generation, growing again if even that fails.
+	// (With d=3 and a 0.6 load-factor limit this is practically never
+	// reached, but correctness cannot depend on luck.)
+	t.startResize()
+}
+
+// tryPlace attempts the cuckoo insertion of ln into the current
+// generation, displacing lines as needed up to MaxKicks.
+func (t *Table) tryPlace(ln line) bool {
+	cur := ln
+	lastWay := -1
+	for kick := 0; kick <= t.cfg.MaxKicks; kick++ {
+		for w := 0; w < t.cfg.Ways; w++ {
+			idx := t.cur.index(w, cur.tag)
+			if !t.cur.ways[w][idx].valid {
+				t.cur.ways[w][idx] = cur
+				t.notifyPlacement(cur.tag, w)
+				return true
+			}
+		}
+		// All d candidate buckets are full: evict one resident (never
+		// from the way we just came from) and continue with it.
+		w := t.rng.Intn(t.cfg.Ways)
+		if w == lastWay {
+			w = (w + 1) % t.cfg.Ways
+		}
+		idx := t.cur.index(w, cur.tag)
+		victim := t.cur.ways[w][idx]
+		t.cur.ways[w][idx] = cur
+		t.notifyPlacement(cur.tag, w)
+		cur = victim
+		lastWay = w
+		t.stats.Kicks++
+	}
+	// The chain was abandoned with cur still homeless. Linear probing
+	// would break the cuckoo lookup invariant, so park the line and
+	// report failure; the caller resizes, which re-places it.
+	t.pending = append(t.pending, cur)
+	return false
+}
+
+func (t *Table) notifyPlacement(tag uint64, way int) {
+	if t.cwt != nil {
+		t.cwt.setWay(tag, uint8(way))
+	}
+}
+
+// Remove unmaps vpn. It reports whether the mapping existed.
+func (t *Table) Remove(vpn uint64) bool {
+	tag, slot := lineTag(vpn), lineSlot(vpn)
+	g, w, idx, ok := t.findLine(tag)
+	if !ok {
+		return false
+	}
+	ln := &g.ways[w][idx]
+	if ln.present&(1<<slot) == 0 {
+		return false
+	}
+	ln.present &^= 1 << slot
+	ln.frames[slot] = 0
+	t.entries--
+	t.stats.Removes++
+	if t.cwt != nil {
+		t.cwt.ClearPresent(vpn)
+	}
+	if ln.present == 0 {
+		ln.valid = false
+		t.occupied--
+		if t.cwt != nil {
+			t.cwt.clearWay(tag)
+		}
+	}
+	return true
+}
+
+// Lookup resolves vpn functionally (no timing).
+func (t *Table) Lookup(vpn uint64) (frame uint64, ok bool) {
+	tag, slot := lineTag(vpn), lineSlot(vpn)
+	g, w, idx, found := t.findLine(tag)
+	if !found {
+		return 0, false
+	}
+	ln := &g.ways[w][idx]
+	if ln.present&(1<<slot) == 0 {
+		return 0, false
+	}
+	return ln.frames[slot], true
+}
+
+// maybeStartResize begins an elastic resize when occupancy crosses the
+// load-factor limit.
+func (t *Table) maybeStartResize() {
+	if t.old != nil {
+		return
+	}
+	if float64(t.occupied) > t.cfg.LoadFactorLimit*float64(t.cfg.Ways*t.cur.linesPerWay) {
+		t.startResize()
+	}
+}
+
+func (t *Table) startResize() {
+	if t.old != nil {
+		// Already resizing and still out of room: finish the current
+		// migration first, then grow again.
+		t.finishMigration()
+	}
+	t.stats.Resizes++
+	t.old = t.cur
+	t.cur = t.newGeneration(t.old.linesPerWay * 2)
+	t.migratePtr = make([]int, t.cfg.Ways)
+	// Re-place any lines orphaned by an abandoned kick chain.
+	pend := t.pending
+	t.pending = nil
+	for _, ln := range pend {
+		t.placeLine(ln)
+	}
+}
+
+// continueMigration migrates a bounded number of old-generation
+// buckets, preserving the elastic property that table growth never
+// stalls the process. The method is written to tolerate a nested
+// resize (placeLine can, in principle, grow the table again): it
+// captures the generation it is draining and bails out if that
+// generation is superseded underneath it.
+func (t *Table) continueMigration() {
+	old := t.old
+	if old == nil {
+		return
+	}
+	budget := t.cfg.MigratePerInsert
+	for budget > 0 && t.old == old {
+		progressed := false
+		for w := 0; w < t.cfg.Ways && budget > 0 && t.old == old; w++ {
+			if t.migratePtr[w] >= old.linesPerWay {
+				continue
+			}
+			idx := t.migratePtr[w]
+			t.migratePtr[w]++
+			progressed = true
+			budget--
+			ln := old.ways[w][idx]
+			if ln.valid {
+				old.ways[w][idx] = line{}
+				t.placeLine(ln)
+				t.stats.Migrated++
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if t.old != old {
+		return
+	}
+	done := true
+	for w := 0; w < t.cfg.Ways; w++ {
+		if t.migratePtr[w] < old.linesPerWay {
+			done = false
+			break
+		}
+	}
+	if done {
+		t.completeResize()
+	}
+}
+
+// finishMigration drains the in-flight resize completely.
+func (t *Table) finishMigration() {
+	for t.old != nil {
+		t.continueMigration()
+	}
+}
+
+func (t *Table) completeResize() {
+	for w := 0; w < t.cfg.Ways; w++ {
+		t.alloc.FreeRegion(t.old.basePA[w], uint64(t.old.linesPerWay)*LineBytes, memsim.PurposePageTable)
+	}
+	t.old = nil
+	t.migratePtr = nil
+}

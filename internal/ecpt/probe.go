@@ -1,0 +1,60 @@
+package ecpt
+
+// Probe describes one hardware memory access a walker issues against
+// this table: the physical address of the ECPT line it reads and what
+// the hardware finds there. Walkers issue all probes of a step in
+// parallel (§3.1) and inspect tags afterwards.
+type Probe struct {
+	// Way is the ECPT way the probe targets.
+	Way int
+	// PA is the physical address of the 64-byte line, in the table's
+	// own address space (gPA for guest tables, hPA for host tables).
+	PA uint64
+	// TagMatch reports whether the line's VPN-group tag matched.
+	TagMatch bool
+	// Match reports whether the requested translation is present
+	// (tag matched and the slot bit is set); Frame is then valid.
+	Match bool
+	Frame uint64
+}
+
+// AllWays is the way filter meaning "probe every way" (a Size walk in
+// the paper's naming; used when the CWT gave no way information).
+const AllWays = -1
+
+// ProbesFor returns the memory accesses needed to look up vpn. way
+// restricts the probe to a single way (a Direct walk) or AllWays.
+// During an elastic resize an unmigrated key needs its old-generation
+// bucket probed too, so a way can contribute up to two probes — the
+// transient extra bandwidth inherent to elastic resizing.
+func (t *Table) ProbesFor(vpn uint64, way int) []Probe {
+	tag, slot := lineTag(vpn), lineSlot(vpn)
+	probes := make([]Probe, 0, 2*t.cfg.Ways)
+	for w := 0; w < t.cfg.Ways; w++ {
+		if way != AllWays && w != way {
+			continue
+		}
+		idx := t.cur.index(w, tag)
+		probes = append(probes, t.makeProbe(t.cur, w, idx, tag, slot))
+		if t.old != nil {
+			oidx := t.old.index(w, tag)
+			if oidx >= t.migratePtr[w] {
+				probes = append(probes, t.makeProbe(t.old, w, oidx, tag, slot))
+			}
+		}
+	}
+	return probes
+}
+
+func (t *Table) makeProbe(g *generation, w, idx int, tag uint64, slot int) Probe {
+	p := Probe{Way: w, PA: g.linePA(w, idx)}
+	ln := &g.ways[w][idx]
+	if ln.valid && ln.tag == tag {
+		p.TagMatch = true
+		if ln.present&(1<<slot) != 0 {
+			p.Match = true
+			p.Frame = ln.frames[slot]
+		}
+	}
+	return p
+}

@@ -1,0 +1,140 @@
+package ecpt
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/memsim"
+)
+
+// SetConfig configures a full ECPT set: one elastic cuckoo table per
+// page size plus which sizes keep a CWT. The paper's evaluation keeps
+// PUD- and PMD-CWTs everywhere but omits the PTE-CWT on the guest side
+// (§4.2) while the host side has one (the Step-1/Step-3 hCWC caching
+// techniques rely on it).
+type SetConfig struct {
+	PerSize [addr.NumPageSizes]Config
+	WithCWT [addr.NumPageSizes]bool
+}
+
+// DefaultSetConfig returns Table 2's initial table sizes. host selects
+// the host-side CWT layout (with a PTE-CWT) versus the guest one.
+func DefaultSetConfig(host bool) SetConfig {
+	return ScaledSetConfig(host, 1)
+}
+
+// ScaledSetConfig divides Table 2's initial table sizes by scale, for
+// use with workloads whose footprints are scaled down by the same
+// factor: the initial-size-to-footprint ratio determines how much
+// elastic resizing a run exercises, and preserving it keeps cache
+// behaviour of table probes faithful. Elasticity grows the tables
+// on demand either way.
+func ScaledSetConfig(host bool, scale uint64) SetConfig {
+	div := func(n int) int {
+		n /= int(scale)
+		if n < 64 {
+			n = 64
+		}
+		return n
+	}
+	var sc SetConfig
+	sc.PerSize[addr.Page4K] = DefaultConfig(div(16384))
+	sc.PerSize[addr.Page2M] = DefaultConfig(div(16384))
+	sc.PerSize[addr.Page1G] = DefaultConfig(div(8192))
+	sc.WithCWT[addr.Page2M] = true
+	sc.WithCWT[addr.Page1G] = true
+	sc.WithCWT[addr.Page4K] = host
+	return sc
+}
+
+// Set is the process-private (or hypervisor-private) collection of
+// ECPTs: the gECPTs of a guest, or the hECPTs of the host (§3).
+type Set struct {
+	tables [addr.NumPageSizes]*Table
+	alloc  *memsim.Allocator
+}
+
+// NewSet builds the per-size tables from cfg. hashSpace separates hash
+// functions between unrelated sets; seed drives cuckoo tie-breaking.
+func NewSet(cfg SetConfig, alloc *memsim.Allocator, hashSpace int, seed uint64) (*Set, error) {
+	s := &Set{alloc: alloc}
+	for _, size := range addr.Sizes() {
+		var cwt *CWT
+		if cfg.WithCWT[size] {
+			cwt = NewCWT(size, alloc)
+		}
+		t, err := New(size, cfg.PerSize[size], alloc, cwt, hashSpace*8+int(size), seed+uint64(size))
+		if err != nil {
+			return nil, fmt.Errorf("ecpt: building %s table: %w", size.LevelName(), err)
+		}
+		s.tables[size] = t
+	}
+	return s, nil
+}
+
+// Table returns the ECPT for one page size.
+func (s *Set) Table(size addr.PageSize) *Table { return s.tables[size] }
+
+// Map installs a translation at the given size and maintains the
+// hierarchical has-smaller bits in the larger sizes' CWTs so walkers
+// know they must descend.
+func (s *Set) Map(va uint64, size addr.PageSize, frame uint64) {
+	s.tables[size].Insert(addr.VPN(va, size), frame)
+	for _, larger := range addr.Sizes() {
+		if larger <= size {
+			continue
+		}
+		if cwt := s.tables[larger].CWT(); cwt != nil {
+			cwt.MarkSmaller(addr.VPN(va, larger))
+		}
+	}
+}
+
+// Unmap removes the translation for va at the given size, reporting
+// whether it existed. Has-smaller bits are left sticky (see
+// CWT.MarkSmaller).
+func (s *Set) Unmap(va uint64, size addr.PageSize) bool {
+	return s.tables[size].Remove(addr.VPN(va, size))
+}
+
+// Lookup resolves va functionally across all page sizes.
+func (s *Set) Lookup(va uint64) (frame uint64, size addr.PageSize, ok bool) {
+	// Probe largest first: at most one size can map a given address.
+	for i := addr.NumPageSizes - 1; i >= 0; i-- {
+		sz := addr.Sizes()[i]
+		if f, hit := s.tables[sz].Lookup(addr.VPN(va, sz)); hit {
+			return f, sz, true
+		}
+	}
+	return 0, addr.Page4K, false
+}
+
+// Translate resolves va to a full physical address (frame | offset).
+func (s *Set) Translate(va uint64) (pa uint64, size addr.PageSize, ok bool) {
+	frame, size, ok := s.Lookup(va)
+	if !ok {
+		return 0, size, false
+	}
+	return addr.Translate(frame, va, size), size, true
+}
+
+// Entries returns the total live translations across sizes.
+func (s *Set) Entries() uint64 {
+	var n uint64
+	for _, size := range addr.Sizes() {
+		n += s.tables[size].Entries()
+	}
+	return n
+}
+
+// MemoryBytes returns the physical memory held by all tables and CWTs.
+func (s *Set) MemoryBytes() uint64 {
+	var b uint64
+	for _, size := range addr.Sizes() {
+		b += s.tables[size].MemoryBytes()
+		if cwt := s.tables[size].CWT(); cwt != nil {
+			b += cwt.MemoryBytes()
+		}
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package ecpt
+
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/memsim"
+)
+
+func newTestSet(t *testing.T, host bool) *Set {
+	t.Helper()
+	alloc := memsim.NewAllocator(1<<30, 3)
+	set, err := NewSet(ScaledSetConfig(host, 64), alloc, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestSetMapLookupAllSizes(t *testing.T) {
+	set := newTestSet(t, true)
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	set.Map(0x4000_0000, addr.Page2M, 0x20_0000)
+	set.Map(0x1_0000_0000, addr.Page1G, 0x4000_0000)
+
+	cases := []struct {
+		va    uint64
+		frame uint64
+		size  addr.PageSize
+	}{
+		{0x1FFF, 0xAA000, addr.Page4K},
+		{0x4000_0000 + 777, 0x20_0000, addr.Page2M},
+		{0x1_0000_0000 + (1 << 28), 0x4000_0000, addr.Page1G},
+	}
+	for _, c := range cases {
+		f, s, ok := set.Lookup(c.va)
+		if !ok || f != c.frame || s != c.size {
+			t.Errorf("Lookup(%#x) = %#x %v %v", c.va, f, s, ok)
+		}
+		pa, s2, ok := set.Translate(c.va)
+		if !ok || s2 != c.size || pa != addr.Translate(c.frame, c.va, c.size) {
+			t.Errorf("Translate(%#x) = %#x %v %v", c.va, pa, s2, ok)
+		}
+	}
+	if set.Entries() != 3 {
+		t.Errorf("Entries = %d", set.Entries())
+	}
+}
+
+func TestSetUnmap(t *testing.T) {
+	set := newTestSet(t, false)
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	if !set.Unmap(0x1000, addr.Page4K) {
+		t.Error("Unmap failed")
+	}
+	if _, _, ok := set.Lookup(0x1000); ok {
+		t.Error("unmapped address resolves")
+	}
+	if set.Unmap(0x1000, addr.Page4K) {
+		t.Error("double unmap succeeded")
+	}
+}
+
+func TestSetHierarchicalHasSmaller(t *testing.T) {
+	set := newTestSet(t, true)
+	set.Map(0x1000, addr.Page4K, 0xAA000)
+	// Mapping a 4KB page must mark the 2MB and 1GB CWTs so walkers
+	// descend.
+	pmd := set.Table(addr.Page2M).CWT().Query(addr.VPN(0x1000, addr.Page2M))
+	if !pmd.EntryExists || !pmd.HasSmaller {
+		t.Errorf("PMD CWT = %+v", pmd)
+	}
+	pud := set.Table(addr.Page1G).CWT().Query(addr.VPN(0x1000, addr.Page1G))
+	if !pud.EntryExists || !pud.HasSmaller {
+		t.Errorf("PUD CWT = %+v", pud)
+	}
+	// Mapping a 2MB page marks only the 1GB CWT.
+	set.Map(0x8000_0000, addr.Page2M, 0x20_0000)
+	pud2 := set.Table(addr.Page1G).CWT().Query(addr.VPN(0x8000_0000, addr.Page1G))
+	if !pud2.HasSmaller {
+		t.Errorf("PUD CWT after 2MB map = %+v", pud2)
+	}
+}
+
+func TestSetCWTLayout(t *testing.T) {
+	host := newTestSet(t, true)
+	if host.Table(addr.Page4K).CWT() == nil {
+		t.Error("host set missing PTE-CWT (needed by Step-1/Step-3 caching)")
+	}
+	guest := newTestSet(t, false)
+	if guest.Table(addr.Page4K).CWT() != nil {
+		t.Error("guest set has a PTE-CWT (the paper keeps none, §4.2)")
+	}
+	for _, set := range []*Set{host, guest} {
+		if set.Table(addr.Page2M).CWT() == nil || set.Table(addr.Page1G).CWT() == nil {
+			t.Error("PMD/PUD CWTs missing")
+		}
+	}
+}
+
+func TestSetMemoryBytes(t *testing.T) {
+	set := newTestSet(t, true)
+	base := set.MemoryBytes()
+	if base == 0 {
+		t.Fatal("no memory accounted for fresh set")
+	}
+	for v := uint64(0); v < 10000; v++ {
+		set.Map(v<<12, addr.Page4K, v<<12)
+	}
+	if set.MemoryBytes() <= base {
+		t.Error("memory accounting did not grow")
+	}
+}
+
+func TestSetLookupPrefersLargest(t *testing.T) {
+	// A malformed double mapping (same VA at two sizes) must resolve
+	// deterministically to the largest size, mirroring hardware probe
+	// priority.
+	set := newTestSet(t, true)
+	set.Map(0x4000_0000, addr.Page2M, 0x20_0000)
+	set.Table(addr.Page4K).Insert(addr.VPN(0x4000_0000, addr.Page4K), 0xAA000)
+	_, s, _ := set.Lookup(0x4000_0000)
+	if s != addr.Page2M {
+		t.Errorf("resolved size %v, want 2MB", s)
+	}
+}
+
+func TestScaledSetConfigFloors(t *testing.T) {
+	sc := ScaledSetConfig(true, 1<<20)
+	for _, s := range addr.Sizes() {
+		if sc.PerSize[s].InitialLinesPerWay < 64 {
+			t.Errorf("%v lines floor violated: %d", s, sc.PerSize[s].InitialLinesPerWay)
+		}
+	}
+	full := DefaultSetConfig(true)
+	if full.PerSize[addr.Page4K].InitialLinesPerWay != 16384 {
+		t.Errorf("Table 2 PTE initial size = %d", full.PerSize[addr.Page4K].InitialLinesPerWay)
+	}
+}

@@ -1,0 +1,175 @@
+// Package hypervisor models a KVM-like hypervisor for one virtual
+// machine: it owns host physical memory, demand-maps guest physical
+// pages into it, and maintains the host page tables (radix "EPT",
+// ECPTs, or both) that the nested walkers traverse.
+//
+// Two behaviours from the paper are modelled explicitly:
+//   - the host backs guest *data* memory with huge pages whenever it
+//     can ("the hypervisor frequently uses huge pages", §9.4), and
+//   - guest page-table pages are backed only by 4KB host pages
+//     (§4.3 — the property the Advanced design's fourth technique
+//     exploits).
+package hypervisor
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/radix"
+)
+
+// Config configures the hypervisor for one VM.
+type Config struct {
+	// HostMemBytes is the host physical memory size.
+	HostMemBytes uint64
+	// THP backs guest data memory with 2MB host pages when possible.
+	THP bool
+	// BuildRadix / BuildECPT select the host page-table structures.
+	BuildRadix bool
+	BuildECPT  bool
+	// ECPT configures the host ECPT set when BuildECPT is set.
+	ECPT ecpt.SetConfig
+	// Seed drives allocator and cuckoo randomness.
+	Seed uint64
+	// HugePageFailureRate models host physical fragmentation.
+	HugePageFailureRate float64
+}
+
+// DefaultConfig returns a host with the given memory, ECPT tables
+// (including the PTE-hCWT the Advanced design caches), and THP off.
+func DefaultConfig(memBytes uint64) Config {
+	return Config{
+		HostMemBytes: memBytes,
+		BuildECPT:    true,
+		ECPT:         ecpt.DefaultSetConfig(true),
+		Seed:         2,
+	}
+}
+
+// Stats counts hypervisor-level mapping events.
+type Stats struct {
+	NestedFaults uint64
+	HugeMaps     uint64
+	SmallMaps    uint64
+	HugeFallback uint64
+}
+
+// Hypervisor manages host memory for one VM.
+type Hypervisor struct {
+	cfg   Config
+	alloc *memsim.Allocator
+	radix *radix.Table // gPA → hPA (EPT / NPT)
+	ecpts *ecpt.Set
+	// small2m marks 2MB-aligned gPA regions that already contain 4KB
+	// host mappings and therefore can never be huge-mapped.
+	small2m map[uint64]bool
+	stats   Stats
+}
+
+// New builds a hypervisor from cfg.
+func New(cfg Config) (*Hypervisor, error) {
+	if !cfg.BuildRadix && !cfg.BuildECPT {
+		return nil, fmt.Errorf("hypervisor: must build at least one page-table kind")
+	}
+	h := &Hypervisor{
+		cfg:     cfg,
+		alloc:   memsim.NewAllocator(cfg.HostMemBytes, cfg.Seed),
+		small2m: make(map[uint64]bool),
+	}
+	h.alloc.SetHugePageFailureRate(cfg.HugePageFailureRate)
+	if cfg.BuildRadix {
+		h.radix = radix.New(h.alloc)
+	}
+	if cfg.BuildECPT {
+		set, err := ecpt.NewSet(cfg.ECPT, h.alloc, 2, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		h.ecpts = set
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Hypervisor {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Radix returns the host radix table (EPT), or nil.
+func (h *Hypervisor) Radix() *radix.Table { return h.radix }
+
+// ECPTs returns the host ECPT set, or nil.
+func (h *Hypervisor) ECPTs() *ecpt.Set { return h.ecpts }
+
+// Allocator exposes the host-physical allocator.
+func (h *Hypervisor) Allocator() *memsim.Allocator { return h.alloc }
+
+// Stats returns a copy of the mapping statistics.
+func (h *Hypervisor) Stats() Stats { return h.stats }
+
+// EnsureMapped guarantees the guest physical page containing gpa has a
+// host mapping, demand-mapping it on a nested fault. isPageTable marks
+// gPAs that hold guest page tables or CWTs, which KVM backs only with
+// 4KB pages (§4.3). It reports whether a nested fault occurred.
+func (h *Hypervisor) EnsureMapped(gpa uint64, isPageTable bool) (faulted bool, err error) {
+	if _, _, ok := h.Translate(gpa); ok {
+		return false, nil
+	}
+	h.stats.NestedFaults++
+
+	region := addr.PageBase(gpa, addr.Page2M)
+	if h.cfg.THP && !isPageTable && !h.small2m[region] {
+		if frame, ok := h.alloc.Alloc(addr.Page2M, memsim.PurposeData); ok {
+			h.mapPage(region, addr.Page2M, frame)
+			h.stats.HugeMaps++
+			return true, nil
+		}
+		h.stats.HugeFallback++
+	}
+	frame, ok := h.alloc.Alloc(addr.Page4K, memsim.PurposeData)
+	if !ok {
+		return false, fmt.Errorf("hypervisor: host out of memory mapping gPA %#x", gpa)
+	}
+	h.mapPage(addr.PageBase(gpa, addr.Page4K), addr.Page4K, frame)
+	h.small2m[region] = true
+	return true, nil
+}
+
+func (h *Hypervisor) mapPage(base uint64, size addr.PageSize, frame uint64) {
+	if h.radix != nil {
+		if err := h.radix.Map(base, size, frame); err != nil {
+			panic(fmt.Sprintf("hypervisor: radix map: %v", err))
+		}
+	}
+	if h.ecpts != nil {
+		h.ecpts.Map(base, size, frame)
+	}
+}
+
+// Translate resolves gPA → hPA functionally.
+func (h *Hypervisor) Translate(gpa uint64) (hpa uint64, size addr.PageSize, ok bool) {
+	if h.ecpts != nil {
+		frame, sz, hit := h.ecpts.Lookup(gpa)
+		if !hit {
+			return 0, sz, false
+		}
+		return addr.Translate(frame, gpa, sz), sz, true
+	}
+	frame, sz, hit := h.radix.Lookup(gpa)
+	if !hit {
+		return 0, sz, false
+	}
+	return addr.Translate(frame, gpa, sz), sz, true
+}
+
+// PageTableMemoryBytes reports the host bytes held by host page tables
+// and CWTs (§9.5 host structures).
+func (h *Hypervisor) PageTableMemoryBytes() uint64 {
+	return h.alloc.Used(memsim.PurposePageTable) + h.alloc.Used(memsim.PurposeCWT)
+}

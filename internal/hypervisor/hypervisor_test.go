@@ -1,0 +1,133 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/ecpt"
+)
+
+func newHyp(t *testing.T, thp bool, both bool) *Hypervisor {
+	t.Helper()
+	cfg := Config{
+		HostMemBytes: 1 << 30,
+		THP:          thp,
+		BuildECPT:    true,
+		BuildRadix:   both,
+		ECPT:         ecpt.ScaledSetConfig(true, 64),
+		Seed:         9,
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestEnsureMappedDemand(t *testing.T) {
+	h := newHyp(t, false, false)
+	faulted, err := h.EnsureMapped(0x1234_5678, false)
+	if err != nil || !faulted {
+		t.Fatalf("first EnsureMapped: %v %v", faulted, err)
+	}
+	faulted, err = h.EnsureMapped(0x1234_5000, false)
+	if err != nil || faulted {
+		t.Fatalf("second EnsureMapped faulted: %v %v", faulted, err)
+	}
+	if _, _, ok := h.Translate(0x1234_5678); !ok {
+		t.Error("mapped gPA does not translate")
+	}
+	if h.Stats().NestedFaults != 1 {
+		t.Errorf("faults = %d", h.Stats().NestedFaults)
+	}
+}
+
+func TestTHPBacksDataWithHugePages(t *testing.T) {
+	h := newHyp(t, true, false)
+	h.EnsureMapped(0x4020_1234, false)
+	_, size, ok := h.Translate(0x4020_1234)
+	if !ok || size != addr.Page2M {
+		t.Fatalf("THP data mapping size = %v, ok=%v", size, ok)
+	}
+	// Whole 2MB gPA region covered.
+	if f, _ := h.EnsureMapped(0x403F_FFFF, false); f {
+		t.Error("sibling gPA faulted under huge mapping")
+	}
+}
+
+func TestPageTablePagesAlways4K(t *testing.T) {
+	h := newHyp(t, true, false)
+	h.EnsureMapped(0x5000_1000, true)
+	_, size, ok := h.Translate(0x5000_1000)
+	if !ok || size != addr.Page4K {
+		t.Fatalf("page-table gPA mapped with %v, want 4KB (§4.3)", size)
+	}
+}
+
+func TestSmallRegionBlocksHugeMapping(t *testing.T) {
+	h := newHyp(t, true, false)
+	// First a 4KB page-table mapping inside a 2MB region...
+	h.EnsureMapped(0x6000_0000, true)
+	// ...then a data fault in the same region must not huge-map over it.
+	h.EnsureMapped(0x6000_5000, false)
+	_, size, ok := h.Translate(0x6000_5000)
+	if !ok || size != addr.Page4K {
+		t.Fatalf("conflicting region mapped with %v", size)
+	}
+}
+
+func TestRadixAndECPTAgree(t *testing.T) {
+	h := newHyp(t, true, true)
+	gpas := []uint64{0x1000, 0x20_0000, 0x1234_5000, 0x4000_0000}
+	for _, gpa := range gpas {
+		if _, err := h.EnsureMapped(gpa, gpa%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, gpa := range gpas {
+		rf, rs, rok := h.Radix().Lookup(gpa)
+		ef, es, eok := h.ECPTs().Lookup(gpa)
+		if rok != eok || rf != ef || rs != es {
+			t.Errorf("gpa %#x: radix (%#x,%v,%v) vs ecpt (%#x,%v,%v)", gpa, rf, rs, rok, ef, es, eok)
+		}
+	}
+}
+
+func TestHugeFallbackUnderFragmentation(t *testing.T) {
+	cfg := Config{
+		HostMemBytes:        1 << 30,
+		THP:                 true,
+		BuildECPT:           true,
+		ECPT:                ecpt.ScaledSetConfig(true, 64),
+		Seed:                9,
+		HugePageFailureRate: 1.0,
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EnsureMapped(0x7000_0000, false)
+	if _, size, _ := h.Translate(0x7000_0000); size != addr.Page4K {
+		t.Errorf("fragmented host mapped %v", size)
+	}
+	if h.Stats().HugeFallback == 0 {
+		t.Error("fallback not counted")
+	}
+}
+
+func TestPageTableMemoryAccounting(t *testing.T) {
+	h := newHyp(t, false, false)
+	base := h.PageTableMemoryBytes()
+	for i := uint64(0); i < 5000; i++ {
+		h.EnsureMapped(i<<12, false)
+	}
+	if h.PageTableMemoryBytes() <= base {
+		t.Error("host page-table memory did not grow")
+	}
+}
+
+func TestConfigRequiresSomeTables(t *testing.T) {
+	if _, err := New(Config{HostMemBytes: 1 << 20}); err == nil {
+		t.Error("config with no tables accepted")
+	}
+}

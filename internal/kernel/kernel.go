@@ -1,0 +1,235 @@
+// Package kernel models the guest operating system's memory manager:
+// demand paging of anonymous memory, transparent huge pages (THP), and
+// maintenance of the guest page tables — radix, ECPT, or both — that
+// the simulated MMU walks. It corresponds to the "modest modifications
+// to Linux" of §7: high-level memory management is unchanged, only the
+// page-table implementation varies.
+package kernel
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/radix"
+)
+
+// Config configures one guest kernel instance.
+type Config struct {
+	// GuestMemBytes is the guest-physical memory size.
+	GuestMemBytes uint64
+	// THP enables transparent 2MB pages for eligible VMAs.
+	THP bool
+	// BuildRadix / BuildECPT select which page-table structures the
+	// kernel maintains. Simulations build one; the cross-validation
+	// tests build both and check they agree.
+	BuildRadix bool
+	BuildECPT  bool
+	// ECPT configures the guest ECPT set when BuildECPT is set.
+	ECPT ecpt.SetConfig
+	// Seed drives all allocator and cuckoo randomness.
+	Seed uint64
+	// HugePageFailureRate models guest physical fragmentation.
+	HugePageFailureRate float64
+}
+
+// DefaultConfig returns a guest with the given memory size, ECPT
+// tables only, and THP off.
+func DefaultConfig(memBytes uint64) Config {
+	return Config{
+		GuestMemBytes: memBytes,
+		BuildECPT:     true,
+		ECPT:          ecpt.DefaultSetConfig(false),
+		Seed:          1,
+	}
+}
+
+// regionState tracks what the kernel decided for one 2MB VA region.
+type regionState uint8
+
+const (
+	regionUnknown regionState = iota
+	regionHuge                // backed by one 2MB page
+	regionSmall               // backed by 4KB pages
+)
+
+// VMA is a virtual memory area registered by the workload.
+type VMA struct {
+	Base, Size uint64
+	// THPEligible marks areas khugepaged would back with 2MB pages.
+	THPEligible bool
+}
+
+// Stats counts kernel-level paging events.
+type Stats struct {
+	MinorFaults  uint64
+	HugeMaps     uint64
+	SmallMaps    uint64
+	HugeFallback uint64 // THP attempts that fell back to 4KB pages
+}
+
+// Kernel is one guest OS instance managing one address space.
+type Kernel struct {
+	cfg     Config
+	alloc   *memsim.Allocator
+	radix   *radix.Table
+	ecpts   *ecpt.Set
+	vmas    []VMA
+	regions map[uint64]regionState
+	stats   Stats
+}
+
+// New builds a kernel from cfg.
+func New(cfg Config) (*Kernel, error) {
+	if !cfg.BuildRadix && !cfg.BuildECPT {
+		return nil, fmt.Errorf("kernel: must build at least one page-table kind")
+	}
+	k := &Kernel{
+		cfg:     cfg,
+		alloc:   memsim.NewAllocator(cfg.GuestMemBytes, cfg.Seed),
+		regions: make(map[uint64]regionState),
+	}
+	k.alloc.SetHugePageFailureRate(cfg.HugePageFailureRate)
+	if cfg.BuildRadix {
+		k.radix = radix.New(k.alloc)
+	}
+	if cfg.BuildECPT {
+		set, err := ecpt.NewSet(cfg.ECPT, k.alloc, 1, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		k.ecpts = set
+	}
+	return k, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Kernel {
+	k, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Radix returns the guest radix table, or nil.
+func (k *Kernel) Radix() *radix.Table { return k.radix }
+
+// ECPTs returns the guest ECPT set, or nil.
+func (k *Kernel) ECPTs() *ecpt.Set { return k.ecpts }
+
+// Allocator exposes the guest-physical allocator (the hypervisor needs
+// its capacity; tests inspect accounting).
+func (k *Kernel) Allocator() *memsim.Allocator { return k.alloc }
+
+// Stats returns a copy of the paging statistics.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// DefineVMA registers a virtual memory area. Touching addresses
+// outside every VMA is a segmentation violation.
+func (k *Kernel) DefineVMA(v VMA) {
+	k.vmas = append(k.vmas, v)
+}
+
+func (k *Kernel) vmaFor(va uint64) *VMA {
+	for i := range k.vmas {
+		v := &k.vmas[i]
+		if va >= v.Base && va < v.Base+v.Size {
+			return v
+		}
+	}
+	return nil
+}
+
+// Touch ensures the page containing va is mapped, performing a minor
+// fault (demand allocation) if needed. It reports whether a fault
+// occurred and the page size now backing va.
+func (k *Kernel) Touch(va uint64) (faulted bool, size addr.PageSize, err error) {
+	if _, sz, ok := k.Translate(va); ok {
+		return false, sz, nil
+	}
+	v := k.vmaFor(va)
+	if v == nil {
+		return false, 0, fmt.Errorf("kernel: segfault at %#x (no VMA)", va)
+	}
+	k.stats.MinorFaults++
+
+	region := addr.PageBase(va, addr.Page2M)
+	st := k.regions[region]
+	wantHuge := k.cfg.THP && v.THPEligible && st != regionSmall &&
+		// The whole 2MB region must lie inside the VMA.
+		region >= v.Base && region+addr.Page2M.Bytes() <= v.Base+v.Size
+
+	if wantHuge {
+		if frame, ok := k.alloc.Alloc(addr.Page2M, memsim.PurposeData); ok {
+			k.mapPage(region, addr.Page2M, frame)
+			k.regions[region] = regionHuge
+			k.stats.HugeMaps++
+			return true, addr.Page2M, nil
+		}
+		k.stats.HugeFallback++
+	}
+	frame, ok := k.alloc.Alloc(addr.Page4K, memsim.PurposeData)
+	if !ok {
+		return false, 0, fmt.Errorf("kernel: guest out of memory at %#x", va)
+	}
+	k.mapPage(addr.PageBase(va, addr.Page4K), addr.Page4K, frame)
+	k.regions[region] = regionSmall
+	k.stats.SmallMaps++
+	return true, addr.Page4K, nil
+}
+
+func (k *Kernel) mapPage(base uint64, size addr.PageSize, frame uint64) {
+	if k.radix != nil {
+		if err := k.radix.Map(base, size, frame); err != nil {
+			panic(fmt.Sprintf("kernel: radix map: %v", err))
+		}
+	}
+	if k.ecpts != nil {
+		k.ecpts.Map(base, size, frame)
+	}
+}
+
+// Unmap removes the mapping for the page containing va, if any,
+// from every maintained structure.
+func (k *Kernel) Unmap(va uint64) bool {
+	_, size, ok := k.Translate(va)
+	if !ok {
+		return false
+	}
+	base := addr.PageBase(va, size)
+	if k.radix != nil {
+		if err := k.radix.Unmap(base, size); err != nil {
+			panic(fmt.Sprintf("kernel: radix unmap: %v", err))
+		}
+	}
+	if k.ecpts != nil {
+		k.ecpts.Unmap(base, size)
+	}
+	delete(k.regions, addr.PageBase(va, addr.Page2M))
+	return true
+}
+
+// Translate resolves gVA → gPA functionally, preferring whichever
+// structure is built (they are kept identical when both are).
+func (k *Kernel) Translate(va uint64) (gpa uint64, size addr.PageSize, ok bool) {
+	if k.ecpts != nil {
+		frame, sz, hit := k.ecpts.Lookup(va)
+		if !hit {
+			return 0, sz, false
+		}
+		return addr.Translate(frame, va, sz), sz, true
+	}
+	frame, sz, hit := k.radix.Lookup(va)
+	if !hit {
+		return 0, sz, false
+	}
+	return addr.Translate(frame, va, sz), sz, true
+}
+
+// PageTableMemoryBytes reports the guest-physical bytes held by page
+// tables and CWTs (§9.5 guest structures).
+func (k *Kernel) PageTableMemoryBytes() uint64 {
+	return k.alloc.Used(memsim.PurposePageTable) + k.alloc.Used(memsim.PurposeCWT)
+}

@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/ecpt"
+)
+
+func newKernel(t *testing.T, thp bool, both bool) *Kernel {
+	t.Helper()
+	cfg := Config{
+		GuestMemBytes: 1 << 30,
+		THP:           thp,
+		BuildECPT:     true,
+		BuildRadix:    both,
+		ECPT:          ecpt.ScaledSetConfig(false, 64),
+		Seed:          5,
+	}
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.DefineVMA(VMA{Base: 0x1000_0000, Size: 64 << 20, THPEligible: true})
+	k.DefineVMA(VMA{Base: 0x4000_0000, Size: 64 << 20, THPEligible: false})
+	return k
+}
+
+func TestTouchDemandPages(t *testing.T) {
+	k := newKernel(t, false, false)
+	faulted, size, err := k.Touch(0x1000_0123)
+	if err != nil || !faulted || size != addr.Page4K {
+		t.Fatalf("first touch: %v %v %v", faulted, size, err)
+	}
+	faulted, _, err = k.Touch(0x1000_0FFF) // same page
+	if err != nil || faulted {
+		t.Fatalf("second touch faulted: %v %v", faulted, err)
+	}
+	if _, _, ok := k.Translate(0x1000_0123); !ok {
+		t.Error("touched page does not translate")
+	}
+	if k.Stats().MinorFaults != 1 {
+		t.Errorf("faults = %d", k.Stats().MinorFaults)
+	}
+}
+
+func TestTouchSegfault(t *testing.T) {
+	k := newKernel(t, false, false)
+	_, _, err := k.Touch(0xDEAD_0000_0000)
+	if err == nil || !strings.Contains(err.Error(), "segfault") {
+		t.Fatalf("expected segfault, got %v", err)
+	}
+}
+
+func TestTHPAllocatesHugePages(t *testing.T) {
+	k := newKernel(t, true, false)
+	_, size, err := k.Touch(0x1020_0123)
+	if err != nil || size != addr.Page2M {
+		t.Fatalf("THP touch: size=%v err=%v", size, err)
+	}
+	// The whole 2MB region is now mapped.
+	faulted, _, _ := k.Touch(0x1020_0000 + 0x1F_F000)
+	if faulted {
+		t.Error("region sibling faulted despite 2MB mapping")
+	}
+	// Non-eligible VMA stays 4KB.
+	_, size, err = k.Touch(0x4000_0123)
+	if err != nil || size != addr.Page4K {
+		t.Fatalf("non-eligible VMA: size=%v err=%v", size, err)
+	}
+	if k.Stats().HugeMaps == 0 || k.Stats().SmallMaps == 0 {
+		t.Errorf("stats = %+v", k.Stats())
+	}
+}
+
+func TestTHPOffUses4K(t *testing.T) {
+	k := newKernel(t, false, false)
+	_, size, _ := k.Touch(0x1020_0123)
+	if size != addr.Page4K {
+		t.Errorf("THP-off touch mapped %v", size)
+	}
+}
+
+func TestTHPFragmentationFallback(t *testing.T) {
+	cfg := Config{
+		GuestMemBytes:       1 << 30,
+		THP:                 true,
+		BuildECPT:           true,
+		ECPT:                ecpt.ScaledSetConfig(false, 64),
+		Seed:                5,
+		HugePageFailureRate: 1.0,
+	}
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.DefineVMA(VMA{Base: 0x1000_0000, Size: 64 << 20, THPEligible: true})
+	_, size, err := k.Touch(0x1020_0123)
+	if err != nil || size != addr.Page4K {
+		t.Fatalf("fragmented touch: size=%v err=%v", size, err)
+	}
+	if k.Stats().HugeFallback == 0 {
+		t.Error("fallback not counted")
+	}
+}
+
+func TestTHPPartialRegionAtVMAEdge(t *testing.T) {
+	k := newKernel(t, true, false)
+	// A 2MB region straddling the VMA end must fall back to 4KB.
+	k.DefineVMA(VMA{Base: 0x8000_0000, Size: 1 << 20, THPEligible: true}) // 1MB only
+	_, size, err := k.Touch(0x8000_0123)
+	if err != nil || size != addr.Page4K {
+		t.Fatalf("edge touch: size=%v err=%v", size, err)
+	}
+}
+
+func TestRadixAndECPTAgree(t *testing.T) {
+	k := newKernel(t, true, true)
+	vas := []uint64{0x1000_0000, 0x1020_0000, 0x1040_5000, 0x4000_0000, 0x4001_0000}
+	for _, va := range vas {
+		if _, _, err := k.Touch(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, va := range vas {
+		rf, rs, rok := k.Radix().Lookup(va)
+		ef, es, eok := k.ECPTs().Lookup(va)
+		if rok != eok || rf != ef || rs != es {
+			t.Errorf("va %#x: radix (%#x,%v,%v) vs ecpt (%#x,%v,%v)", va, rf, rs, rok, ef, es, eok)
+		}
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	k := newKernel(t, true, true)
+	k.Touch(0x1020_0000)
+	if !k.Unmap(0x1020_0123) {
+		t.Fatal("Unmap failed")
+	}
+	if _, _, ok := k.Translate(0x1020_0000); ok {
+		t.Error("unmapped region still translates")
+	}
+	if k.Unmap(0x1020_0000) {
+		t.Error("double unmap succeeded")
+	}
+	// The region can be re-touched after unmap.
+	if _, _, err := k.Touch(0x1020_0000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTableMemoryGrows(t *testing.T) {
+	k := newKernel(t, false, false)
+	base := k.PageTableMemoryBytes()
+	for i := uint64(0); i < 2000; i++ {
+		k.Touch(0x1000_0000 + i*4096)
+	}
+	if k.PageTableMemoryBytes() <= base {
+		t.Error("page-table memory did not grow")
+	}
+}
+
+func TestConfigRequiresSomeTables(t *testing.T) {
+	_, err := New(Config{GuestMemBytes: 1 << 20})
+	if err == nil {
+		t.Error("config with no tables accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package memsim models the physical address spaces of the host and of
+// each guest: frame allocation at every supported page size, optional
+// fragmentation (which makes huge-page allocation fail, as §10 of the
+// paper discusses), and accounting of how much memory each consumer
+// (data pages, page tables, CWTs) holds — the input to the §9.5 memory
+// consumption experiment.
+package memsim
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/vhash"
+)
+
+// Purpose labels why a frame was allocated, for memory accounting.
+type Purpose uint8
+
+const (
+	// PurposeData is an application data page.
+	PurposeData Purpose = iota
+	// PurposePageTable is a page-table page (radix node or ECPT chunk).
+	PurposePageTable
+	// PurposeCWT is a cuckoo-walk-table page.
+	PurposeCWT
+	numPurposes
+)
+
+// String names the purpose.
+func (p Purpose) String() string {
+	switch p {
+	case PurposeData:
+		return "data"
+	case PurposePageTable:
+		return "page-table"
+	case PurposeCWT:
+		return "cwt"
+	}
+	return fmt.Sprintf("Purpose(%d)", uint8(p))
+}
+
+// Allocator hands out physical frames from a fixed-capacity physical
+// address space. Allocation is a deterministic bump pointer per page
+// size with free lists, so repeated runs place structures identically.
+type Allocator struct {
+	capacity uint64
+	// next bumps upward for data frames; metaNext bumps downward for
+	// page-table and CWT frames. Real kernels cluster page-table pages
+	// through slab caches rather than interleaving them with data, and
+	// that clustering is load-bearing: it is what makes the host-side
+	// structures that cover page tables (NTLB, NPWC, PTE-hCWT entries)
+	// effective.
+	next     uint64
+	metaNext uint64
+	free     [addr.NumPageSizes][]uint64
+	metaFree []uint64
+	used     [numPurposes]uint64
+	// hugeFail emulates physical-memory fragmentation: each 2MB/1GB
+	// allocation fails with this probability, forcing the caller to
+	// fall back to smaller pages (like a real buddy allocator under
+	// fragmentation).
+	hugeFail float64
+	rng      *vhash.RNG
+}
+
+// NewAllocator returns an allocator over [0, capacity) bytes.
+func NewAllocator(capacity uint64, seed uint64) *Allocator {
+	return &Allocator{capacity: capacity, metaNext: capacity, rng: vhash.NewRNG(seed)}
+}
+
+// SetHugePageFailureRate sets the probability in [0,1] that an
+// allocation of a 2MB or 1GB frame fails due to fragmentation.
+func (a *Allocator) SetHugePageFailureRate(p float64) { a.hugeFail = p }
+
+// Capacity returns the size of the physical address space in bytes.
+func (a *Allocator) Capacity() uint64 { return a.capacity }
+
+// Alloc allocates one frame of the given size and returns its base
+// address. It returns ok=false when the space is exhausted or when a
+// huge-page allocation fails due to the configured fragmentation.
+// Page-table and CWT frames come from the clustered metadata region at
+// the top of the address space (4KB only); data frames bump upward
+// from the bottom.
+func (a *Allocator) Alloc(s addr.PageSize, why Purpose) (base uint64, ok bool) {
+	if why != PurposeData {
+		if s != addr.Page4K {
+			panic(fmt.Sprintf("memsim: %s frames must be 4KB, got %s", why, s))
+		}
+		return a.allocMeta(addr.Page4K.Bytes(), why)
+	}
+	if s != addr.Page4K && a.hugeFail > 0 && a.rng.Float64() < a.hugeFail {
+		return 0, false
+	}
+	if fl := a.free[s]; len(fl) > 0 {
+		base = fl[len(fl)-1]
+		a.free[s] = fl[:len(fl)-1]
+		a.used[why] += s.Bytes()
+		return base, true
+	}
+	// Align the bump pointer to the frame size.
+	aligned := (a.next + s.Bytes() - 1) &^ (s.Bytes() - 1)
+	if aligned+s.Bytes() > a.metaNext {
+		return 0, false
+	}
+	// Alignment holes become 4KB free frames rather than leaking.
+	for p := a.next; p < aligned; p += addr.Page4K.Bytes() {
+		a.free[addr.Page4K] = append(a.free[addr.Page4K], p)
+	}
+	a.next = aligned + s.Bytes()
+	a.used[why] += s.Bytes()
+	return aligned, true
+}
+
+// allocMeta carves bytes (4KB-aligned) downward from the metadata
+// region, preferring freed metadata frames for single-page requests.
+func (a *Allocator) allocMeta(bytes uint64, why Purpose) (base uint64, ok bool) {
+	if bytes == addr.Page4K.Bytes() && len(a.metaFree) > 0 {
+		base = a.metaFree[len(a.metaFree)-1]
+		a.metaFree = a.metaFree[:len(a.metaFree)-1]
+		a.used[why] += bytes
+		return base, true
+	}
+	if a.metaNext < a.next+bytes {
+		return 0, false
+	}
+	a.metaNext -= bytes
+	a.used[why] += bytes
+	return a.metaNext, true
+}
+
+// MustAlloc allocates like Alloc but panics on exhaustion. It is meant
+// for page-table allocations, which the simulator sizes so they cannot
+// fail; a panic indicates a configuration bug, not a runtime condition.
+func (a *Allocator) MustAlloc(s addr.PageSize, why Purpose) uint64 {
+	// Page tables are never subject to the fragmentation model: Linux
+	// and KVM allocate them in 4KB pages (§4.3), and 4KB frames never
+	// fail below capacity.
+	saved := a.hugeFail
+	a.hugeFail = 0
+	base, ok := a.Alloc(s, why)
+	a.hugeFail = saved
+	if !ok {
+		panic(fmt.Sprintf("memsim: out of physical memory allocating %s for %s (capacity %d)", s, why, a.capacity))
+	}
+	return base
+}
+
+// Free returns a frame to the allocator.
+func (a *Allocator) Free(base uint64, s addr.PageSize, why Purpose) {
+	if why != PurposeData {
+		a.metaFree = append(a.metaFree, base)
+		if a.used[why] >= s.Bytes() {
+			a.used[why] -= s.Bytes()
+		} else {
+			a.used[why] = 0
+		}
+		return
+	}
+	a.free[s] = append(a.free[s], base)
+	if a.used[why] >= s.Bytes() {
+		a.used[why] -= s.Bytes()
+	} else {
+		a.used[why] = 0
+	}
+}
+
+// AllocRegion carves a physically-contiguous region of the given size
+// (rounded up to whole 4KB pages) and returns its base address. ECPT
+// ways are contiguous arrays indexed by hash, so they need regions
+// rather than individual frames. It panics on exhaustion for the same
+// reason MustAlloc does.
+func (a *Allocator) AllocRegion(bytes uint64, why Purpose) uint64 {
+	sz := (bytes + addr.Page4K.Bytes() - 1) &^ (addr.Page4K.Bytes() - 1)
+	if why != PurposeData {
+		base, ok := a.allocMeta(sz, why)
+		if !ok {
+			panic(fmt.Sprintf("memsim: out of physical memory allocating %dB region for %s", sz, why))
+		}
+		return base
+	}
+	aligned := (a.next + addr.Page4K.Bytes() - 1) &^ (addr.Page4K.Bytes() - 1)
+	if aligned+sz > a.metaNext {
+		panic(fmt.Sprintf("memsim: out of physical memory allocating %dB region for %s", sz, why))
+	}
+	a.next = aligned + sz
+	a.used[why] += sz
+	return aligned
+}
+
+// FreeRegion returns a region previously obtained from AllocRegion.
+// The space is handed back as 4KB frames.
+func (a *Allocator) FreeRegion(base, bytes uint64, why Purpose) {
+	sz := (bytes + addr.Page4K.Bytes() - 1) &^ (addr.Page4K.Bytes() - 1)
+	for p := base; p < base+sz; p += addr.Page4K.Bytes() {
+		if why != PurposeData {
+			a.metaFree = append(a.metaFree, p)
+		} else {
+			a.free[addr.Page4K] = append(a.free[addr.Page4K], p)
+		}
+	}
+	if a.used[why] >= sz {
+		a.used[why] -= sz
+	} else {
+		a.used[why] = 0
+	}
+}
+
+// Used returns the bytes currently allocated for the given purpose.
+func (a *Allocator) Used(why Purpose) uint64 { return a.used[why] }
+
+// TotalUsed returns the bytes currently allocated across all purposes.
+func (a *Allocator) TotalUsed() uint64 {
+	var t uint64
+	for i := Purpose(0); i < numPurposes; i++ {
+		t += a.used[i]
+	}
+	return t
+}

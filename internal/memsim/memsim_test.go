@@ -1,0 +1,210 @@
+package memsim
+
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+)
+
+func newTestAlloc(capMB uint64) *Allocator {
+	return NewAllocator(capMB<<20, 1)
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := newTestAlloc(64)
+	for _, s := range addr.Sizes() {
+		base, ok := a.Alloc(s, PurposeData)
+		if !ok && s == addr.Page1G {
+			continue // 64MB space cannot hold a 1GB frame
+		}
+		if !ok {
+			t.Fatalf("Alloc(%v) failed", s)
+		}
+		if base&s.OffsetMask() != 0 {
+			t.Errorf("Alloc(%v) = %#x not aligned", s, base)
+		}
+	}
+}
+
+func TestAllocDistinctFrames(t *testing.T) {
+	a := newTestAlloc(16)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		base, ok := a.Alloc(addr.Page4K, PurposeData)
+		if !ok {
+			t.Fatal("exhausted too early")
+		}
+		if seen[base] {
+			t.Fatalf("frame %#x allocated twice", base)
+		}
+		seen[base] = true
+	}
+}
+
+func TestMetadataClustersAtTop(t *testing.T) {
+	a := newTestAlloc(64)
+	data, _ := a.Alloc(addr.Page4K, PurposeData)
+	meta, _ := a.Alloc(addr.Page4K, PurposePageTable)
+	cwt, _ := a.Alloc(addr.Page4K, PurposeCWT)
+	if meta <= data || cwt <= data {
+		t.Errorf("metadata (%#x, %#x) not above data (%#x)", meta, cwt, data)
+	}
+	if meta < a.Capacity()/2 {
+		t.Errorf("metadata %#x not near top of %#x", meta, a.Capacity())
+	}
+	// Metadata pages cluster tightly (the CWT frame sits between the
+	// two page-table frames in the descending bump region).
+	m2, _ := a.Alloc(addr.Page4K, PurposePageTable)
+	if d := meta - m2; d != 2*addr.Page4K.Bytes() {
+		t.Errorf("metadata pages not clustered: %#x then %#x", meta, m2)
+	}
+}
+
+func TestMetadataHugePanics(t *testing.T) {
+	a := newTestAlloc(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("huge page-table frame did not panic")
+		}
+	}()
+	a.Alloc(addr.Page2M, PurposePageTable)
+}
+
+func TestFreeReuse(t *testing.T) {
+	a := newTestAlloc(16)
+	base, _ := a.Alloc(addr.Page4K, PurposeData)
+	a.Free(base, addr.Page4K, PurposeData)
+	again, _ := a.Alloc(addr.Page4K, PurposeData)
+	if again != base {
+		t.Errorf("freed frame not reused: got %#x, want %#x", again, base)
+	}
+	m, _ := a.Alloc(addr.Page4K, PurposePageTable)
+	a.Free(m, addr.Page4K, PurposePageTable)
+	m2, _ := a.Alloc(addr.Page4K, PurposePageTable)
+	if m2 != m {
+		t.Errorf("freed metadata frame not reused: got %#x, want %#x", m2, m)
+	}
+}
+
+func TestUsedAccounting(t *testing.T) {
+	a := newTestAlloc(64)
+	a.Alloc(addr.Page4K, PurposeData)
+	a.Alloc(addr.Page2M, PurposeData)
+	a.Alloc(addr.Page4K, PurposePageTable)
+	if got := a.Used(PurposeData); got != 4096+(2<<20) {
+		t.Errorf("Used(data) = %d", got)
+	}
+	if got := a.Used(PurposePageTable); got != 4096 {
+		t.Errorf("Used(page-table) = %d", got)
+	}
+	if got := a.TotalUsed(); got != 4096+(2<<20)+4096 {
+		t.Errorf("TotalUsed = %d", got)
+	}
+	base, _ := a.Alloc(addr.Page4K, PurposeData)
+	a.Free(base, addr.Page4K, PurposeData)
+	if got := a.Used(PurposeData); got != 4096+(2<<20) {
+		t.Errorf("Used(data) after free = %d", got)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := NewAllocator(8<<12, 1) // eight 4KB frames
+	n := 0
+	for {
+		if _, ok := a.Alloc(addr.Page4K, PurposeData); !ok {
+			break
+		}
+		n++
+		if n > 8 {
+			t.Fatal("allocated more frames than capacity")
+		}
+	}
+	if n != 8 {
+		t.Errorf("allocated %d frames, want 8", n)
+	}
+}
+
+func TestMustAllocPanicsOnExhaustion(t *testing.T) {
+	a := NewAllocator(4096, 1)
+	a.MustAlloc(addr.Page4K, PurposePageTable)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc on full allocator did not panic")
+		}
+	}()
+	a.MustAlloc(addr.Page4K, PurposePageTable)
+}
+
+func TestHugePageFragmentation(t *testing.T) {
+	a := newTestAlloc(512)
+	a.SetHugePageFailureRate(1.0)
+	if _, ok := a.Alloc(addr.Page2M, PurposeData); ok {
+		t.Error("2MB allocation succeeded despite 100% failure rate")
+	}
+	if _, ok := a.Alloc(addr.Page4K, PurposeData); !ok {
+		t.Error("4KB allocation must not be subject to fragmentation")
+	}
+	a.SetHugePageFailureRate(0)
+	if _, ok := a.Alloc(addr.Page2M, PurposeData); !ok {
+		t.Error("2MB allocation failed with no fragmentation")
+	}
+}
+
+func TestAllocRegionContiguity(t *testing.T) {
+	a := newTestAlloc(64)
+	base := a.AllocRegion(3*4096+100, PurposePageTable)
+	if base%4096 != 0 {
+		t.Errorf("region base %#x not page aligned", base)
+	}
+	if got := a.Used(PurposePageTable); got != 4*4096 {
+		t.Errorf("Used = %d, want rounded-up 4 pages", got)
+	}
+	a.FreeRegion(base, 3*4096+100, PurposePageTable)
+	if got := a.Used(PurposePageTable); got != 0 {
+		t.Errorf("Used after FreeRegion = %d", got)
+	}
+}
+
+func TestDataAndMetaNeverOverlap(t *testing.T) {
+	a := NewAllocator(1<<20, 1) // 256 frames
+	dataMax, metaMin := uint64(0), a.Capacity()
+	for i := 0; i < 100; i++ {
+		d, ok := a.Alloc(addr.Page4K, PurposeData)
+		if !ok {
+			break
+		}
+		m, ok := a.Alloc(addr.Page4K, PurposePageTable)
+		if !ok {
+			break
+		}
+		if d > dataMax {
+			dataMax = d
+		}
+		if m < metaMin {
+			metaMin = m
+		}
+	}
+	if dataMax+4096 > metaMin {
+		t.Errorf("data region [..%#x] overlaps metadata [%#x..]", dataMax, metaMin)
+	}
+}
+
+func TestPurposeString(t *testing.T) {
+	if PurposeData.String() != "data" || PurposePageTable.String() != "page-table" || PurposeCWT.String() != "cwt" {
+		t.Error("purpose names wrong")
+	}
+}
+
+func TestAlignmentHolesRecycled(t *testing.T) {
+	a := newTestAlloc(64)
+	a.Alloc(addr.Page4K, PurposeData)          // bump to 4KB
+	b2, _ := a.Alloc(addr.Page2M, PurposeData) // forces alignment to 2MB
+	if b2 != 2<<20 {
+		t.Fatalf("2MB frame at %#x, want %#x", b2, 2<<20)
+	}
+	// The hole between 4KB and 2MB must come back as 4KB frames.
+	h, ok := a.Alloc(addr.Page4K, PurposeData)
+	if !ok || h >= b2 {
+		t.Errorf("alignment hole not recycled: got %#x", h)
+	}
+}

@@ -1,0 +1,128 @@
+// Package mmucache implements the small hardware caches that live in
+// the MMU: the radix Page Walk Cache (PWC) and Nested PWC, the Nested
+// TLB, the guest/host Cuckoo Walk Caches (CWCs), and the paper's new
+// Shortcut Translation Cache (STC). All are LRU caches with a 4-cycle
+// round trip (Table 2); most are fully associative, and some are
+// partitioned by entry class (e.g. the gCWC holds 16 PMD + 2 PUD
+// entries).
+package mmucache
+
+import (
+	"fmt"
+
+	"nestedecpt/internal/stats"
+)
+
+// LatencyRT is the round-trip latency of every MMU cache (Table 2).
+const LatencyRT = 4
+
+type entry struct {
+	key     uint64
+	value   uint64
+	lastUse uint64
+}
+
+// Cache is a fully-associative LRU cache from 64-bit keys to 64-bit
+// values. Capacities in the MMU are tiny (2–32 entries), so a linear
+// victim scan is the honest model of the hardware and costs nothing.
+type Cache struct {
+	name     string
+	capacity int
+	entries  []entry
+	index    map[uint64]int
+	clock    uint64
+	counter  stats.Counter
+}
+
+// New returns an empty cache holding at most capacity entries.
+func New(name string, capacity int) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("mmucache: %s with capacity %d", name, capacity))
+	}
+	return &Cache{
+		name:     name,
+		capacity: capacity,
+		index:    make(map[uint64]int, capacity),
+	}
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Capacity returns the maximum number of entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Lookup probes the cache, recording a hit or miss.
+func (c *Cache) Lookup(key uint64) (value uint64, ok bool) {
+	c.clock++
+	if i, hit := c.index[key]; hit {
+		c.entries[i].lastUse = c.clock
+		c.counter.Hit()
+		return c.entries[i].value, true
+	}
+	c.counter.Miss()
+	return 0, false
+}
+
+// Peek probes without touching recency or statistics.
+func (c *Cache) Peek(key uint64) (value uint64, ok bool) {
+	if i, hit := c.index[key]; hit {
+		return c.entries[i].value, true
+	}
+	return 0, false
+}
+
+// Insert adds or updates an entry, evicting the LRU entry when full.
+func (c *Cache) Insert(key, value uint64) {
+	c.clock++
+	if i, hit := c.index[key]; hit {
+		c.entries[i].value = value
+		c.entries[i].lastUse = c.clock
+		return
+	}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, entry{key: key, value: value, lastUse: c.clock})
+		c.index[key] = len(c.entries) - 1
+		return
+	}
+	victim := 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].lastUse < c.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	delete(c.index, c.entries[victim].key)
+	c.entries[victim] = entry{key: key, value: value, lastUse: c.clock}
+	c.index[key] = victim
+}
+
+// Invalidate removes key if present and reports whether it was there.
+func (c *Cache) Invalidate(key uint64) bool {
+	i, hit := c.index[key]
+	if !hit {
+		return false
+	}
+	last := len(c.entries) - 1
+	delete(c.index, key)
+	if i != last {
+		c.entries[i] = c.entries[last]
+		c.index[c.entries[i].key] = i
+	}
+	c.entries = c.entries[:last]
+	return true
+}
+
+// Flush empties the cache, keeping statistics.
+func (c *Cache) Flush() {
+	c.entries = c.entries[:0]
+	clear(c.index)
+}
+
+// Stats returns a copy of the hit/miss counter.
+func (c *Cache) Stats() stats.Counter { return c.counter }
+
+// ResetStats zeroes the hit/miss counter.
+func (c *Cache) ResetStats() { c.counter.Reset() }

@@ -1,0 +1,190 @@
+package mmucache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupInsert(t *testing.T) {
+	c := New("t", 4)
+	if _, ok := c.Lookup(1); ok {
+		t.Error("empty cache hit")
+	}
+	c.Insert(1, 100)
+	if v, ok := c.Lookup(1); !ok || v != 100 {
+		t.Errorf("Lookup = %v, %v", v, ok)
+	}
+	c.Insert(1, 200) // update in place
+	if v, _ := c.Lookup(1); v != 200 {
+		t.Errorf("update failed, got %d", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New("t", 2)
+	c.Insert(1, 1)
+	c.Insert(2, 2)
+	c.Lookup(1) // make 2 the LRU
+	c.Insert(3, 3)
+	if _, ok := c.Peek(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if _, ok := c.Peek(1); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+	if _, ok := c.Peek(3); !ok {
+		t.Error("new entry 3 missing")
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	c := New("t", 2)
+	c.Insert(1, 1)
+	c.Insert(2, 2)
+	c.Peek(1) // must NOT refresh 1
+	c.Insert(3, 3)
+	if _, ok := c.Peek(1); ok {
+		t.Error("Peek refreshed recency")
+	}
+	st := c.Stats()
+	if st.Total() != 0 {
+		t.Error("Peek counted in stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New("t", 4)
+	c.Insert(1, 1)
+	c.Insert(2, 2)
+	if !c.Invalidate(1) {
+		t.Error("Invalidate(1) = false")
+	}
+	if c.Invalidate(1) {
+		t.Error("second Invalidate(1) = true")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Error("Invalidate corrupted other entries")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New("t", 4)
+	c.Insert(1, 1)
+	c.Lookup(1)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Error("Flush left entries")
+	}
+	if st := c.Stats(); st.Total() != 1 {
+		t.Error("Flush cleared stats")
+	}
+	c.Insert(5, 5)
+	if v, ok := c.Peek(5); !ok || v != 5 {
+		t.Error("cache unusable after Flush")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := New("t", 2)
+	c.Lookup(1) // miss
+	c.Insert(1, 1)
+	c.Lookup(1) // hit
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	c.ResetStats()
+	if st2 := c.Stats(); st2.Total() != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	c := New("t", 8)
+	for k := uint64(0); k < 100; k++ {
+		c.Insert(k, k)
+		if c.Len() > 8 {
+			t.Fatalf("Len %d exceeds capacity", c.Len())
+		}
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero capacity did not panic")
+		}
+	}()
+	New("t", 0)
+}
+
+func TestNameCapacity(t *testing.T) {
+	c := New("mycache", 3)
+	if c.Name() != "mycache" || c.Capacity() != 3 {
+		t.Error("accessors wrong")
+	}
+}
+
+// TestAgainstReferenceModel drives the cache with random operations and
+// checks every hit against a brute-force LRU model.
+func TestAgainstReferenceModel(t *testing.T) {
+	type ref struct {
+		keys []uint64
+		vals map[uint64]uint64
+	}
+	const cap = 4
+	model := ref{vals: map[uint64]uint64{}}
+	touch := func(k uint64) {
+		for i, kk := range model.keys {
+			if kk == k {
+				model.keys = append(append([]uint64{}, model.keys[:i]...), model.keys[i+1:]...)
+				model.keys = append(model.keys, k)
+				return
+			}
+		}
+	}
+	c := New("ref", cap)
+	f := func(ops []struct {
+		Key    uint8
+		Val    uint16
+		Insert bool
+	}) bool {
+		for _, op := range ops {
+			k := uint64(op.Key % 16)
+			if op.Insert {
+				c.Insert(k, uint64(op.Val))
+				if _, ok := model.vals[k]; ok {
+					model.vals[k] = uint64(op.Val)
+					touch(k)
+				} else {
+					if len(model.keys) == cap {
+						evict := model.keys[0]
+						model.keys = model.keys[1:]
+						delete(model.vals, evict)
+					}
+					model.keys = append(model.keys, k)
+					model.vals[k] = uint64(op.Val)
+				}
+			} else {
+				v, ok := c.Lookup(k)
+				mv, mok := model.vals[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+				if ok {
+					touch(k)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package report runs the paper's experiments and renders every table
+// and figure of the evaluation (§8–§9) as text. A Suite caches
+// simulation results so that figures sharing configurations (e.g.
+// Figures 9, 10 and 13) reuse runs instead of repeating them.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/sim"
+	"nestedecpt/internal/workload"
+)
+
+// TechLevel enumerates the cumulative technique stacks of Figure 9's
+// bar breakdown: Plain, then +STC, then +Step-1 PTE-hCWT caching, then
+// +Step-3 adaptive caching, then +4KB page-table allocation (the full
+// Advanced design).
+type TechLevel int
+
+// Technique stacks in the order Figure 9 accumulates them.
+const (
+	TechPlain TechLevel = iota
+	TechSTC
+	TechStep1
+	TechStep3
+	TechAdvanced
+	numTechLevels
+)
+
+// String names the increment this level adds.
+func (t TechLevel) String() string {
+	switch t {
+	case TechPlain:
+		return "Plain"
+	case TechSTC:
+		return "+STC"
+	case TechStep1:
+		return "+Step1 PTE-hCWT"
+	case TechStep3:
+		return "+Step3 adaptive"
+	case TechAdvanced:
+		return "+4KB PT alloc"
+	}
+	return fmt.Sprintf("TechLevel(%d)", int(t))
+}
+
+// Techniques returns the core.Techniques for this cumulative level.
+func (t TechLevel) Techniques() core.Techniques {
+	var tech core.Techniques
+	if t >= TechSTC {
+		tech.STC = true
+	}
+	if t >= TechStep1 {
+		tech.Step1PTECaching = true
+	}
+	if t >= TechStep3 {
+		tech.Step3AdaptivePTE = true
+	}
+	if t >= TechAdvanced {
+		tech.PageTable4KB = true
+	}
+	return tech
+}
+
+// Settings control how heavy each simulation run is.
+type Settings struct {
+	Warmup  uint64
+	Measure uint64
+	Scale   uint64
+	Seed    uint64
+	// Apps selects the applications; nil means all of Table 4.
+	Apps []string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// DefaultSettings returns the full evaluation scale.
+func DefaultSettings() Settings {
+	return Settings{Warmup: 100_000, Measure: 400_000, Scale: 16, Seed: 42}
+}
+
+// QuickSettings returns a reduced scale for benchmarks and smoke runs.
+func QuickSettings() Settings {
+	return Settings{
+		Warmup: 30_000, Measure: 80_000, Scale: 16, Seed: 42,
+		Apps: []string{"BC", "GUPS", "SysBench"},
+	}
+}
+
+func (s Settings) apps() []string {
+	if len(s.Apps) > 0 {
+		return s.Apps
+	}
+	return workload.Names()
+}
+
+// runKey identifies one simulation configuration.
+type runKey struct {
+	design sim.Design
+	app    string
+	thp    bool
+	tech   TechLevel
+	stc    int // STC entries override (0 = default), for the §9.4 sweep
+}
+
+// Suite caches simulation results across experiments.
+type Suite struct {
+	Settings Settings
+	results  map[runKey]*sim.Result
+}
+
+// NewSuite returns an empty suite with the given settings.
+func NewSuite(s Settings) *Suite {
+	return &Suite{Settings: s, results: make(map[runKey]*sim.Result)}
+}
+
+// config builds the sim.Config for a key.
+func (s *Suite) config(k runKey) sim.Config {
+	cfg := sim.DefaultConfig(k.design, k.app, k.thp)
+	cfg.WarmupAccesses = s.Settings.Warmup
+	cfg.MeasureAccesses = s.Settings.Measure
+	cfg.WorkloadOpts = workload.Options{Scale: s.Settings.Scale, Seed: s.Settings.Seed}
+	if k.design == sim.DesignNestedECPT {
+		cfg.Tech = k.tech.Techniques()
+		cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)
+		if k.stc > 0 {
+			cfg.NestedECPT.STCEntries = k.stc
+		}
+	}
+	return cfg
+}
+
+// run returns the cached result for key, simulating on first use.
+func (s *Suite) run(k runKey) (*sim.Result, error) {
+	if r, ok := s.results[k]; ok {
+		return r, nil
+	}
+	r, err := sim.Run(s.config(k))
+	if err != nil {
+		return nil, fmt.Errorf("report: %v/%s thp=%v tech=%v: %w", k.design, k.app, k.thp, k.tech, err)
+	}
+	s.results[k] = r
+	if s.Settings.Progress != nil {
+		fmt.Fprintf(s.Settings.Progress, "# done %-13v %-9s thp=%-5v tech=%v cycles=%d\n",
+			k.design, k.app, k.thp, k.tech, r.Cycles)
+	}
+	return r, nil
+}
+
+// baseline returns the Nested Radix (4KB pages) result for app — the
+// normalization denominator throughout §9.
+func (s *Suite) baseline(app string) (*sim.Result, error) {
+	return s.run(runKey{design: sim.DesignNestedRadix, app: app})
+}
+
+// nested returns the cached result for one of the nested designs.
+func (s *Suite) nested(d sim.Design, app string, thp bool) (*sim.Result, error) {
+	k := runKey{design: d, app: app, thp: thp}
+	if d == sim.DesignNestedECPT {
+		k.tech = TechAdvanced
+	}
+	return s.run(k)
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"nestedecpt/internal/areamodel"
+	"nestedecpt/internal/sim"
+	"nestedecpt/internal/workload"
+)
+
+// Table1 prints the modeled page-table architecture configurations.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Modeled page table architecture configurations")
+	fmt.Fprintf(w, "%-12s %-20s %s\n", "Native", "Nested", "Description")
+	rows := [][3]string{
+		{"Radix", "Nested Radix", "Radix page tables with only 4KB pages"},
+		{"Radix THP", "Nested Radix THP", "Radix page tables with 4KB+huge pages"},
+		{"ECPTs", "Nested ECPTs", "Advanced ECPTs with only 4KB pages"},
+		{"ECPTs THP", "Nested ECPTs THP", "Advanced ECPTs with 4KB + huge pages"},
+		{"-", "Nested Hybrid", "Hybrid design with only 4KB pages"},
+		{"-", "Nested Hybrid THP", "Hybrid design with 4KB + huge pages"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-20s %s\n", r[0], r[1], r[2])
+	}
+}
+
+// Table2 prints the effective architectural parameters for the given
+// settings, both the paper's nominal values and the scaled values a
+// simulation actually uses.
+func Table2(w io.Writer, s Settings) {
+	fmt.Fprintln(w, "Table 2: Architectural parameters (nominal -> scaled)")
+	cfg := sim.DefaultConfig(sim.DesignNestedECPT, "GUPS", true)
+	cfg.WorkloadOpts = workload.Options{Scale: s.Scale, Seed: s.Seed}
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintf(w, "error: %v\n", err)
+		return
+	}
+	eff := m.EffectiveConfig()
+	fmt.Fprintf(w, "%-28s %-22s %s\n", "Structure", "Paper (Table 2)", fmt.Sprintf("Scaled (1/%d footprint)", s.Scale))
+	fmt.Fprintf(w, "%-28s %-22s %d entries\n", "L1 DTLB (4KB)", "64 entries 4-way", eff.TLB.L1.PerSize[0].Entries)
+	fmt.Fprintf(w, "%-28s %-22s %d entries\n", "L2 DTLB (4KB)", "1024 entries", eff.TLB.L2.PerSize[0].Entries)
+	fmt.Fprintf(w, "%-28s %-22s %d/%d/%d KB\n", "L1/L2/L3 caches", "32KB/512KB/16MB",
+		eff.Hierarchy.L1.SizeBytes>>10, eff.Hierarchy.L2.SizeBytes>>10, eff.Hierarchy.L3.SizeBytes>>10)
+	fmt.Fprintf(w, "%-28s %-22s %d per level\n", "PWC", "3 levels x 32", eff.RadixWalk.PWCEntriesPerLevel)
+	fmt.Fprintf(w, "%-28s %-22s %d per level\n", "NPWC", "16 per level", eff.RadixWalk.NPWCEntriesPerLevel)
+	fmt.Fprintf(w, "%-28s %-22s %d entries\n", "NTLB", "24 entries", eff.RadixWalk.NTLBEntries)
+	fmt.Fprintf(w, "%-28s %-22s PMD=%d PUD=%d\n", "gCWC", "16 PMD + 2 PUD", eff.NestedECPT.GuestCWC.PMD, eff.NestedECPT.GuestCWC.PUD)
+	fmt.Fprintf(w, "%-28s %-22s PTE=%d\n", "hCWC (Step 1)", "4 PTE", eff.NestedECPT.HostCWC1.PTE)
+	fmt.Fprintf(w, "%-28s %-22s PTE=%d PMD=%d PUD=%d\n", "hCWC (Step 3)", "16 PTE + 4 PMD + 2 PUD",
+		eff.NestedECPT.HostCWC3.PTE, eff.NestedECPT.HostCWC3.PMD, eff.NestedECPT.HostCWC3.PUD)
+	fmt.Fprintf(w, "%-28s %-22s %d entries\n", "STC", "10 entries", eff.NestedECPT.STCEntries)
+	fmt.Fprintf(w, "%-28s %-22s %s\n", "Hash functions", "CRC, 2 cycles", "seeded CRC+mix, 2 cycles")
+	fmt.Fprintln(w, "(see DESIGN.md for the scaling rules and their rationale)")
+}
+
+// Table3 prints the analytic area/power estimates next to the paper's
+// CACTI numbers.
+func Table3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Area and power of MMU caching structures (22nm)")
+	fmt.Fprintf(w, "%-15s %10s %12s %12s %14s\n", "Configuration", "Size (B)", "Area (mm2)", "Power (mW)", "Paper (B/mm2/mW)")
+	paper := areamodel.PaperTable3()
+	for _, d := range areamodel.Table3Designs() {
+		bytes, area, power := areamodel.Estimate(d)
+		p := paper[d.Name]
+		fmt.Fprintf(w, "%-15s %10d %12.3f %12.2f %6.0f/%.2f/%.1f\n",
+			d.Name, bytes, area, power, p[0], p[1], p[2])
+	}
+}
+
+// Table4 prints the applications with paper and scaled footprints.
+func Table4(w io.Writer, s Settings) {
+	fmt.Fprintln(w, "Table 4: Applications evaluated")
+	fmt.Fprintf(w, "%-16s %-12s %-10s %12s %14s\n", "Domain", "Suite", "Name", "Paper (GB)", "Scaled (MB)")
+	for _, in := range workload.Table4() {
+		g, err := workload.New(in.Name, workload.Options{Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "%-16s %-12s %-10s %12.1f %14.1f\n",
+			in.Domain, in.Suite, in.Name, in.PaperFootprintGB, float64(g.Footprint())/(1<<20))
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/stats"
+)
+
+// Result carries everything the evaluation section reports for one
+// simulation run.
+type Result struct {
+	Config Config
+
+	// Instructions and Cycles cover the measured region only.
+	Instructions uint64
+	Cycles       uint64
+
+	// MemAccesses is the number of application data accesses measured.
+	MemAccesses uint64
+
+	// TLB behaviour.
+	L1TLB stats.Counter
+	L2TLB stats.Counter
+
+	// Walks is the number of page walks; WalkLatency is their
+	// distribution (Figure 11); WalkCycles their critical-path sum.
+	Walks       uint64
+	WalkLatency *stats.Histogram
+	WalkCycles  uint64
+	// MMUBusyCycles adds background MMU work to WalkCycles (Figure 10).
+	MMUBusyCycles uint64
+	// MMUAccesses counts all MMU-issued memory requests, critical-path
+	// plus background (Figure 13a's RPKI numerator).
+	MMUAccesses uint64
+
+	// Faults observed during measurement (near zero in steady state).
+	GuestFaults uint64
+	HostFaults  uint64
+
+	// Cache-hierarchy statistics for Figure 13.
+	L1Stats, L2Stats, L3Stats cachesim.LevelStats
+	DRAM                      cachesim.DRAMStats
+
+	// Walker-specific measurements (present when the design has them).
+	NestedECPT *core.NestedECPTStats
+	NativeECPT *core.NativeECPTStats
+	Hybrid     *core.HybridStats
+
+	// Memory consumption (§9.5), measured at the end of the run.
+	GuestPTBytes   uint64 // guest page tables + gCWTs
+	HostPTBytes    uint64 // host page tables + hCWTs
+	PTEntries      uint64 // total live translation entries, all tables
+	FootprintBytes uint64
+}
+
+// IPC returns measured instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// KiloInstr returns measured instructions in thousands.
+func (r *Result) KiloInstr() float64 { return float64(r.Instructions) / 1000 }
+
+// MMURPKI returns MMU requests per kilo instruction (Figure 13a).
+func (r *Result) MMURPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.MMUAccesses) / r.KiloInstr()
+}
+
+// L2MPKI returns L2 misses (both sources) per kilo instruction.
+func (r *Result) L2MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	m := r.L2Stats.Misses[cachesim.SourceCPU] + r.L2Stats.Misses[cachesim.SourceMMU]
+	return float64(m) / r.KiloInstr()
+}
+
+// L3MPKI returns L3 misses (both sources) per kilo instruction.
+func (r *Result) L3MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	m := r.L3Stats.Misses[cachesim.SourceCPU] + r.L3Stats.Misses[cachesim.SourceMMU]
+	return float64(m) / r.KiloInstr()
+}
+
+// MMUL2Misses returns L2 misses initiated by the MMU (the STC's
+// "reduces MMU-initiated L2 misses by 17%" claim).
+func (r *Result) MMUL2Misses() uint64 { return r.L2Stats.Misses[cachesim.SourceMMU] }
+
+// WalksPKI returns page walks per kilo instruction.
+func (r *Result) WalksPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Walks) / r.KiloInstr()
+}

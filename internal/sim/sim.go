@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/baselines"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/stats"
+	"nestedecpt/internal/tlbsim"
+	"nestedecpt/internal/workload"
+)
+
+// Machine is one fully-wired simulated system.
+type Machine struct {
+	cfg    Config
+	gen    workload.Generator
+	kern   *kernel.Kernel
+	hyp    *hypervisor.Hypervisor // nil for native designs
+	tlb    *tlbsim.TLB
+	mem    *cachesim.Hierarchy
+	walker core.Walker
+	// corunners generate the other cores' access streams; the paper
+	// runs each application on all 8 cores of the simulated server,
+	// and their shared-L3/DRAM traffic is what keeps page-table lines
+	// from parking in the last-level cache.
+	corunners []workload.Generator
+
+	// cycles is the core clock, tracked fractionally so issue-width
+	// division does not lose time.
+	cycles float64
+
+	res Result
+}
+
+// NewMachine builds the system for cfg without running it.
+func NewMachine(cfg Config) (*Machine, error) {
+	gen, err := workload.New(cfg.Workload, cfg.WorkloadOpts)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.normalize(gen.Footprint()); err != nil {
+		return nil, err
+	}
+
+	m := &Machine{cfg: cfg, gen: gen}
+	m.tlb = tlbsim.New(cfg.TLB)
+	m.mem = cachesim.NewHierarchy(cfg.Hierarchy)
+
+	guestECPT := ecpt.ScaledSetConfig(false, cfg.WorkloadOpts.Scale)
+	hostECPT := ecpt.ScaledSetConfig(true, cfg.WorkloadOpts.Scale)
+	if cfg.ECPTWays > 0 {
+		for i := range guestECPT.PerSize {
+			guestECPT.PerSize[i].Ways = cfg.ECPTWays
+			hostECPT.PerSize[i].Ways = cfg.ECPTWays
+		}
+	}
+	kcfg := kernel.Config{
+		GuestMemBytes:       cfg.GuestMemBytes,
+		THP:                 cfg.THP,
+		BuildRadix:          cfg.Design.UsesGuestRadix(),
+		BuildECPT:           cfg.Design.UsesGuestECPT(),
+		ECPT:                guestECPT,
+		Seed:                cfg.WorkloadOpts.Seed + 101,
+		HugePageFailureRate: cfg.HugePageFailureRate,
+	}
+	m.kern, err = kernel.New(kcfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range gen.VMAs() {
+		m.kern.DefineVMA(v)
+	}
+
+	if cfg.Design.Nested() {
+		hcfg := hypervisor.Config{
+			HostMemBytes:        cfg.HostMemBytes,
+			THP:                 cfg.THP,
+			BuildRadix:          !cfg.Design.UsesHostECPT(),
+			BuildECPT:           cfg.Design.UsesHostECPT(),
+			ECPT:                hostECPT,
+			Seed:                cfg.WorkloadOpts.Seed + 202,
+			HugePageFailureRate: cfg.HugePageFailureRate,
+		}
+		m.hyp, err = hypervisor.New(hcfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	switch cfg.Design {
+	case DesignRadix:
+		m.walker = core.NewNativeRadix(cfg.RadixWalk, m.mem, m.kern)
+	case DesignECPT:
+		m.walker = core.NewNativeECPT(cfg.NativeECPT, m.mem, m.kern)
+	case DesignNestedRadix:
+		m.walker = core.NewNestedRadix(cfg.RadixWalk, m.mem, m.kern, m.hyp)
+	case DesignNestedECPT:
+		m.walker = core.NewNestedECPT(cfg.NestedECPT, m.mem, m.kern, m.hyp)
+	case DesignNestedHybrid:
+		m.walker = core.NewHybrid(cfg.Hybrid, m.mem, m.kern, m.hyp)
+	case DesignAgileIdeal:
+		m.walker = baselines.NewAgileIdeal(m.mem, m.kern, m.hyp)
+	case DesignPOMTLB:
+		m.walker = baselines.NewPOMTLB(baselines.DefaultPOMTLBConfig(), m.mem, m.kern, m.hyp)
+	case DesignFlatNested:
+		m.walker = baselines.NewFlatNested(m.mem, m.kern, m.hyp)
+	default:
+		return nil, fmt.Errorf("sim: unhandled design %v", cfg.Design)
+	}
+
+	for i := 1; i < cfg.Cores; i++ {
+		opts := cfg.WorkloadOpts
+		opts.Seed += uint64(i) * 7919
+		g, err := workload.New(cfg.Workload, opts)
+		if err != nil {
+			return nil, err
+		}
+		m.corunners = append(m.corunners, g)
+	}
+
+	m.res.Config = cfg
+	m.res.WalkLatency = stats.NewHistogram(20)
+	return m, nil
+}
+
+// EffectiveConfig returns the machine's configuration after
+// normalization and structure scaling — what the simulation actually
+// models.
+func (m *Machine) EffectiveConfig() Config { return m.cfg }
+
+// Walker exposes the machine's walk engine (for characterization).
+func (m *Machine) Walker() core.Walker { return m.walker }
+
+// Kernel exposes the guest kernel.
+func (m *Machine) Kernel() *kernel.Kernel { return m.kern }
+
+// Hypervisor exposes the hypervisor (nil for native designs).
+func (m *Machine) Hypervisor() *hypervisor.Hypervisor { return m.hyp }
+
+// now returns the current core cycle.
+func (m *Machine) now() uint64 { return uint64(m.cycles) }
+
+// prefault makes sure va's data page is mapped end to end, charging
+// fault costs. Page-table and CWT pages are demand-mapped through the
+// walker's nested-fault path instead.
+func (m *Machine) prefault(va uint64) error {
+	faulted, _, err := m.kern.Touch(va)
+	if err != nil {
+		return err
+	}
+	if faulted {
+		m.res.GuestFaults++
+		m.cycles += float64(m.cfg.Timing.PageFaultCycles)
+	}
+	if m.hyp != nil {
+		gpa, _, ok := m.kern.Translate(va)
+		if !ok {
+			return fmt.Errorf("sim: translate failed after touch of %#x", va)
+		}
+		hf, err := m.hyp.EnsureMapped(gpa, false)
+		if err != nil {
+			return err
+		}
+		if hf {
+			m.res.HostFaults++
+			m.cycles += float64(m.cfg.Timing.PageFaultCycles)
+		}
+	}
+	return nil
+}
+
+// walk runs the configured walker, servicing nested faults on guest
+// page-table pages (EPT violations in real hardware) and retrying.
+func (m *Machine) walk(va addr.GVA) (core.WalkResult, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := m.walker.Walk(m.now(), va)
+		if err == nil {
+			return res, nil
+		}
+		var nm *core.ErrNotMapped
+		if !errors.As(err, &nm) {
+			return res, err
+		}
+		if attempt > 64 {
+			return res, fmt.Errorf("sim: walk for %#x cannot converge: %w", uint64(va), err)
+		}
+		m.cycles += float64(m.cfg.Timing.PageFaultCycles)
+		if nm.Space == "host" {
+			if m.hyp == nil {
+				return res, err
+			}
+			m.res.HostFaults++
+			if _, err := m.hyp.EnsureMapped(nm.Addr, nm.PageTable); err != nil {
+				return res, err
+			}
+			continue
+		}
+		m.res.GuestFaults++
+		if _, _, err := m.kern.Touch(nm.Addr); err != nil {
+			return res, err
+		}
+	}
+}
+
+// dataPA resolves the final physical address the CPU's data access
+// uses: the host PA in nested designs, the guest PA natively.
+func (m *Machine) dataPA(frame uint64, va uint64, size addr.PageSize) uint64 {
+	return addr.Translate(frame, va, size)
+}
+
+// step runs one application access through the machine.
+func (m *Machine) step(measure bool) error {
+	acc := m.gen.Next()
+	t := &m.cfg.Timing
+
+	// Execution of the non-memory instructions since the last access.
+	m.cycles += float64(acc.Gap) / t.IssueWidth
+
+	if err := m.prefault(acc.VA); err != nil {
+		return err
+	}
+
+	// Address translation.
+	tr := m.tlb.Access(addr.GVA(acc.VA))
+	m.cycles += float64(tr.Latency)
+	frame, size := tr.Frame, tr.Size
+	if !tr.Hit() {
+		wres, err := m.walk(addr.GVA(acc.VA))
+		if err != nil {
+			return err
+		}
+		m.cycles += float64(wres.Latency) * t.ExposedWalkFrac
+		m.tlb.Fill(addr.GVA(acc.VA), wres.Size, wres.Frame)
+		frame, size = wres.Frame, wres.Size
+		if measure {
+			m.res.Walks++
+			m.res.WalkCycles += wres.Latency
+			m.res.MMUBusyCycles += wres.Latency + wres.BackgroundCycles
+			m.res.MMUAccesses += uint64(wres.Accesses + wres.BackgroundAccesses)
+			m.res.WalkLatency.Observe(wres.Latency)
+		}
+	}
+
+	// The data access itself.
+	pa := m.dataPA(frame, acc.VA, size)
+	lat, served := m.mem.Access(m.now(), pa, cachesim.SourceCPU)
+	if acc.Write {
+		m.cycles += float64(lat) * t.ExposedWriteFrac
+	} else {
+		m.cycles += float64(lat) * t.ExposedReadFrac
+	}
+
+	// Co-runner interference: when this core's access reached the
+	// shared L3, the other cores are statistically doing the same, so
+	// inject one shared-level access per co-runner (their private
+	// caches filter the rest).
+	if served >= cachesim.ServedL3 {
+		for _, g := range m.corunners {
+			racc := g.Next()
+			if err := m.injectRemote(racc.VA); err != nil {
+				return err
+			}
+		}
+	}
+
+	if measure {
+		m.res.Instructions += acc.Gap + 1 // the access is an instruction too
+		m.res.MemAccesses++
+	}
+	return nil
+}
+
+// Prepopulate installs the complete guest and host mappings for every
+// VMA before simulation, mirroring the paper's methodology: the region
+// of interest runs in steady state with mappings already established
+// (§7: faults are rare; §9.4 uses "the complete mappings of the
+// applications").
+func (m *Machine) Prepopulate() error {
+	for _, v := range m.gen.VMAs() {
+		for va := v.Base; va < v.Base+v.Size; {
+			_, size, err := m.kern.Touch(va)
+			if err != nil {
+				return fmt.Errorf("sim: prepopulate %#x: %w", va, err)
+			}
+			if m.hyp != nil {
+				gpa, _, ok := m.kern.Translate(va)
+				if !ok {
+					return fmt.Errorf("sim: prepopulate translate %#x", va)
+				}
+				if _, err := m.hyp.EnsureMapped(gpa, false); err != nil {
+					return err
+				}
+			}
+			va += size.Bytes()
+		}
+	}
+	return nil
+}
+
+// injectRemote charges one co-runner access at va to the shared cache
+// level, demand-mapping it (untimed) if needed.
+func (m *Machine) injectRemote(va uint64) error {
+	if _, _, err := m.kern.Touch(va); err != nil {
+		return err
+	}
+	gpa, _, ok := m.kern.Translate(va)
+	if !ok {
+		return fmt.Errorf("sim: remote translate failed for %#x", va)
+	}
+	pa := gpa
+	if m.hyp != nil {
+		if _, err := m.hyp.EnsureMapped(gpa, false); err != nil {
+			return err
+		}
+		h, _, ok := m.hyp.Translate(gpa)
+		if !ok {
+			return fmt.Errorf("sim: remote host translate failed for %#x", gpa)
+		}
+		pa = h
+	}
+	m.mem.AccessRemote(m.now(), pa)
+	return nil
+}
+
+// Run executes pre-population, warm-up, then measurement, and returns
+// the results.
+func (m *Machine) Run() (*Result, error) {
+	if err := m.Prepopulate(); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < m.cfg.WarmupAccesses; i++ {
+		if err := m.step(false); err != nil {
+			return nil, fmt.Errorf("sim: warm-up access %d: %w", i, err)
+		}
+	}
+	m.resetStats()
+
+	startCycles := m.cycles
+	for i := uint64(0); i < m.cfg.MeasureAccesses; i++ {
+		if err := m.step(true); err != nil {
+			return nil, fmt.Errorf("sim: measured access %d: %w", i, err)
+		}
+	}
+	m.res.Cycles = uint64(m.cycles - startCycles)
+
+	m.collect()
+	return &m.res, nil
+}
+
+// resetStats clears warm-up statistics while keeping all cache, TLB
+// and table state hot.
+func (m *Machine) resetStats() {
+	m.mem.ResetStats()
+	m.tlb.ResetStats()
+	m.res.GuestFaults = 0
+	m.res.HostFaults = 0
+	type statsResetter interface{ ResetStats() }
+	if r, ok := m.walker.(statsResetter); ok {
+		r.ResetStats()
+	}
+}
+
+// collect gathers end-of-run statistics into the result.
+func (m *Machine) collect() {
+	m.res.L1TLB = m.tlb.L1Stats()
+	m.res.L2TLB = m.tlb.L2Stats()
+	m.res.L1Stats, m.res.L2Stats, m.res.L3Stats = m.mem.Stats()
+	m.res.DRAM = m.mem.DRAMStats()
+	m.res.FootprintBytes = m.gen.Footprint()
+
+	m.res.GuestPTBytes = m.kern.PageTableMemoryBytes()
+	if m.hyp != nil {
+		m.res.HostPTBytes = m.hyp.PageTableMemoryBytes()
+	}
+	if m.kern.ECPTs() != nil {
+		m.res.PTEntries += m.kern.ECPTs().Entries()
+	} else if m.kern.Radix() != nil {
+		m.res.PTEntries += m.kern.Radix().Entries()
+	}
+	if m.hyp != nil {
+		if m.hyp.ECPTs() != nil {
+			m.res.PTEntries += m.hyp.ECPTs().Entries()
+		} else if m.hyp.Radix() != nil {
+			m.res.PTEntries += m.hyp.Radix().Entries()
+		}
+	}
+
+	switch w := m.walker.(type) {
+	case *core.NestedECPT:
+		st := w.Stats()
+		m.res.NestedECPT = &st
+	case *core.NativeECPT:
+		st := w.Stats()
+		m.res.NativeECPT = &st
+	case *core.Hybrid:
+		st := w.Stats()
+		m.res.Hybrid = &st
+	}
+}
+
+// Run builds the machine for cfg and runs it to completion.
+func Run(cfg Config) (*Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.HitRate() != 0 {
+		t.Error("empty counter hit rate should be 0")
+	}
+	c.Hit()
+	c.Hit()
+	c.Miss()
+	if c.Total() != 3 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if math.Abs(c.HitRate()-2.0/3.0) > 1e-12 {
+		t.Errorf("HitRate = %v", c.HitRate())
+	}
+	c.Record(true)
+	c.Record(false)
+	if c.Hits != 3 || c.Misses != 2 {
+		t.Errorf("after Record: %+v", c)
+	}
+	var d Counter
+	d.Add(c)
+	if d != c {
+		t.Error("Add did not copy counts")
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	c := Counter{Hits: 1, Misses: 3}
+	if got := c.String(); got != "1/4 (25.00%)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []uint64{5, 15, 15, 25, 95} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() != 95 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if math.Abs(h.Mean()-31) > 1e-9 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if mid, p := h.Bin(1); mid != 15 || math.Abs(p-0.4) > 1e-12 {
+		t.Errorf("Bin(1) = %v, %v", mid, p)
+	}
+	if _, p := h.Bin(1000); p != 0 {
+		t.Error("out-of-range bin should have zero mass")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1)
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if p := h.Percentile(0.95); p < 95 || p > 97 {
+		t.Errorf("p95 = %d", p)
+	}
+	if p := h.Percentile(1.0); p < 100 {
+		t.Errorf("p100 = %d", p)
+	}
+	empty := NewHistogram(1)
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestHistogramZeroWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(0) did not panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestHistogramMeanMatchesSamplesProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(7)
+		var sum uint64
+		for _, v := range vals {
+			h.Observe(uint64(v))
+			sum += uint64(v)
+		}
+		want := float64(sum) / float64(len(vals))
+		return math.Abs(h.Mean()-want) < 1e-9 && h.Count() == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	if g := Geomean([]float64{-1, 0}); g != 0 {
+		t.Errorf("Geomean of non-positives = %v", g)
+	}
+	// Non-positives are skipped, not zeroed.
+	if g := Geomean([]float64{4, -1}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(4,-1) = %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution()
+	d.Observe("a")
+	d.Observe("a")
+	d.Observe("b")
+	if d.Total() != 3 {
+		t.Errorf("Total = %d", d.Total())
+	}
+	if f := d.Fraction("a"); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Errorf("Fraction(a) = %v", f)
+	}
+	if f := d.Fraction("zzz"); f != 0 {
+		t.Errorf("Fraction(zzz) = %v", f)
+	}
+	cats := d.Categories()
+	if len(cats) != 2 || cats[0] != "a" || cats[1] != "b" {
+		t.Errorf("Categories = %v", cats)
+	}
+	if s := d.String(); s != "a=66.7% b=33.3%" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	d := NewDistribution()
+	if d.Fraction("x") != 0 || d.Total() != 0 {
+		t.Error("empty distribution misbehaves")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 {
+		t.Error("empty series mean should be 0")
+	}
+	s.Append(1)
+	s.Append(3)
+	if math.Abs(s.Mean()-2) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if len(s.Points) != 2 {
+		t.Errorf("Points = %v", s.Points)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	var a Average
+	if a.Value() != 0 {
+		t.Error("empty average should be 0")
+	}
+	a.Observe(2)
+	a.Observe(4)
+	if math.Abs(a.Value()-3) > 1e-12 {
+		t.Errorf("Value = %v", a.Value())
+	}
+}

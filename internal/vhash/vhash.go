@@ -1,0 +1,131 @@
+// Package vhash supplies the hash functions used by the elastic cuckoo
+// page tables and the deterministic pseudo-random number generator used
+// by every stochastic component of the simulator.
+//
+// Table 2 of the paper specifies CRC-based hash functions with a
+// 2-cycle latency. Each ECPT way uses a differently-seeded function so
+// a key that collides in one way almost never collides in another —
+// the property cuckoo hashing depends on.
+package vhash
+
+import (
+	"hash/crc64"
+	"math"
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Func is a seeded hash function mapping a 64-bit key (a VPN) to a
+// 64-bit digest. Callers reduce the digest modulo their table size.
+type Func struct {
+	seed uint64
+}
+
+// New returns the hash function for the given (table, way) pair.
+// Different pairs get independent functions, mirroring the per-way
+// gH_{i,j} / hH_{i,j} functions of Figure 4.
+func New(table, way int) Func {
+	// Spread the identifiers far apart before mixing so that small
+	// (table, way) integers yield unrelated seeds.
+	s := uint64(table)*0x9E3779B97F4A7C15 + uint64(way)*0xC2B2AE3D27D4EB4F + 0x2545F4914F6CDD1D
+	return Func{seed: mix64(s)}
+}
+
+// Hash computes the digest of key.
+//
+// The hardware uses seeded CRC units (Table 2, 2-cycle latency), but a
+// software CRC of key^seed is an *affine* function of the key, so the
+// d per-way digests would differ only by constants — cuckoo ways would
+// not be independent, and the parallel probes of one walk would land
+// in systematically conflicting DRAM banks. We therefore compose the
+// CRC with a multiplicative finalizer, which models what hardware
+// achieves by giving each way a differently-wired polynomial.
+func (f Func) Hash(key uint64) uint64 {
+	var buf [8]byte
+	k := key ^ f.seed
+	buf[0] = byte(k)
+	buf[1] = byte(k >> 8)
+	buf[2] = byte(k >> 16)
+	buf[3] = byte(k >> 24)
+	buf[4] = byte(k >> 32)
+	buf[5] = byte(k >> 40)
+	buf[6] = byte(k >> 48)
+	buf[7] = byte(k >> 56)
+	crc := crc64.Update(f.seed, crcTable, buf[:])
+	return mix64(crc * (f.seed | 1))
+}
+
+// LatencyCycles is the hash-unit latency from Table 2.
+const LatencyCycles = 2
+
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.
+// All randomness in the simulator (workload address streams, cuckoo
+// eviction choices, graph construction) flows through seeded RNGs so
+// every simulation is bit-for-bit reproducible, matching the paper's
+// deterministic methodology (§8).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// Uint32 returns the next 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("vhash: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a value in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("vhash: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Zipf returns a value in [0, n) drawn from a Zipf-like distribution
+// with skew parameter theta (0 = uniform; typical graph workloads use
+// 0.6–0.99). It uses the standard inverse-CDF approximation, which is
+// accurate enough for workload modelling and allocation-free.
+func (r *RNG) Zipf(n uint64, theta float64) uint64 {
+	if n == 0 {
+		panic("vhash: Zipf with zero n")
+	}
+	if theta <= 0 {
+		return r.Uint64n(n)
+	}
+	u := r.Float64()
+	// Inverse CDF of a bounded Pareto approximating Zipf ranks.
+	alpha := 1 - theta
+	v := math.Pow(float64(n), alpha)
+	x := math.Pow(u*(v-1)+1, 1/alpha)
+	idx := uint64(x) - 1
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/vhash"
+)
+
+// gupsGen reproduces the HPC Challenge GUPS (RandomAccess) kernel:
+// read-modify-write updates at uniformly random 8-byte offsets of one
+// giant table, with a tiny sequential random-number stream on the
+// side. It is the canonical TLB torture test: essentially every access
+// touches a cold page, and 2MB pages cover the whole dataset (which is
+// why the paper sees GUPS gain the most from THP).
+type gupsGen struct {
+	rng       *vhash.RNG
+	tableBase uint64
+	tableSize uint64
+	streamPos uint64
+	// pendingWrite makes updates read-then-write the same address.
+	pendingWrite uint64
+	hasPending   bool
+}
+
+const gupsTableBase = 0x4000_0000_0000
+
+func newGUPS(opts Options) *gupsGen {
+	return &gupsGen{
+		rng:       vhash.NewRNG(opts.Seed ^ 0x9055),
+		tableBase: gupsTableBase,
+		tableSize: alignUp(gb(64.0)/opts.Scale, 1<<21),
+	}
+}
+
+func (g *gupsGen) Name() string { return "GUPS" }
+
+func (g *gupsGen) Footprint() uint64 { return g.tableSize }
+
+func (g *gupsGen) PaperFootprint() uint64 { return gb(64.0) }
+
+func (g *gupsGen) VMAs() []kernel.VMA {
+	return []kernel.VMA{{Base: g.tableBase, Size: g.tableSize, THPEligible: true}}
+}
+
+func (g *gupsGen) Next() Access {
+	if g.hasPending {
+		g.hasPending = false
+		return Access{VA: g.pendingWrite, Write: true, Gap: 2}
+	}
+	// The update loop is almost pure memory traffic.
+	va := g.tableBase + (g.rng.Uint64n(g.tableSize/8))*8
+	g.pendingWrite = va
+	g.hasPending = true
+	g.streamPos++
+	return Access{VA: va, Gap: 3}
+}

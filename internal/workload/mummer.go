@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/vhash"
+)
+
+// mummerGen reproduces BioBench's MUMmer: matching query reads against
+// a reference suffix tree. The dominant pattern is pointer chasing
+// through tree nodes scattered over a multi-GB arena — each step jumps
+// to an unpredictable node — interleaved with short sequential scans
+// of the query and reference strings. Matches restart from the root
+// region, which gives the root levels strong temporal locality.
+type mummerGen struct {
+	rng *vhash.RNG
+
+	treeBase, treeSize uint64
+	seqBase, seqSize   uint64
+
+	curNode uint64 // arena offset of the current tree node
+	depth   int
+	scanPos uint64
+	// mode interleaves: 0 = descend tree, 1 = scan query bytes.
+	scanLeft int
+}
+
+const (
+	mummerTreeBase = 0x5000_0000_0000
+	mummerSeqBase  = 0x5800_0000_0000
+	mummerNodeSize = 64 // one tree node per cache line
+	mummerMaxDepth = 24
+)
+
+func newMUMmer(opts Options) *mummerGen {
+	total := gb(6.9) / opts.Scale
+	return &mummerGen{
+		rng:      vhash.NewRNG(opts.Seed ^ 0x3A3E), // "MUMmer"
+		treeBase: mummerTreeBase,
+		treeSize: alignUp(total*8/10, 1<<21),
+		seqBase:  mummerSeqBase,
+		seqSize:  alignUp(total*2/10, 1<<21),
+	}
+}
+
+func (g *mummerGen) Name() string { return "MUMmer" }
+
+func (g *mummerGen) Footprint() uint64 { return g.treeSize + g.seqSize }
+
+func (g *mummerGen) PaperFootprint() uint64 { return gb(6.9) }
+
+func (g *mummerGen) VMAs() []kernel.VMA {
+	return []kernel.VMA{
+		{Base: g.treeBase, Size: g.treeSize, THPEligible: true},
+		{Base: g.seqBase, Size: g.seqSize, THPEligible: true},
+	}
+}
+
+// child deterministically derives the next node from the current node
+// and branch, so revisited paths revisit the same addresses — the
+// suffix tree is a fixed structure, not fresh randomness.
+func (g *mummerGen) child(node uint64, branch uint64) uint64 {
+	h := (node ^ (branch * 0xC2B2AE3D27D4EB4F)) * 0x9E3779B97F4A7C15
+	nodes := g.treeSize / mummerNodeSize
+	return (h % nodes) * mummerNodeSize
+}
+
+func (g *mummerGen) Next() Access {
+	if g.scanLeft > 0 {
+		g.scanLeft--
+		a := Access{VA: g.seqBase + g.scanPos%g.seqSize, Gap: 4}
+		g.scanPos++
+		return a
+	}
+	if g.depth >= mummerMaxDepth || (g.depth > 3 && g.rng.Float64() < 0.15) {
+		// Match ended: emit the match record write, then restart at
+		// the root region and scan some query bytes.
+		g.depth = 0
+		g.curNode = g.child(0, g.rng.Uint64n(16)) % (g.treeSize / 64)
+		g.scanLeft = 8 + g.rng.Intn(24)
+		return Access{VA: g.seqBase + g.scanPos%g.seqSize, Write: true, Gap: 6}
+	}
+	// Descend: read the current node, then one of its children. The
+	// branch taken depends on the query, modelled as small randomness.
+	branch := g.rng.Uint64n(4)
+	g.curNode = g.child(g.curNode, branch)
+	g.depth++
+	return Access{VA: g.treeBase + g.curNode, Gap: 5}
+}

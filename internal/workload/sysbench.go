@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/vhash"
+)
+
+// sysbenchGen reproduces the SysBench OLTP-style memory benchmark over
+// a 64GB arena: each transaction performs a few B-tree index descents
+// (hot upper levels, cold leaves) followed by row reads/updates at
+// uniformly random positions in the heap. Rows span multiple cache
+// lines, giving short sequential runs inside each random touch — the
+// reason huge pages help SysBench almost as much as GUPS (§9.1).
+type sysbenchGen struct {
+	rng                *vhash.RNG
+	heapBase, heapSize uint64
+	idxBase, idxSize   uint64
+
+	// txn state
+	opsLeft  int
+	rowPos   uint64
+	rowLeft  int
+	rowWrite bool
+	idxDepth int
+	idxNode  uint64
+}
+
+const (
+	sysbenchHeapBase = 0x6000_0000_0000
+	sysbenchIdxBase  = 0x6800_0000_0000
+	sysbenchRowLines = 4 // 256-byte rows
+	sysbenchIdxDepth = 3
+)
+
+func newSysBench(opts Options) *sysbenchGen {
+	total := gb(64.0) / opts.Scale
+	return &sysbenchGen{
+		rng:      vhash.NewRNG(opts.Seed ^ 0x5B), // "SysBench"
+		heapBase: sysbenchHeapBase,
+		heapSize: alignUp(total*9/10, 1<<21),
+		idxBase:  sysbenchIdxBase,
+		idxSize:  alignUp(total/10, 1<<21),
+	}
+}
+
+func (g *sysbenchGen) Name() string { return "SysBench" }
+
+func (g *sysbenchGen) Footprint() uint64 { return g.heapSize + g.idxSize }
+
+func (g *sysbenchGen) PaperFootprint() uint64 { return gb(64.0) }
+
+func (g *sysbenchGen) VMAs() []kernel.VMA {
+	return []kernel.VMA{
+		{Base: g.heapBase, Size: g.heapSize, THPEligible: true},
+		{Base: g.idxBase, Size: g.idxSize, THPEligible: true},
+	}
+}
+
+func (g *sysbenchGen) Next() Access {
+	// Finish reading the current row first.
+	if g.rowLeft > 0 {
+		g.rowLeft--
+		a := Access{VA: g.heapBase + g.rowPos%g.heapSize, Write: g.rowWrite, Gap: 6}
+		g.rowPos += 64
+		return a
+	}
+	// Descend the index: upper levels live in a tiny hot region.
+	if g.idxDepth > 0 {
+		level := sysbenchIdxDepth - g.idxDepth
+		g.idxDepth--
+		var va uint64
+		if level == 0 {
+			// Root and second level: a few hot pages.
+			va = g.idxBase + g.rng.Uint64n(1<<14)
+		} else if level == 1 {
+			va = g.idxBase + g.rng.Uint64n(min64(g.idxSize, 1<<22))
+		} else {
+			// Leaf level: cold, spread over the index region.
+			va = g.idxBase + g.rng.Uint64n(g.idxSize)
+		}
+		va &^= 7
+		if g.idxDepth == 0 {
+			// Leaf reached: read the row next.
+			rows := g.heapSize / (sysbenchRowLines * 64)
+			g.rowPos = g.rng.Uint64n(rows) * sysbenchRowLines * 64
+			g.rowLeft = sysbenchRowLines
+			g.rowWrite = g.rng.Float64() < 0.3
+		}
+		return Access{VA: va, Gap: 8}
+	}
+	// Start the next operation or transaction.
+	if g.opsLeft == 0 {
+		g.opsLeft = 10 // point selects + updates per transaction
+	}
+	g.opsLeft--
+	g.idxDepth = sysbenchIdxDepth
+	return g.Next()
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+// Package workload provides deterministic memory-access generators
+// standing in for the paper's Table 4 applications. The real suites
+// (GraphBIG, HPC Challenge GUPS, BioBench MUMmer, SysBench) cannot run
+// inside this simulator, so each generator reproduces the documented
+// access character of its application — the property that determines
+// TLB pressure and page-walk behaviour — at a configurable fraction of
+// the paper's memory footprint (see DESIGN.md's substitution table).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"nestedecpt/internal/kernel"
+)
+
+// Access is one memory reference issued by the application.
+type Access struct {
+	// VA is the guest virtual address referenced.
+	VA uint64
+	// Write marks stores.
+	Write bool
+	// Gap is the number of non-memory instructions retired since the
+	// previous access (drives the per-kilo-instruction metrics and the
+	// core timing model).
+	Gap uint64
+}
+
+// Generator produces a deterministic access stream.
+type Generator interface {
+	// Name is the application name as Table 4 spells it.
+	Name() string
+	// Footprint is the scaled memory footprint in bytes.
+	Footprint() uint64
+	// PaperFootprint is the footprint Table 4 reports, in bytes.
+	PaperFootprint() uint64
+	// VMAs lists the memory areas the guest kernel must define before
+	// the stream starts.
+	VMAs() []kernel.VMA
+	// Next returns the next access. Streams are infinite.
+	Next() Access
+}
+
+// Info describes one application for Table 4.
+type Info struct {
+	Domain string
+	Suite  string
+	Name   string
+	// PaperFootprintGB is Table 4's memory footprint.
+	PaperFootprintGB float64
+}
+
+// Table4 lists the paper's applications in Table 4 order.
+func Table4() []Info {
+	return []Info{
+		{"Graph analytics", "GraphBIG", "BC", 17.3},
+		{"Graph analytics", "GraphBIG", "BFS", 9.3},
+		{"Graph analytics", "GraphBIG", "CC", 9.3},
+		{"Graph analytics", "GraphBIG", "DC", 9.3},
+		{"Graph analytics", "GraphBIG", "DFS", 9.0},
+		{"Graph analytics", "GraphBIG", "PR", 9.3},
+		{"Graph analytics", "GraphBIG", "SSSP", 9.3},
+		{"Graph analytics", "GraphBIG", "TC", 11.9},
+		{"HPC", "Challenge", "GUPS", 64.0},
+		{"Bioinformatics", "BioBench", "MUMmer", 6.9},
+		{"Systems", "SysBench", "SysBench", 64.0},
+	}
+}
+
+// Names returns the application names in Table 4 order.
+func Names() []string {
+	infos := Table4()
+	out := make([]string, len(infos))
+	for i, in := range infos {
+		out[i] = in.Name
+	}
+	return out
+}
+
+// Options control generator construction.
+type Options struct {
+	// Scale divides the paper's footprints; 16 keeps single-core
+	// simulation tractable while preserving TLB-pressure ordering
+	// (the TLBs and MMU caches are scaled alongside, see sim).
+	Scale uint64
+	// Seed makes the stream deterministic.
+	Seed uint64
+}
+
+// DefaultOptions returns the evaluation defaults.
+func DefaultOptions() Options { return Options{Scale: 16, Seed: 42} }
+
+// Normalized fills zero fields with the defaults.
+func (o Options) Normalized() Options {
+	if o.Scale == 0 {
+		o.Scale = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// New builds the named generator. Valid names are those of Table4.
+func New(name string, opts Options) (Generator, error) {
+	opts = opts.Normalized()
+	switch name {
+	case "BC", "BFS", "CC", "DC", "DFS", "PR", "SSSP", "TC":
+		return newGraph(name, opts), nil
+	case "GUPS":
+		return newGUPS(opts), nil
+	case "MUMmer":
+		return newMUMmer(opts), nil
+	case "SysBench":
+		return newSysBench(opts), nil
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return nil, fmt.Errorf("workload: unknown application %q (valid: %v)", name, valid)
+}
+
+// MustNew is New but panics on unknown names.
+func MustNew(name string, opts Options) Generator {
+	g, err := New(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// gb converts gigabytes to bytes.
+func gb(v float64) uint64 { return uint64(v * float64(1<<30)) }
+
+// alignUp rounds v up to a multiple of a (a power of two).
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+
+	"nestedecpt/internal/kernel"
+)
+
+func TestAllGeneratorsConstruct(t *testing.T) {
+	for _, name := range Names() {
+		g, err := New(name, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("Name() = %q, want %q", g.Name(), name)
+		}
+		if g.Footprint() == 0 || g.PaperFootprint() == 0 {
+			t.Errorf("%s: zero footprint", name)
+		}
+		if len(g.VMAs()) == 0 {
+			t.Errorf("%s: no VMAs", name)
+		}
+	}
+}
+
+func TestUnknownApplication(t *testing.T) {
+	if _, err := New("NoSuchApp", DefaultOptions()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew("NoSuchApp", DefaultOptions())
+}
+
+func inVMAs(vmas []kernel.VMA, va uint64) bool {
+	for _, v := range vmas {
+		if va >= v.Base && va < v.Base+v.Size {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAccessesStayInsideVMAs(t *testing.T) {
+	for _, name := range Names() {
+		g := MustNew(name, DefaultOptions())
+		vmas := g.VMAs()
+		for i := 0; i < 20000; i++ {
+			acc := g.Next()
+			if !inVMAs(vmas, acc.VA) {
+				t.Fatalf("%s: access %#x outside every VMA", name, acc.VA)
+			}
+			if acc.Gap == 0 {
+				t.Fatalf("%s: zero instruction gap", name)
+			}
+		}
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	for _, name := range Names() {
+		a := MustNew(name, Options{Scale: 16, Seed: 7})
+		b := MustNew(name, Options{Scale: 16, Seed: 7})
+		for i := 0; i < 5000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%s: stream diverged at access %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeStream(t *testing.T) {
+	for _, name := range Names() {
+		a := MustNew(name, Options{Scale: 16, Seed: 7})
+		b := MustNew(name, Options{Scale: 16, Seed: 8})
+		same := 0
+		for i := 0; i < 1000; i++ {
+			if a.Next().VA == b.Next().VA {
+				same++
+			}
+		}
+		if same > 900 {
+			t.Errorf("%s: different seeds produced %d/1000 identical accesses", name, same)
+		}
+	}
+}
+
+func TestFootprintScaling(t *testing.T) {
+	for _, name := range Names() {
+		small := MustNew(name, Options{Scale: 64, Seed: 1})
+		big := MustNew(name, Options{Scale: 16, Seed: 1})
+		if big.Footprint() <= small.Footprint() {
+			t.Errorf("%s: scale 16 footprint %d not above scale 64 %d",
+				name, big.Footprint(), small.Footprint())
+		}
+		ratio := float64(big.Footprint()) / float64(small.Footprint())
+		if ratio < 3 || ratio > 5 {
+			t.Errorf("%s: scaling ratio %.2f, want ~4", name, ratio)
+		}
+	}
+}
+
+func TestFootprintOrderingMatchesPaper(t *testing.T) {
+	// GUPS and SysBench (64GB) must dwarf MUMmer (6.9GB) at any scale.
+	opts := DefaultOptions()
+	gups := MustNew("GUPS", opts).Footprint()
+	mummer := MustNew("MUMmer", opts).Footprint()
+	if gups <= mummer*4 {
+		t.Errorf("GUPS %d not much larger than MUMmer %d", gups, mummer)
+	}
+}
+
+func TestTable4Complete(t *testing.T) {
+	infos := Table4()
+	if len(infos) != 11 {
+		t.Fatalf("Table 4 has %d apps, want 11", len(infos))
+	}
+	if infos[8].Name != "GUPS" || infos[8].PaperFootprintGB != 64.0 {
+		t.Errorf("GUPS row = %+v", infos[8])
+	}
+	names := Names()
+	for i, in := range infos {
+		if names[i] != in.Name {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], in.Name)
+		}
+	}
+}
+
+func TestGUPSReadModifyWrite(t *testing.T) {
+	g := MustNew("GUPS", DefaultOptions())
+	writes := 0
+	var lastVA uint64
+	pairs := 0
+	for i := 0; i < 10000; i++ {
+		acc := g.Next()
+		if acc.Write {
+			writes++
+			if acc.VA == lastVA {
+				pairs++
+			}
+		}
+		lastVA = acc.VA
+	}
+	if writes < 4000 || writes > 6000 {
+		t.Errorf("GUPS writes = %d/10000, want ~half", writes)
+	}
+	if pairs < writes*9/10 {
+		t.Errorf("GUPS writes rarely follow their read: %d/%d", pairs, writes)
+	}
+}
+
+func TestGraphKernelsDiffer(t *testing.T) {
+	// DC (scan-heavy) must produce many more sequential accesses than
+	// SSSP (gather-heavy).
+	seqFrac := func(name string) float64 {
+		g := MustNew(name, DefaultOptions())
+		var prev uint64
+		seq := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			acc := g.Next()
+			if acc.VA == prev+8 {
+				seq++
+			}
+			prev = acc.VA
+		}
+		return float64(seq) / n
+	}
+	dc, sssp := seqFrac("DC"), seqFrac("SSSP")
+	if dc <= sssp {
+		t.Errorf("DC sequential fraction %.2f not above SSSP %.2f", dc, sssp)
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.Normalized()
+	if o.Scale == 0 || o.Seed == 0 {
+		t.Errorf("Normalized left zeros: %+v", o)
+	}
+	o2 := Options{Scale: 8, Seed: 9}.Normalized()
+	if o2.Scale != 8 || o2.Seed != 9 {
+		t.Errorf("Normalized clobbered values: %+v", o2)
+	}
+}

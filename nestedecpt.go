@@ -1,0 +1,115 @@
+// Package nestedecpt is a library reproduction of "Parallel
+// Virtualized Memory Translation with Nested Elastic Cuckoo Page
+// Tables" (Stojkovic, Skarlatos, Kokolis, Xu, Torrellas — ASPLOS
+// 2022).
+//
+// It provides a self-contained architectural simulator for virtualized
+// address translation: guest and host page tables (radix and elastic
+// cuckoo), the MMU caching structures of the paper (PWC, NPWC, NTLB,
+// Cuckoo Walk Caches, and the new Shortcut Translation Cache), a
+// TLB + cache + DRAM memory system, synthetic versions of the paper's
+// eleven applications, and walkers for every design point of Table 1
+// plus the §9.6 comparison baselines.
+//
+// Quick start:
+//
+//	cfg := nestedecpt.DefaultConfig(nestedecpt.NestedECPT, "GUPS", true)
+//	res, err := nestedecpt.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.IPC(), res.WalkLatency.Mean())
+//
+// To regenerate the paper's tables and figures, use Experiments (or
+// the cmd/experiments binary):
+//
+//	suite := nestedecpt.NewExperiments(nestedecpt.QuickExperimentSettings())
+//	suite.Figure9(os.Stdout)
+//
+// See DESIGN.md for the system inventory and the scaling methodology,
+// and EXPERIMENTS.md for paper-versus-measured results.
+package nestedecpt
+
+import (
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/report"
+	"nestedecpt/internal/sim"
+	"nestedecpt/internal/workload"
+)
+
+// Design selects a page-table architecture (Table 1 plus the §9.6
+// baselines).
+type Design = sim.Design
+
+// The available designs.
+const (
+	// Radix is native x86-64 radix paging.
+	Radix = sim.DesignRadix
+	// ECPT is native elastic cuckoo page tables.
+	ECPT = sim.DesignECPT
+	// NestedRadix is two-dimensional radix paging (Figure 2).
+	NestedRadix = sim.DesignNestedRadix
+	// NestedECPT is the paper's contribution (Figures 4-7).
+	NestedECPT = sim.DesignNestedECPT
+	// NestedHybrid is the §6 migration design (guest radix + host ECPT).
+	NestedHybrid = sim.DesignNestedHybrid
+	// AgileIdeal is the idealized Agile Paging baseline (§9.6).
+	AgileIdeal = sim.DesignAgileIdeal
+	// POMTLB is the part-of-memory TLB baseline (§9.6).
+	POMTLB = sim.DesignPOMTLB
+	// FlatNested is the flat nested page table baseline (§9.6).
+	FlatNested = sim.DesignFlatNested
+)
+
+// Config describes one simulation run; see sim.Config for all fields.
+type Config = sim.Config
+
+// Result carries everything the evaluation reports for one run.
+type Result = sim.Result
+
+// Machine is a fully-wired simulated system; use it instead of Run to
+// inspect the walker, kernel, or hypervisor afterwards.
+type Machine = sim.Machine
+
+// Techniques selects the §4 Advanced-design techniques for the
+// NestedECPT design.
+type Techniques = core.Techniques
+
+// WorkloadOptions control workload scaling and seeding.
+type WorkloadOptions = workload.Options
+
+// DefaultConfig returns a ready-to-run configuration for the given
+// design and application. Valid application names are Workloads().
+func DefaultConfig(design Design, app string, thp bool) Config {
+	return sim.DefaultConfig(design, app, thp)
+}
+
+// Run simulates cfg to completion.
+func Run(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// NewMachine builds a machine without running it.
+func NewMachine(cfg Config) (*Machine, error) { return sim.NewMachine(cfg) }
+
+// PlainTechniques returns the §3 Plain design's technique set.
+func PlainTechniques() Techniques { return core.PlainTechniques() }
+
+// AdvancedTechniques returns the full §4 Advanced design's set.
+func AdvancedTechniques() Techniques { return core.AdvancedTechniques() }
+
+// Workloads returns the application names of Table 4.
+func Workloads() []string { return workload.Names() }
+
+// Experiments caches simulation results and renders the paper's
+// tables and figures.
+type Experiments = report.Suite
+
+// ExperimentSettings control experiment heaviness.
+type ExperimentSettings = report.Settings
+
+// NewExperiments returns an experiment suite.
+func NewExperiments(s ExperimentSettings) *Experiments { return report.NewSuite(s) }
+
+// DefaultExperimentSettings runs the full evaluation.
+func DefaultExperimentSettings() ExperimentSettings { return report.DefaultSettings() }
+
+// QuickExperimentSettings runs a reduced evaluation suitable for smoke
+// tests and benchmarks.
+func QuickExperimentSettings() ExperimentSettings { return report.QuickSettings() }

@@ -1,0 +1,89 @@
+package nestedecpt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickRun(t *testing.T) {
+	cfg := DefaultConfig(NestedECPT, "GUPS", true)
+	cfg.WarmupAccesses = 3_000
+	cfg.MeasureAccesses = 10_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.IPC() <= 0 {
+		t.Errorf("empty result: %d cycles, IPC %.3f", res.Cycles, res.IPC())
+	}
+	if res.NestedECPT == nil {
+		t.Error("nested ECPT stats missing from public result")
+	}
+}
+
+func TestPublicAPIAllDesignNames(t *testing.T) {
+	designs := []Design{Radix, ECPT, NestedRadix, NestedECPT, NestedHybrid, AgileIdeal, POMTLB, FlatNested}
+	seen := map[string]bool{}
+	for _, d := range designs {
+		name := d.String()
+		if name == "" || seen[name] {
+			t.Errorf("design %d has bad name %q", int(d), name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	w := Workloads()
+	if len(w) != 11 {
+		t.Fatalf("Workloads() = %d names", len(w))
+	}
+	joined := strings.Join(w, ",")
+	for _, want := range []string{"GUPS", "MUMmer", "SysBench", "BC"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+}
+
+func TestTechniquePresets(t *testing.T) {
+	if PlainTechniques() == AdvancedTechniques() {
+		t.Error("plain equals advanced")
+	}
+	adv := AdvancedTechniques()
+	if !adv.STC || !adv.PageTable4KB {
+		t.Error("advanced techniques incomplete")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	s := QuickExperimentSettings()
+	s.Warmup, s.Measure = 2_000, 5_000
+	s.Apps = []string{"GUPS"}
+	suite := NewExperiments(s)
+	var b strings.Builder
+	if err := suite.Figure10(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "GUPS") {
+		t.Error("experiment output missing app")
+	}
+	if DefaultExperimentSettings().Measure <= s.Measure {
+		t.Error("default settings not heavier than quick")
+	}
+}
+
+func TestMachineInspection(t *testing.T) {
+	cfg := DefaultConfig(NestedECPT, "BC", false)
+	cfg.WarmupAccesses, cfg.MeasureAccesses = 1_000, 2_000
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel() == nil || m.Hypervisor() == nil || m.Walker() == nil {
+		t.Error("machine components not exposed")
+	}
+	if m.Walker().Name() != "Nested ECPTs" {
+		t.Errorf("walker = %q", m.Walker().Name())
+	}
+}
