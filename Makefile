@@ -1,0 +1,40 @@
+# Tier-1 checks: everything `make check` runs must pass on every commit.
+#
+#   make check   vet + build + full test suite
+#   make race    race-detector tier (small, targeted: the sweep engine
+#                and the simulation core, at short test settings)
+#   make bench   the evaluation benchmarks, including the sweep-engine
+#                sequential-vs-parallel scaling pair
+#   make fuzz    short exploratory fuzz runs (the committed seed corpora
+#                already replay under `make check`)
+
+GO ?= go
+
+.PHONY: check vet build test race bench fuzz
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the simulator by roughly an order of
+# magnitude, so this tier runs only the packages with real concurrency
+# (the runner engine and the simulations it fans out) and trims the
+# long-running tests with -short.
+race:
+	$(GO) test -race -short -count=1 ./internal/runner ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+fuzz:
+	$(GO) test -fuzz=FuzzAddrArithmetic -fuzztime=30s ./internal/addr
+	$(GO) test -fuzz=FuzzCanonicalGVA -fuzztime=30s ./internal/addr
+	$(GO) test -fuzz=FuzzHashStability -fuzztime=30s ./internal/vhash
+	$(GO) test -fuzz=FuzzRNGStreams -fuzztime=30s ./internal/vhash

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,9 +20,12 @@ import (
 )
 
 // benchSettings keeps each benchmark's simulation volume small enough
-// for `go test -bench=.` to complete in minutes.
+// for `go test -bench=.` to complete in minutes. The suite sweeps its
+// runs on the parallel engine (all figures print identically; see
+// report.Settings.Parallelism).
 func benchSettings(apps ...string) report.Settings {
-	return report.Settings{Warmup: 10_000, Measure: 30_000, Scale: 16, Seed: 42, Apps: apps}
+	return report.Settings{Warmup: 10_000, Measure: 30_000, Scale: 16, Seed: 42, Apps: apps,
+		Parallelism: runtime.GOMAXPROCS(0)}
 }
 
 // benchSuite is shared across benchmarks so configurations reused by
@@ -140,6 +144,27 @@ func BenchmarkSection96OtherDesigns(b *testing.B) {
 		emit("Section 9.6", s.Section96, b)
 	}
 }
+
+// benchSweep runs a fixed small design×app matrix (Figure 10's) on a
+// fresh suite each iteration, so the sequential and parallel engines
+// can be compared directly: the speedup of BenchmarkSweepEngineParallel
+// over BenchmarkSweepEngineSequential is the sweep engine's scaling on
+// this host (runs are independent, so it approaches min(GOMAXPROCS,
+// runs) on multi-core machines).
+func benchSweep(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		set := report.Settings{Warmup: 2_000, Measure: 6_000, Scale: 16, Seed: 42,
+			Apps: []string{"GUPS", "BC"}, Parallelism: parallel}
+		s := report.NewSuite(set)
+		if err := s.Figure10(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepEngineSequential(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkSweepEngineParallel(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSingleWalkNestedECPT measures raw walker throughput: how
 // fast the simulator executes nested ECPT walks (host metric, not a

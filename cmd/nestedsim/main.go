@@ -1,19 +1,31 @@
-// Command nestedsim runs one (design, workload) simulation and prints
-// its headline statistics.
+// Command nestedsim runs one or more (design, workload) simulations
+// and prints their headline statistics.
 //
 // Usage:
 //
 //	nestedsim -design nested-ecpt -app GUPS -thp -accesses 1000000
+//	nestedsim -design nested-radix,nested-ecpt -app GUPS   # comparison
+//	nestedsim -design all -parallel 4                      # full sweep
+//
+// Multiple designs (comma-separated, or "all") run concurrently on the
+// parallel sweep engine; results print in the order given, regardless
+// of completion order. Every run derives its randomness from its own
+// seed, so outputs are identical at any -parallel value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 
 	"nestedecpt/internal/core"
+	"nestedecpt/internal/runner"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/workload"
 )
@@ -29,11 +41,17 @@ var designNames = map[string]sim.Design{
 	"flat-nested":   sim.DesignFlatNested,
 }
 
+// designOrder lists the -design all sweep in Table 1 order.
+var designOrder = []string{
+	"radix", "ecpt", "nested-radix", "nested-ecpt", "nested-hybrid",
+	"agile", "pom-tlb", "flat-nested",
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nestedsim: ")
 
-	design := flag.String("design", "nested-ecpt", "page-table design: radix, ecpt, nested-radix, nested-ecpt, nested-hybrid, agile, pom-tlb, flat-nested")
+	design := flag.String("design", "nested-ecpt", "comma-separated designs, or \"all\": radix, ecpt, nested-radix, nested-ecpt, nested-hybrid, agile, pom-tlb, flat-nested")
 	app := flag.String("app", "GUPS", "application (Table 4 name): "+strings.Join(workload.Names(), ", "))
 	thp := flag.Bool("thp", false, "enable transparent huge pages")
 	plain := flag.Bool("plain", false, "use the Plain (§3) instead of Advanced (§4) nested ECPT design")
@@ -41,26 +59,55 @@ func main() {
 	accesses := flag.Uint64("accesses", 1_000_000, "measured accesses")
 	scale := flag.Uint64("scale", 64, "footprint scale divisor vs the paper")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations when several designs are given")
+	verbose := flag.Bool("v", false, "print per-run progress and ETA")
 	flag.Parse()
 
-	d, ok := designNames[*design]
-	if !ok {
-		log.Fatalf("unknown design %q", *design)
+	var names []string
+	if *design == "all" {
+		names = designOrder
+	} else {
+		names = strings.Split(*design, ",")
 	}
-	cfg := sim.DefaultConfig(d, *app, *thp)
-	cfg.WarmupAccesses = *warmup
-	cfg.MeasureAccesses = *accesses
-	cfg.WorkloadOpts = workload.Options{Scale: *scale, Seed: *seed}
-	if *plain {
-		cfg.Tech = core.PlainTechniques()
-		cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)
+	tasks := make([]runner.Task[*sim.Result], len(names))
+	for i, name := range names {
+		d, ok := designNames[strings.TrimSpace(name)]
+		if !ok {
+			log.Fatalf("unknown design %q", name)
+		}
+		cfg := sim.DefaultConfig(d, *app, *thp)
+		cfg.WarmupAccesses = *warmup
+		cfg.MeasureAccesses = *accesses
+		cfg.WorkloadOpts = workload.Options{Scale: *scale, Seed: *seed}
+		if *plain {
+			cfg.Tech = core.PlainTechniques()
+			cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)
+		}
+		tasks[i] = runner.Task[*sim.Result]{
+			Name: fmt.Sprintf("%v/%s", d, *app),
+			Run: func(ctx context.Context) (*sim.Result, error) {
+				return sim.RunContext(ctx, cfg)
+			},
+		}
 	}
 
-	res, err := sim.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := runner.Options{Parallelism: *parallel, Label: "run"}
+	if *verbose {
+		opts.Progress = os.Stderr
 	}
-	printResult(res)
+	results := runner.Run(ctx, tasks, opts)
+
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		printResult(r.Value)
+	}
 }
 
 func printResult(r *sim.Result) {

@@ -1,0 +1,102 @@
+package addr
+
+import (
+	"testing"
+)
+
+// fuzzSeeds is the committed corpus: boundary addresses that have bitten
+// page-table code in practice. Plain `go test` replays these as
+// regression tests; `go test -fuzz=FuzzAddrArithmetic` explores further.
+var fuzzSeeds = []uint64{
+	0,
+	1,
+	0xFFF,
+	0x1000,
+	0x1FFFFF,
+	0x200000,
+	0x3FFFFFFF,
+	0x40000000,
+	0x0000_7FFF_FFFF_FFFF, // top of the canonical lower half
+	0xFFFF_8000_0000_0000, // bottom of the canonical upper half
+	0xFFFF_FFFF_FFFF_FFFF,
+	0x4000_0000_0000,      // typical VMA base used across the tests
+	0x0000_5555_DEAD_BEEF, // arbitrary interior address
+	1<<48 - 1,             // last translatable bit
+	1 << 48,               // first non-canonical bit
+}
+
+// FuzzAddrArithmetic checks the pack/unpack identities the whole
+// simulator builds on, for every page size:
+//
+//   - PageBase + PageOffset reassemble the address,
+//   - Translate with the identity frame is the identity,
+//   - VPN and PageBase agree (VPN is PageBase without the offset bits),
+//   - the four 9-bit radix indices plus the 4KB offset reconstruct the
+//     48 translatable bits exactly (Figure 1's field split).
+func FuzzAddrArithmetic(f *testing.F) {
+	for _, v := range fuzzSeeds {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		for _, s := range Sizes() {
+			base, off := PageBase(v, s), PageOffset(v, s)
+			if base|off != v {
+				t.Fatalf("%v: PageBase %#x | PageOffset %#x != %#x", s, base, off, v)
+			}
+			if base&s.OffsetMask() != 0 {
+				t.Fatalf("%v: PageBase %#x not aligned", s, base)
+			}
+			if off > s.OffsetMask() {
+				t.Fatalf("%v: PageOffset %#x exceeds mask", s, off)
+			}
+			if got := Translate(base, v, s); got != v {
+				t.Fatalf("%v: identity Translate(%#x, %#x) = %#x", s, base, v, got)
+			}
+			if got := VPN(v, s) << s.Shift(); got != base {
+				t.Fatalf("%v: VPN<<shift = %#x, PageBase = %#x", s, got, base)
+			}
+			// Translating to an arbitrary aligned frame keeps the offset.
+			frame := (v * 0x9E3779B97F4A7C15) &^ s.OffsetMask()
+			if got := PageOffset(Translate(frame, v, s), s); got != off {
+				t.Fatalf("%v: Translate lost the page offset: %#x != %#x", s, got, off)
+			}
+		}
+
+		// Radix field split: 9 bits per level, 12 offset bits, 48 total.
+		recon := PageOffset(v, Page4K)
+		for _, l := range []RadixLevel{L1, L2, L3, L4} {
+			idx := RadixIndex(v, l)
+			if idx > 0x1FF {
+				t.Fatalf("RadixIndex(%#x, %v) = %#x exceeds 9 bits", v, l, idx)
+			}
+			recon |= idx << (PageShift4K + 9*(uint(l)-1))
+		}
+		if low48 := v & (1<<48 - 1); recon != low48 {
+			t.Fatalf("radix indices reconstruct %#x, want %#x", recon, low48)
+		}
+
+		// LeafLevel/SizeForLeaf are inverse bijections.
+		for _, s := range Sizes() {
+			if got := SizeForLeaf(LeafLevel(s)); got != s {
+				t.Fatalf("SizeForLeaf(LeafLevel(%v)) = %v", s, got)
+			}
+		}
+	})
+}
+
+// FuzzCanonicalGVA cross-checks CanonicalGVA against its definition:
+// bits 63..47 all equal to bit 47.
+func FuzzCanonicalGVA(f *testing.F) {
+	for _, v := range fuzzSeeds {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		upper := ^uint64(0)
+		signExtended := v | upper<<47
+		zeroExtended := v & (1<<47 - 1)
+		want := v == signExtended || v == zeroExtended
+		if got := CanonicalGVA(GVA(v)); got != want {
+			t.Fatalf("CanonicalGVA(%#x) = %v, want %v", v, got, want)
+		}
+	})
+}

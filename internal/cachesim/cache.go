@@ -188,14 +188,11 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
-// dbgGroups, when non-nil, receives (groupSize, duplicateBankCount)
-// for every parallel group — a test-only hook.
-var dbgGroups func(n, dup int)
-
-// SetDebugGroupHook installs a test-only observer of parallel groups.
-func SetDebugGroupHook(f func(n, dup int)) { dbgGroups = f }
-
 // Hierarchy is the three-level cache plus DRAM memory system.
+// A Hierarchy is confined to one simulated machine; concurrent sweep
+// runs each build their own, so nothing here may be package-global
+// mutable state (the sweep engine requires `go test -race`-clean
+// simulations).
 type Hierarchy struct {
 	cfg    HierarchyConfig
 	l1     *cacheLevel
@@ -274,14 +271,6 @@ func (h *Hierarchy) Access(now uint64, pa uint64, src Source) (lat uint64, serve
 func (h *Hierarchy) AccessParallel(now uint64, pas []uint64, src Source) uint64 {
 	if len(pas) == 0 {
 		return 0
-	}
-	if dbgGroups != nil {
-		banks := map[int]int{}
-		for _, pa := range pas {
-			banks[int(pa/h.cfg.DRAM.RowBytes)%(h.cfg.DRAM.Channels*h.cfg.DRAM.Banks)]++
-		}
-		dup := len(pas) - len(banks)
-		dbgGroups(len(pas), dup)
 	}
 	var maxLat uint64
 	l2miss, l3miss := 0, 0

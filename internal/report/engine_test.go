@@ -1,0 +1,117 @@
+package report
+
+// Regression tests for the parallel sweep engine's core guarantee:
+// report output and simulation results are a pure function of the
+// settings, never of the parallelism level or scheduling order.
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// render produces Figure 10 (a design × app sweep with shared runs)
+// at the given parallelism and returns the bytes and the suite.
+func renderFig10(t *testing.T, parallelism int) ([]byte, *Suite) {
+	t.Helper()
+	set := tinySettings()
+	set.Parallelism = parallelism
+	s := NewSuite(set)
+	var buf bytes.Buffer
+	if err := s.Figure10(&buf); err != nil {
+		t.Fatalf("parallelism %d: %v", parallelism, err)
+	}
+	return buf.Bytes(), s
+}
+
+func TestParallelEngineByteIdentical(t *testing.T) {
+	sequential, seqSuite := renderFig10(t, 1)
+	if len(sequential) == 0 {
+		t.Fatal("sequential render produced no output")
+	}
+	for _, p := range []int{2, 8} {
+		parallel, parSuite := renderFig10(t, p)
+		if !bytes.Equal(sequential, parallel) {
+			t.Errorf("parallelism %d output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				p, sequential, parallel)
+		}
+		// Beyond the rendered bytes, the memoized Result structs must
+		// match field for field: every run derives its randomness from
+		// its own identity, not from sweep scheduling.
+		if len(parSuite.results) != len(seqSuite.results) {
+			t.Fatalf("parallelism %d cached %d runs, sequential cached %d",
+				p, len(parSuite.results), len(seqSuite.results))
+		}
+		for k, seq := range seqSuite.results {
+			par, ok := parSuite.results[k]
+			if !ok {
+				t.Fatalf("parallelism %d: run %v missing from cache", p, k)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("parallelism %d: run %v result differs from sequential", p, k)
+			}
+		}
+	}
+}
+
+// TestPlanMatchesRender checks the plan/prefetch/render contract:
+// planning enumerates exactly the runs rendering performs (no more,
+// no fewer), and planning itself simulates nothing.
+func TestPlanMatchesRender(t *testing.T) {
+	set := tinySettings()
+	set.Parallelism = 4
+	s := NewSuite(set)
+
+	planned := s.plan(s.figure10)
+	if len(planned) == 0 {
+		t.Fatal("plan enumerated no runs")
+	}
+	if len(s.results) != 0 {
+		t.Fatalf("planning cached %d results; it must not simulate", len(s.results))
+	}
+	seen := make(map[runKey]bool, len(planned))
+	for _, k := range planned {
+		if seen[k] {
+			t.Fatalf("plan repeated run %v", k)
+		}
+		seen[k] = true
+	}
+
+	if err := s.Figure10(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.results) != len(planned) {
+		t.Fatalf("render cached %d runs, plan predicted %d", len(s.results), len(planned))
+	}
+	for _, k := range planned {
+		if _, ok := s.results[k]; !ok {
+			t.Fatalf("planned run %v was never simulated", k)
+		}
+	}
+}
+
+// TestPlannedSuiteReusesCache checks a second figure rendered on the
+// same suite only prefetches runs the first figure did not already
+// simulate (the shared-run memoization the sequential engine has).
+func TestPlannedSuiteReusesCache(t *testing.T) {
+	set := tinySettings()
+	set.Parallelism = 4
+	s := NewSuite(set)
+	if err := s.Figure10(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	cached := len(s.results)
+	planned := s.plan(s.figure9)
+	for _, k := range planned {
+		if _, ok := s.results[k]; ok {
+			t.Fatalf("plan re-requested cached run %v", k)
+		}
+	}
+	if err := s.Figure9(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(s.results), cached+len(planned); got != want {
+		t.Fatalf("second figure grew the cache to %d runs, want %d", got, want)
+	}
+}

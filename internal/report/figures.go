@@ -19,7 +19,9 @@ func speedup(base, x *sim.Result) float64 {
 // Figure9 prints the speedups of every configuration over Nested Radix
 // (4KB), per application and as a geometric mean, including the
 // Advanced-technique breakdown of the Nested ECPT bars.
-func (s *Suite) Figure9(w io.Writer) error {
+func (s *Suite) Figure9(w io.Writer) error { return s.parallelized(w, s.figure9) }
+
+func (s *Suite) figure9(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 9: Speedup over Nested Radix (4KB pages)")
 	header := fmt.Sprintf("%-9s %7s %7s %7s %7s | %7s %7s %7s %7s | %7s %7s %7s %7s",
 		"App", "NRadix", "NR-THP", "NECPT", "NE-THP", "Plain", "+STC", "+Step1", "+Step3", "Hybrid", "Hy-THP", "Radix", "ECPT")
@@ -105,7 +107,9 @@ func fmtRow(vals []float64) string {
 
 // Figure10 prints MMU busy cycles of the four nested configurations
 // normalized to Nested Radix.
-func (s *Suite) Figure10(w io.Writer) error {
+func (s *Suite) Figure10(w io.Writer) error { return s.parallelized(w, s.figure10) }
+
+func (s *Suite) figure10(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 10: MMU busy cycles, normalized to Nested Radix (4KB)")
 	fmt.Fprintf(w, "%-9s %8s %8s %8s %8s\n", "App", "NRadix", "NR-THP", "NECPT", "NE-THP")
 	var cols [4][]float64
@@ -138,7 +142,9 @@ func (s *Suite) Figure10(w io.Writer) error {
 
 // Figure11 prints the page-walk latency histograms for MUMmer under
 // Nested Radix THP and Nested ECPTs THP.
-func (s *Suite) Figure11(w io.Writer) error {
+func (s *Suite) Figure11(w io.Writer) error { return s.parallelized(w, s.figure11) }
+
+func (s *Suite) figure11(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 11: Nested page-walk latency histogram (MUMmer, THP)")
 	rr, err := s.nested(sim.DesignNestedRadix, "MUMmer", true)
 	if err != nil {
@@ -180,7 +186,9 @@ func (s *Suite) Figure11(w io.Writer) error {
 
 // Figure12 prints the per-interval PTE- and PMD-hCWT hit rates in the
 // Step-3 hCWC for Nested ECPTs THP.
-func (s *Suite) Figure12(w io.Writer) error {
+func (s *Suite) Figure12(w io.Writer) error { return s.parallelized(w, s.figure12) }
+
+func (s *Suite) figure12(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 12: hCWC hit rates of PTE (left) and PMD (right) hCWT entries")
 	fmt.Fprintf(w, "%-9s | %10s %10s %8s | %10s %10s %8s\n",
 		"", "THP", "", "", "4KB", "", "")
@@ -206,7 +214,9 @@ func (s *Suite) Figure12(w io.Writer) error {
 }
 
 // Figure13 prints the MMU RPKI and L2/L3 MPKI characterization.
-func (s *Suite) Figure13(w io.Writer) error {
+func (s *Suite) Figure13(w io.Writer) error { return s.parallelized(w, s.figure13) }
+
+func (s *Suite) figure13(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 13: MMU requests and cache misses per kilo instruction")
 	fmt.Fprintf(w, "%-9s | %7s %7s %7s %7s | %7s %7s %7s %7s | %7s %7s %7s %7s\n",
 		"", "RPKI", "", "", "", "L2MPKI", "", "", "", "L3MPKI", "", "", "")
@@ -246,7 +256,9 @@ func (s *Suite) Figure13(w io.Writer) error {
 
 // Figure14 prints the Direct/Size/Partial/Complete walk breakdown for
 // the host (left) and guest (right) under Nested ECPTs THP.
-func (s *Suite) Figure14(w io.Writer) error {
+func (s *Suite) Figure14(w io.Writer) error { return s.parallelized(w, s.figure14) }
+
+func (s *Suite) figure14(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 14: Walk-type breakdown, Nested ECPTs THP (host | guest), %")
 	fmt.Fprintf(w, "%-9s | %7s %7s %7s %7s | %7s %7s %7s %7s\n",
 		"App", "Direct", "Size", "Partial", "Compl", "Direct", "Size", "Partial", "Compl")

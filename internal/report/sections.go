@@ -11,7 +11,9 @@ import (
 // Section94 prints the nested ECPT walk characterization of §9.4: the
 // STC size sweep, the average parallel accesses per step, and the CWC
 // hit rates.
-func (s *Suite) Section94(w io.Writer) error {
+func (s *Suite) Section94(w io.Writer) error { return s.parallelized(w, s.section94) }
+
+func (s *Suite) section94(w io.Writer) error {
 	fmt.Fprintln(w, "Section 9.4: Characterizing nested ECPT walks (THP)")
 
 	// STC size sweep over the configured applications.
@@ -54,7 +56,9 @@ func (s *Suite) Section94(w io.Writer) error {
 }
 
 // Section95 prints the memory consumed by translation structures.
-func (s *Suite) Section95(w io.Writer) error {
+func (s *Suite) Section95(w io.Writer) error { return s.parallelized(w, s.section95) }
+
+func (s *Suite) section95(w io.Writer) error {
 	fmt.Fprintln(w, "Section 9.5: Memory consumption of translation structures")
 	fmt.Fprintf(w, "%-9s | %9s %9s %9s | %9s %9s %9s | %9s\n",
 		"App", "NR host", "NR guest", "NR total", "NE host", "NE guest", "NE total", "entries*8B")
@@ -87,7 +91,9 @@ func (s *Suite) Section95(w io.Writer) error {
 
 // Section96 compares Nested ECPTs against the other advanced designs:
 // ideal Agile Paging, POM-TLB, and flat nested page tables.
-func (s *Suite) Section96(w io.Writer) error {
+func (s *Suite) Section96(w io.Writer) error { return s.parallelized(w, s.section96) }
+
+func (s *Suite) section96(w io.Writer) error {
 	fmt.Fprintln(w, "Section 9.6: Comparison to other advanced designs (4KB pages)")
 	fmt.Fprintf(w, "%-9s %9s %9s %9s %9s %9s\n", "App", "NRadix", "Agile", "POM-TLB", "Flat", "NECPT")
 	var cols [5][]float64
@@ -121,8 +127,13 @@ func (s *Suite) Section96(w io.Writer) error {
 	return nil
 }
 
-// All runs every experiment in paper order.
-func (s *Suite) All(w io.Writer) error {
+// All runs every experiment in paper order. With the parallel engine
+// it plans the union of every figure's and section's runs up front, so
+// the whole evaluation fans out as one sweep instead of one sweep per
+// figure.
+func (s *Suite) All(w io.Writer) error { return s.parallelized(w, s.all) }
+
+func (s *Suite) all(w io.Writer) error {
 	Table1(w)
 	fmt.Fprintln(w)
 	Table2(w, s.Settings)
@@ -132,8 +143,8 @@ func (s *Suite) All(w io.Writer) error {
 	Table4(w, s.Settings)
 	fmt.Fprintln(w)
 	for _, f := range []func(io.Writer) error{
-		s.Figure9, s.Figure10, s.Figure11, s.Figure12, s.Figure13, s.Figure14,
-		s.Section94, s.Section95, s.Section96,
+		s.figure9, s.figure10, s.figure11, s.figure12, s.figure13, s.figure14,
+		s.section94, s.section95, s.section96,
 	} {
 		if err := f(w); err != nil {
 			return err

@@ -2,14 +2,28 @@
 // and figure of the evaluation (§8–§9) as text. A Suite caches
 // simulation results so that figures sharing configurations (e.g.
 // Figures 9, 10 and 13) reuse runs instead of repeating them.
+//
+// With Settings.Parallelism > 1 the suite becomes a parallel sweep:
+// before rendering, each experiment's exact run set is enumerated by
+// replaying its renderer against placeholder results (so the set can
+// never drift from what the renderer actually asks for), simulated
+// concurrently on the runner engine, and memoized; rendering then
+// reads the cache sequentially, making the report byte-identical to a
+// sequential sweep. Every run's randomness derives from its own
+// config, never from shared generator state, so results are equal in
+// every mode.
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"nestedecpt/internal/core"
+	"nestedecpt/internal/runner"
 	"nestedecpt/internal/sim"
+	"nestedecpt/internal/stats"
 	"nestedecpt/internal/workload"
 )
 
@@ -64,7 +78,8 @@ func (t TechLevel) Techniques() core.Techniques {
 	return tech
 }
 
-// Settings control how heavy each simulation run is.
+// Settings control how heavy each simulation run is and how the suite
+// schedules runs.
 type Settings struct {
 	Warmup  uint64
 	Measure uint64
@@ -74,6 +89,14 @@ type Settings struct {
 	Apps []string
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Parallelism selects the sweep engine: values > 1 simulate that
+	// many runs concurrently (report output stays byte-identical);
+	// 0 or 1 keeps the sequential lazy engine.
+	Parallelism int
+	// RunTimeout, when positive, bounds each simulation run's wall
+	// clock in the parallel engine; an expired run fails the sweep
+	// instead of hanging it.
+	RunTimeout time.Duration
 }
 
 // DefaultSettings returns the full evaluation scale.
@@ -105,15 +128,49 @@ type runKey struct {
 	stc    int // STC entries override (0 = default), for the §9.4 sweep
 }
 
+// String renders the run's full identity, for progress lines and
+// error messages.
+func (k runKey) String() string {
+	s := fmt.Sprintf("%v/%s", k.design, k.app)
+	if k.thp {
+		s += "/THP"
+	}
+	if k.design == sim.DesignNestedECPT {
+		s += "/" + k.tech.String()
+		if k.stc > 0 {
+			s += fmt.Sprintf("/stc=%d", k.stc)
+		}
+	}
+	return s
+}
+
 // Suite caches simulation results across experiments.
 type Suite struct {
 	Settings Settings
+	ctx      context.Context
 	results  map[runKey]*sim.Result
+
+	// planning is set while a renderer is replayed against placeholder
+	// results to enumerate the runs it needs; planKeys collects them in
+	// first-request order and planSeen dedups.
+	planning bool
+	planKeys []runKey
+	planSeen map[runKey]bool
 }
 
 // NewSuite returns an empty suite with the given settings.
 func NewSuite(s Settings) *Suite {
-	return &Suite{Settings: s, results: make(map[runKey]*sim.Result)}
+	return &Suite{Settings: s, ctx: context.Background(), results: make(map[runKey]*sim.Result)}
+}
+
+// WithContext attaches ctx to the suite: simulations started after
+// this honor its cancellation and deadline. It returns the suite.
+func (s *Suite) WithContext(ctx context.Context) *Suite {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	return s
 }
 
 // config builds the sim.Config for a key.
@@ -133,11 +190,20 @@ func (s *Suite) config(k runKey) sim.Config {
 }
 
 // run returns the cached result for key, simulating on first use.
+// During planning it records the key and returns a placeholder
+// instead, so renderers double as their own run-set enumerators.
 func (s *Suite) run(k runKey) (*sim.Result, error) {
 	if r, ok := s.results[k]; ok {
 		return r, nil
 	}
-	r, err := sim.Run(s.config(k))
+	if s.planning {
+		if !s.planSeen[k] {
+			s.planSeen[k] = true
+			s.planKeys = append(s.planKeys, k)
+		}
+		return planResult(), nil
+	}
+	r, err := sim.RunContext(s.ctx, s.config(k))
 	if err != nil {
 		return nil, fmt.Errorf("report: %v/%s thp=%v tech=%v: %w", k.design, k.app, k.thp, k.tech, err)
 	}
@@ -147,6 +213,93 @@ func (s *Suite) run(k runKey) (*sim.Result, error) {
 			k.design, k.app, k.thp, k.tech, r.Cycles)
 	}
 	return r, nil
+}
+
+// planResult returns a placeholder a renderer can format without
+// panicking (non-nil histograms and walker stats, nonzero divisors).
+// Planning renders to io.Discard, so the values are never seen.
+func planResult() *sim.Result {
+	r := &sim.Result{
+		Instructions:  1000,
+		Cycles:        1000,
+		MemAccesses:   1,
+		Walks:         1,
+		WalkCycles:    1,
+		MMUBusyCycles: 1,
+		MMUAccesses:   1,
+		WalkLatency:   stats.NewHistogram(20),
+	}
+	r.NestedECPT = &core.NestedECPTStats{
+		GuestClasses: stats.NewDistribution(),
+		HostClasses:  stats.NewDistribution(),
+	}
+	r.NativeECPT = &core.NativeECPTStats{Classes: stats.NewDistribution()}
+	r.Hybrid = &core.HybridStats{HostClasses: stats.NewDistribution()}
+	return r
+}
+
+// plan replays render against placeholder results and returns the
+// uncached runs it requested, in first-request order. Because the
+// renderer itself is the enumerator, the planned set can never drift
+// from the runs rendering will perform.
+func (s *Suite) plan(render func(io.Writer) error) []runKey {
+	s.planning = true
+	s.planKeys = nil
+	s.planSeen = make(map[runKey]bool)
+	// Rendering against placeholders cannot fail a run; any residual
+	// error would resurface during the real render.
+	_ = render(io.Discard)
+	keys := s.planKeys
+	s.planning = false
+	s.planKeys, s.planSeen = nil, nil
+	return keys
+}
+
+// prefetch simulates keys concurrently on the runner engine and
+// memoizes their results. Each run is an independent task with
+// identity-derived configuration; a panicking or failing run fails
+// the sweep's rendering, not the process.
+func (s *Suite) prefetch(keys []runKey) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	tasks := make([]runner.Task[*sim.Result], len(keys))
+	for i, k := range keys {
+		cfg := s.config(k)
+		tasks[i] = runner.Task[*sim.Result]{
+			Name: k.String(),
+			Run: func(ctx context.Context) (*sim.Result, error) {
+				return sim.RunContext(ctx, cfg)
+			},
+		}
+	}
+	results := runner.Run(s.ctx, tasks, runner.Options{
+		Parallelism: s.Settings.Parallelism,
+		Timeout:     s.Settings.RunTimeout,
+		Progress:    s.Settings.Progress,
+		Label:       "sweep",
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			k := keys[i]
+			return fmt.Errorf("report: %v/%s thp=%v tech=%v: %w", k.design, k.app, k.thp, k.tech, r.Err)
+		}
+		s.results[keys[i]] = r.Value
+	}
+	return nil
+}
+
+// parallelized wraps a renderer: with the parallel engine selected it
+// first plans and prefetches the renderer's runs concurrently, then
+// renders from the cache; otherwise it renders directly (the lazy
+// sequential engine). Output is byte-identical either way.
+func (s *Suite) parallelized(w io.Writer, render func(io.Writer) error) error {
+	if s.Settings.Parallelism > 1 && !s.planning {
+		if err := s.prefetch(s.plan(render)); err != nil {
+			return err
+		}
+	}
+	return render(w)
 }
 
 // baseline returns the Nested Radix (4KB pages) result for app — the

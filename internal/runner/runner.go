@@ -1,0 +1,233 @@
+// Package runner is the parallel experiment engine: it fans a set of
+// independent simulation tasks out over a bounded worker pool and
+// collects their results in task order, so sweeps over the paper's
+// design × workload × configuration matrix use every core while
+// producing output byte-identical to a sequential sweep.
+//
+// The engine guarantees:
+//
+//   - Bounded concurrency: at most Options.Parallelism tasks run at
+//     once (default GOMAXPROCS).
+//   - Ordered collection: Run returns results indexed exactly like its
+//     task slice, regardless of completion order.
+//   - Determinism: tasks must derive any randomness from their own
+//     identity (see Seed); the engine adds none of its own.
+//   - Panic isolation: a panicking task becomes an error result for
+//     that task instead of killing the whole sweep.
+//   - Cancellation: the sweep context stops scheduling new tasks, and
+//     every task receives a per-task context (with Options.Timeout
+//     applied, when set) it should honor at its checkpoints.
+//   - Observability: Options.Progress receives one line per completed
+//     task with a completion count and an ETA extrapolated from the
+//     average task duration so far.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one unit of a sweep producing a T.
+type Task[T any] struct {
+	// Name identifies the task in progress lines and error messages;
+	// it should encode the run's full identity (design, app, config).
+	Name string
+	// Run executes the task. It should honor ctx at its checkpoints so
+	// per-task timeouts and sweep cancellation take effect.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Result is the outcome of one task.
+type Result[T any] struct {
+	// Name echoes the task's name.
+	Name string
+	// Value is valid when Err is nil.
+	Value T
+	// Err is the task's error; panics surface here as *PanicError.
+	Err error
+	// Duration is the task's wall-clock execution time.
+	Duration time.Duration
+}
+
+// PanicError wraps a panic recovered from a task.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task panicked: %v", e.Value)
+}
+
+// Options configure one sweep.
+type Options struct {
+	// Parallelism bounds concurrent tasks; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Timeout, when positive, bounds each task's context.
+	Timeout time.Duration
+	// Progress, when non-nil, receives one line per completed task.
+	Progress io.Writer
+	// Label prefixes progress lines (e.g. "sweep").
+	Label string
+}
+
+// parallelism resolves the effective worker count for n tasks.
+func (o Options) parallelism(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Run executes tasks on a worker pool and returns one Result per task,
+// in task order. It never returns early: cancelled or unscheduled
+// tasks report ctx's error in their slot.
+func Run[T any](ctx context.Context, tasks []Task[T], opts Options) []Result[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result[T], len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+
+	var (
+		wg       sync.WaitGroup
+		progMu   sync.Mutex
+		done     int
+		totalDur time.Duration
+		start    = time.Now()
+	)
+	indices := make(chan int)
+	workers := opts.parallelism(len(tasks))
+
+	report := func(i int) {
+		if opts.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		done++
+		totalDur += results[i].Duration
+		// ETA assumes the remaining tasks cost the observed average
+		// and run at the configured width.
+		avg := totalDur / time.Duration(done)
+		remain := time.Duration(len(tasks)-done) * avg / time.Duration(workers)
+		label := opts.Label
+		if label == "" {
+			label = "run"
+		}
+		status := "done"
+		if results[i].Err != nil {
+			status = "FAIL"
+		}
+		fmt.Fprintf(opts.Progress, "# %s %d/%d %s %-40s %7.2fs elapsed %5.1fs eta %5.1fs\n",
+			label, done, len(tasks), status, results[i].Name,
+			results[i].Duration.Seconds(), time.Since(start).Seconds(), remain.Seconds())
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = execute(ctx, tasks[i], opts.Timeout)
+				report(i)
+			}
+		}()
+	}
+
+	// Feed indices until the sweep context is cancelled; tasks past
+	// that point are marked with the context's error without running.
+	fed := len(tasks)
+	for i := range tasks {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			fed = i
+		}
+		if fed != len(tasks) {
+			break
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	for i := fed; i < len(tasks); i++ {
+		results[i] = Result[T]{Name: tasks[i].Name, Err: ctx.Err()}
+	}
+	return results
+}
+
+// execute runs one task with panic capture and the per-task timeout.
+func execute[T any](ctx context.Context, t Task[T], timeout time.Duration) (res Result[T]) {
+	res.Name = t.Name
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	tctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		res.Duration = time.Since(start)
+		if r := recover(); r != nil {
+			stack := make([]byte, 64<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			res.Err = &PanicError{Value: r, Stack: stack}
+		}
+	}()
+	res.Value, res.Err = t.Run(tctx)
+	return res
+}
+
+// FirstError returns the first non-nil error among results, wrapped
+// with its task name, or nil.
+func FirstError[T any](results []Result[T]) error {
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			return fmt.Errorf("runner: task %q: %w", results[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// Seed derives a deterministic per-run seed from a base seed and the
+// run's identity, so concurrent runs never share generator state and a
+// run's stream does not depend on sweep order or worker scheduling.
+// It is an FNV-1a fold of the identity mixed through SplitMix64.
+func Seed(base uint64, identity string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(identity); i++ {
+		h ^= uint64(identity[i])
+		h *= prime64
+	}
+	h ^= base
+	// SplitMix64 finalizer.
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	return h ^ (h >> 31)
+}

@@ -1,0 +1,236 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	const n = 100
+	tasks := make([]Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("task-%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				// Finish out of order on purpose.
+				if i%7 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+				return i * i, nil
+			},
+		}
+	}
+	results := Run(context.Background(), tasks, Options{Parallelism: 8})
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %d: %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Errorf("result %d = %d, want %d (ordered collection broken)", i, r.Value, i*i)
+		}
+		if r.Name != fmt.Sprintf("task-%d", i) {
+			t.Errorf("result %d name = %q", i, r.Name)
+		}
+	}
+	if err := FirstError(results); err != nil {
+		t.Errorf("FirstError = %v, want nil", err)
+	}
+}
+
+func TestRunBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	tasks := make([]Task[struct{}], 24)
+	for i := range tasks {
+		tasks[i] = Task[struct{}]{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(ctx context.Context) (struct{}, error) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				inFlight.Add(-1)
+				return struct{}{}, nil
+			},
+		}
+	}
+	Run(context.Background(), tasks, Options{Parallelism: workers})
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds limit %d", got, workers)
+	}
+}
+
+func TestRunPanicCapture(t *testing.T) {
+	tasks := []Task[int]{
+		{Name: "ok", Run: func(ctx context.Context) (int, error) { return 1, nil }},
+		{Name: "boom", Run: func(ctx context.Context) (int, error) { panic("kaput") }},
+		{Name: "also-ok", Run: func(ctx context.Context) (int, error) { return 3, nil }},
+	}
+	results := Run(context.Background(), tasks, Options{Parallelism: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy tasks failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("panic not converted to PanicError: %v", results[1].Err)
+	}
+	if pe.Value != "kaput" || len(pe.Stack) == 0 {
+		t.Errorf("panic error incomplete: value=%v stackLen=%d", pe.Value, len(pe.Stack))
+	}
+	if err := FirstError(results); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("FirstError = %v, want boom's panic", err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	tasks := make([]Task[int], 50)
+	for i := range tasks {
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				started.Add(1)
+				once.Do(cancel)
+				<-release
+				return 0, ctx.Err()
+			},
+		}
+	}
+	go func() {
+		// Let cancellation propagate, then release the in-flight tasks.
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	results := Run(ctx, tasks, Options{Parallelism: 2})
+	if n := started.Load(); n >= 50 {
+		t.Errorf("cancellation did not stop scheduling: %d tasks started", n)
+	}
+	// Unscheduled tasks must still have a slot, reporting the
+	// context's error.
+	last := results[len(results)-1]
+	if last.Name != "t49" || !errors.Is(last.Err, context.Canceled) {
+		t.Errorf("unscheduled slot = {%q %v}, want t49/context.Canceled", last.Name, last.Err)
+	}
+}
+
+func TestRunPerTaskTimeout(t *testing.T) {
+	tasks := []Task[int]{{
+		Name: "slow",
+		Run: func(ctx context.Context) (int, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return 1, nil
+			}
+		},
+	}}
+	start := time.Now()
+	results := Run(context.Background(), tasks, Options{Parallelism: 1, Timeout: 20 * time.Millisecond})
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", results[0].Err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout did not take effect")
+	}
+}
+
+func TestRunProgressAndETA(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	tasks := make([]Task[int], 4)
+	for i := range tasks {
+		tasks[i] = Task[int]{Name: fmt.Sprintf("t%d", i),
+			Run: func(ctx context.Context) (int, error) { return 0, nil }}
+	}
+	Run(context.Background(), tasks, Options{Parallelism: 2, Progress: w, Label: "sweep"})
+	out := b.String()
+	if got := strings.Count(out, "# sweep"); got != 4 {
+		t.Errorf("progress lines = %d, want 4:\n%s", got, out)
+	}
+	if !strings.Contains(out, "4/4") || !strings.Contains(out, "eta") {
+		t.Errorf("progress output missing count or ETA:\n%s", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestRunEmptyAndNilContext(t *testing.T) {
+	if got := Run[int](nil, nil, Options{}); len(got) != 0 {
+		t.Errorf("empty run returned %d results", len(got))
+	}
+	results := Run(nil, []Task[int]{{Name: "x",
+		Run: func(ctx context.Context) (int, error) { return 7, nil }}}, Options{})
+	if results[0].Err != nil || results[0].Value != 7 {
+		t.Errorf("nil-context run = %+v", results[0])
+	}
+}
+
+func TestSeedIdentityDerived(t *testing.T) {
+	a := Seed(42, "Nested ECPTs/GUPS/thp=true")
+	b := Seed(42, "Nested ECPTs/GUPS/thp=false")
+	c := Seed(43, "Nested ECPTs/GUPS/thp=true")
+	if a == b || a == c || b == c {
+		t.Errorf("seeds collide: %x %x %x", a, b, c)
+	}
+	if a != Seed(42, "Nested ECPTs/GUPS/thp=true") {
+		t.Error("seed not deterministic")
+	}
+	if Seed(0, "") == 0 {
+		t.Error("zero identity should still mix to a nonzero seed")
+	}
+}
+
+func TestRunErrorsDoNotStopSweep(t *testing.T) {
+	wantErr := errors.New("synthetic failure")
+	tasks := make([]Task[int], 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task[int]{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func(ctx context.Context) (int, error) {
+				if i == 3 {
+					return 0, wantErr
+				}
+				return i, nil
+			},
+		}
+	}
+	results := Run(context.Background(), tasks, Options{Parallelism: 4})
+	for i, r := range results {
+		if i == 3 {
+			if !errors.Is(r.Err, wantErr) {
+				t.Errorf("task 3 err = %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Errorf("task %d = {%d %v}, want {%d nil}", i, r.Value, r.Err, i)
+		}
+	}
+}

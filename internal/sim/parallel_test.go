@@ -1,0 +1,68 @@
+package sim
+
+// Determinism of a single simulation under the parallel engine: the
+// same Config must produce an identical Result whether run directly,
+// under a context, or fanned out on the runner at any parallelism.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nestedecpt/internal/runner"
+)
+
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := quickConfig(DesignNestedECPT, "GUPS", true)
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, ctxed) {
+		t.Error("RunContext result differs from Run for the same Config")
+	}
+}
+
+func TestParallelismInvariantResults(t *testing.T) {
+	cfg := quickConfig(DesignNestedECPT, "BC", false)
+	parallelisms := []int{1, 2, 8}
+	if testing.Short() {
+		// Keep the race-detector tier quick without skipping the test:
+		// shorter runs and one concurrent fan-out still exercise every
+		// cross-goroutine interaction.
+		cfg.WarmupAccesses, cfg.MeasureAccesses = 2_000, 4_000
+		parallelisms = []int{4}
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range parallelisms {
+		// Several copies of the same run executing concurrently: if any
+		// shared mutable state existed between simulations, or any run
+		// drew randomness from a shared stream, the copies would diverge
+		// from each other or from the sequential reference.
+		tasks := make([]runner.Task[*Result], 4)
+		for i := range tasks {
+			tasks[i] = runner.Task[*Result]{
+				Name: fmt.Sprintf("copy-%d", i),
+				Run: func(ctx context.Context) (*Result, error) {
+					return RunContext(ctx, cfg)
+				},
+			}
+		}
+		for i, r := range runner.Run(context.Background(), tasks, runner.Options{Parallelism: parallel}) {
+			if r.Err != nil {
+				t.Fatalf("parallel=%d copy %d: %v", parallel, i, r.Err)
+			}
+			if !reflect.DeepEqual(want, r.Value) {
+				t.Errorf("parallel=%d copy %d: result differs from sequential reference", parallel, i)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -331,10 +332,31 @@ func (m *Machine) injectRemote(va uint64) error {
 // Run executes pre-population, warm-up, then measurement, and returns
 // the results.
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// ctxCheckInterval is how many accesses run between context checks: a
+// power of two large enough to keep the check off the hot path, small
+// enough that cancellation and per-run timeouts bite within
+// milliseconds.
+const ctxCheckInterval = 1 << 12
+
+// RunContext is Run honoring ctx: the simulation stops with ctx's
+// error at its next checkpoint once ctx is cancelled, so a sweep
+// engine can bound and abort individual runs.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := m.Prepopulate(); err != nil {
 		return nil, err
 	}
 	for i := uint64(0); i < m.cfg.WarmupAccesses; i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := m.step(false); err != nil {
 			return nil, fmt.Errorf("sim: warm-up access %d: %w", i, err)
 		}
@@ -343,6 +365,11 @@ func (m *Machine) Run() (*Result, error) {
 
 	startCycles := m.cycles
 	for i := uint64(0); i < m.cfg.MeasureAccesses; i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := m.step(true); err != nil {
 			return nil, fmt.Errorf("sim: measured access %d: %w", i, err)
 		}
@@ -406,9 +433,15 @@ func (m *Machine) collect() {
 
 // Run builds the machine for cfg and runs it to completion.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext builds the machine for cfg and runs it to completion,
+// honoring ctx's cancellation and deadline.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }

@@ -8,6 +8,13 @@ func quickConfig(d Design, app string, thp bool) Config {
 	cfg := DefaultConfig(d, app, thp)
 	cfg.WarmupAccesses = 5_000
 	cfg.MeasureAccesses = 15_000
+	if testing.Short() {
+		// The race-detector tier (`make race`) runs this package with
+		// -short; an order-of-magnitude slowdown there buys nothing
+		// from longer runs.
+		cfg.WarmupAccesses = 2_000
+		cfg.MeasureAccesses = 5_000
+	}
 	return cfg
 }
 
@@ -244,6 +251,9 @@ func TestEcptBeatsRadixOnGUPS(t *testing.T) {
 	// must outperform nested radix for the TLB-hostile workload. This
 	// needs enough accesses to warm the MMU caches, so it runs longer
 	// than the smoke tests.
+	if testing.Short() {
+		t.Skip("needs long runs for a stable comparison; single-goroutine, so the -short race tier loses nothing")
+	}
 	long := func(d Design) Config {
 		cfg := DefaultConfig(d, "GUPS", false)
 		cfg.WarmupAccesses = 60_000
