@@ -7,10 +7,15 @@
 #                sequential-vs-parallel scaling pair
 #   make fuzz    short exploratory fuzz runs (the committed seed corpora
 #                already replay under `make check`)
+#   make profile runs a representative sweep under the CPU and heap
+#                profilers; inspect with `go tool pprof cpu.pprof`
+#   make benchjson regenerates BENCH_2.json, the machine-readable
+#                walker performance snapshot (commit it when the walk
+#                path changes)
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check vet build test race bench fuzz profile benchjson
 
 check: vet build test
 
@@ -38,3 +43,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzCanonicalGVA -fuzztime=30s ./internal/addr
 	$(GO) test -fuzz=FuzzHashStability -fuzztime=30s ./internal/vhash
 	$(GO) test -fuzz=FuzzRNGStreams -fuzztime=30s ./internal/vhash
+
+# A representative single-design sweep under both profilers. The same
+# -cpuprofile/-memprofile flags work on any cmd/experiments or
+# cmd/nestedsim invocation; see EXPERIMENTS.md, "Profiling the
+# simulator".
+profile:
+	$(GO) run ./cmd/nestedsim -design nested-ecpt -app GUPS -thp \
+		-warmup 200000 -accesses 1000000 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "inspect with: $(GO) tool pprof cpu.pprof   (or mem.pprof)"
+
+benchjson:
+	$(GO) run ./cmd/benchjson -o BENCH_2.json

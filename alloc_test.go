@@ -1,0 +1,54 @@
+// Allocation-regression tests for the walk hot path. The nested ECPT
+// walker runs millions of times per simulation; a single allocation per
+// walk reintroduces the GC pressure this path was rebuilt to remove, so
+// steady-state allocation-freedom is pinned as a test, not just a
+// benchmark number.
+package nestedecpt
+
+import "testing"
+
+func TestNestedECPTWalkAllocationFree(t *testing.T) {
+	m, vas := warmedWalkMachine(t, NestedECPT, "GUPS", true)
+	w := m.Walker()
+	// Warm the exact VA set once more so every CWC/STC/TLB line and
+	// stats key the measured loop touches already exists.
+	for _, va := range vas {
+		if _, err := w.Walk(walkBenchNow, va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		va := vas[i%len(vas)]
+		i++
+		if _, err := w.Walk(walkBenchNow, va); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state nested ECPT Walk performs %v allocs/op; want 0", allocs)
+	}
+}
+
+// The native ECPT walker shares the plan/probe scratch machinery; keep
+// it allocation-free too.
+func TestNativeECPTWalkAllocationFree(t *testing.T) {
+	m, vas := warmedWalkMachine(t, ECPT, "GUPS", true)
+	w := m.Walker()
+	for _, va := range vas {
+		if _, err := w.Walk(walkBenchNow, va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		va := vas[i%len(vas)]
+		i++
+		if _, err := w.Walk(walkBenchNow, va); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state native ECPT Walk performs %v allocs/op; want 0", allocs)
+	}
+}

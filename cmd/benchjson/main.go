@@ -1,0 +1,198 @@
+// Command benchjson measures the walker hot path and emits the numbers
+// as machine-readable JSON (BENCH_2.json), so the performance
+// trajectory of the simulator is tracked in-repo alongside the figures.
+//
+// Usage:
+//
+//	benchjson               # writes BENCH_2.json
+//	benchjson -o out.json   # custom path
+//	benchjson -benchtime 2s # longer measurement per entry
+//
+// The file carries the pre-optimization baseline of the headline
+// benchmark, the current headline walk configurations (ns/walk,
+// walks/sec, allocs/walk), and the hash micro-benchmark. Regenerate
+// with `make benchjson` after touching the walk path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/sim"
+	"nestedecpt/internal/vhash"
+)
+
+// walkBenchNow matches the fixed cycle stamp of the repo's walk
+// benchmarks: past the warmed machine's clock, so the adaptive
+// controller settles after one interval.
+const walkBenchNow = uint64(1) << 40
+
+type walkEntry struct {
+	Name          string  `json:"name"`
+	Design        string  `json:"design"`
+	App           string  `json:"app"`
+	THP           bool    `json:"thp"`
+	NsPerWalk     float64 `json:"ns_per_walk"`
+	WalksPerSec   float64 `json:"walks_per_sec"`
+	AllocsPerWalk int64   `json:"allocs_per_walk"`
+	BytesPerWalk  int64   `json:"bytes_per_walk"`
+}
+
+type microEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type document struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Baseline is the headline benchmark before the allocation-free
+	// rework, measured on the same harness; kept verbatim so the
+	// improvement factor is computable from the file alone.
+	Baseline walkEntry    `json:"baseline"`
+	Walks    []walkEntry  `json:"walks"`
+	Micro    []microEntry `json:"micro"`
+}
+
+func fromResult(r testing.BenchmarkResult) (ns float64, ops float64, allocs, bytes int64) {
+	ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return ns, ops, r.AllocsPerOp(), r.AllocedBytesPerOp()
+}
+
+// benchWalk builds a warmed machine for one configuration, resolves a
+// mapped VA set (failing loudly if none resolve), and times Walk.
+func benchWalk(design sim.Design, app string, thp bool) (walkEntry, error) {
+	cfg := sim.DefaultConfig(design, app, thp)
+	cfg.WarmupAccesses = 5_000
+	cfg.MeasureAccesses = 5_000
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		return walkEntry{}, err
+	}
+	if _, err := m.Run(); err != nil {
+		return walkEntry{}, err
+	}
+	var vas []addr.GVA
+	for i := uint64(0); i < 8192 && len(vas) < 1024; i++ {
+		va := addr.GVA(0x4000_0000_0000 + i*4096)
+		if _, err := m.Walker().Walk(walkBenchNow, va); err == nil {
+			vas = append(vas, va)
+		}
+	}
+	if len(vas) == 0 {
+		return walkEntry{}, fmt.Errorf("%v/%s: no mapped VAs resolved", design, app)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Walker().Walk(walkBenchNow, vas[i%len(vas)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns, ops, allocs, bytes := fromResult(r)
+	return walkEntry{
+		Name:          fmt.Sprintf("walk/%v/%s/thp=%v", design, app, thp),
+		Design:        fmt.Sprintf("%v", design),
+		App:           app,
+		THP:           thp,
+		NsPerWalk:     ns,
+		WalksPerSec:   ops,
+		AllocsPerWalk: allocs,
+		BytesPerWalk:  bytes,
+	}, nil
+}
+
+func benchHash() microEntry {
+	f := vhash.New(1, 2)
+	var sink uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink ^= f.Hash(uint64(i) * 0x9E3779B97F4A7C15)
+		}
+	})
+	_ = sink
+	ns, ops, allocs, bytes := fromResult(r)
+	return microEntry{Name: "vhash.Hash", NsPerOp: ns, OpsPerSec: ops, AllocsPerOp: allocs, BytesPerOp: bytes}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	testing.Init() // registers test.benchtime so testing.Benchmark honours it
+	out := flag.String("o", "BENCH_2.json", "output path")
+	benchtime := flag.Duration("benchtime", time.Second, "measurement time per entry")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	doc := document{
+		Schema:    "nestedecpt-bench/2",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		// Pre-PR numbers for BenchmarkSingleWalkNestedECPT (GUPS, THP)
+		// on this harness, before the allocation-free hot-path rework.
+		Baseline: walkEntry{
+			Name:          "walk/NestedECPT/GUPS/thp=true (pre-optimization)",
+			Design:        "NestedECPT",
+			App:           "GUPS",
+			THP:           true,
+			NsPerWalk:     763.2,
+			WalksPerSec:   1e9 / 763.2,
+			AllocsPerWalk: 6,
+			BytesPerWalk:  624,
+		},
+	}
+
+	headline := []struct {
+		design sim.Design
+		app    string
+		thp    bool
+	}{
+		{sim.DesignNestedECPT, "GUPS", true},
+		{sim.DesignNestedECPT, "GUPS", false},
+		{sim.DesignNestedRadix, "GUPS", false},
+		{sim.DesignECPT, "GUPS", true},
+	}
+	for _, h := range headline {
+		e, err := benchWalk(h.design, h.app, h.thp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%-40s %10.1f ns/walk %12.0f walks/s %3d allocs/walk\n",
+			e.Name, e.NsPerWalk, e.WalksPerSec, e.AllocsPerWalk)
+		doc.Walks = append(doc.Walks, e)
+	}
+	hm := benchHash()
+	fmt.Fprintf(os.Stderr, "%-40s %10.1f ns/op   %12.0f ops/s   %3d allocs/op\n",
+		hm.Name, hm.NsPerOp, hm.OpsPerSec, hm.AllocsPerOp)
+	doc.Micro = append(doc.Micro, hm)
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

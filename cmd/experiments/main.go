@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"nestedecpt/internal/profiling"
 	"nestedecpt/internal/report"
 )
 
@@ -44,7 +45,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential engine)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-simulation timeout (0 = none), e.g. 10m")
 	verbose := flag.Bool("v", false, "print per-run progress and ETA")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	settings := report.DefaultSettings()
 	if *quick {
@@ -75,7 +83,6 @@ func main() {
 	w := os.Stdout
 	start := time.Now()
 
-	var err error
 	switch *exp {
 	case "all":
 		err = suite.All(w)
@@ -107,7 +114,13 @@ func main() {
 		err = suite.Section96(w)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		stopProf()
 		os.Exit(2)
+	}
+	// Flush profiles before any fatal exit so an interrupted or failed
+	// sweep still yields a readable CPU profile.
+	if perr := stopProf(); perr != nil {
+		log.Print(perr)
 	}
 	if err != nil && err != io.EOF {
 		log.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"nestedecpt/internal/core"
+	"nestedecpt/internal/profiling"
 	"nestedecpt/internal/runner"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/workload"
@@ -61,6 +62,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations when several designs are given")
 	verbose := flag.Bool("v", false, "print per-run progress and ETA")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	var names []string
@@ -91,6 +94,11 @@ func main() {
 		}
 	}
 
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts := runner.Options{Parallelism: *parallel, Label: "run"}
@@ -98,6 +106,12 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	results := runner.Run(ctx, tasks, opts)
+
+	// Flush profiles before reporting so a failed run still yields a
+	// readable CPU profile of the simulation that preceded it.
+	if perr := stopProf(); perr != nil {
+		log.Print(perr)
+	}
 
 	for i, r := range results {
 		if i > 0 {

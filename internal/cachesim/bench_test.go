@@ -1,0 +1,38 @@
+package cachesim
+
+import "testing"
+
+var sinkLatency uint64
+
+// BenchmarkHierarchyAccess measures a single demand access through
+// L1/L2/L3/DRAM with a working set that exercises all levels.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var lat uint64
+	for i := 0; i < b.N; i++ {
+		pa := (uint64(i) * 0x9E3779B97F4A7C15) & ((1 << 28) - 1)
+		l, _ := h.Access(uint64(i), pa, SourceCPU)
+		lat += l
+	}
+	sinkLatency = lat
+}
+
+// BenchmarkHierarchyAccessParallel measures the MMU's grouped probe
+// path: one call servicing a cuckoo walk's parallel probe set.
+func BenchmarkHierarchyAccessParallel(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	pas := make([]uint64, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var lat uint64
+	for i := 0; i < b.N; i++ {
+		base := (uint64(i) * 0x9E3779B97F4A7C15) & ((1 << 28) - 1)
+		for j := range pas {
+			pas[j] = base + uint64(j)<<16
+		}
+		lat += h.AccessParallel(uint64(i), pas, SourceMMU)
+	}
+	sinkLatency = lat
+}

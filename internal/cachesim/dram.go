@@ -54,6 +54,11 @@ type DRAM struct {
 	rowValid  []bool
 	busyUntil []uint64
 	stats     DRAMStats
+	// Shift/mask fast path for the default power-of-two geometry; the
+	// divide/modulo fallback below handles odd configurations.
+	rowShift uint
+	bankMask uint64
+	pow2     bool
 }
 
 // NewDRAM builds a DRAM from cfg.
@@ -62,12 +67,29 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	if n == 0 {
 		panic("cachesim: DRAM with zero banks")
 	}
-	return &DRAM{
+	d := &DRAM{
 		cfg:       cfg,
 		openRow:   make([]uint64, n),
 		rowValid:  make([]bool, n),
 		busyUntil: make([]uint64, n),
 	}
+	if isPow2(cfg.RowBytes) && isPow2(uint64(n)) {
+		d.pow2 = true
+		d.rowShift = log2(cfg.RowBytes)
+		d.bankMask = uint64(n) - 1
+	}
+	return d
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
 }
 
 // Access services a line fill for physical address pa arriving at core
@@ -75,10 +97,17 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 // queued behind earlier requests to the same bank).
 func (d *DRAM) Access(now uint64, pa uint64) uint64 {
 	d.stats.Accesses++
-	row := pa / d.cfg.RowBytes
 	// Interleave consecutive rows across channels then banks, the usual
 	// address mapping for throughput.
-	bank := int(row % uint64(len(d.busyUntil)))
+	var row uint64
+	var bank int
+	if d.pow2 {
+		row = pa >> d.rowShift
+		bank = int(row & d.bankMask)
+	} else {
+		row = pa / d.cfg.RowBytes
+		bank = int(row % uint64(len(d.busyUntil)))
+	}
 
 	var queue uint64
 	if d.busyUntil[bank] > now {

@@ -122,6 +122,12 @@ type probeGroup struct {
 // probePlan is the outcome of consulting the CWC hierarchy for one
 // address: which ECPTs/ways to probe, the paper's walk class, and any
 // CWT entries to refill.
+//
+// A plan is written in place by planWalk/planPTEOnly: groups and
+// refills alias the fixed backing arrays below, so a walker that
+// reuses one plan value per consult performs no heap allocation —
+// the software analogue of the hardware's fixed walk registers. The
+// slices are valid until the next plan call on the same value.
 type probePlan struct {
 	groups  []probeGroup
 	class   WalkClass
@@ -132,65 +138,99 @@ type probePlan struct {
 	// consult level).
 	lookups int
 	fault   bool
+
+	// Backing storage: at most one group per page size, and each plan
+	// call misses at most one CWC class before returning.
+	groupArr  [addr.NumPageSizes]probeGroup
+	refillArr [addr.NumPageSizes]refill
+}
+
+// reset readies the plan for reuse, re-aliasing the slices onto the
+// plan's own backing arrays.
+func (p *probePlan) reset() {
+	p.groups = p.groupArr[:0]
+	p.refills = p.refillArr[:0]
+	p.class = WalkDirect
+	p.lookups = 0
+	p.fault = false
+}
+
+func (p *probePlan) addGroup(size addr.PageSize, way int) {
+	p.groups = append(p.groups, probeGroup{size: size, way: way})
+}
+
+func (p *probePlan) addRefill(size addr.PageSize, key, pa uint64) {
+	p.refills = append(p.refills, refill{size: size, key: key, pa: pa})
+}
+
+// setAllGroups marks every ECPT for probing with no way information —
+// the paper's Complete walk.
+func (p *probePlan) setAllGroups() {
+	p.addGroup(addr.Page1G, ecpt.AllWays)
+	p.addGroup(addr.Page2M, ecpt.AllWays)
+	p.addGroup(addr.Page4K, ecpt.AllWays)
 }
 
 // planWalk consults the CWCs top-down (1GB, then 2MB, then 4KB) and
-// prunes the parallel probe set exactly as §3.2/§4.2 describe. set is
-// the ECPT set being walked; cwc the walk cache guarding it; usePTE
-// gates the PTE class (the Hybrid design only consults PTE-CWT entries
-// in its upper rows, §6).
-func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool) probePlan {
-	var plan probePlan
+// prunes the parallel probe set exactly as §3.2/§4.2 describe, writing
+// the result into the caller's reusable plan. set is the ECPT set
+// being walked; cwc the walk cache guarding it; usePTE gates the PTE
+// class (the Hybrid design only consults PTE-CWT entries in its upper
+// rows, §6).
+func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool, plan *probePlan) {
+	plan.reset()
 
 	// --- 1GB (PUD) level ---
 	pud := set.Table(addr.Page1G).CWT()
 	if pud == nil || !cwc.Has(addr.Page1G) {
 		// No PUD pruning possible: nothing is known.
-		plan.groups = allGroups()
+		plan.setAllGroups()
 		plan.class = WalkComplete
-		return plan
+		return
 	}
 	info1 := pud.Query(addr.VPN(va, addr.Page1G))
 	plan.lookups++
 	if !cwc.Lookup(addr.Page1G, info1.EntryKey) {
-		plan.refills = append(plan.refills, refill{addr.Page1G, info1.EntryKey, pud.EntryPA(info1.EntryKey)})
-		plan.groups = allGroups()
+		plan.addRefill(addr.Page1G, info1.EntryKey, pud.EntryPA(info1.EntryKey))
+		plan.setAllGroups()
 		plan.class = WalkComplete
-		return plan
+		return
 	}
 	if info1.Present {
-		plan.groups = []probeGroup{{addr.Page1G, int(info1.Way)}}
+		plan.addGroup(addr.Page1G, int(info1.Way))
 		plan.class = WalkDirect
-		return plan
+		return
 	}
 	if !info1.EntryExists || !info1.HasSmaller {
 		plan.fault = true
-		return plan
+		return
 	}
 
 	// --- 2MB (PMD) level ---
 	pmd := set.Table(addr.Page2M).CWT()
 	if pmd == nil || !cwc.Has(addr.Page2M) {
-		plan.groups = []probeGroup{{addr.Page2M, ecpt.AllWays}, {addr.Page4K, ecpt.AllWays}}
+		plan.addGroup(addr.Page2M, ecpt.AllWays)
+		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkPartial
-		return plan
+		return
 	}
 	info2 := pmd.Query(addr.VPN(va, addr.Page2M))
 	plan.lookups++
 	if !cwc.Lookup(addr.Page2M, info2.EntryKey) {
-		plan.refills = append(plan.refills, refill{addr.Page2M, info2.EntryKey, pmd.EntryPA(info2.EntryKey)})
-		plan.groups = []probeGroup{{addr.Page2M, ecpt.AllWays}, {addr.Page4K, ecpt.AllWays}}
+		plan.addRefill(addr.Page2M, info2.EntryKey, pmd.EntryPA(info2.EntryKey))
+		plan.addGroup(addr.Page2M, ecpt.AllWays)
+		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkPartial
-		return plan
+		return
 	}
 	if info2.Present {
-		plan.groups = []probeGroup{{addr.Page2M, int(info2.Way)}}
+		plan.addGroup(addr.Page2M, int(info2.Way))
 		plan.class = WalkDirect
-		return plan
+		return
 	}
 	if !info2.EntryExists || !info2.HasSmaller {
 		plan.fault = true
-		return plan
+		return
 	}
 
 	// --- 4KB (PTE) level ---
@@ -198,25 +238,24 @@ func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool) probePlan {
 	if pte == nil || !usePTE || !cwc.Has(addr.Page4K) {
 		// No PTE CWT information: probe every way of the PTE table —
 		// the paper's Size walk, the common case for the guest (§9.4).
-		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkSize
-		return plan
+		return
 	}
 	info4 := pte.Query(addr.VPN(va, addr.Page4K))
 	plan.lookups++
 	if !cwc.Lookup(addr.Page4K, info4.EntryKey) {
-		plan.refills = append(plan.refills, refill{addr.Page4K, info4.EntryKey, pte.EntryPA(info4.EntryKey)})
-		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.addRefill(addr.Page4K, info4.EntryKey, pte.EntryPA(info4.EntryKey))
+		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkSize
-		return plan
+		return
 	}
 	if info4.Present {
-		plan.groups = []probeGroup{{addr.Page4K, int(info4.Way)}}
+		plan.addGroup(addr.Page4K, int(info4.Way))
 		plan.class = WalkDirect
-		return plan
+		return
 	}
 	plan.fault = true
-	return plan
 }
 
 // planPTEOnly is the Step-1 plan when the 4KB page-table-page
@@ -224,44 +263,36 @@ func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool) probePlan {
 // 4KB-mapped in the host, so only the PTE-hECPT can hold them. When
 // the Step-1 hCWC has a PTE class (§4.2's first technique), a hit
 // turns the Size walk into a Direct one.
-func planPTEOnly(set *ecpt.Set, cwc *CWC, va uint64) probePlan {
-	var plan probePlan
+func planPTEOnly(set *ecpt.Set, cwc *CWC, va uint64, plan *probePlan) {
+	plan.reset()
 	pte := set.Table(addr.Page4K).CWT()
 	if pte == nil || !cwc.Has(addr.Page4K) {
-		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkSize
-		return plan
+		return
 	}
 	info := pte.Query(addr.VPN(va, addr.Page4K))
 	plan.lookups++
 	if !cwc.Lookup(addr.Page4K, info.EntryKey) {
-		plan.refills = append(plan.refills, refill{addr.Page4K, info.EntryKey, pte.EntryPA(info.EntryKey)})
-		plan.groups = []probeGroup{{addr.Page4K, ecpt.AllWays}}
+		plan.addRefill(addr.Page4K, info.EntryKey, pte.EntryPA(info.EntryKey))
+		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkSize
-		return plan
+		return
 	}
 	if info.Present {
-		plan.groups = []probeGroup{{addr.Page4K, int(info.Way)}}
+		plan.addGroup(addr.Page4K, int(info.Way))
 		plan.class = WalkDirect
-		return plan
+		return
 	}
 	plan.fault = true
-	return plan
 }
 
-func allGroups() []probeGroup {
-	return []probeGroup{
-		{addr.Page1G, ecpt.AllWays},
-		{addr.Page2M, ecpt.AllWays},
-		{addr.Page4K, ecpt.AllWays},
-	}
-}
-
-// probesForPlan expands a plan into the concrete line probes.
-func probesForPlan(set *ecpt.Set, va uint64, plan probePlan) []ecpt.Probe {
+// probesForPlan expands a plan into the concrete line probes (tests
+// and cold paths; walkers expand groups into their own scratch).
+func probesForPlan(set *ecpt.Set, va uint64, plan *probePlan) []ecpt.Probe {
 	var probes []ecpt.Probe
 	for _, g := range plan.groups {
-		probes = append(probes, set.Table(g.size).ProbesFor(addr.VPN(va, g.size), g.way)...)
+		probes = set.Table(g.size).AppendProbes(probes, addr.VPN(va, g.size), g.way)
 	}
 	return probes
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/ecpt"
 	"nestedecpt/internal/hypervisor"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/radix"
 	"nestedecpt/internal/stats"
 	"nestedecpt/internal/vhash"
 )
@@ -52,11 +54,15 @@ type Hybrid struct {
 	mem   MemSystem
 	guest *kernel.Kernel
 	host  *hypervisor.Hypervisor
-	pwc   *pwc
-	ntlb  *mmucache.Cache
-	hcwc  *CWC
-	st    HybridStats
-	paBuf []uint64
+	pwc  *pwc
+	ntlb *mmucache.Cache
+	hcwc *CWC
+	st   HybridStats
+	// scratch, reused across walks to keep the hot path allocation-free.
+	paBuf    []uint64
+	probeBuf []ecpt.Probe
+	plan     probePlan
+	steps    []radix.Step
 }
 
 // NewHybrid builds the walker over the guest radix table and host
@@ -93,7 +99,8 @@ func (w *Hybrid) ResetStats() {
 // (the replacement for each hL4..hL1 row of Figure 8). row selects the
 // per-row PTE-hCWT policy.
 func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) (hpa uint64, size addr.PageSize, lat uint64, err error) {
-	plan := planWalk(w.host.ECPTs(), w.hcwc, gpa, row <= w.cfg.PTERows)
+	plan := &w.plan
+	planWalk(w.host.ECPTs(), w.hcwc, gpa, row <= w.cfg.PTERows, plan)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if plan.fault {
 		return 0, 0, lat, &ErrNotMapped{Space: "host", Addr: gpa}
@@ -112,7 +119,8 @@ func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) 
 	var fsize addr.PageSize
 	found := false
 	for _, g := range plan.groups {
-		for _, p := range w.host.ECPTs().Table(g.size).ProbesFor(addr.VPN(gpa, g.size), g.way) {
+		w.probeBuf = w.host.ECPTs().Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(gpa, g.size), g.way)
+		for _, p := range w.probeBuf {
 			w.paBuf = append(w.paBuf, p.PA)
 			if p.Match {
 				frame, fsize, found = p.Frame, g.size, true
@@ -133,7 +141,9 @@ func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) 
 func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Walks++
 	var res WalkResult
-	steps, ok := w.guest.Radix().Walk(uint64(va))
+	var ok bool
+	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], uint64(va))
+	steps := w.steps
 	if !ok {
 		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
 	}

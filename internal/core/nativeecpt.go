@@ -3,6 +3,7 @@ package core
 import (
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/ecpt"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/mmucache"
 	"nestedecpt/internal/stats"
@@ -32,12 +33,15 @@ type NativeECPTStats struct {
 // NativeECPT walks a single ECPT set whose table addresses are real
 // physical addresses: one parallel step per translation.
 type NativeECPT struct {
-	cfg    NativeECPTConfig
-	mem    MemSystem
-	kern   *kernel.Kernel
-	cwc    *CWC
-	st     NativeECPTStats
-	probes []uint64
+	cfg  NativeECPTConfig
+	mem  MemSystem
+	kern *kernel.Kernel
+	cwc  *CWC
+	st   NativeECPTStats
+	// scratch, reused across walks to keep the hot path allocation-free.
+	probes   []uint64
+	probeBuf []ecpt.Probe
+	plan     probePlan
 }
 
 // NewNativeECPT builds the walker over the kernel's ECPT set.
@@ -76,7 +80,8 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	set := w.kern.ECPTs()
 
-	plan := planWalk(set, w.cwc, uint64(va), true)
+	plan := &w.plan
+	planWalk(set, w.cwc, uint64(va), true, plan)
 	lat := uint64(mmucache.LatencyRT + vhash.LatencyCycles)
 	if plan.fault {
 		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
@@ -95,7 +100,8 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var size addr.PageSize
 	found := false
 	for _, g := range plan.groups {
-		for _, p := range set.Table(g.size).ProbesFor(addr.VPN(uint64(va), g.size), g.way) {
+		w.probeBuf = set.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(uint64(va), g.size), g.way)
+		for _, p := range w.probeBuf {
 			w.probes = append(w.probes, p.PA)
 			if p.Match {
 				frame, size, found = p.Frame, g.size, true

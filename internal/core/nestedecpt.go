@@ -128,7 +128,15 @@ type NestedECPT struct {
 	step1PAs []uint64
 	step2PAs []uint64
 	step3PAs []uint64
+	bgPAs    []uint64
 	cand     []candidate
+	probeBuf []ecpt.Probe
+	// fgPlan holds the foreground plan of the current step; bgPlan the
+	// nested plan of a background gCWT-refill translation (§4.1), which
+	// runs while the foreground plan's refill list is still being
+	// consumed and therefore needs its own storage.
+	fgPlan probePlan
+	bgPlan probePlan
 }
 
 // candidate is one gECPT line probe with its resolved host location.
@@ -201,7 +209,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// ---------- Step 1: gVA -> hPTEs locating the gECPT entries ----------
 	// Consult the gCWC (all classes probed in parallel; one MMU-cache
 	// round trip) and hash the guest VPNs.
-	gplan := planWalk(gset, w.gCWC, uint64(va), true)
+	gplan := &w.fgPlan
+	planWalk(gset, w.gCWC, uint64(va), true, gplan)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if gplan.fault {
 		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
@@ -215,7 +224,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// with the table size each came from.
 	w.cand = w.cand[:0]
 	for _, g := range gplan.groups {
-		for _, p := range gset.Table(g.size).ProbesFor(addr.VPN(uint64(va), g.size), g.way) {
+		w.probeBuf = gset.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(uint64(va), g.size), g.way)
+		for _, p := range w.probeBuf {
 			w.cand = append(w.cand, candidate{probe: p, size: g.size})
 		}
 	}
@@ -227,11 +237,11 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.step1PAs = w.step1PAs[:0]
 	for ci := range w.cand {
 		c := &w.cand[ci]
-		var hplan probePlan
+		hplan := &w.fgPlan // gplan is fully consumed by this point
 		if w.cfg.Tech.PageTable4KB {
-			hplan = planPTEOnly(hset, w.hCWC1, c.probe.PA)
+			planPTEOnly(hset, w.hCWC1, c.probe.PA, hplan)
 		} else {
-			hplan = planWalk(hset, w.hCWC1, c.probe.PA, true)
+			planWalk(hset, w.hCWC1, c.probe.PA, true, hplan)
 		}
 		if hplan.fault {
 			return res, &ErrNotMapped{Space: "host", Addr: c.probe.PA, PageTable: true}
@@ -243,7 +253,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 
 		matched := false
 		for _, g := range hplan.groups {
-			for _, hp := range hset.Table(g.size).ProbesFor(addr.VPN(c.probe.PA, g.size), g.way) {
+			w.probeBuf = hset.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(c.probe.PA, g.size), g.way)
+			for _, hp := range w.probeBuf {
 				w.step1PAs = append(w.step1PAs, hp.PA)
 				if hp.Match {
 					c.hpa = addr.Translate(hp.Frame, c.probe.PA, g.size)
@@ -286,7 +297,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	}
 
 	// ---------- Step 3: data gPA -> hPA ----------
-	hplan3 := planWalk(hset, w.hCWC3, dataGPA, true)
+	hplan3 := &w.fgPlan
+	planWalk(hset, w.hCWC3, dataGPA, true, hplan3)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if hplan3.fault {
 		return res, &ErrNotMapped{Space: "host", Addr: dataGPA}
@@ -301,7 +313,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var hsize addr.PageSize
 	hfound := false
 	for _, g := range hplan3.groups {
-		for _, hp := range hset.Table(g.size).ProbesFor(addr.VPN(dataGPA, g.size), g.way) {
+		w.probeBuf = hset.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(dataGPA, g.size), g.way)
+		for _, hp := range w.probeBuf {
 			w.step3PAs = append(w.step3PAs, hp.PA)
 			if hp.Match {
 				hframe = hp.Frame
@@ -359,8 +372,11 @@ func (w *NestedECPT) queueRefills(now uint64, refills []refill, target *CWC, gue
 		if !translated {
 			// Full background translation of the gCWT entry's gPA,
 			// "similar to Step 3" (§4.1): consult the Step-3 hCWC and
-			// probe the hECPTs, all in the background.
-			hplan := planWalk(w.host.ECPTs(), w.hCWC3, r.pa, true)
+			// probe the hECPTs, all in the background. The foreground
+			// plan's refill list is being iterated right now, so this
+			// nested consult writes into the dedicated background plan.
+			hplan := &w.bgPlan
+			planWalk(w.host.ECPTs(), w.hCWC3, r.pa, true, hplan)
 			res.BackgroundCycles += mmucache.LatencyRT + vhash.LatencyCycles
 			if hplan.fault {
 				// The gCWT page has no host mapping yet: surface the
@@ -370,19 +386,20 @@ func (w *NestedECPT) queueRefills(now uint64, refills []refill, target *CWC, gue
 			if err := w.queueRefills(now, hplan.refills, w.hCWC3, false, res); err != nil {
 				return err
 			}
-			var pas []uint64
+			w.bgPAs = w.bgPAs[:0]
 			ok := false
 			for _, g := range hplan.groups {
-				for _, hp := range w.host.ECPTs().Table(g.size).ProbesFor(addr.VPN(r.pa, g.size), g.way) {
-					pas = append(pas, hp.PA)
+				w.probeBuf = w.host.ECPTs().Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(r.pa, g.size), g.way)
+				for _, hp := range w.probeBuf {
+					w.bgPAs = append(w.bgPAs, hp.PA)
 					if hp.Match {
 						hpa = addr.Translate(hp.Frame, r.pa, g.size)
 						ok = true
 					}
 				}
 			}
-			res.BackgroundCycles += w.mem.AccessParallel(now, pas, cachesim.SourceMMU)
-			res.BackgroundAccesses += len(pas)
+			res.BackgroundCycles += w.mem.AccessParallel(now, w.bgPAs, cachesim.SourceMMU)
+			res.BackgroundAccesses += len(w.bgPAs)
 			if !ok {
 				return &ErrNotMapped{Space: "host", Addr: r.pa, PageTable: true}
 			}

@@ -70,12 +70,17 @@ type hostRadixWalker struct {
 	mem  MemSystem
 	ept  *radix.Table
 	npwc *pwc
+	// steps is reusable walk scratch (the walkers run one walk at a
+	// time, so one buffer per walker suffices).
+	steps []radix.Step
 }
 
 // walk translates gpa, returning the host frame/size, the added
 // latency, and the number of memory accesses performed.
 func (h *hostRadixWalker) walk(now uint64, gpa uint64) (frame uint64, size addr.PageSize, lat uint64, accesses int, err error) {
-	steps, ok := h.ept.Walk(gpa)
+	var ok bool
+	h.steps, ok = h.ept.AppendWalk(h.steps[:0], gpa)
+	steps := h.steps
 	if !ok {
 		return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", Addr: gpa}
 	}
@@ -109,10 +114,11 @@ func (h *hostRadixWalker) walk(now uint64, gpa uint64) (frame uint64, size addr.
 // NativeRadix is the Radix baseline: an x86-64 page walk with a PWC
 // (Figure 1).
 type NativeRadix struct {
-	cfg  RadixWalkConfig
-	mem  MemSystem
-	kern *kernel.Kernel
-	pwc  *pwc
+	cfg   RadixWalkConfig
+	mem   MemSystem
+	kern  *kernel.Kernel
+	pwc   *pwc
+	steps []radix.Step // reusable walk scratch
 }
 
 // NewNativeRadix builds the walker over the kernel's radix table.
@@ -134,7 +140,9 @@ func (w *NativeRadix) Name() string { return "Radix" }
 // Walk implements Walker.
 func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
-	steps, ok := w.kern.Radix().Walk(uint64(va))
+	var ok bool
+	w.steps, ok = w.kern.Radix().AppendWalk(w.steps[:0], uint64(va))
+	steps := w.steps
 	if !ok {
 		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
 	}
@@ -179,6 +187,7 @@ type NestedRadix struct {
 	npwc  *pwc
 	ntlb  *mmucache.Cache
 	hostW hostRadixWalker
+	steps []radix.Step // reusable guest walk scratch
 }
 
 // NewNestedRadix builds the walker over the guest radix table and the
@@ -232,7 +241,9 @@ func (w *NestedRadix) translateTablePage(now uint64, entryGPA uint64, res *WalkR
 // Walk implements Walker: up to 24 sequential memory accesses.
 func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
-	steps, ok := w.guest.Radix().Walk(uint64(va))
+	var ok bool
+	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], uint64(va))
+	steps := w.steps
 	if !ok {
 		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
 	}

@@ -1,0 +1,49 @@
+package ecpt
+
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/memsim"
+)
+
+// benchSet builds a host-layout table set with a resident 4KB working
+// set, the shape every walker probes on each translation step.
+func benchSet(b *testing.B) *Set {
+	b.Helper()
+	alloc := memsim.NewAllocator(1<<30, 3)
+	set, err := NewSet(ScaledSetConfig(true, 64), alloc, 1, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i++ {
+		set.Map(i<<12, addr.Page4K, (0x1000+i)<<12)
+	}
+	return set
+}
+
+var sinkProbes []Probe
+
+// BenchmarkProbesFor measures the allocating convenience wrapper: one
+// fresh probe slice per call.
+func BenchmarkProbesFor(b *testing.B) {
+	tbl := benchSet(b).Table(addr.Page4K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkProbes = tbl.ProbesFor(uint64(i)&255, AllWays)
+	}
+}
+
+// BenchmarkAppendProbes measures the hot-path form the walkers use:
+// append into caller-owned scratch, zero allocations once warmed.
+func BenchmarkAppendProbes(b *testing.B) {
+	tbl := benchSet(b).Table(addr.Page4K)
+	buf := make([]Probe, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tbl.AppendProbes(buf[:0], uint64(i)&255, AllWays)
+	}
+	sinkProbes = buf
+}

@@ -22,28 +22,41 @@ type Probe struct {
 // the paper's naming; used when the CWT gave no way information).
 const AllWays = -1
 
-// ProbesFor returns the memory accesses needed to look up vpn. way
-// restricts the probe to a single way (a Direct walk) or AllWays.
-// During an elastic resize an unmigrated key needs its old-generation
-// bucket probed too, so a way can contribute up to two probes — the
-// transient extra bandwidth inherent to elastic resizing.
-func (t *Table) ProbesFor(vpn uint64, way int) []Probe {
+// AppendProbes appends the memory accesses needed to look up vpn onto
+// dst and returns the extended slice. way restricts the probe to a
+// single way (a Direct walk) or AllWays. During an elastic resize an
+// unmigrated key needs its old-generation bucket probed too, so a way
+// can contribute up to two probes — the transient extra bandwidth
+// inherent to elastic resizing.
+//
+// Walkers call this once per probe group on every translation, so it
+// is the table's hot read path: with a caller-reused dst it performs
+// no allocation, mirroring the fixed probe registers the paper's
+// hardware walkers reuse across steps (§3.1).
+func (t *Table) AppendProbes(dst []Probe, vpn uint64, way int) []Probe {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
-	probes := make([]Probe, 0, 2*t.cfg.Ways)
 	for w := 0; w < t.cfg.Ways; w++ {
 		if way != AllWays && w != way {
 			continue
 		}
 		idx := t.cur.index(w, tag)
-		probes = append(probes, t.makeProbe(t.cur, w, idx, tag, slot))
+		dst = append(dst, t.makeProbe(t.cur, w, idx, tag, slot))
 		if t.old != nil {
 			oidx := t.old.index(w, tag)
 			if oidx >= t.migratePtr[w] {
-				probes = append(probes, t.makeProbe(t.old, w, oidx, tag, slot))
+				dst = append(dst, t.makeProbe(t.old, w, oidx, tag, slot))
 			}
 		}
 	}
-	return probes
+	return dst
+}
+
+// ProbesFor returns the memory accesses needed to look up vpn in a
+// freshly allocated slice. It is AppendProbes without caller-provided
+// scratch — convenient for tests and cold paths; hot paths should
+// reuse a buffer through AppendProbes instead.
+func (t *Table) ProbesFor(vpn uint64, way int) []Probe {
+	return t.AppendProbes(make([]Probe, 0, 2*t.cfg.Ways), vpn, way)
 }
 
 func (t *Table) makeProbe(g *generation, w, idx int, tag uint64, slot int) Probe {

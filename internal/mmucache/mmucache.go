@@ -24,12 +24,13 @@ type entry struct {
 
 // Cache is a fully-associative LRU cache from 64-bit keys to 64-bit
 // values. Capacities in the MMU are tiny (2–32 entries), so a linear
-// victim scan is the honest model of the hardware and costs nothing.
+// scan over a flat entry array is the honest model of the hardware's
+// parallel tag match — and, unlike a map, it never allocates or hashes
+// on the walk hot path.
 type Cache struct {
 	name     string
 	capacity int
 	entries  []entry
-	index    map[uint64]int
 	clock    uint64
 	counter  stats.Counter
 }
@@ -42,7 +43,7 @@ func New(name string, capacity int) *Cache {
 	return &Cache{
 		name:     name,
 		capacity: capacity,
-		index:    make(map[uint64]int, capacity),
+		entries:  make([]entry, 0, capacity),
 	}
 }
 
@@ -55,10 +56,20 @@ func (c *Cache) Capacity() int { return c.capacity }
 // Len returns the current number of entries.
 func (c *Cache) Len() int { return len(c.entries) }
 
+// find returns the index of key, or -1.
+func (c *Cache) find(key uint64) int {
+	for i := range c.entries {
+		if c.entries[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
 // Lookup probes the cache, recording a hit or miss.
 func (c *Cache) Lookup(key uint64) (value uint64, ok bool) {
 	c.clock++
-	if i, hit := c.index[key]; hit {
+	if i := c.find(key); i >= 0 {
 		c.entries[i].lastUse = c.clock
 		c.counter.Hit()
 		return c.entries[i].value, true
@@ -69,7 +80,7 @@ func (c *Cache) Lookup(key uint64) (value uint64, ok bool) {
 
 // Peek probes without touching recency or statistics.
 func (c *Cache) Peek(key uint64) (value uint64, ok bool) {
-	if i, hit := c.index[key]; hit {
+	if i := c.find(key); i >= 0 {
 		return c.entries[i].value, true
 	}
 	return 0, false
@@ -78,14 +89,13 @@ func (c *Cache) Peek(key uint64) (value uint64, ok bool) {
 // Insert adds or updates an entry, evicting the LRU entry when full.
 func (c *Cache) Insert(key, value uint64) {
 	c.clock++
-	if i, hit := c.index[key]; hit {
+	if i := c.find(key); i >= 0 {
 		c.entries[i].value = value
 		c.entries[i].lastUse = c.clock
 		return
 	}
 	if len(c.entries) < c.capacity {
 		c.entries = append(c.entries, entry{key: key, value: value, lastUse: c.clock})
-		c.index[key] = len(c.entries) - 1
 		return
 	}
 	victim := 0
@@ -94,22 +104,18 @@ func (c *Cache) Insert(key, value uint64) {
 			victim = i
 		}
 	}
-	delete(c.index, c.entries[victim].key)
 	c.entries[victim] = entry{key: key, value: value, lastUse: c.clock}
-	c.index[key] = victim
 }
 
 // Invalidate removes key if present and reports whether it was there.
 func (c *Cache) Invalidate(key uint64) bool {
-	i, hit := c.index[key]
-	if !hit {
+	i := c.find(key)
+	if i < 0 {
 		return false
 	}
 	last := len(c.entries) - 1
-	delete(c.index, key)
 	if i != last {
 		c.entries[i] = c.entries[last]
-		c.index[c.entries[i].key] = i
 	}
 	c.entries = c.entries[:last]
 	return true
@@ -118,7 +124,6 @@ func (c *Cache) Invalidate(key uint64) bool {
 // Flush empties the cache, keeping statistics.
 func (c *Cache) Flush() {
 	c.entries = c.entries[:0]
-	clear(c.index)
 }
 
 // Stats returns a copy of the hit/miss counter.

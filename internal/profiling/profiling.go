@@ -1,0 +1,58 @@
+// Package profiling wires the standard pprof profilers into the
+// command-line tools. Both CLIs expose -cpuprofile and -memprofile
+// flags; the resulting files feed `go tool pprof` (see EXPERIMENTS.md,
+// "Profiling the simulator").
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges
+// for a heap profile at memPath (if non-empty). It returns a stop
+// function that flushes and closes both profiles; callers must invoke
+// it on every exit path, including error exits, or the CPU profile is
+// truncated and unreadable.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profiling: %w", err)
+				}
+				return first
+			}
+			// An up-to-date live-heap profile needs a collection first.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

@@ -154,35 +154,42 @@ type Step struct {
 	Size  addr.PageSize
 }
 
-// Walk returns the sequence of entry accesses a hardware page walker
-// performs to translate va: up to four steps, fewer for huge pages.
-// ok=false with a partial trace means the walk faulted at the last
-// returned step (the hardware still performed those accesses).
-func (t *Table) Walk(va uint64) (steps []Step, ok bool) {
+// AppendWalk appends to dst the sequence of entry accesses a hardware
+// page walker performs to translate va: up to four steps, fewer for
+// huge pages. ok=false with a partial trace means the walk faulted at
+// the last returned step (the hardware still performed those accesses).
+// Walkers pass per-walker scratch (dst[:0]) so the steady state walk
+// performs no allocation.
+func (t *Table) AppendWalk(dst []Step, va uint64) (steps []Step, ok bool) {
 	n := t.root
 	for l := addr.L4; l >= addr.L1; l-- {
 		idx := addr.RadixIndex(va, l)
 		entryPA := n.pa + idx*EntryBytes
 		if l <= addr.L3 && n.leaves[idx].valid {
-			steps = append(steps, Step{
+			dst = append(dst, Step{
 				Level: l, EntryPA: entryPA, Leaf: true,
 				Frame: n.leaves[idx].frame, Size: addr.SizeForLeaf(l),
 			})
-			return steps, true
+			return dst, true
 		}
 		if l == addr.L1 {
-			steps = append(steps, Step{Level: l, EntryPA: entryPA})
-			return steps, false
+			dst = append(dst, Step{Level: l, EntryPA: entryPA})
+			return dst, false
 		}
 		child := n.children[idx]
 		if child == nil {
-			steps = append(steps, Step{Level: l, EntryPA: entryPA})
-			return steps, false
+			dst = append(dst, Step{Level: l, EntryPA: entryPA})
+			return dst, false
 		}
-		steps = append(steps, Step{Level: l, EntryPA: entryPA, NextPA: child.pa})
+		dst = append(dst, Step{Level: l, EntryPA: entryPA, NextPA: child.pa})
 		n = child
 	}
-	return steps, false
+	return dst, false
+}
+
+// Walk is AppendWalk into a fresh slice.
+func (t *Table) Walk(va uint64) (steps []Step, ok bool) {
+	return t.AppendWalk(make([]Step, 0, 4), va)
 }
 
 // EntryPA returns the physical address of the level-l entry the walker

@@ -9,7 +9,10 @@ import "testing"
 //   - value independence from Func construction order,
 //   - way independence: different ways of one table disagree on almost
 //     every key (a shared digest across ways would collapse the cuckoo
-//     ways into one and livelock insertion).
+//     ways into one and livelock insertion),
+//   - CRC equivalence: the inlined table-lookup CRC stays bit-identical
+//     to the original crc64.Update reference (digests are baked into
+//     every committed figure, so any drift is a determinism break).
 func FuzzHashStability(f *testing.F) {
 	for _, k := range []uint64{0, 1, 42, 0xFFF, 1 << 32, ^uint64(0), 0x9E3779B97F4A7C15} {
 		f.Add(k)
@@ -21,6 +24,10 @@ func FuzzHashStability(f *testing.F) {
 				h2 := New(table, way).Hash(key)
 				if h1 != h2 {
 					t.Fatalf("hash(%d,%d) of %#x unstable: %#x vs %#x", table, way, key, h1, h2)
+				}
+				if ref := referenceHash(New(table, way), key); h1 != ref {
+					t.Fatalf("hash(%d,%d) of %#x = %#x diverges from crc64.Update reference %#x",
+						table, way, key, h1, ref)
 				}
 			}
 		}
