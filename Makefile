@@ -1,23 +1,33 @@
 # Tier-1 checks: everything `make check` runs must pass on every commit.
 #
-#   make check   vet + build + full test suite
+#   make check   lint + build + full test suite
+#   make lint    static analysis gate: go vet, staticcheck (when
+#                installed), and cmd/nestedlint — the custom analyzer
+#                suite enforcing the hot-path and determinism
+#                invariants (README.md, "Static analysis")
 #   make race    race-detector tier (small, targeted: the sweep engine
 #                and the simulation core, at short test settings)
 #   make bench   the evaluation benchmarks, including the sweep-engine
 #                sequential-vs-parallel scaling pair
 #   make fuzz    short exploratory fuzz runs (the committed seed corpora
-#                already replay under `make check`)
+#                already replay under `make check`); every target runs
+#                even when an earlier one fails, and the combined status
+#                is the target's exit code
 #   make profile runs a representative sweep under the CPU and heap
 #                profilers; inspect with `go tool pprof cpu.pprof`
 #   make benchjson regenerates BENCH_2.json, the machine-readable
 #                walker performance snapshot (commit it when the walk
 #                path changes)
+#   make benchdrift re-measures the walker benchmarks and compares them
+#                against the committed BENCH_2.json (non-blocking CI
+#                job; exits non-zero on allocation growth or a large
+#                time regression)
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz profile benchjson
+.PHONY: check vet build test lint race bench fuzz profile benchjson benchdrift
 
-check: vet build test
+check: lint build test
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +37,18 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The lint tier builds first so nestedlint type-checks against fresh
+# export data. staticcheck is optional tooling: run when present, never
+# a silent no-op (the skip is printed).
+lint: build
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	$(GO) run ./cmd/nestedlint ./...
 
 # The race detector slows the simulator by roughly an order of
 # magnitude, so this tier runs only the packages with real concurrency
@@ -38,11 +60,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
+# Run every fuzz target even when one fails (each is an independent
+# probe of a different invariant), then fail with the combined status:
+# a mid-list crash must not mask — or be masked by — the targets after
+# it.
+FUZZ_TARGETS = \
+	FuzzAddrArithmetic:./internal/addr \
+	FuzzCanonicalGVA:./internal/addr \
+	FuzzHashStability:./internal/vhash \
+	FuzzRNGStreams:./internal/vhash
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz=FuzzAddrArithmetic -fuzztime=30s ./internal/addr
-	$(GO) test -fuzz=FuzzCanonicalGVA -fuzztime=30s ./internal/addr
-	$(GO) test -fuzz=FuzzHashStability -fuzztime=30s ./internal/vhash
-	$(GO) test -fuzz=FuzzRNGStreams -fuzztime=30s ./internal/vhash
+	@status=0; \
+	for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "$(GO) test -fuzz=$$name -fuzztime=$(FUZZTIME) $$pkg"; \
+		$(GO) test -fuzz=$$name -fuzztime=$(FUZZTIME) $$pkg || status=1; \
+	done; \
+	exit $$status
 
 # A representative single-design sweep under both profilers. The same
 # -cpuprofile/-memprofile flags work on any cmd/experiments or
@@ -56,3 +92,6 @@ profile:
 
 benchjson:
 	$(GO) run ./cmd/benchjson -o BENCH_2.json
+
+benchdrift:
+	$(GO) run ./cmd/benchjson -drift BENCH_2.json

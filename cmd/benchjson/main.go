@@ -4,14 +4,21 @@
 //
 // Usage:
 //
-//	benchjson               # writes BENCH_2.json
-//	benchjson -o out.json   # custom path
-//	benchjson -benchtime 2s # longer measurement per entry
+//	benchjson                     # writes BENCH_2.json
+//	benchjson -o out.json         # custom path
+//	benchjson -benchtime 2s       # longer measurement per entry
+//	benchjson -drift BENCH_2.json # re-measure and compare, no write
 //
 // The file carries the pre-optimization baseline of the headline
 // benchmark, the current headline walk configurations (ns/walk,
 // walks/sec, allocs/walk), and the hash micro-benchmark. Regenerate
 // with `make benchjson` after touching the walk path.
+//
+// Drift mode (`make benchdrift`) re-measures the same entries and
+// compares them against a committed snapshot: any allocation or byte
+// growth per walk fails immediately (those numbers are exact), while
+// time-per-walk only fails beyond -tolerance, since wall-clock numbers
+// wobble across machines. CI runs it as a non-blocking job.
 package main
 
 import (
@@ -132,17 +139,8 @@ func benchHash() microEntry {
 	return microEntry{Name: "vhash.Hash", NsPerOp: ns, OpsPerSec: ops, AllocsPerOp: allocs, BytesPerOp: bytes}
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
-	testing.Init() // registers test.benchtime so testing.Benchmark honours it
-	out := flag.String("o", "BENCH_2.json", "output path")
-	benchtime := flag.Duration("benchtime", time.Second, "measurement time per entry")
-	flag.Parse()
-	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
-		log.Fatal(err)
-	}
-
+// measure runs the full benchmark suite and assembles the document.
+func measure() document {
 	doc := document{
 		Schema:    "nestedecpt-bench/2",
 		GoVersion: runtime.Version(),
@@ -185,7 +183,92 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%-40s %10.1f ns/op   %12.0f ops/s   %3d allocs/op\n",
 		hm.Name, hm.NsPerOp, hm.OpsPerSec, hm.AllocsPerOp)
 	doc.Micro = append(doc.Micro, hm)
+	return doc
+}
 
+// checkDrift compares a fresh measurement against the committed
+// snapshot and returns the number of regressions. Allocation and byte
+// counts are exact, so any growth is drift; timings compare within
+// tolerance (fractional, e.g. 0.5 = 50% slower).
+func checkDrift(snapshot, fresh document, tolerance float64) int {
+	snapWalks := make(map[string]walkEntry, len(snapshot.Walks))
+	for _, w := range snapshot.Walks {
+		snapWalks[w.Name] = w
+	}
+	regressions := 0
+	fail := func(format string, args ...any) {
+		regressions++
+		fmt.Fprintf(os.Stderr, "DRIFT: "+format+"\n", args...)
+	}
+	for _, w := range fresh.Walks {
+		base, ok := snapWalks[w.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "note: %s not in snapshot; regenerate with `make benchjson`\n", w.Name)
+			continue
+		}
+		if w.AllocsPerWalk > base.AllocsPerWalk {
+			fail("%s: allocs/walk %d -> %d", w.Name, base.AllocsPerWalk, w.AllocsPerWalk)
+		}
+		if w.BytesPerWalk > base.BytesPerWalk {
+			fail("%s: bytes/walk %d -> %d", w.Name, base.BytesPerWalk, w.BytesPerWalk)
+		}
+		if base.NsPerWalk > 0 && w.NsPerWalk > base.NsPerWalk*(1+tolerance) {
+			fail("%s: ns/walk %.1f -> %.1f (tolerance %.0f%%)",
+				w.Name, base.NsPerWalk, w.NsPerWalk, tolerance*100)
+		}
+	}
+	snapMicro := make(map[string]microEntry, len(snapshot.Micro))
+	for _, m := range snapshot.Micro {
+		snapMicro[m.Name] = m
+	}
+	for _, m := range fresh.Micro {
+		base, ok := snapMicro[m.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "note: %s not in snapshot; regenerate with `make benchjson`\n", m.Name)
+			continue
+		}
+		if m.AllocsPerOp > base.AllocsPerOp {
+			fail("%s: allocs/op %d -> %d", m.Name, base.AllocsPerOp, m.AllocsPerOp)
+		}
+		if base.NsPerOp > 0 && m.NsPerOp > base.NsPerOp*(1+tolerance) {
+			fail("%s: ns/op %.1f -> %.1f (tolerance %.0f%%)",
+				m.Name, base.NsPerOp, m.NsPerOp, tolerance*100)
+		}
+	}
+	return regressions
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	testing.Init() // registers test.benchtime so testing.Benchmark honours it
+	out := flag.String("o", "BENCH_2.json", "output path")
+	benchtime := flag.Duration("benchtime", time.Second, "measurement time per entry")
+	drift := flag.String("drift", "", "compare a fresh measurement against this snapshot instead of writing (exits 1 on drift)")
+	tolerance := flag.Float64("tolerance", 0.5, "fractional ns/op regression allowed in -drift mode")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	if *drift != "" {
+		raw, err := os.ReadFile(*drift)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var snapshot document
+		if err := json.Unmarshal(raw, &snapshot); err != nil {
+			log.Fatalf("parsing %s: %v", *drift, err)
+		}
+		fresh := measure()
+		if n := checkDrift(snapshot, fresh, *tolerance); n > 0 {
+			log.Fatalf("%d regression(s) vs %s", n, *drift)
+		}
+		fmt.Fprintf(os.Stderr, "no drift vs %s\n", *drift)
+		return
+	}
+
+	doc := measure()
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,97 @@
+// Command nestedlint is the repository's multichecker: it runs the
+// internal/analysis suite — hotpathalloc, detrange, scratchalias, and
+// statsguard — over the named packages and exits non-zero on any
+// unsuppressed finding. `make lint` runs it over ./... as a tier-1
+// gate; see README.md ("Static analysis") for the invariants and the
+// //nestedlint:hotpath and //nestedlint:ignore directives.
+//
+// Usage:
+//
+//	nestedlint [-list] [-v] [packages]
+//
+// Packages default to ./... relative to the enclosing module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nestedecpt/internal/analysis"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "report per-package progress and suppressed-finding counts")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	findings, err := run(analyzers, flag.Args(), *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nestedlint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "nestedlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// run loads the packages, applies every applicable analyzer, prints
+// unsuppressed diagnostics, and returns how many there were.
+func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, error) {
+	moduleRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := analysis.Load(moduleRoot, patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	findings, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		ignores := analysis.NewIgnoreSet(pkg.Fset, pkg.Files)
+		var diags []analysis.Diagnostic
+		diags = append(diags, ignores.BareDirectives()...)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			ds, err := a.RunPackage(pkg)
+			if err != nil {
+				return findings, err
+			}
+			diags = append(diags, ds...)
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if d.Analyzer != "nestedlint" && ignores.Suppressed(d) {
+				suppressed++
+				continue
+			}
+			kept = append(kept, d)
+		}
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+		for _, d := range kept {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+		findings += len(kept)
+		if verbose {
+			fmt.Fprintf(os.Stderr, "# %s: %d finding(s)\n", pkg.Path, len(kept))
+		}
+	}
+	if verbose && suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "# %d finding(s) suppressed by //nestedlint:ignore\n", suppressed)
+	}
+	return findings, nil
+}

@@ -1,0 +1,198 @@
+// Package analysis is nestedlint's analyzer framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) on top of the standard
+// library's go/ast and go/types, plus the two source directives the
+// suite understands:
+//
+//	//nestedlint:hotpath
+//	    on a function's doc comment: the function (and everything it
+//	    calls within its package) is a steady-state walk path and must
+//	    not heap-allocate. Enforced by the hotpathalloc analyzer.
+//
+//	//nestedlint:ignore <reason>
+//	    on or immediately above a flagged line: suppress diagnostics on
+//	    that line. The reason is mandatory; a bare ignore is itself a
+//	    finding. Use only where the comment can justify why the
+//	    invariant holds anyway (e.g. "keys are sorted before use").
+//
+// The framework exists because the simulator's invariants — an
+// allocation-free walk hot path and byte-deterministic sweep output —
+// are load-bearing for the paper's evaluation but invisible to the
+// compiler. Encoding them as analyzers turns "a test happened to
+// notice" into "the build fails".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding an analyzer reports.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// AppliesTo filters the packages the driver runs the analyzer on;
+	// nil means every package. Tests bypass the filter by running the
+	// analyzer directly.
+	AppliesTo func(importPath string) bool
+	// Run inspects one type-checked package and reports findings
+	// through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// RunPackage applies a to pkg and returns the raw (unsuppressed)
+// diagnostics in position order.
+func (a *Analyzer) RunPackage(pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.SliceStable(pass.diags, func(i, j int) bool { return pass.diags[i].Pos < pass.diags[j].Pos })
+	return pass.diags, nil
+}
+
+// Directive prefixes. Directive comments use the standard Go
+// `//tool:directive` shape, so gofmt preserves them and godoc hides
+// them.
+const (
+	hotpathDirective = "//nestedlint:hotpath"
+	ignoreDirective  = "//nestedlint:ignore"
+)
+
+// HasHotpathDirective reports whether a function declaration carries
+// the //nestedlint:hotpath directive in its doc comment.
+func HasHotpathDirective(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// IgnoreSet records, per file line, the //nestedlint:ignore directives
+// of one package. A directive suppresses diagnostics on its own line
+// (the trailing-comment form) and on the line that follows (the
+// stand-alone form placed above a long statement).
+type IgnoreSet struct {
+	fset *token.FileSet
+	// lines maps "filename:line" to the directive's reason.
+	lines map[string]string
+	// bare collects directives with no reason: themselves findings.
+	bare []token.Pos
+	// used tracks which directives suppressed something.
+	used map[string]bool
+}
+
+// NewIgnoreSet scans every comment of the package's files.
+func NewIgnoreSet(fset *token.FileSet, files []*ast.File) *IgnoreSet {
+	s := &IgnoreSet{fset: fset, lines: map[string]string{}, used: map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				if reason == "" {
+					s.bare = append(s.bare, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
+				s.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = reason
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether d is covered by an ignore directive,
+// marking the directive used.
+func (s *IgnoreSet) Suppressed(d Diagnostic) bool {
+	pos := s.fset.Position(d.Pos)
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	if _, ok := s.lines[key]; ok {
+		s.used[key] = true
+		return true
+	}
+	return false
+}
+
+// BareDirectives returns findings for //nestedlint:ignore directives
+// that carry no reason: the escape hatch must always justify itself.
+func (s *IgnoreSet) BareDirectives() []Diagnostic {
+	var out []Diagnostic
+	for _, pos := range s.bare {
+		out = append(out, Diagnostic{
+			Pos:      pos,
+			Message:  "//nestedlint:ignore requires a reason explaining why the invariant still holds",
+			Analyzer: "nestedlint",
+		})
+	}
+	return out
+}
+
+// deterministicPackages are the packages whose output must be
+// byte-identical across runs and -parallel settings: the sweep engine
+// and everything that renders the evaluation (see detrange).
+var deterministicPackages = map[string]bool{
+	"nestedecpt/internal/sim":      true,
+	"nestedecpt/internal/report":   true,
+	"nestedecpt/internal/runner":   true,
+	"nestedecpt/internal/stats":    true,
+	"nestedecpt/internal/workload": true,
+}
+
+// All returns the analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotpathAlloc,
+		DetRange,
+		ScratchAlias,
+		StatsGuard,
+	}
+}

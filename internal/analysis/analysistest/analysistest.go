@@ -1,0 +1,183 @@
+// Package analysistest runs a nestedlint analyzer over a golden
+// testdata package and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// Expectations are written as trailing comments on the offending line:
+//
+//	m[k] = v // want `map write`
+//	x, y := f(), g() // want `first finding` `second finding`
+//
+// Each backquoted (or double-quoted) string is a regular expression
+// that must match the message of exactly one diagnostic reported on
+// that line. Diagnostics suppressed by //nestedlint:ignore directives
+// are dropped before matching, so golden packages can also exercise
+// the escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nestedecpt/internal/analysis"
+)
+
+// wantRE captures the expectation list of one want comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one unmatched // want pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads the package rooted at dir (relative to the test's working
+// directory), applies a, and reports every mismatch between the
+// diagnostics and the package's // want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	moduleRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("resolving %s: %v", dir, err)
+	}
+	rel, err := filepath.Rel(moduleRoot, abs)
+	if err != nil {
+		t.Fatalf("relativizing %s: %v", abs, err)
+	}
+	pkgs, err := analysis.Load(moduleRoot, "./"+filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+
+	diags, err := a.RunPackage(pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	ignores := analysis.NewIgnoreSet(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.Suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	expected := collectWants(t, pkg)
+	matchDiagnostics(t, pkg.Fset, a.Name, diags, expected)
+}
+
+// collectWants parses every // want comment in the package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitWantPatterns extracts the quoted patterns of one want comment.
+func splitWantPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Walk to the closing quote, honoring escapes.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i >= len(s) {
+				return append(out, s[1:])
+			}
+			if unq, err := strconv.Unquote(s[:i+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// matchDiagnostics pairs diagnostics with expectations one-to-one.
+func matchDiagnostics(t *testing.T, fset *token.FileSet, name string, diags []analysis.Diagnostic, expected []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for i, e := range expected {
+			if e == nil || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				expected[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", relPath(pos.Filename), pos.Line, name, d.Message)
+		}
+	}
+	var missing []string
+	for _, e := range expected {
+		if e != nil {
+			missing = append(missing, fmt.Sprintf("%s:%d: no %s diagnostic matching %q", relPath(e.file), e.line, name, e.re))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+// relPath trims the working directory off absolute testdata paths for
+// readable failures.
+func relPath(p string) string {
+	if wd, err := filepath.Abs("."); err == nil {
+		if r, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return p
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedecpt/internal/analysis"
+	"nestedecpt/internal/analysis/analysistest"
+)
+
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, analysis.DetRange, "testdata/src/detrangetest")
+}
+
+// TestDetRangeAppliesTo pins the deterministic-output package list: a
+// package silently dropping off this list would disable the analyzer
+// for it without any test noticing.
+func TestDetRangeAppliesTo(t *testing.T) {
+	for _, path := range []string{
+		"nestedecpt/internal/sim",
+		"nestedecpt/internal/report",
+		"nestedecpt/internal/runner",
+		"nestedecpt/internal/stats",
+		"nestedecpt/internal/workload",
+	} {
+		if !analysis.DetRange.AppliesTo(path) {
+			t.Errorf("DetRange must apply to %s", path)
+		}
+	}
+	for _, path := range []string{
+		"nestedecpt/internal/core",
+		"nestedecpt/internal/workload/sub",
+		"nestedecpt/cmd/nestedsim",
+	} {
+		if analysis.DetRange.AppliesTo(path) {
+			t.Errorf("DetRange must not apply to %s", path)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+//nestedlint:hotpath
+func hot() {}
+
+// doc comment first.
+//
+//nestedlint:hotpath
+func hotWithDoc() {}
+
+// nestedlint:hotpath
+func spacedOut() {}
+
+func cold() {}
+
+func body() {
+	x := 1 //nestedlint:ignore trailing justification
+	//nestedlint:ignore stand-alone justification
+	y := 2
+	//nestedlint:ignore
+	z := 3
+	_, _, _ = x, y, z
+}
+`
+
+func parseDirectiveFile(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestHasHotpathDirective(t *testing.T) {
+	_, f := parseDirectiveFile(t)
+	want := map[string]bool{
+		"hot":        true,
+		"hotWithDoc": true,
+		// A space after // makes it prose, not a directive — exactly the
+		// gofmt rule.
+		"spacedOut": false,
+		"cold":      false,
+		"body":      false,
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if got := HasHotpathDirective(fd); got != want[fd.Name.Name] {
+			t.Errorf("HasHotpathDirective(%s) = %v, want %v", fd.Name.Name, got, want[fd.Name.Name])
+		}
+	}
+}
+
+func TestIgnoreSet(t *testing.T) {
+	fset, f := parseDirectiveFile(t)
+	ignores := NewIgnoreSet(fset, []*ast.File{f})
+
+	lineOf := func(name string) token.Pos {
+		var pos token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name && pos == token.NoPos {
+				pos = id.Pos()
+			}
+			return true
+		})
+		if pos == token.NoPos {
+			t.Fatalf("identifier %s not found", name)
+		}
+		return pos
+	}
+
+	for name, suppressed := range map[string]bool{
+		"x": true,  // trailing directive on the same line
+		"y": true,  // stand-alone directive on the line above
+		"z": false, // the bare directive above z carries no reason
+	} {
+		d := Diagnostic{Pos: lineOf(name), Message: "m", Analyzer: "a"}
+		if got := ignores.Suppressed(d); got != suppressed {
+			t.Errorf("Suppressed(line of %s) = %v, want %v", name, got, suppressed)
+		}
+	}
+
+	bare := ignores.BareDirectives()
+	if len(bare) != 1 {
+		t.Fatalf("BareDirectives returned %d findings, want 1 (the reason-less ignore)", len(bare))
+	}
+	if got := fset.Position(bare[0].Pos).Line; got != 20 {
+		t.Errorf("bare directive reported at line %d, want 20", got)
+	}
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc enforces the simulator's central performance invariant:
+// functions marked //nestedlint:hotpath — the steady-state walk, probe,
+// MMU-cache, and DRAM paths — and everything they call within their own
+// package must not heap-allocate. The runtime counterpart is the
+// testing.AllocsPerRun pins in alloc_test.go; this analyzer fails the
+// build at the construct, not the symptom.
+//
+// Flagged constructs: make/new, slice and map literals, &T{...}
+// composite literals, append outside caller-owned scratch (the first
+// argument must be a parameter or a field of the receiver), map
+// writes, fmt/errors calls, string concatenation, string<->[]byte
+// conversions, closures, go statements, and implicit conversions of
+// non-pointer concrete values to interfaces (boxing).
+//
+// Two escapes are deliberate: composite literals of error types are
+// exempt (fault returns are cold — the simulator pre-faults pages
+// before timed walks), and //nestedlint:ignore suppresses a line with
+// a stated justification. Calls through interfaces and function values
+// are not traced; keep hot interface implementations annotated.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid heap allocation in //nestedlint:hotpath functions and their intra-package callees",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+					order = append(order, fd)
+				}
+			}
+		}
+	}
+
+	// Seed the hot set with annotated functions, then propagate along
+	// static intra-package calls: a helper reached from a hot path is a
+	// hot path.
+	root := map[*ast.FuncDecl]string{}
+	var queue []*ast.FuncDecl
+	for _, fd := range order {
+		if HasHotpathDirective(fd) {
+			root[fd] = fd.Name.Name
+			queue = append(queue, fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := decls[callee]
+			if !ok {
+				return true
+			}
+			if _, seen := root[target]; !seen {
+				root[target] = root[fd]
+				queue = append(queue, target)
+			}
+			return true
+		})
+	}
+
+	for _, fd := range order {
+		if from, ok := root[fd]; ok {
+			checkHotFunc(pass, fd, from)
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves a call to the *types.Func it statically
+// invokes, or nil for builtins, conversions, and dynamic calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkHotFunc reports every allocating construct in one hot function.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string) {
+	where := fd.Name.Name
+	if where != root {
+		where += " (reached from hotpath " + root + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path %s", what, where)
+	}
+
+	// Caller-owned scratch: the receiver, parameters, and fields of the
+	// receiver may be append targets; anything else allocates on growth
+	// with no owner to amortize it.
+	params := map[types.Object]bool{}
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+		params[recv] = true
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			params[pass.Info.Defs[name]] = true
+		}
+	}
+
+	var sig *types.Signature
+	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		sig = fn.Type().(*types.Signature)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, params, recv, report)
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					if !isErrorType(pass.Info.TypeOf(n)) {
+						report(lit.Pos(), "&composite literal escapes to the heap")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := pass.Info.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+						report(lhs.Pos(), "map write allocates and re-hashes")
+					}
+				}
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if boxes(pass.Info, n.Rhs[i], pass.Info.TypeOf(n.Lhs[i])) {
+						report(n.Rhs[i].Pos(), "assignment boxes a concrete value into an interface")
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				if _, isMap := pass.Info.TypeOf(idx.X).Underlying().(*types.Map); isMap {
+					report(n.Pos(), "map write allocates and re-hashes")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					if boxes(pass.Info, res, sig.Results().At(i).Type()) {
+						report(res.Pos(), "return boxes a concrete value into an interface")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t, ok := pass.Info.TypeOf(n).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+					report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped allocation sources: builtins,
+// conversions, banned packages, and argument boxing.
+func checkHotCall(pass *Pass, call *ast.CallExpr, params map[types.Object]bool, recv types.Object, report func(token.Pos, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				if len(call.Args) > 0 && !isScratch(pass.Info, call.Args[0], params, recv) {
+					report(call.Pos(), "append outside caller-owned scratch allocates")
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if allocatingConversion(tv.Type, pass.Info.TypeOf(call.Args[0])) {
+			report(call.Pos(), "string/byte-slice conversion allocates")
+		}
+		return
+	}
+	if callee := staticCallee(pass.Info, call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "fmt", "errors":
+			report(call.Pos(), "call to "+callee.Pkg().Path()+"."+callee.Name()+" allocates")
+			return
+		}
+	}
+	if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok {
+		checkArgBoxing(pass, call, sig, report)
+	}
+}
+
+// checkArgBoxing flags arguments implicitly converted to interface
+// parameters — each such conversion of a non-pointer value allocates.
+func checkArgBoxing(pass *Pass, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string)) {
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a spread slice passes through unboxed
+			}
+			paramType = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			paramType = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass.Info, arg, paramType) {
+			report(arg.Pos(), "argument boxes a concrete value into an interface")
+		}
+	}
+}
+
+// isScratch reports whether expr denotes caller-owned scratch: a
+// parameter (or a re-slicing of one) or a field of the receiver.
+func isScratch(info *types.Info, expr ast.Expr, params map[types.Object]bool, recv types.Object) bool {
+	e := ast.Unparen(expr)
+	for {
+		s, ok := e.(*ast.SliceExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(s.X)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return params[info.ObjectOf(x)]
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return recv != nil && info.ObjectOf(base) == recv
+		}
+	}
+	return false
+}
+
+// allocatingConversion reports conversions that copy memory:
+// string <-> []byte/[]rune in either direction.
+func allocatingConversion(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	isString := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+// boxes reports whether assigning expr to a destination of type dst
+// wraps a non-pointer concrete value in an interface, which allocates.
+// Pointer-shaped values (pointers, maps, channels, functions) fit in
+// the interface word without copying.
+func boxes(info *types.Info, expr ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// isErrorType reports whether t implements the error interface — the
+// cold-fault-path exemption for composite literals.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ScratchAlias polices the lifetime contract of the Append* scratch
+// APIs (ecpt.AppendProbes, radix.AppendWalk, and any future sibling):
+// the returned slice aliases caller-provided scratch that the next
+// call re-slices from zero, so it is only valid until the walker's
+// next probe group. Retaining it anywhere that outlives the call —
+// a package-level variable, or a field of any object other than the
+// walker that owns the scratch — is an aliasing bug that corrupts
+// probe plans once the buffer is rewritten (exactly the class of bug
+// the parallel probe plans of §3.1 cannot tolerate).
+//
+// Allowed sinks: local variables, fields of the method's own receiver
+// (the owning walker), and returning the slice to the caller (which
+// transfers the same contract upward, as AppendProbes itself does).
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc:  "forbid retaining Append*-returned scratch slices in globals or foreign struct fields",
+	Run:  runScratchAlias,
+}
+
+func runScratchAlias(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var recv types.Object
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok || len(assign.Lhs) != len(assign.Rhs) {
+					return true
+				}
+				for i := range assign.Rhs {
+					if !isScratchCall(pass, assign.Rhs[i]) {
+						continue
+					}
+					checkScratchSink(pass, assign.Lhs[i], recv)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isScratchCall reports whether expr is a call to an Append*-named
+// function or method returning a slice.
+func isScratchCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := staticCallee(pass.Info, call)
+	if callee == nil || !strings.HasPrefix(callee.Name(), "Append") {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	_, isSlice := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+// checkScratchSink flags lhs when it stores the scratch slice outside
+// the owning walker.
+func checkScratchSink(pass *Pass, lhs ast.Expr, recv types.Object) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.ObjectOf(x).(*types.Var); ok {
+			// A package-level variable outlives every call.
+			if obj.Parent() == pass.Pkg.Scope() {
+				pass.Reportf(lhs.Pos(), "scratch slice from %s stored in package-level variable %s; it is invalidated by the next Append call", "Append*", x.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(x.X).(*ast.Ident)
+		if ok && recv != nil && pass.Info.ObjectOf(base) == recv {
+			return // the owning walker refreshing its own scratch field
+		}
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Obj() != nil {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				pass.Reportf(lhs.Pos(), "scratch slice from Append* retained in field %s outside the owning walker; copy it if it must outlive the call", v.Name())
+				return
+			}
+		}
+		// Selector on a package (pkg.Global) resolves through ObjectOf.
+		if obj, ok := pass.Info.ObjectOf(x.Sel).(*types.Var); ok && !obj.IsField() && obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			pass.Reportf(lhs.Pos(), "scratch slice from Append* stored in package-level variable %s; it is invalidated by the next Append call", obj.Name())
+		}
+	case *ast.IndexExpr:
+		// Storing into a longer-lived container: flag writes into
+		// package-level or field-held containers, by checking the base.
+		checkScratchSink(pass, x.X, recv)
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedecpt/internal/analysis"
+	"nestedecpt/internal/analysis/analysistest"
+)
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, analysis.ScratchAlias, "testdata/src/scratchtest")
+}

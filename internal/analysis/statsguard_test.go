@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedecpt/internal/analysis"
+	"nestedecpt/internal/analysis/analysistest"
+)
+
+func TestStatsGuard(t *testing.T) {
+	analysistest.Run(t, analysis.StatsGuard, "testdata/src/statsguardtest")
+}
+
+// TestStatsGuardSkipsStatsItself: the stats package is the one place
+// allowed to touch its own fields.
+func TestStatsGuardSkipsStatsItself(t *testing.T) {
+	if analysis.StatsGuard.AppliesTo("nestedecpt/internal/stats") {
+		t.Fatal("StatsGuard must not apply to internal/stats itself")
+	}
+	if !analysis.StatsGuard.AppliesTo("nestedecpt/internal/mmucache") {
+		t.Fatal("StatsGuard must apply to every other package")
+	}
+}

@@ -1,0 +1,56 @@
+// Package detrangetest is the golden corpus for the detrange
+// analyzer: nondeterministic constructs it must flag in
+// deterministic-output packages, and the seeded/sorted idioms it must
+// accept.
+package detrangetest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	for i := range []int{1, 2} { // slices range deterministically
+		sum += i
+	}
+	return sum
+}
+
+func clock() int64 {
+	t := time.Now()    // want `time.Now leaks wall-clock`
+	d := time.Since(t) // want `time.Since leaks wall-clock`
+	_ = d
+	return t.Unix()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand.Intn draws from the process-global source`
+}
+
+func shuffledGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle draws from the process-global source`
+}
+
+// seededRand is the approved pattern: a private generator whose stream
+// depends only on the caller-supplied seed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// sortedKeys is the approved map-iteration pattern, with the justified
+// escape hatch on the range itself.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//nestedlint:ignore iteration order is erased by the sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,51 @@
+// Package scratchtest is the golden corpus for the scratchalias
+// analyzer: legal sinks for Append*-returned scratch slices (locals,
+// the owning walker's own fields, returns) and the retention bugs it
+// must flag (globals, foreign struct fields).
+package scratchtest
+
+type step struct{ pa uint64 }
+
+type table struct{}
+
+// AppendSteps mimics ecpt.AppendProbes / radix.AppendWalk: it extends
+// caller scratch and returns the same backing storage.
+func (t *table) AppendSteps(dst []step, va uint64) []step {
+	return append(dst, step{pa: va})
+}
+
+type walker struct {
+	tbl     *table
+	scratch []step
+}
+
+type other struct {
+	steps []step
+}
+
+var global []step
+
+func (w *walker) ok(va uint64) int {
+	w.scratch = w.tbl.AppendSteps(w.scratch[:0], va) // owning walker refreshing its scratch
+	local := w.tbl.AppendSteps(nil, va)              // locals die with the call
+	return len(local)
+}
+
+// ret forwards the scratch contract to its caller, as AppendSteps
+// itself does.
+func (w *walker) ret(va uint64) []step {
+	return w.tbl.AppendSteps(w.scratch[:0], va)
+}
+
+func (w *walker) leakGlobal(va uint64) {
+	global = w.tbl.AppendSteps(nil, va) // want `package-level variable`
+}
+
+func (w *walker) leakForeign(o *other, va uint64) {
+	o.steps = w.tbl.AppendSteps(w.scratch[:0], va) // want `outside the owning walker`
+}
+
+func (w *walker) justified(o *other, va uint64) {
+	//nestedlint:ignore o is constructed fresh per call and never outlives this frame
+	o.steps = w.tbl.AppendSteps(nil, va)
+}

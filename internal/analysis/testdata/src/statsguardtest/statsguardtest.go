@@ -1,0 +1,38 @@
+// Package statsguardtest is the golden corpus for the statsguard
+// analyzer: reads, API updates, and wholesale construction of
+// internal/stats values are legal; field-level writes (and taking a
+// field's address, which hands out a write capability) are not.
+package statsguardtest
+
+import "nestedecpt/internal/stats"
+
+type mmu struct {
+	c stats.Counter
+	h *stats.Histogram
+}
+
+func (m *mmu) ok(hit bool) uint64 {
+	m.c.Record(hit) // API update
+	if m.h == nil {
+		m.h = stats.NewHistogram(10)
+	}
+	m.h.Observe(42)
+	m.c = stats.Counter{}                     // wholesale re-initialization
+	snap := stats.Counter{Hits: 1, Misses: 2} // seeding a snapshot
+	return m.c.Hits + snap.Misses             // reads are unrestricted
+}
+
+func (m *mmu) bad() {
+	m.c.Hits++     // want `direct write to stats field Hits`
+	m.c.Misses = 3 // want `direct write to stats field Misses`
+	p := &m.c.Hits // want `direct write to stats field Hits`
+	_ = p
+	var s stats.Series
+	s.Points = append(s.Points, 1) // want `direct write to stats field Points`
+	_ = s.Points
+}
+
+func (m *mmu) justified() {
+	//nestedlint:ignore test fixture seeds raw counters to probe rendering edge cases
+	m.c.Hits = 7
+}

@@ -243,6 +243,8 @@ func (s ServiceLevel) String() string {
 // starting at core cycle now, and returns its latency in core cycles
 // and the level that serviced it. Writes are modelled as write-allocate
 // with the same timing as reads.
+//
+//nestedlint:hotpath
 func (h *Hierarchy) Access(now uint64, pa uint64, src Source) (lat uint64, served ServiceLevel) {
 	line := pa / addr.CacheLineBytes
 	if h.l1.lookup(line, src) {
@@ -268,6 +270,8 @@ func (h *Hierarchy) Access(now uint64, pa uint64, src Source) (lat uint64, serve
 // step of a nested ECPT walk). Requests are staggered by the issue gap;
 // the group's latency is the completion time of its slowest member.
 // The group's L2/L3 miss counts feed the MSHR occupancy statistics.
+//
+//nestedlint:hotpath
 func (h *Hierarchy) AccessParallel(now uint64, pas []uint64, src Source) uint64 {
 	if len(pas) == 0 {
 		return 0

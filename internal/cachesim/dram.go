@@ -95,6 +95,8 @@ func log2(v uint64) uint {
 // Access services a line fill for physical address pa arriving at core
 // cycle now and returns its latency in core cycles (including any time
 // queued behind earlier requests to the same bank).
+//
+//nestedlint:hotpath
 func (d *DRAM) Access(now uint64, pa uint64) uint64 {
 	d.stats.Accesses++
 	// Interleave consecutive rows across channels then banks, the usual

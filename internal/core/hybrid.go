@@ -54,10 +54,10 @@ type Hybrid struct {
 	mem   MemSystem
 	guest *kernel.Kernel
 	host  *hypervisor.Hypervisor
-	pwc  *pwc
-	ntlb *mmucache.Cache
-	hcwc *CWC
-	st   HybridStats
+	pwc   *pwc
+	ntlb  *mmucache.Cache
+	hcwc  *CWC
+	st    HybridStats
 	// scratch, reused across walks to keep the hot path allocation-free.
 	paBuf    []uint64
 	probeBuf []ecpt.Probe
@@ -138,6 +138,8 @@ func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) 
 
 // Walk implements Walker: Figure 8's nine sequential steps in the
 // worst case (4 × (host step + guest read) + final host step).
+//
+//nestedlint:hotpath
 func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Walks++
 	var res WalkResult

@@ -75,6 +75,8 @@ func (w *NativeECPT) ResetStats() {
 
 // Walk implements Walker: one CWC consult, then one parallel group of
 // ECPT probes.
+//
+//nestedlint:hotpath
 func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Walks++
 	var res WalkResult

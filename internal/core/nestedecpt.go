@@ -198,6 +198,8 @@ func (w *NestedECPT) ResetStats() {
 }
 
 // Walk implements Walker: the three-step nested ECPT walk of Figure 6.
+//
+//nestedlint:hotpath
 func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.maybeAdapt(now)
 	w.st.Walks++

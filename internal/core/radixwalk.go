@@ -138,6 +138,8 @@ func NewNativeRadix(cfg RadixWalkConfig, mem MemSystem, kern *kernel.Kernel) *Na
 func (w *NativeRadix) Name() string { return "Radix" }
 
 // Walk implements Walker.
+//
+//nestedlint:hotpath
 func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	var ok bool
@@ -239,6 +241,8 @@ func (w *NestedRadix) translateTablePage(now uint64, entryGPA uint64, res *WalkR
 }
 
 // Walk implements Walker: up to 24 sequential memory accesses.
+//
+//nestedlint:hotpath
 func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	var ok bool

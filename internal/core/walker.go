@@ -113,5 +113,7 @@ func (c WalkClass) String() string {
 	case WalkComplete:
 		return "Complete"
 	}
-	return fmt.Sprintf("WalkClass(%d)", uint8(c))
+	// Static fallback: String is on the walk hot path via the per-walk
+	// class distributions, so it must not reach fmt.
+	return "WalkClass(invalid)"
 }

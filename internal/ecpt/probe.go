@@ -33,6 +33,8 @@ const AllWays = -1
 // is the table's hot read path: with a caller-reused dst it performs
 // no allocation, mirroring the fixed probe registers the paper's
 // hardware walkers reuse across steps (§3.1).
+//
+//nestedlint:hotpath
 func (t *Table) AppendProbes(dst []Probe, vpn uint64, way int) []Probe {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	for w := 0; w < t.cfg.Ways; w++ {

@@ -67,6 +67,8 @@ func (c *Cache) find(key uint64) int {
 }
 
 // Lookup probes the cache, recording a hit or miss.
+//
+//nestedlint:hotpath
 func (c *Cache) Lookup(key uint64) (value uint64, ok bool) {
 	c.clock++
 	if i := c.find(key); i >= 0 {
@@ -87,6 +89,8 @@ func (c *Cache) Peek(key uint64) (value uint64, ok bool) {
 }
 
 // Insert adds or updates an entry, evicting the LRU entry when full.
+//
+//nestedlint:hotpath
 func (c *Cache) Insert(key, value uint64) {
 	c.clock++
 	if i := c.find(key); i >= 0 {

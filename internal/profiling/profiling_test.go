@@ -1,0 +1,137 @@
+package profiling_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"nestedecpt/internal/profiling"
+)
+
+// The CPU profiler buffers samples until StopCPUProfile, so a process
+// that exits without calling stop leaves a truncated, unreadable file.
+// These tests re-exec the test binary and drive the three exit paths
+// the CLIs have — normal return, flag-parse error, and panic with
+// recover — asserting that the profiles on disk are complete on every
+// one of them.
+
+const helperEnv = "NESTEDECPT_PROFILING_HELPER"
+
+// TestHelperProcess is not a real test: it is the body of the
+// subprocess. It runs only when re-exec'd with helperEnv set.
+func TestHelperProcess(t *testing.T) {
+	scenario := os.Getenv(helperEnv)
+	if scenario == "" {
+		t.Skip("helper process body; set " + helperEnv + " to run")
+	}
+	cpu := os.Getenv("NESTEDECPT_PROFILING_CPU")
+	mem := os.Getenv("NESTEDECPT_PROFILING_MEM")
+	stop, err := profiling.Start(cpu, mem)
+	if err != nil {
+		os.Stderr.WriteString(err.Error() + "\n")
+		os.Exit(4)
+	}
+	exit := func(code int) {
+		if err := stop(); err != nil {
+			os.Stderr.WriteString(err.Error() + "\n")
+			os.Exit(5)
+		}
+		os.Exit(code)
+	}
+	// Burn a little CPU and heap so the profiles carry samples.
+	work := make([]uint64, 1<<12)
+	for i := 0; i < 1<<20; i++ {
+		work[i%len(work)] ^= uint64(i) * 0x9E3779B97F4A7C15
+	}
+	_ = work
+	switch scenario {
+	case "normal":
+		exit(0)
+	case "flagerror":
+		// Mirrors the CLIs' flag-validation failure: usage to stderr,
+		// profiles still flushed, conventional exit code 2.
+		os.Stderr.WriteString("usage: bad flag\n")
+		exit(2)
+	case "panic":
+		defer func() {
+			if recover() != nil {
+				exit(3)
+			}
+		}()
+		panic("simulated crash")
+	default:
+		os.Stderr.WriteString("unknown scenario " + scenario + "\n")
+		os.Exit(6)
+	}
+}
+
+// gzipMagic prefixes every pprof profile: they are gzip-compressed
+// protobufs, and a truncated CPU profile (stop never called) fails
+// this check because the StartCPUProfile header is only flushed on
+// stop.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+func checkProfile(t *testing.T, path, kind string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s profile: %v", kind, err)
+	}
+	if len(raw) < len(gzipMagic) || !bytes.Equal(raw[:2], gzipMagic) {
+		t.Errorf("%s profile %s: not a gzipped profile (%d bytes, prefix % x)",
+			kind, path, len(raw), raw[:min(len(raw), 2)])
+	}
+}
+
+func TestProfilesFlushedOnAllExitPaths(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []struct {
+		name     string
+		wantExit int
+	}{
+		{"normal", 0},
+		{"flagerror", 2},
+		{"panic", 3},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cpu := filepath.Join(dir, "cpu.pprof")
+			mem := filepath.Join(dir, "mem.pprof")
+			cmd := exec.Command(exe, "-test.run", "^TestHelperProcess$")
+			cmd.Env = append(os.Environ(),
+				helperEnv+"="+sc.name,
+				"NESTEDECPT_PROFILING_CPU="+cpu,
+				"NESTEDECPT_PROFILING_MEM="+mem,
+			)
+			out, err := cmd.CombinedOutput()
+			exit := cmd.ProcessState.ExitCode()
+			if exit != sc.wantExit {
+				t.Fatalf("exit = %d, want %d (err %v)\noutput:\n%s", exit, sc.wantExit, err, out)
+			}
+			checkProfile(t, cpu, "cpu")
+			checkProfile(t, mem, "heap")
+		})
+	}
+}
+
+// TestStartErrors pins the error paths that must not leave a profiler
+// running: an uncreatable CPU path fails up front, and an empty
+// configuration yields a no-op stop.
+func TestStartErrors(t *testing.T) {
+	if _, err := profiling.Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("Start with uncreatable cpu path: want error, got nil")
+	}
+	stop, err := profiling.Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("no-op stop: %v", err)
+	}
+}

@@ -160,6 +160,8 @@ type Step struct {
 // the last returned step (the hardware still performed those accesses).
 // Walkers pass per-walker scratch (dst[:0]) so the steady state walk
 // performs no allocation.
+//
+//nestedlint:hotpath
 func (t *Table) AppendWalk(dst []Step, va uint64) (steps []Step, ok bool) {
 	n := t.root
 	for l := addr.L4; l >= addr.L1; l-- {

@@ -110,7 +110,8 @@ func Run[T any](ctx context.Context, tasks []Task[T], opts Options) []Result[T] 
 		progMu   sync.Mutex
 		done     int
 		totalDur time.Duration
-		start    = time.Now()
+		//nestedlint:ignore elapsed/ETA feed the Progress stream only, never deterministic results
+		start = time.Now()
 	)
 	indices := make(chan int)
 	workers := opts.parallelism(len(tasks))
@@ -137,6 +138,7 @@ func Run[T any](ctx context.Context, tasks []Task[T], opts Options) []Result[T] 
 		}
 		fmt.Fprintf(opts.Progress, "# %s %d/%d %s %-40s %7.2fs elapsed %5.1fs eta %5.1fs\n",
 			label, done, len(tasks), status, results[i].Name,
+			//nestedlint:ignore elapsed/ETA feed the Progress stream only, never deterministic results
 			results[i].Duration.Seconds(), time.Since(start).Seconds(), remain.Seconds())
 	}
 
@@ -186,8 +188,10 @@ func execute[T any](ctx context.Context, t Task[T], timeout time.Duration) (res 
 		tctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	//nestedlint:ignore Result.Duration feeds progress reporting only; renderers never print it
 	start := time.Now()
 	defer func() {
+		//nestedlint:ignore Result.Duration feeds progress reporting only; renderers never print it
 		res.Duration = time.Since(start)
 		if r := recover(); r != nil {
 			stack := make([]byte, 64<<10)

@@ -218,6 +218,7 @@ func (d *Distribution) Total() uint64 { return d.total }
 // Categories returns the category names in sorted order.
 func (d *Distribution) Categories() []string {
 	out := make([]string, 0, len(d.counts))
+	//nestedlint:ignore iteration order is erased by the sort below before any key is observable
 	for k := range d.counts {
 		out = append(out, k)
 	}

@@ -47,6 +47,8 @@ func New(table, way int) Func {
 // single hottest function of the simulator. The digests are
 // bit-identical to the crc64.Update path (pinned by the equivalence
 // test and the vhash fuzz corpus).
+//
+//nestedlint:hotpath
 func (f Func) Hash(key uint64) uint64 {
 	k := key ^ f.seed
 	crc := ^f.seed
