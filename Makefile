@@ -3,8 +3,11 @@
 #   make check   lint + build + full test suite
 #   make lint    static analysis gate: go vet, staticcheck (when
 #                installed), and cmd/nestedlint — the custom analyzer
-#                suite enforcing the hot-path and determinism
-#                invariants (README.md, "Static analysis")
+#                suite enforcing the hot-path, determinism, and
+#                typed-address (addrspace: no unsanctioned GVA/GPA/HPA
+#                crossings) invariants (README.md, "Static analysis");
+#                `go run ./cmd/nestedlint -analyzer=addrspace -json ./...`
+#                isolates one analyzer with machine-readable output
 #   make race    race-detector tier (small, targeted: the sweep engine
 #                and the simulation core, at short test settings)
 #   make bench   the evaluation benchmarks, including the sweep-engine
@@ -66,6 +69,7 @@ bench:
 # it.
 FUZZ_TARGETS = \
 	FuzzAddrArithmetic:./internal/addr \
+	FuzzTranslateRoundTrip:./internal/addr \
 	FuzzCanonicalGVA:./internal/addr \
 	FuzzHashStability:./internal/vhash \
 	FuzzRNGStreams:./internal/vhash

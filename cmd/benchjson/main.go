@@ -96,7 +96,7 @@ func benchWalk(design sim.Design, app string, thp bool) (walkEntry, error) {
 	}
 	var vas []addr.GVA
 	for i := uint64(0); i < 8192 && len(vas) < 1024; i++ {
-		va := addr.GVA(0x4000_0000_0000 + i*4096)
+		va := addr.Add(addr.GVA(0x4000_0000_0000), i*4096)
 		if _, err := m.Walker().Walk(walkBenchNow, va); err == nil {
 			vas = append(vas, va)
 		}

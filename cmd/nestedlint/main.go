@@ -1,18 +1,23 @@
 // Command nestedlint is the repository's multichecker: it runs the
-// internal/analysis suite — hotpathalloc, detrange, scratchalias, and
-// statsguard — over the named packages and exits non-zero on any
-// unsuppressed finding. `make lint` runs it over ./... as a tier-1
-// gate; see README.md ("Static analysis") for the invariants and the
-// //nestedlint:hotpath and //nestedlint:ignore directives.
+// internal/analysis suite — hotpathalloc, detrange, scratchalias,
+// statsguard, and addrspace — over the named packages and exits
+// non-zero on any unsuppressed finding. `make lint` runs it over ./...
+// as a tier-1 gate; see README.md ("Static analysis") for the
+// invariants and the //nestedlint:hotpath, //nestedlint:ignore, and
+// //nestedlint:domaincast directives.
 //
 // Usage:
 //
-//	nestedlint [-list] [-v] [packages]
+//	nestedlint [-list] [-v] [-analyzer=NAME] [-json] [packages]
 //
 // Packages default to ./... relative to the enclosing module root.
+// -analyzer restricts the run to one analyzer (CI isolates addrspace
+// this way); -json emits findings as a JSON array on stdout for
+// machine consumption instead of the file:line:col text form.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +26,20 @@ import (
 	"nestedecpt/internal/analysis"
 )
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	verbose := flag.Bool("v", false, "report per-package progress and suppressed-finding counts")
+	only := flag.String("analyzer", "", "run only the named analyzer (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -33,8 +49,21 @@ func main() {
 		}
 		return
 	}
+	if *only != "" {
+		var picked []*analysis.Analyzer
+		for _, a := range analyzers {
+			if a.Name == *only {
+				picked = append(picked, a)
+			}
+		}
+		if len(picked) == 0 {
+			fmt.Fprintf(os.Stderr, "nestedlint: unknown analyzer %q (see -list)\n", *only)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
 
-	findings, err := run(analyzers, flag.Args(), *verbose)
+	findings, err := run(analyzers, flag.Args(), *verbose, *jsonOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nestedlint:", err)
 		os.Exit(2)
@@ -46,8 +75,9 @@ func main() {
 }
 
 // run loads the packages, applies every applicable analyzer, prints
-// unsuppressed diagnostics, and returns how many there were.
-func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, error) {
+// unsuppressed diagnostics (as text or JSON), and returns how many
+// there were.
+func run(analyzers []*analysis.Analyzer, patterns []string, verbose, jsonOut bool) (int, error) {
 	moduleRoot, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		return 0, err
@@ -58,6 +88,7 @@ func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, 
 	}
 
 	findings, suppressed := 0, 0
+	jsonFindings := []finding{}
 	for _, pkg := range pkgs {
 		ignores := analysis.NewIgnoreSet(pkg.Fset, pkg.Files)
 		var diags []analysis.Diagnostic
@@ -83,6 +114,16 @@ func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, 
 		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
 		for _, d := range kept {
 			pos := pkg.Fset.Position(d.Pos)
+			if jsonOut {
+				jsonFindings = append(jsonFindings, finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+				continue
+			}
 			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
 		}
 		findings += len(kept)
@@ -92,6 +133,13 @@ func run(analyzers []*analysis.Analyzer, patterns []string, verbose bool) (int, 
 	}
 	if verbose && suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "# %d finding(s) suppressed by //nestedlint:ignore\n", suppressed)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonFindings); err != nil {
+			return findings, err
+		}
 	}
 	return findings, nil
 }

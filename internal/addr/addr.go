@@ -12,6 +12,16 @@
 // The package also implements the radix-level index extraction of the
 // x86-64 4-level page-table format and the virtual-page-number (VPN)
 // arithmetic shared by the hashed page-table designs.
+//
+// The page arithmetic is generic over any ~uint64 address domain, so
+// VPN, PageBase, PageOffset, and friends work on any one space without
+// erasing it, while Translate is the single sanctioned crossing from
+// one space into another (a frame in the target space composed with
+// the offset of the source address). The addrspace analyzer
+// (internal/analysis) enforces that discipline everywhere outside this
+// package: conversions between domains, or between a domain and bare
+// uint64, are flagged unless they go through Translate, IdentityHPA,
+// or a function annotated //nestedlint:domaincast <reason>.
 package addr
 
 import "fmt"
@@ -24,6 +34,11 @@ type GPA uint64
 
 // HPA is a host physical address.
 type HPA uint64
+
+// Addr constrains the generic page arithmetic to the address domains
+// (and bare uint64, for domain-agnostic code such as the generic
+// container packages).
+type Addr interface{ ~uint64 }
 
 // PageSize enumerates the x86-64 page sizes modelled by the simulator.
 // The paper names the three ECPTs after the radix level that maps each
@@ -98,19 +113,48 @@ func (s PageSize) LevelName() string {
 // Sizes lists all supported page sizes from smallest to largest.
 func Sizes() [NumPageSizes]PageSize { return [NumPageSizes]PageSize{Page4K, Page2M, Page1G} }
 
-// VPN returns the virtual page number of v for the given page size.
-func VPN(v uint64, s PageSize) uint64 { return v >> s.Shift() }
+// VPN returns the page number of v for the given page size. A page
+// number indexes hash functions and cache tags, so it is a plain
+// uint64, not an address.
+func VPN[A Addr](v A, s PageSize) uint64 { return uint64(v) >> s.Shift() }
 
-// PageBase returns the base address of the page containing v.
-func PageBase(v uint64, s PageSize) uint64 { return v &^ s.OffsetMask() }
+// PageBase returns the base address of the page containing v, in v's
+// own address space.
+func PageBase[A Addr](v A, s PageSize) A { return v &^ A(s.OffsetMask()) }
 
-// PageOffset returns the offset of v within its page.
-func PageOffset(v uint64, s PageSize) uint64 { return v & s.OffsetMask() }
+// PageOffset returns the offset of v within its page. Offsets are
+// space-free byte counts.
+func PageOffset[A Addr](v A, s PageSize) uint64 { return uint64(v) & s.OffsetMask() }
 
 // Translate composes a translated page frame base with the page offset
-// of the original address.
-func Translate(frameBase, v uint64, s PageSize) uint64 {
-	return frameBase | PageOffset(v, s)
+// of the original address. The frame lives in the destination address
+// space and the offset is space-free, so this is the one sanctioned
+// way to cross between domains: gVA→gPA through a guest frame,
+// gPA→hPA through a host frame.
+func Translate[D, S Addr](frameBase D, v S, s PageSize) D {
+	return frameBase | D(PageOffset(v, s))
+}
+
+// Add offsets an address by a space-free byte count without leaving
+// its address space. Workload generators and table-layout code use it
+// to compose a typed base address with an untyped array offset.
+func Add[A Addr](v A, off uint64) A { return v + A(off) }
+
+// IdentityHPA crosses gPA→hPA by identity, for native
+// (non-virtualized) designs where the kernel's "guest-physical"
+// addresses are host-physical: there is no hypervisor and no EPT, so
+// the two spaces coincide.
+func IdentityHPA(pa GPA) HPA { return HPA(pa) }
+
+// CacheLine returns the line number of v: the tag every cache in the
+// hierarchy uses. Line numbers are indices, not addresses.
+func CacheLine[A Addr](v A) uint64 { return uint64(v) / CacheLineBytes }
+
+// LevelPrefix returns the address bits above level l's index — the tag
+// a page-walk cache keys level-l entries by (the 4KB page offset plus
+// l-1 levels of 9-bit indices are dropped).
+func LevelPrefix[A Addr](v A, l RadixLevel) uint64 {
+	return uint64(v) >> (PageShift4K + 9*(uint(l)-1))
 }
 
 // RadixLevel identifies a level of the x86-64 4-level radix tree.
@@ -146,9 +190,8 @@ func (l RadixLevel) String() string {
 // RadixIndex extracts the 9-bit table index for the given level from a
 // virtual address: bits 47-39 for L4 down to bits 20-12 for L1
 // (Figure 1 of the paper).
-func RadixIndex(v uint64, l RadixLevel) uint64 {
-	shift := PageShift4K + 9*(uint(l)-1)
-	return (v >> shift) & 0x1FF
+func RadixIndex[A Addr](v A, l RadixLevel) uint64 {
+	return LevelPrefix(v, l) & 0x1FF
 }
 
 // LeafLevel returns the radix level at which a page of size s is mapped.

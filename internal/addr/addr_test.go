@@ -83,7 +83,7 @@ func TestTranslateComposesOffset(t *testing.T) {
 func TestTranslateRoundTripsThroughBase(t *testing.T) {
 	for _, s := range Sizes() {
 		va := uint64(0x0000_7ABC_DEF0_1234)
-		frame := PageBase(0x1_2345_6789_0000, s)
+		frame := PageBase(uint64(0x1_2345_6789_0000), s)
 		pa := Translate(frame, va, s)
 		if PageBase(pa, s) != frame {
 			t.Errorf("%v: PageBase(Translate) = %#x, want %#x", s, PageBase(pa, s), frame)

@@ -84,6 +84,54 @@ func FuzzAddrArithmetic(f *testing.F) {
 	})
 }
 
+// FuzzTranslateRoundTrip drives a full two-dimensional translation —
+// gVA through a guest frame into gPA, gPA through a host frame into
+// hPA — across every (guest size, host size) pair, and checks that
+// each crossing preserves the source offset, lands in the destination
+// frame, and that IdentityHPA is exactly the identity crossing. This
+// is the contract the walkers' Step-2/Step-3 composition builds on.
+func FuzzTranslateRoundTrip(f *testing.F) {
+	for _, v := range fuzzSeeds {
+		f.Add(v, v*0x9E3779B97F4A7C15, v^0xC2B2AE3D27D4EB4F)
+	}
+	f.Fuzz(func(t *testing.T, v, g, h uint64) {
+		va := GVA(v)
+		for _, gs := range Sizes() {
+			gframe := PageBase(GPA(g), gs)
+			gpa := Translate(gframe, va, gs)
+			if PageBase(gpa, gs) != gframe {
+				t.Fatalf("%v: gPA %#x outside guest frame %#x", gs, uint64(gpa), uint64(gframe))
+			}
+			if PageOffset(gpa, gs) != PageOffset(va, gs) {
+				t.Fatalf("%v: gVA→gPA lost the offset", gs)
+			}
+			for _, hs := range Sizes() {
+				hframe := PageBase(HPA(h), hs)
+				hpa := Translate(hframe, gpa, hs)
+				if PageBase(hpa, hs) != hframe {
+					t.Fatalf("%v/%v: hPA %#x outside host frame %#x", gs, hs, uint64(hpa), uint64(hframe))
+				}
+				if PageOffset(hpa, hs) != PageOffset(gpa, hs) {
+					t.Fatalf("%v/%v: gPA→hPA lost the offset", gs, hs)
+				}
+				// The composed page size is the smaller of the two, and
+				// within it the final hPA still carries the original
+				// guest-virtual offset.
+				min := gs
+				if hs < min {
+					min = hs
+				}
+				if PageOffset(hpa, min) != PageOffset(va, min) {
+					t.Fatalf("%v/%v: composed walk lost the %v offset", gs, hs, min)
+				}
+			}
+			if IdentityHPA(gpa) != HPA(gpa) {
+				t.Fatalf("IdentityHPA(%#x) is not the identity", uint64(gpa))
+			}
+		}
+	})
+}
+
 // FuzzCanonicalGVA cross-checks CanonicalGVA against its definition:
 // bits 63..47 all equal to bit 47.
 func FuzzCanonicalGVA(f *testing.F) {

@@ -1,0 +1,74 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"nestedecpt/internal/analysis"
+	"nestedecpt/internal/analysis/analysistest"
+)
+
+func TestAddrSpace(t *testing.T) {
+	analysistest.Run(t, analysis.AddrSpace, "testdata/src/addrspacetest")
+}
+
+// TestAddrSpaceSkipsAddrItself: internal/addr is the trusted kernel —
+// its generic helpers are exactly where the casts are allowed to live.
+func TestAddrSpaceSkipsAddrItself(t *testing.T) {
+	if analysis.AddrSpace.AppliesTo("nestedecpt/internal/addr") {
+		t.Fatal("AddrSpace must not apply to internal/addr itself")
+	}
+	for _, path := range []string{
+		"nestedecpt/internal/core",
+		"nestedecpt/internal/cachesim",
+		"nestedecpt/internal/sim",
+	} {
+		if !analysis.AddrSpace.AppliesTo(path) {
+			t.Fatalf("AddrSpace must apply to %s", path)
+		}
+	}
+}
+
+func TestHasDomaincastDirective(t *testing.T) {
+	const src = `package p
+
+//nestedlint:domaincast stats erase the space deliberately
+func annotated() {}
+
+//nestedlint:domaincast
+func bare() {}
+
+// nestedlint:domaincast spaced out is prose, not a directive
+func spaced() {}
+
+func plain() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		reason string
+		ok     bool
+	}{
+		"annotated": {"stats erase the space deliberately", true},
+		"bare":      {"", true},
+		"spaced":    {"", false},
+		"plain":     {"", false},
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		w := want[fd.Name.Name]
+		reason, ok := analysis.HasDomaincastDirective(fd)
+		if reason != w.reason || ok != w.ok {
+			t.Errorf("HasDomaincastDirective(%s) = (%q, %v), want (%q, %v)",
+				fd.Name.Name, reason, ok, w.reason, w.ok)
+		}
+	}
+}

@@ -194,5 +194,6 @@ func All() []*Analyzer {
 		DetRange,
 		ScratchAlias,
 		StatsGuard,
+		AddrSpace,
 	}
 }

@@ -1,0 +1,87 @@
+// Package addrspacetest is the golden corpus for the addrspace
+// analyzer: typed-address code may move between the GVA/GPA/HPA
+// spaces only through internal/addr's sanctioned crossings, and every
+// other conversion touching a domain — cross-domain, uint64→domain,
+// or domain→uint64 — is a finding unless the enclosing function's doc
+// comment carries //nestedlint:domaincast with a reason.
+package addrspacetest
+
+import "nestedecpt/internal/addr"
+
+// memory mimics the cachesim surface: the parameter type is what makes
+// the gPA-as-hPA laundering below a typed-argument violation.
+type memory struct{}
+
+func (memory) Access(now uint64, pa addr.HPA) uint64 { return now }
+
+// legal exercises every sanctioned construct: generic arithmetic keeps
+// the domain, Translate and IdentityHPA cross it, Add composes a typed
+// base with a space-free offset, and untyped constants mint freely.
+func legal(mem memory, va addr.GVA, gframe addr.GPA, hframe addr.HPA) addr.HPA {
+	const base addr.GVA = 0x4000_0000_0000 // untyped constants carry no space
+	va = addr.PageBase(va+base, addr.Page2M)
+	gpa := addr.Translate(gframe, va, addr.Page2M)    // gVA→gPA crossing
+	hpa := addr.Translate(hframe, gpa, addr.Page4K)   // gPA→hPA crossing
+	direct := addr.Translate(hframe, va, addr.Page4K) // composed gVA→hPA (POM-TLB style)
+	mem.Access(addr.VPN(gpa, addr.Page4K), hpa)       // VPNs are space-free indices
+	mem.Access(0, addr.IdentityHPA(gpa))              // native designs: gPA is hPA
+	return addr.Add(direct, 64)
+}
+
+// genericKeep mirrors the container packages: conversions through type
+// parameters are domain-preserving by instantiation and exempt.
+func genericKeep[A addr.Addr](v A) A {
+	line := uint64(v) / 64
+	return A(line * 64)
+}
+
+var _ = genericKeep[addr.GPA]
+
+// gpaAsHPA is the paper's bug class distilled: a Step-2 result (gPA)
+// fed to the memory system where a Step-3 result (hPA) belongs.
+func gpaAsHPA(mem memory, gpa addr.GPA) {
+	mem.Access(0, addr.HPA(gpa)) // want `passing addr.GPA where Access expects nestedecpt/internal/addr.HPA`
+}
+
+// crossOutsideCall converts between domains outside an argument list.
+func crossOutsideCall(gpa addr.GPA) addr.HPA {
+	hpa := addr.HPA(gpa) // want `conversion addr.GPA→addr.HPA reinterprets the address space`
+	return hpa
+}
+
+// mintRaw launders an untracked integer into the typed world.
+func mintRaw(x uint64) addr.GVA {
+	return addr.GVA(x) // want `minting addr.GVA from raw uint64`
+}
+
+// eraseRaw drops the space so nothing downstream can check it.
+func eraseRaw(va addr.GVA) uint64 {
+	return uint64(va) // want `erasing addr.GVA to raw uint64`
+}
+
+// backwards runs addr.Translate against the translation chain: a gPA
+// frame composed with an hPA offset crosses hPA→gPA, which no walk
+// step ever does.
+func backwards(gframe addr.GPA, hpa addr.HPA) addr.GPA {
+	return addr.Translate(gframe, hpa, addr.Page4K) // want `addr.Translate crosses backwards \(addr.HPA→addr.GPA\)`
+}
+
+// interleave is the sanctioned escape hatch: the reason documents why
+// reinterpreting the bits is sound, so the body may cast freely.
+//
+//nestedlint:domaincast golden fixture: row interleaving slices raw hPA bits
+func interleave(pa addr.HPA) uint64 {
+	return uint64(pa) >> 13
+}
+
+//nestedlint:domaincast
+func bareDirective(pa addr.GPA) addr.HPA { // want `//nestedlint:domaincast requires a reason`
+	return addr.HPA(pa) // want `conversion addr.GPA→addr.HPA reinterprets the address space`
+}
+
+// misplaced shows the directive is function-doc-only: a trailing
+// comment whitelists nothing.
+func misplaced(va addr.GVA) uint64 {
+	x := uint64(va) //nestedlint:domaincast not a doc comment // want `erasing addr.GVA to raw uint64` `//nestedlint:domaincast must be the doc comment`
+	return x
+}

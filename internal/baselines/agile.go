@@ -19,7 +19,7 @@ type AgileIdeal struct {
 	mem   core.MemSystem
 	guest *kernel.Kernel
 	host  *hypervisor.Hypervisor
-	pwc   *levelCache
+	pwc   *levelCache[addr.GVA, addr.GPA]
 }
 
 // NewAgileIdeal builds the idealized walker. The guest kernel must
@@ -33,7 +33,7 @@ func NewAgileIdeal(mem core.MemSystem, guest *kernel.Kernel, host *hypervisor.Hy
 		mem:   mem,
 		guest: guest,
 		host:  host,
-		pwc:   newLevelCache("PWC", 32, addr.L2, addr.L4),
+		pwc:   newLevelCache[addr.GVA, addr.GPA]("PWC", 32, addr.L2, addr.L4),
 	}
 }
 
@@ -44,9 +44,9 @@ func (w *AgileIdeal) Name() string { return "Ideal Agile Paging" }
 // accesses land at host-translated addresses for free.
 func (w *AgileIdeal) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 	var res core.WalkResult
-	steps, ok := w.guest.Radix().Walk(uint64(va))
+	steps, ok := w.guest.Radix().Walk(va)
 	if !ok {
-		return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &core.ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT)
 	start := 0
@@ -55,7 +55,7 @@ func (w *AgileIdeal) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 		if st.Leaf || st.Level < addr.L2 {
 			continue
 		}
-		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+		if _, hit := w.pwc.lookup(va, st.Level); hit {
 			start = i + 1
 			break
 		}
@@ -66,16 +66,16 @@ func (w *AgileIdeal) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 		// composing gPA→hPA costs nothing in the ideal model.
 		hpa, _, ok := w.host.Translate(st.EntryPA)
 		if !ok {
-			return res, &core.ErrNotMapped{Space: "host", Addr: st.EntryPA}
+			return res, &core.ErrNotMapped{Space: "host", GPA: st.EntryPA}
 		}
 		alat, _ := w.mem.Access(now+lat, hpa, cachesim.SourceMMU)
 		lat += alat
 		res.Accesses++
 		if st.Leaf {
-			dataGPA := addr.Translate(st.Frame, uint64(va), st.Size)
+			dataGPA := addr.Translate(st.Frame, va, st.Size)
 			hpa, hsize, ok := w.host.Translate(dataGPA)
 			if !ok {
-				return res, &core.ErrNotMapped{Space: "host", Addr: dataGPA}
+				return res, &core.ErrNotMapped{Space: "host", GPA: dataGPA}
 			}
 			if hsize < st.Size {
 				res.Size = hsize
@@ -87,8 +87,8 @@ func (w *AgileIdeal) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 			return res, nil
 		}
 		if st.Level >= addr.L2 {
-			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+			w.pwc.insert(va, st.Level, st.NextPA)
 		}
 	}
-	return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	return res, &core.ErrNotMapped{Space: "guest", GVA: va}
 }

@@ -21,32 +21,31 @@ import (
 
 // levelCache is a per-radix-level LRU prefix cache (the same structure
 // core's walkers use for PWCs, duplicated here to keep the baseline
-// package self-contained).
-type levelCache struct {
-	levels [5]*mmucache.Cache
+// package self-contained). V is the translated space (lookup keys are
+// V-prefixes) and P the space the cached entry contents point into;
+// the baselines only cache guest tables, so they use
+// levelCache[addr.GVA, addr.GPA].
+type levelCache[V, P addr.Addr] struct {
+	levels [5]*mmucache.Cache[uint64, P]
 }
 
-func newLevelCache(name string, perLevel int, lo, hi addr.RadixLevel) *levelCache {
-	c := &levelCache{}
+func newLevelCache[V, P addr.Addr](name string, perLevel int, lo, hi addr.RadixLevel) *levelCache[V, P] {
+	c := &levelCache[V, P]{}
 	for l := lo; l <= hi; l++ {
-		c.levels[l] = mmucache.New(fmt.Sprintf("%s/%s", name, l), perLevel)
+		c.levels[l] = mmucache.New[uint64, P](fmt.Sprintf("%s/%s", name, l), perLevel)
 	}
 	return c
 }
 
-func prefixKey(va uint64, l addr.RadixLevel) uint64 {
-	return va >> (addr.PageShift4K + 9*(uint(l)-1))
-}
-
-func (c *levelCache) lookup(va uint64, l addr.RadixLevel) (uint64, bool) {
+func (c *levelCache[V, P]) lookup(va V, l addr.RadixLevel) (P, bool) {
 	if c.levels[l] == nil {
 		return 0, false
 	}
-	return c.levels[l].Lookup(prefixKey(va, l))
+	return c.levels[l].Lookup(addr.LevelPrefix(va, l))
 }
 
-func (c *levelCache) insert(va uint64, l addr.RadixLevel, content uint64) {
+func (c *levelCache[V, P]) insert(va V, l addr.RadixLevel, content P) {
 	if c.levels[l] != nil {
-		c.levels[l].Insert(prefixKey(va, l), content)
+		c.levels[l].Insert(addr.LevelPrefix(va, l), content)
 	}
 }

@@ -18,12 +18,12 @@ type flatMem struct {
 	accesses int
 }
 
-func (f *flatMem) Access(_ uint64, _ uint64, _ cachesim.Source) (uint64, cachesim.ServiceLevel) {
+func (f *flatMem) Access(_ uint64, _ addr.HPA, _ cachesim.Source) (uint64, cachesim.ServiceLevel) {
 	f.accesses++
 	return f.lat, cachesim.ServedL2
 }
 
-func (f *flatMem) AccessParallel(_ uint64, pas []uint64, _ cachesim.Source) uint64 {
+func (f *flatMem) AccessParallel(_ uint64, pas []addr.HPA, _ cachesim.Source) uint64 {
 	f.accesses += len(pas)
 	if len(pas) == 0 {
 		return 0
@@ -35,7 +35,7 @@ type fixture struct {
 	kern *kernel.Kernel
 	hyp  *hypervisor.Hypervisor
 	mem  *flatMem
-	vas  []uint64
+	vas  []addr.GVA
 }
 
 func newFixture(t *testing.T, thp bool) *fixture {
@@ -64,7 +64,7 @@ func newFixture(t *testing.T, thp bool) *fixture {
 	f := &fixture{kern: k, hyp: h, mem: &flatMem{lat: 10}}
 	rng := vhash.NewRNG(77)
 	for i := 0; i < 200; i++ {
-		va := 0x1000_0000 + rng.Uint64n(128<<20)
+		va := 0x1000_0000 + addr.GVA(rng.Uint64n(128<<20))
 		if _, _, err := k.Touch(va); err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func newFixture(t *testing.T, thp bool) *fixture {
 	return f
 }
 
-func (f *fixture) expected(t *testing.T, va uint64) (uint64, addr.PageSize) {
+func (f *fixture) expected(t *testing.T, va addr.GVA) (addr.HPA, addr.PageSize) {
 	t.Helper()
 	gpa, gsize, ok := f.kern.Translate(va)
 	if !ok {
@@ -99,7 +99,7 @@ func drive(t *testing.T, f *fixture, w core.Walker) {
 		var res core.WalkResult
 		var err error
 		for attempt := 0; ; attempt++ {
-			res, err = w.Walk(0, addr.GVA(va))
+			res, err = w.Walk(0, va)
 			if err == nil {
 				break
 			}
@@ -108,9 +108,9 @@ func drive(t *testing.T, f *fixture, w core.Walker) {
 				t.Fatalf("%s: walk %#x: %v", w.Name(), va, err)
 			}
 			if nm.Space == "host" {
-				f.hyp.EnsureMapped(nm.Addr, nm.PageTable)
+				f.hyp.EnsureMapped(nm.GPA, nm.PageTable)
 			} else {
-				f.kern.Touch(nm.Addr)
+				f.kern.Touch(nm.GVA)
 			}
 		}
 		wantPA, wantSize := f.expected(t, va)
@@ -133,7 +133,7 @@ func TestAgileIdealAccessBound(t *testing.T) {
 	drive(t, f, w) // fault in table-page mappings first
 	for _, va := range f.vas[:50] {
 		before := f.mem.accesses
-		if _, err := w.Walk(0, addr.GVA(va)); err != nil {
+		if _, err := w.Walk(0, va); err != nil {
 			t.Fatal(err)
 		}
 		if got := f.mem.accesses - before; got > 4 {
@@ -158,7 +158,7 @@ func TestFlatNestedAccessBound(t *testing.T) {
 	drive(t, f, w) // fault in table-page mappings first
 	for _, va := range f.vas[:50] {
 		before := f.mem.accesses
-		if _, err := w.Walk(0, addr.GVA(va)); err != nil {
+		if _, err := w.Walk(0, va); err != nil {
 			t.Fatal(err)
 		}
 		if got := f.mem.accesses - before; got > 9 {
@@ -186,7 +186,7 @@ func TestPOMTLBHitIsSingleAccess(t *testing.T) {
 	drive(t, f, w) // warm
 	va := f.vas[0]
 	before := f.mem.accesses
-	if _, err := w.Walk(0, addr.GVA(va)); err != nil {
+	if _, err := w.Walk(0, va); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.mem.accesses - before; got != 1 {

@@ -21,9 +21,9 @@ type FlatNested struct {
 	mem      core.MemSystem
 	guest    *kernel.Kernel
 	host     *hypervisor.Hypervisor
-	pwc      *levelCache
-	ntlb     *mmucache.Cache
-	flatBase uint64
+	pwc      *levelCache[addr.GVA, addr.GPA]
+	ntlb     *mmucache.Cache[addr.GPA, addr.HPA]
+	flatBase addr.HPA
 	flatSize uint64
 }
 
@@ -39,8 +39,8 @@ func NewFlatNested(mem core.MemSystem, guest *kernel.Kernel, host *hypervisor.Hy
 		mem:      mem,
 		guest:    guest,
 		host:     host,
-		pwc:      newLevelCache("PWC", 32, addr.L2, addr.L4),
-		ntlb:     mmucache.New("NTLB", 24),
+		pwc:      newLevelCache[addr.GVA, addr.GPA]("PWC", 32, addr.L2, addr.L4),
+		ntlb:     mmucache.New[addr.GPA, addr.HPA]("NTLB", 24),
 		flatBase: host.Allocator().AllocRegion(size, memsim.PurposePageTable),
 		flatSize: size,
 	}
@@ -54,13 +54,13 @@ func (w *FlatNested) FlatTableBytes() uint64 { return w.flatSize }
 
 // hostTranslate charges one access to the flat table entry for gpa and
 // returns the functional translation.
-func (w *FlatNested) hostTranslate(now uint64, gpa uint64, res *core.WalkResult) (hpa uint64, size addr.PageSize, lat uint64, err error) {
-	entryPA := w.flatBase + addr.VPN(gpa, addr.Page4K)*8
+func (w *FlatNested) hostTranslate(now uint64, gpa addr.GPA, res *core.WalkResult) (hpa addr.HPA, size addr.PageSize, lat uint64, err error) {
+	entryPA := addr.Add(w.flatBase, addr.VPN(gpa, addr.Page4K)*8)
 	alat, _ := w.mem.Access(now, entryPA, cachesim.SourceMMU)
 	res.Accesses++
 	h, hsize, ok := w.host.Translate(gpa)
 	if !ok {
-		return 0, 0, alat, &core.ErrNotMapped{Space: "host", Addr: gpa}
+		return 0, 0, alat, &core.ErrNotMapped{Space: "host", GPA: gpa}
 	}
 	return h, hsize, alat, nil
 }
@@ -69,9 +69,9 @@ func (w *FlatNested) hostTranslate(now uint64, gpa uint64, res *core.WalkResult)
 // dimension.
 func (w *FlatNested) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 	var res core.WalkResult
-	steps, ok := w.guest.Radix().Walk(uint64(va))
+	steps, ok := w.guest.Radix().Walk(va)
 	if !ok {
-		return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &core.ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT)
 	start := 0
@@ -80,20 +80,20 @@ func (w *FlatNested) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 		if st.Leaf || st.Level < addr.L2 {
 			continue
 		}
-		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+		if _, hit := w.pwc.lookup(va, st.Level); hit {
 			start = i + 1
 			break
 		}
 	}
 
-	var dataGPA uint64
+	var dataGPA addr.GPA
 	var gsize addr.PageSize
 	found := false
 	for i := start; i < len(steps); i++ {
 		st := steps[i]
 		// Translate the guest table page: NTLB, then the flat table.
 		lat += mmucache.LatencyRT
-		var hpa uint64
+		var hpa addr.HPA
 		page := addr.PageBase(st.EntryPA, addr.Page4K)
 		if frame, hit := w.ntlb.Lookup(page); hit {
 			hpa = addr.Translate(frame, st.EntryPA, addr.Page4K)
@@ -110,17 +110,17 @@ func (w *FlatNested) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 		lat += alat
 		res.Accesses++
 		if st.Leaf {
-			dataGPA = addr.Translate(st.Frame, uint64(va), st.Size)
+			dataGPA = addr.Translate(st.Frame, va, st.Size)
 			gsize = st.Size
 			found = true
 			break
 		}
 		if st.Level >= addr.L2 {
-			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+			w.pwc.insert(va, st.Level, st.NextPA)
 		}
 	}
 	if !found {
-		return res, &core.ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &core.ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	hpa, hsize, tlat, err := w.hostTranslate(now+lat, dataGPA, &res)

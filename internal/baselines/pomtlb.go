@@ -23,7 +23,7 @@ func DefaultPOMTLBConfig() POMTLBConfig { return POMTLBConfig{Entries: 1 << 20, 
 
 type pomEntry struct {
 	vpn     uint64
-	frame   uint64
+	frame   addr.HPA
 	size    addr.PageSize
 	valid   bool
 	lastUse uint64
@@ -41,7 +41,7 @@ type POMTLB struct {
 	fallback *core.NestedRadix
 	sets     int
 	entries  []pomEntry
-	base     uint64
+	base     addr.HPA
 	clock    uint64
 	hits     uint64
 	misses   uint64
@@ -82,16 +82,16 @@ func (w *POMTLB) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 	w.clock++
 	// With a perfect page-size predictor one set probe suffices; the
 	// set's entries share a line, so one memory access covers them.
-	vpn := addr.VPN(uint64(va), addr.Page4K)
+	vpn := addr.VPN(va, addr.Page4K)
 	set := w.setFor(vpn)
-	lineAddr := w.base + uint64(set)*uint64(w.cfg.Ways)*16
+	lineAddr := addr.Add(w.base, uint64(set*w.cfg.Ways)*16)
 	lat, _ := w.mem.Access(now, lineAddr, cachesim.SourceMMU)
 	res.Accesses++
 
 	base := set * w.cfg.Ways
 	for i := 0; i < w.cfg.Ways; i++ {
 		e := &w.entries[base+i]
-		if e.valid && e.vpn == addr.VPN(uint64(va), e.size) {
+		if e.valid && e.vpn == addr.VPN(va, e.size) {
 			w.hits++
 			e.lastUse = w.clock
 			res.Frame = e.frame
@@ -125,7 +125,7 @@ func (w *POMTLB) Walk(now uint64, va addr.GVA) (core.WalkResult, error) {
 		}
 	}
 	w.entries[victim] = pomEntry{
-		vpn:     addr.VPN(uint64(va), fres.Size),
+		vpn:     addr.VPN(va, fres.Size),
 		frame:   fres.Frame,
 		size:    fres.Size,
 		valid:   true,

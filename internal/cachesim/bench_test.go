@@ -1,6 +1,10 @@
 package cachesim
 
-import "testing"
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+)
 
 var sinkLatency uint64
 
@@ -12,7 +16,7 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 	b.ResetTimer()
 	var lat uint64
 	for i := 0; i < b.N; i++ {
-		pa := (uint64(i) * 0x9E3779B97F4A7C15) & ((1 << 28) - 1)
+		pa := addr.HPA(uint64(i)*0x9E3779B97F4A7C15) & ((1 << 28) - 1)
 		l, _ := h.Access(uint64(i), pa, SourceCPU)
 		lat += l
 	}
@@ -23,14 +27,14 @@ func BenchmarkHierarchyAccess(b *testing.B) {
 // path: one call servicing a cuckoo walk's parallel probe set.
 func BenchmarkHierarchyAccessParallel(b *testing.B) {
 	h := NewHierarchy(DefaultHierarchyConfig())
-	pas := make([]uint64, 6)
+	pas := make([]addr.HPA, 6)
 	b.ReportAllocs()
 	b.ResetTimer()
 	var lat uint64
 	for i := 0; i < b.N; i++ {
-		base := (uint64(i) * 0x9E3779B97F4A7C15) & ((1 << 28) - 1)
+		base := addr.HPA(uint64(i)*0x9E3779B97F4A7C15) & ((1 << 28) - 1)
 		for j := range pas {
-			pas[j] = base + uint64(j)<<16
+			pas[j] = base + addr.HPA(j)<<16
 		}
 		lat += h.AccessParallel(uint64(i), pas, SourceMMU)
 	}

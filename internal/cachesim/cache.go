@@ -245,8 +245,8 @@ func (s ServiceLevel) String() string {
 // with the same timing as reads.
 //
 //nestedlint:hotpath
-func (h *Hierarchy) Access(now uint64, pa uint64, src Source) (lat uint64, served ServiceLevel) {
-	line := pa / addr.CacheLineBytes
+func (h *Hierarchy) Access(now uint64, pa addr.HPA, src Source) (lat uint64, served ServiceLevel) {
+	line := addr.CacheLine(pa)
 	if h.l1.lookup(line, src) {
 		return h.cfg.L1.LatencyRT, ServedL1
 	}
@@ -272,7 +272,7 @@ func (h *Hierarchy) Access(now uint64, pa uint64, src Source) (lat uint64, serve
 // The group's L2/L3 miss counts feed the MSHR occupancy statistics.
 //
 //nestedlint:hotpath
-func (h *Hierarchy) AccessParallel(now uint64, pas []uint64, src Source) uint64 {
+func (h *Hierarchy) AccessParallel(now uint64, pas []addr.HPA, src Source) uint64 {
 	if len(pas) == 0 {
 		return 0
 	}
@@ -319,8 +319,8 @@ func (h *Hierarchy) sampleMSHR(lvl *cacheLevel, misses int) {
 
 // Probe reports whether pa is present at each level without disturbing
 // replacement state or statistics (used by tests).
-func (h *Hierarchy) Probe(pa uint64) (inL1, inL2, inL3 bool) {
-	line := pa / addr.CacheLineBytes
+func (h *Hierarchy) Probe(pa addr.HPA) (inL1, inL2, inL3 bool) {
+	line := addr.CacheLine(pa)
 	return h.l1.contains(line), h.l2.contains(line), h.l3.contains(line)
 }
 
@@ -329,8 +329,8 @@ func (h *Hierarchy) Probe(pa uint64) (inL1, inL2, inL3 bool) {
 // the rest) and returns its latency. The simulator drives one core's
 // access stream and injects the co-runners' shared-cache traffic this
 // way, reproducing the 8-core contention of the paper's testbed.
-func (h *Hierarchy) AccessRemote(now uint64, pa uint64) uint64 {
-	line := pa / addr.CacheLineBytes
+func (h *Hierarchy) AccessRemote(now uint64, pa addr.HPA) uint64 {
+	line := addr.CacheLine(pa)
 	h.remote.Accesses++
 	if h.l3.contains(line) {
 		// Refresh recency without perturbing per-source stats.

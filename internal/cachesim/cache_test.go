@@ -3,6 +3,7 @@ package cachesim
 import (
 	"testing"
 
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/vhash"
 )
 
@@ -60,7 +61,7 @@ func TestLRUEvictionWithinSet(t *testing.T) {
 	h := NewHierarchy(cfg)
 	// L1: 1KB, 2-way, 64B lines -> 8 sets. Addresses 0, 8*64, 16*64 map
 	// to set 0; the third fill must evict the LRU (the first).
-	a, b, c := uint64(0), uint64(8*64), uint64(16*64)
+	a, b, c := addr.HPA(0), addr.HPA(8*64), addr.HPA(16*64)
 	h.Access(0, a, SourceCPU)
 	h.Access(1, b, SourceCPU)
 	h.Access(2, c, SourceCPU)
@@ -74,7 +75,7 @@ func TestLRUEvictionWithinSet(t *testing.T) {
 
 func TestL2HitAfterL1Eviction(t *testing.T) {
 	h := NewHierarchy(smallConfig())
-	a := uint64(0)
+	a := addr.HPA(0)
 	h.Access(0, a, SourceCPU)
 	// Evict a from L1 by filling its set.
 	h.Access(1, 8*64, SourceCPU)
@@ -101,7 +102,7 @@ func TestPerSourceStats(t *testing.T) {
 
 func TestAccessParallelLatencyIsMaxish(t *testing.T) {
 	h := NewHierarchy(smallConfig())
-	pas := []uint64{0x10000, 0x20000, 0x30000}
+	pas := []addr.HPA{0x10000, 0x20000, 0x30000}
 	lat := h.AccessParallel(0, pas, SourceMMU)
 	single, _ := NewHierarchy(smallConfig()).Access(0, 0x10000, SourceMMU)
 	if lat < single {
@@ -130,9 +131,9 @@ func TestAccessParallelEmpty(t *testing.T) {
 
 func TestMSHRSampling(t *testing.T) {
 	h := NewHierarchy(smallConfig())
-	pas := make([]uint64, 6)
+	pas := make([]addr.HPA, 6)
 	for i := range pas {
-		pas[i] = uint64(0x100000 + i*0x10000)
+		pas[i] = addr.HPA(0x100000 + i*0x10000)
 	}
 	h.AccessParallel(0, pas, SourceMMU)
 	_, _, l3 := h.Stats()
@@ -180,11 +181,11 @@ func TestAccessRemoteTouchesOnlyL3(t *testing.T) {
 
 func TestRemoteEvictionPressure(t *testing.T) {
 	h := NewHierarchy(smallConfig())
-	victim := uint64(0x9000)
+	victim := addr.HPA(0x9000)
 	h.Access(0, victim, SourceCPU)
 	rng := vhash.NewRNG(7)
 	for i := 0; i < 4096; i++ {
-		h.AccessRemote(uint64(i), rng.Uint64n(1<<24)&^63)
+		h.AccessRemote(uint64(i), addr.HPA(rng.Uint64n(1<<24))&^63)
 	}
 	if _, _, in3 := h.Probe(victim); in3 {
 		t.Error("remote flood failed to evict L3 line")
@@ -254,7 +255,7 @@ func TestDRAMBankQueueing(t *testing.T) {
 	// Same bank, immediately after: must queue behind the first.
 	rowBytes := DefaultDRAMConfig().RowBytes
 	banks := uint64(DefaultDRAMConfig().Channels * DefaultDRAMConfig().Banks)
-	samebank := 0x1000 + rowBytes*banks
+	samebank := addr.HPA(0x1000 + rowBytes*banks)
 	lat2 := d.Access(0, samebank)
 	if lat2 <= lat1 {
 		t.Errorf("conflicting access %d did not queue (first %d)", lat2, lat1)

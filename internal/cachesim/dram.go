@@ -1,5 +1,7 @@
 package cachesim
 
+import "nestedecpt/internal/addr"
+
 // DRAMConfig describes the main-memory timing model, a compact stand-in
 // for the DRAMSim2 backend the paper uses. Table 2: 4 channels, 8 banks
 // per channel, DDR at 1GHz with tRP-tCAS-tRCD-tRAS of 11-11-11-28
@@ -92,22 +94,23 @@ func log2(v uint64) uint {
 	return s
 }
 
-// Access services a line fill for physical address pa arriving at core
-// cycle now and returns its latency in core cycles (including any time
-// queued behind earlier requests to the same bank).
+// Access services a line fill for host physical address pa arriving at
+// core cycle now and returns its latency in core cycles (including any
+// time queued behind earlier requests to the same bank).
 //
 //nestedlint:hotpath
-func (d *DRAM) Access(now uint64, pa uint64) uint64 {
+//nestedlint:domaincast row/bank interleaving slices raw hPA bits; no other space ever reaches DRAM
+func (d *DRAM) Access(now uint64, pa addr.HPA) uint64 {
 	d.stats.Accesses++
 	// Interleave consecutive rows across channels then banks, the usual
 	// address mapping for throughput.
 	var row uint64
 	var bank int
 	if d.pow2 {
-		row = pa >> d.rowShift
+		row = uint64(pa) >> d.rowShift
 		bank = int(row & d.bankMask)
 	} else {
-		row = pa / d.cfg.RowBytes
+		row = uint64(pa) / d.cfg.RowBytes
 		bank = int(row % uint64(len(d.busyUntil)))
 	}
 

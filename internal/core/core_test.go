@@ -17,17 +17,17 @@ import (
 type flatMem struct {
 	lat      uint64
 	accesses int
-	groups   [][]uint64
+	groups   [][]addr.HPA
 }
 
-func (f *flatMem) Access(_ uint64, _ uint64, _ cachesim.Source) (uint64, cachesim.ServiceLevel) {
+func (f *flatMem) Access(_ uint64, _ addr.HPA, _ cachesim.Source) (uint64, cachesim.ServiceLevel) {
 	f.accesses++
 	return f.lat, cachesim.ServedL2
 }
 
-func (f *flatMem) AccessParallel(_ uint64, pas []uint64, _ cachesim.Source) uint64 {
+func (f *flatMem) AccessParallel(_ uint64, pas []addr.HPA, _ cachesim.Source) uint64 {
 	f.accesses += len(pas)
-	cp := append([]uint64(nil), pas...)
+	cp := append([]addr.HPA(nil), pas...)
 	f.groups = append(f.groups, cp)
 	if len(pas) == 0 {
 		return 0
@@ -41,7 +41,7 @@ type fixture struct {
 	kern *kernel.Kernel
 	hyp  *hypervisor.Hypervisor
 	mem  *flatMem
-	vas  []uint64
+	vas  []addr.GVA
 }
 
 func newFixture(t *testing.T, guestRadix, guestECPT, hostRadix, hostECPT, thp bool) *fixture {
@@ -73,7 +73,7 @@ func newFixture(t *testing.T, guestRadix, guestECPT, hostRadix, hostECPT, thp bo
 	f := &fixture{kern: k, hyp: h, mem: &flatMem{lat: 10}}
 	rng := vhash.NewRNG(33)
 	for i := 0; i < 400; i++ {
-		va := 0x1000_0000 + rng.Uint64n(256<<20)
+		va := addr.GVA(0x1000_0000 + rng.Uint64n(256<<20))
 		if _, _, err := k.Touch(va); err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func newFixture(t *testing.T, guestRadix, guestECPT, hostRadix, hostECPT, thp bo
 }
 
 // expected returns the functional end-to-end translation of va.
-func (f *fixture) expected(t *testing.T, va uint64) (hpa uint64, size addr.PageSize) {
+func (f *fixture) expected(t *testing.T, va addr.GVA) (hpa addr.HPA, size addr.PageSize) {
 	t.Helper()
 	gpa, gsize, ok := f.kern.Translate(va)
 	if !ok {
@@ -117,7 +117,7 @@ func driveWalker(t *testing.T, f *fixture, w Walker) {
 		var res WalkResult
 		var err error
 		for attempt := 0; ; attempt++ {
-			res, err = w.Walk(now, addr.GVA(va))
+			res, err = w.Walk(now, va)
 			if err == nil {
 				break
 			}
@@ -126,11 +126,11 @@ func driveWalker(t *testing.T, f *fixture, w Walker) {
 				t.Fatalf("walk %#x: %v", va, err)
 			}
 			if nm.Space == "host" {
-				if _, err := f.hyp.EnsureMapped(nm.Addr, nm.PageTable); err != nil {
+				if _, err := f.hyp.EnsureMapped(nm.GPA, nm.PageTable); err != nil {
 					t.Fatal(err)
 				}
 			} else {
-				if _, _, err := f.kern.Touch(nm.Addr); err != nil {
+				if _, _, err := f.kern.Touch(nm.GVA); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -231,10 +231,10 @@ func TestNestedECPTSTCServesRefills(t *testing.T) {
 	}
 	f := &fixture{kern: k, hyp: h, mem: &flatMem{lat: 10}}
 	for i := 0; i < 6; i++ {
-		base := 0x10_0000_0000 + uint64(i)*(1<<30)
+		base := 0x10_0000_0000 + addr.GVA(i)*(1<<30)
 		k.DefineVMA(kernel.VMA{Base: base, Size: 16 << 20})
 		for j := uint64(0); j < 40; j++ {
-			va := base + j*4096
+			va := base + addr.GVA(j)*4096
 			if _, _, err := k.Touch(va); err != nil {
 				t.Fatal(err)
 			}
@@ -278,7 +278,7 @@ func TestNestedECPTUnmappedGuestErrors(t *testing.T) {
 			}
 			return
 		}
-		if _, herr := f.hyp.EnsureMapped(nm.Addr, nm.PageTable); herr != nil {
+		if _, herr := f.hyp.EnsureMapped(nm.GPA, nm.PageTable); herr != nil {
 			t.Fatal(herr)
 		}
 	}
@@ -295,7 +295,7 @@ func TestNestedECPTSurvivesResize(t *testing.T) {
 	// Force guest PTE-ECPT growth by mapping many more pages.
 	before := f.kern.ECPTs().Table(addr.Page4K).Stats().Resizes
 	for i := uint64(0); i < 30000; i++ {
-		va := 0x1000_0000 + i*4096
+		va := 0x1000_0000 + addr.GVA(i)*4096
 		f.kern.Touch(va)
 		gpa, _, _ := f.kern.Translate(va)
 		f.hyp.EnsureMapped(gpa, false)
@@ -323,14 +323,14 @@ func TestNativeECPTWalkCorrect(t *testing.T) {
 		w := NewNativeECPT(DefaultNativeECPTConfig(), mem, k)
 		rng := vhash.NewRNG(5)
 		for i := 0; i < 200; i++ {
-			va := 0x2000_0000 + rng.Uint64n(64<<20)
+			va := addr.GVA(0x2000_0000 + rng.Uint64n(64<<20))
 			k.Touch(va)
-			res, err := w.Walk(0, addr.GVA(va))
+			res, err := w.Walk(0, va)
 			if err != nil {
 				t.Fatal(err)
 			}
 			wantPA, wantSize, _ := k.Translate(va)
-			if res.Size != wantSize || addr.Translate(res.Frame, va, res.Size) != wantPA {
+			if res.Size != wantSize || addr.Translate(res.Frame, va, res.Size) != addr.IdentityHPA(wantPA) {
 				t.Fatalf("native walk %#x wrong", va)
 			}
 		}
@@ -360,10 +360,10 @@ func TestNestedRadixWorstCaseAccessBound(t *testing.T) {
 	w := NewNestedRadix(cfg, f.mem, f.kern, f.hyp)
 	for _, va := range f.vas[:50] {
 		before := f.mem.accesses
-		if _, err := w.Walk(0, addr.GVA(va)); err != nil {
+		if _, err := w.Walk(0, va); err != nil {
 			var nm *ErrNotMapped
 			if errors.As(err, &nm) {
-				f.hyp.EnsureMapped(nm.Addr, nm.PageTable)
+				f.hyp.EnsureMapped(nm.GPA, nm.PageTable)
 				continue
 			}
 			t.Fatal(err)
@@ -388,14 +388,14 @@ func TestNativeRadixWalkCorrect(t *testing.T) {
 	w := NewNativeRadix(DefaultRadixWalkConfig(), mem, k)
 	rng := vhash.NewRNG(5)
 	for i := 0; i < 200; i++ {
-		va := 0x2000_0000 + rng.Uint64n(64<<20)
+		va := addr.GVA(0x2000_0000 + rng.Uint64n(64<<20))
 		k.Touch(va)
-		res, err := w.Walk(0, addr.GVA(va))
+		res, err := w.Walk(0, va)
 		if err != nil {
 			t.Fatal(err)
 		}
 		wantPA, wantSize, _ := k.Translate(va)
-		if res.Size != wantSize || addr.Translate(res.Frame, va, res.Size) != wantPA {
+		if res.Size != wantSize || addr.Translate(res.Frame, va, res.Size) != addr.IdentityHPA(wantPA) {
 			t.Fatalf("native radix walk %#x wrong", va)
 		}
 		if res.Accesses > 4 {

@@ -18,7 +18,7 @@ type CWCConfig struct {
 // entries, one partition per page-size class (Table 2 partitions, e.g.
 // "16PMD + 2PUD" for the gCWC).
 type CWC struct {
-	caches [addr.NumPageSizes]*mmucache.Cache
+	caches [addr.NumPageSizes]*mmucache.Cache[uint64, uint64]
 	// enabled lets the adaptive controller (§4.2) turn a class off
 	// without losing its contents or statistics.
 	enabled [addr.NumPageSizes]bool
@@ -37,7 +37,7 @@ func NewCWC(name string, cfg CWCConfig) *CWC {
 	}
 	for _, s := range addr.Sizes() {
 		if sizes[s] > 0 {
-			c.caches[s] = mmucache.New(name+"/"+s.LevelName(), sizes[s])
+			c.caches[s] = mmucache.New[uint64, uint64](name+"/"+s.LevelName(), sizes[s])
 			c.enabled[s] = true
 		}
 	}
@@ -103,14 +103,14 @@ func (c *CWC) ResetStats() {
 }
 
 // refill identifies one CWT entry that must be fetched into a CWC in
-// the background after a miss.
-type refill struct {
+// the background after a miss. P is the address space the owning table
+// set's CWT entries live in: HPA for hCWTs, GPA for gCWTs (which is
+// what makes the STC necessary, §4.1).
+type refill[P addr.Addr] struct {
 	size addr.PageSize
 	key  uint64
-	// pa is the CWT entry's address in the owning table set's own
-	// address space: an hPA for hCWTs, a gPA for gCWTs (which is what
-	// makes the STC necessary, §4.1).
-	pa uint64
+	// pa is the CWT entry's address in the owning set's space.
+	pa P
 }
 
 // probeGroup is one (table, way-filter) the walker must probe.
@@ -127,11 +127,14 @@ type probeGroup struct {
 // refills alias the fixed backing arrays below, so a walker that
 // reuses one plan value per consult performs no heap allocation —
 // the software analogue of the hardware's fixed walk registers. The
-// slices are valid until the next plan call on the same value.
-type probePlan struct {
+// slices are valid until the next plan call on the same value. P is
+// the address space of the planned set's CWT entries (and thus of the
+// refill addresses); walkers keep one plan value per space they
+// consult.
+type probePlan[P addr.Addr] struct {
 	groups  []probeGroup
 	class   WalkClass
-	refills []refill
+	refills []refill[P]
 	// lookups counts CWC probes performed (each costs one MMU-cache
 	// round trip, but probes of different classes go in parallel in
 	// hardware; the walker charges one round trip per sequential
@@ -142,12 +145,12 @@ type probePlan struct {
 	// Backing storage: at most one group per page size, and each plan
 	// call misses at most one CWC class before returning.
 	groupArr  [addr.NumPageSizes]probeGroup
-	refillArr [addr.NumPageSizes]refill
+	refillArr [addr.NumPageSizes]refill[P]
 }
 
 // reset readies the plan for reuse, re-aliasing the slices onto the
 // plan's own backing arrays.
-func (p *probePlan) reset() {
+func (p *probePlan[P]) reset() {
 	p.groups = p.groupArr[:0]
 	p.refills = p.refillArr[:0]
 	p.class = WalkDirect
@@ -155,17 +158,17 @@ func (p *probePlan) reset() {
 	p.fault = false
 }
 
-func (p *probePlan) addGroup(size addr.PageSize, way int) {
+func (p *probePlan[P]) addGroup(size addr.PageSize, way int) {
 	p.groups = append(p.groups, probeGroup{size: size, way: way})
 }
 
-func (p *probePlan) addRefill(size addr.PageSize, key, pa uint64) {
-	p.refills = append(p.refills, refill{size: size, key: key, pa: pa})
+func (p *probePlan[P]) addRefill(size addr.PageSize, key uint64, pa P) {
+	p.refills = append(p.refills, refill[P]{size: size, key: key, pa: pa})
 }
 
 // setAllGroups marks every ECPT for probing with no way information —
 // the paper's Complete walk.
-func (p *probePlan) setAllGroups() {
+func (p *probePlan[P]) setAllGroups() {
 	p.addGroup(addr.Page1G, ecpt.AllWays)
 	p.addGroup(addr.Page2M, ecpt.AllWays)
 	p.addGroup(addr.Page4K, ecpt.AllWays)
@@ -177,7 +180,7 @@ func (p *probePlan) setAllGroups() {
 // being walked; cwc the walk cache guarding it; usePTE gates the PTE
 // class (the Hybrid design only consults PTE-CWT entries in its upper
 // rows, §6).
-func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool, plan *probePlan) {
+func planWalk[V, P addr.Addr](set *ecpt.Set[V, P], cwc *CWC, va V, usePTE bool, plan *probePlan[P]) {
 	plan.reset()
 
 	// --- 1GB (PUD) level ---
@@ -263,7 +266,7 @@ func planWalk(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool, plan *probePlan) 
 // 4KB-mapped in the host, so only the PTE-hECPT can hold them. When
 // the Step-1 hCWC has a PTE class (§4.2's first technique), a hit
 // turns the Size walk into a Direct one.
-func planPTEOnly(set *ecpt.Set, cwc *CWC, va uint64, plan *probePlan) {
+func planPTEOnly[V, P addr.Addr](set *ecpt.Set[V, P], cwc *CWC, va V, plan *probePlan[P]) {
 	plan.reset()
 	pte := set.Table(addr.Page4K).CWT()
 	if pte == nil || !cwc.Has(addr.Page4K) {
@@ -289,8 +292,8 @@ func planPTEOnly(set *ecpt.Set, cwc *CWC, va uint64, plan *probePlan) {
 
 // probesForPlan expands a plan into the concrete line probes (tests
 // and cold paths; walkers expand groups into their own scratch).
-func probesForPlan(set *ecpt.Set, va uint64, plan *probePlan) []ecpt.Probe {
-	var probes []ecpt.Probe
+func probesForPlan[V, P addr.Addr](set *ecpt.Set[V, P], va V, plan *probePlan[P]) []ecpt.Probe[P] {
+	var probes []ecpt.Probe[P]
 	for _, g := range plan.groups {
 		probes = set.Table(g.size).AppendProbes(probes, addr.VPN(va, g.size), g.way)
 	}

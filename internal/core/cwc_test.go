@@ -8,10 +8,10 @@ import (
 	"nestedecpt/internal/memsim"
 )
 
-func newPlannerSet(t *testing.T, withPTECWT bool) *ecpt.Set {
+func newPlannerSet(t *testing.T, withPTECWT bool) *ecpt.Set[uint64, uint64] {
 	t.Helper()
-	alloc := memsim.NewAllocator(1<<30, 3)
-	set, err := ecpt.NewSet(ecpt.ScaledSetConfig(withPTECWT, 64), alloc, 1, 11)
+	alloc := memsim.NewAllocator[uint64](1<<30, 3)
+	set, err := ecpt.NewSet[uint64](ecpt.ScaledSetConfig(withPTECWT, 64), alloc, 1, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +68,11 @@ func TestCWCWindowStats(t *testing.T) {
 	}
 }
 
-func warmCWC(set *ecpt.Set, cwc *CWC, va uint64, usePTE bool) {
+func warmCWC(set *ecpt.Set[uint64, uint64], cwc *CWC, va uint64, usePTE bool) {
 	// The planner descends one level per consult round (a miss at one
 	// level stops the walk there), so warming all three levels takes
 	// up to four rounds.
-	var plan probePlan
+	var plan probePlan[uint64]
 	for i := 0; i < 4; i++ {
 		planWalk(set, cwc, va, usePTE, &plan)
 		for _, r := range plan.refills {
@@ -85,8 +85,8 @@ func TestPlanWalkComplete(t *testing.T) {
 	set := newPlannerSet(t, true)
 	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
 	set.Map(0x1000, addr.Page4K, 0xAA000)
-	var plan probePlan
-	planWalk(set, cwc, 0x1000, true, &plan)
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x1000), true, &plan)
 	if plan.class != WalkComplete {
 		t.Fatalf("cold plan class = %v", plan.class)
 	}
@@ -103,12 +103,12 @@ func TestPlanWalkDirect4K(t *testing.T) {
 	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
 	set.Map(0x1000, addr.Page4K, 0xAA000)
 	warmCWC(set, cwc, 0x1000, true)
-	var plan probePlan
-	planWalk(set, cwc, 0x1000, true, &plan)
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x1000), true, &plan)
 	if plan.class != WalkDirect {
 		t.Fatalf("warm 4K plan = %v", plan.class)
 	}
-	probes := probesForPlan(set, 0x1000, &plan)
+	probes := probesForPlan(set, uint64(0x1000), &plan)
 	if len(probes) != 1 || !probes[0].Match {
 		t.Errorf("direct probes = %+v", probes)
 	}
@@ -119,8 +119,8 @@ func TestPlanWalkDirect2M(t *testing.T) {
 	cwc := NewCWC("t", CWCConfig{PMD: 4, PUD: 2})
 	set.Map(0x4000_0000, addr.Page2M, 0x20_0000)
 	warmCWC(set, cwc, 0x4000_0000, true)
-	var plan probePlan
-	planWalk(set, cwc, 0x4000_0000+0x1234, true, &plan)
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x4000_0000+0x1234), true, &plan)
 	if plan.class != WalkDirect {
 		t.Fatalf("warm 2M plan = %v", plan.class)
 	}
@@ -134,8 +134,8 @@ func TestPlanWalkSizeWithoutPTECWT(t *testing.T) {
 	cwc := NewCWC("t", CWCConfig{PMD: 4, PUD: 2})
 	set.Map(0x1000, addr.Page4K, 0xAA000)
 	warmCWC(set, cwc, 0x1000, true)
-	var plan probePlan
-	planWalk(set, cwc, 0x1000, true, &plan)
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x1000), true, &plan)
 	if plan.class != WalkSize {
 		t.Fatalf("guest 4K plan = %v, want Size", plan.class)
 	}
@@ -149,8 +149,8 @@ func TestPlanWalkUsePTEFlag(t *testing.T) {
 	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 4, PUD: 2})
 	set.Map(0x1000, addr.Page4K, 0xAA000)
 	warmCWC(set, cwc, 0x1000, true)
-	var plan probePlan
-	planWalk(set, cwc, 0x1000, false, &plan) // Hybrid lower rows
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x1000), false, &plan) // Hybrid lower rows
 	if plan.class != WalkSize {
 		t.Fatalf("usePTE=false plan = %v, want Size", plan.class)
 	}
@@ -161,14 +161,14 @@ func TestPlanWalkPartialOnPMDMiss(t *testing.T) {
 	cwc := NewCWC("t", CWCConfig{PTE: 4, PMD: 2, PUD: 2})
 	set.Map(0x1000, addr.Page4K, 0xAA000)
 	// Warm only the PUD class: look up once and insert just PUD refills.
-	var plan probePlan
-	planWalk(set, cwc, 0x1000, true, &plan)
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x1000), true, &plan)
 	for _, r := range plan.refills {
 		if r.size == addr.Page1G {
 			cwc.Insert(r.size, r.key)
 		}
 	}
-	planWalk(set, cwc, 0x1000, true, &plan)
+	planWalk(set, cwc, uint64(0x1000), true, &plan)
 	if plan.class != WalkPartial {
 		t.Fatalf("plan = %v, want Partial", plan.class)
 	}
@@ -184,8 +184,8 @@ func TestPlanWalkFaultOnUnmapped(t *testing.T) {
 	warmCWC(set, cwc, 0x1000, true)
 	// Same covered region, different unmapped page: the warm CWT entry
 	// proves nothing is mapped there.
-	var plan probePlan
-	planWalk(set, cwc, 0x9000, true, &plan)
+	var plan probePlan[uint64]
+	planWalk(set, cwc, uint64(0x9000), true, &plan)
 	if !plan.fault {
 		t.Errorf("plan for unmapped page = %+v, want fault", &plan)
 	}
@@ -195,15 +195,15 @@ func TestPlanPTEOnly(t *testing.T) {
 	set := newPlannerSet(t, true)
 	cwc := NewCWC("t", CWCConfig{PTE: 4})
 	set.Map(0x1000, addr.Page4K, 0xAA000)
-	var plan probePlan
-	planPTEOnly(set, cwc, 0x1000, &plan)
+	var plan probePlan[uint64]
+	planPTEOnly(set, cwc, uint64(0x1000), &plan)
 	if plan.class != WalkSize {
 		t.Fatalf("cold planPTEOnly = %v", plan.class)
 	}
 	for _, r := range plan.refills {
 		cwc.Insert(r.size, r.key)
 	}
-	planPTEOnly(set, cwc, 0x1000, &plan)
+	planPTEOnly(set, cwc, uint64(0x1000), &plan)
 	if plan.class != WalkDirect {
 		t.Fatalf("warm planPTEOnly = %v", plan.class)
 	}

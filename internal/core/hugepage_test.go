@@ -38,7 +38,7 @@ func gbFixture(t *testing.T) (*kernel.Kernel, *hypervisor.Hypervisor) {
 
 	// hugetlbfs-style explicit mappings: guest 1GB page at 4GB VA,
 	// backed by a 1GB gPA frame, itself backed by a 1GB host frame.
-	gva, gpa := uint64(1)<<32, uint64(1)<<30
+	gva, gpa := addr.GVA(1)<<32, addr.GPA(1)<<30
 	k.ECPTs().Map(gva, addr.Page1G, gpa)
 	if err := k.Radix().Map(gva, addr.Page1G, gpa); err != nil {
 		t.Fatal(err)
@@ -58,9 +58,8 @@ func TestNestedECPT1GBPages(t *testing.T) {
 	mem := &flatMem{lat: 10}
 	w := NewNestedECPT(DefaultNestedECPTConfig(AdvancedTechniques()), mem, k, h)
 	f := &fixture{kern: k, hyp: h, mem: mem}
-	for _, off := range []uint64{0, 4096, 512 << 20, (1 << 30) - 1} {
-		va := uint64(1)<<32 + off
-		f.vas = append(f.vas, va)
+	for _, off := range []addr.GVA{0, 4096, 512 << 20, (1 << 30) - 1} {
+		f.vas = append(f.vas, addr.GVA(1)<<32+off)
 	}
 	driveWalker(t, f, w) // cold pass warms the CWCs
 	w.ResetStats()
@@ -76,7 +75,7 @@ func TestNestedRadix1GBPages(t *testing.T) {
 	k, h := gbFixture(t)
 	mem := &flatMem{lat: 10}
 	w := NewNestedRadix(DefaultRadixWalkConfig(), mem, k, h)
-	f := &fixture{kern: k, hyp: h, mem: mem, vas: []uint64{1<<32 + 12345}}
+	f := &fixture{kern: k, hyp: h, mem: mem, vas: []addr.GVA{1<<32 + 12345}}
 	driveWalker(t, f, w)
 }
 
@@ -84,7 +83,7 @@ func TestHybrid1GBPages(t *testing.T) {
 	k, h := gbFixture(t)
 	mem := &flatMem{lat: 10}
 	w := NewHybrid(DefaultHybridConfig(), mem, k, h)
-	f := &fixture{kern: k, hyp: h, mem: mem, vas: []uint64{1<<32 + 777}}
+	f := &fixture{kern: k, hyp: h, mem: mem, vas: []addr.GVA{1<<32 + 777}}
 	driveWalker(t, f, w)
 }
 
@@ -95,7 +94,7 @@ func TestTLBResult1GBSize(t *testing.T) {
 	res, err := w.Walk(0, addr.GVA(uint64(1)<<32))
 	for attempt := 0; err != nil && attempt < 32; attempt++ {
 		if nm, ok := err.(*ErrNotMapped); ok && nm.Space == "host" {
-			h.EnsureMapped(nm.Addr, nm.PageTable)
+			h.EnsureMapped(nm.GPA, nm.PageTable)
 			res, err = w.Walk(0, addr.GVA(uint64(1)<<32))
 			continue
 		}

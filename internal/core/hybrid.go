@@ -54,15 +54,15 @@ type Hybrid struct {
 	mem   MemSystem
 	guest *kernel.Kernel
 	host  *hypervisor.Hypervisor
-	pwc   *pwc
-	ntlb  *mmucache.Cache
+	pwc   *pwc[addr.GVA, addr.GPA]
+	ntlb  *mmucache.Cache[addr.GPA, addr.HPA]
 	hcwc  *CWC
 	st    HybridStats
 	// scratch, reused across walks to keep the hot path allocation-free.
-	paBuf    []uint64
-	probeBuf []ecpt.Probe
-	plan     probePlan
-	steps    []radix.Step
+	paBuf    []addr.HPA
+	probeBuf []ecpt.Probe[addr.HPA]
+	plan     probePlan[addr.HPA]
+	steps    []radix.Step[addr.GPA]
 }
 
 // NewHybrid builds the walker over the guest radix table and host
@@ -76,8 +76,8 @@ func NewHybrid(cfg HybridConfig, mem MemSystem, guest *kernel.Kernel, host *hype
 		mem:   mem,
 		guest: guest,
 		host:  host,
-		pwc:   newPWC("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
-		ntlb:  mmucache.New("NTLB", cfg.NTLBEntries),
+		pwc:   newPWC[addr.GVA, addr.GPA]("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
+		ntlb:  mmucache.New[addr.GPA, addr.HPA]("NTLB", cfg.NTLBEntries),
 		hcwc:  NewCWC("hCWC", cfg.HostCWC),
 		st:    HybridStats{HostClasses: stats.NewDistribution()},
 	}
@@ -98,12 +98,12 @@ func (w *Hybrid) ResetStats() {
 // translateGPA performs one Step-3-style host ECPT translation of gpa
 // (the replacement for each hL4..hL1 row of Figure 8). row selects the
 // per-row PTE-hCWT policy.
-func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) (hpa uint64, size addr.PageSize, lat uint64, err error) {
+func (w *Hybrid) translateGPA(now uint64, gpa addr.GPA, row int, res *WalkResult) (hpa addr.HPA, size addr.PageSize, lat uint64, err error) {
 	plan := &w.plan
 	planWalk(w.host.ECPTs(), w.hcwc, gpa, row <= w.cfg.PTERows, plan)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if plan.fault {
-		return 0, 0, lat, &ErrNotMapped{Space: "host", Addr: gpa}
+		return 0, 0, lat, &ErrNotMapped{Space: "host", GPA: gpa}
 	}
 	w.st.HostClasses.Observe(plan.class.String())
 	// hCWT refills are plain background fetches at hPAs.
@@ -115,7 +115,7 @@ func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) 
 	}
 
 	w.paBuf = w.paBuf[:0]
-	var frame uint64
+	var frame addr.HPA
 	var fsize addr.PageSize
 	found := false
 	for _, g := range plan.groups {
@@ -131,7 +131,7 @@ func (w *Hybrid) translateGPA(now uint64, gpa uint64, row int, res *WalkResult) 
 	res.Accesses += len(w.paBuf)
 	w.st.HostPar.Observe(uint64(len(w.paBuf)))
 	if !found {
-		return 0, 0, lat, &ErrNotMapped{Space: "host", Addr: gpa}
+		return 0, 0, lat, &ErrNotMapped{Space: "host", GPA: gpa}
 	}
 	return addr.Translate(frame, gpa, fsize), fsize, lat, nil
 }
@@ -144,10 +144,10 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Walks++
 	var res WalkResult
 	var ok bool
-	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], uint64(va))
+	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], va)
 	steps := w.steps
 	if !ok {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT) // parallel guest-PWC probe round
 	start := 0
@@ -156,13 +156,13 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		if st.Leaf || st.Level < addr.L2 {
 			continue
 		}
-		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+		if _, hit := w.pwc.lookup(va, st.Level); hit {
 			start = i + 1
 			break
 		}
 	}
 
-	var dataGPA uint64
+	var dataGPA addr.GPA
 	var gsize addr.PageSize
 	found := false
 	for i := start; i < len(steps); i++ {
@@ -171,7 +171,7 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		// Translate the guest table page: NTLB first, then one host
 		// ECPT step.
 		lat += mmucache.LatencyRT
-		var hpa uint64
+		var hpa addr.HPA
 		page := addr.PageBase(st.EntryPA, addr.Page4K)
 		if frame, hit := w.ntlb.Lookup(page); hit {
 			hpa = addr.Translate(frame, st.EntryPA, addr.Page4K)
@@ -189,17 +189,17 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		lat += alat
 		res.Accesses++
 		if st.Leaf {
-			dataGPA = addr.Translate(st.Frame, uint64(va), st.Size)
+			dataGPA = addr.Translate(st.Frame, va, st.Size)
 			gsize = st.Size
 			found = true
 			break
 		}
 		if st.Level >= addr.L2 {
-			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+			w.pwc.insert(va, st.Level, st.NextPA)
 		}
 	}
 	if !found {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// Final host ECPT step for the data page (row 5).

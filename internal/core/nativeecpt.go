@@ -39,9 +39,12 @@ type NativeECPT struct {
 	cwc  *CWC
 	st   NativeECPTStats
 	// scratch, reused across walks to keep the hot path allocation-free.
-	probes   []uint64
-	probeBuf []ecpt.Probe
-	plan     probePlan
+	// The kernel's addresses are guest-physical; in the native design
+	// they are also the machine's physical addresses, so probe PAs cross
+	// into HPA via addr.IdentityHPA at the memory boundary.
+	probes   []addr.HPA
+	probeBuf []ecpt.Probe[addr.GPA]
+	plan     probePlan[addr.GPA]
 }
 
 // NewNativeECPT builds the walker over the kernel's ECPT set.
@@ -83,28 +86,28 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	set := w.kern.ECPTs()
 
 	plan := &w.plan
-	planWalk(set, w.cwc, uint64(va), true, plan)
+	planWalk(set, w.cwc, va, true, plan)
 	lat := uint64(mmucache.LatencyRT + vhash.LatencyCycles)
 	if plan.fault {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	w.st.Classes.Observe(plan.class.String())
 	// Native CWT refills are plain physical fetches.
 	for _, r := range plan.refills {
-		rlat, _ := w.mem.Access(now+lat, r.pa, cachesim.SourceMMU)
+		rlat, _ := w.mem.Access(now+lat, addr.IdentityHPA(r.pa), cachesim.SourceMMU)
 		res.BackgroundCycles += rlat
 		res.BackgroundAccesses++
 		w.cwc.Insert(r.size, r.key)
 	}
 
 	w.probes = w.probes[:0]
-	var frame uint64
+	var frame addr.GPA
 	var size addr.PageSize
 	found := false
 	for _, g := range plan.groups {
-		w.probeBuf = set.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(uint64(va), g.size), g.way)
+		w.probeBuf = set.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(va, g.size), g.way)
 		for _, p := range w.probeBuf {
-			w.probes = append(w.probes, p.PA)
+			w.probes = append(w.probes, addr.IdentityHPA(p.PA))
 			if p.Match {
 				frame, size, found = p.Frame, g.size, true
 			}
@@ -115,10 +118,10 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	res.Parallel1 = len(w.probes)
 	w.st.Par.Observe(uint64(len(w.probes)))
 	if !found {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
-	res.Frame = frame
+	res.Frame = addr.IdentityHPA(frame)
 	res.Size = size
 	res.Latency = lat
 	return res, nil

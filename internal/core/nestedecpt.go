@@ -97,7 +97,18 @@ type NestedECPTStats struct {
 	PTESeries, PMDSeries stats.Series
 	// AdaptDisabled counts intervals with PTE caching off.
 	AdaptDisabled uint64
+	// LastFaultAddr records the most recent faulting address, erased to
+	// a space-free magnitude via statAddr (fault-injection diagnostics).
+	LastFaultAddr uint64
 }
+
+// statAddr erases an address to a plain uint64 for statistics
+// observation. Stats record space-free magnitudes — every
+// address-valued observation in this package funnels through here so
+// the erasure is auditable in one place.
+//
+//nestedlint:domaincast stats record space-free magnitudes; the domain is deliberately erased
+func statAddr[A addr.Addr](v A) uint64 { return uint64(v) }
 
 // NestedECPT is the paper's walker: three sequential steps of parallel
 // probes against guest and host elastic cuckoo page tables.
@@ -110,7 +121,7 @@ type NestedECPT struct {
 	gCWC  *CWC
 	hCWC1 *CWC
 	hCWC3 *CWC
-	stc   *mmucache.Cache
+	stc   *mmucache.Cache[addr.GPA, addr.HPA]
 
 	lastAdapt uint64
 	// adaptBackoff implements the convergence §9.2 describes
@@ -124,26 +135,30 @@ type NestedECPT struct {
 	st            NestedECPTStats
 
 	// scratch buffers, reused across walks to keep the hot path
-	// allocation-free.
-	step1PAs []uint64
-	step2PAs []uint64
-	step3PAs []uint64
-	bgPAs    []uint64
-	cand     []candidate
-	probeBuf []ecpt.Probe
-	// fgPlan holds the foreground plan of the current step; bgPlan the
-	// nested plan of a background gCWT-refill translation (§4.1), which
-	// runs while the foreground plan's refill list is still being
-	// consumed and therefore needs its own storage.
-	fgPlan probePlan
-	bgPlan probePlan
+	// allocation-free. The PA buffers hold host-physical probe targets;
+	// the probe buffers are split per space because guest-table probes
+	// carry gPAs while host-table probes carry hPAs.
+	step1PAs  []addr.HPA
+	step2PAs  []addr.HPA
+	step3PAs  []addr.HPA
+	bgPAs     []addr.HPA
+	cand      []candidate
+	gProbeBuf []ecpt.Probe[addr.GPA]
+	hProbeBuf []ecpt.Probe[addr.HPA]
+	// gPlan/hPlan hold the foreground guest/host plans of the current
+	// step; bgPlan the nested plan of a background gCWT-refill
+	// translation (§4.1), which runs while a foreground plan's refill
+	// list is still being consumed and therefore needs its own storage.
+	gPlan  probePlan[addr.GPA]
+	hPlan  probePlan[addr.HPA]
+	bgPlan probePlan[addr.HPA]
 }
 
 // candidate is one gECPT line probe with its resolved host location.
 type candidate struct {
-	probe ecpt.Probe
+	probe ecpt.Probe[addr.GPA]
 	size  addr.PageSize
-	hpa   uint64
+	hpa   addr.HPA
 }
 
 // NewNestedECPT wires a walker to the guest's ECPTs and the host's
@@ -162,7 +177,7 @@ func NewNestedECPT(cfg NestedECPTConfig, mem MemSystem, guest *kernel.Kernel, ho
 		hCWC3: NewCWC("hCWC3", cfg.HostCWC3),
 	}
 	if cfg.Tech.STC {
-		w.stc = mmucache.New("STC", cfg.STCEntries)
+		w.stc = mmucache.New[addr.GPA, addr.HPA]("STC", cfg.STCEntries)
 	}
 	w.st.GuestClasses = stats.NewDistribution()
 	w.st.HostClasses = stats.NewDistribution()
@@ -211,14 +226,15 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// ---------- Step 1: gVA -> hPTEs locating the gECPT entries ----------
 	// Consult the gCWC (all classes probed in parallel; one MMU-cache
 	// round trip) and hash the guest VPNs.
-	gplan := &w.fgPlan
-	planWalk(gset, w.gCWC, uint64(va), true, gplan)
+	gplan := &w.gPlan
+	planWalk(gset, w.gCWC, va, true, gplan)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if gplan.fault {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		w.st.LastFaultAddr = statAddr(va)
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	w.st.GuestClasses.Observe(gplan.class.String())
-	if err := w.queueRefills(now+lat, gplan.refills, w.gCWC, true, &res); err != nil {
+	if err := w.queueGuestRefills(now+lat, gplan.refills, &res); err != nil {
 		return res, err
 	}
 
@@ -226,8 +242,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// with the table size each came from.
 	w.cand = w.cand[:0]
 	for _, g := range gplan.groups {
-		w.probeBuf = gset.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(uint64(va), g.size), g.way)
-		for _, p := range w.probeBuf {
+		w.gProbeBuf = gset.Table(g.size).AppendProbes(w.gProbeBuf[:0], addr.VPN(va, g.size), g.way)
+		for _, p := range w.gProbeBuf {
 			w.cand = append(w.cand, candidate{probe: p, size: g.size})
 		}
 	}
@@ -239,24 +255,23 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.step1PAs = w.step1PAs[:0]
 	for ci := range w.cand {
 		c := &w.cand[ci]
-		hplan := &w.fgPlan // gplan is fully consumed by this point
+		hplan := &w.hPlan
 		if w.cfg.Tech.PageTable4KB {
 			planPTEOnly(hset, w.hCWC1, c.probe.PA, hplan)
 		} else {
 			planWalk(hset, w.hCWC1, c.probe.PA, true, hplan)
 		}
 		if hplan.fault {
-			return res, &ErrNotMapped{Space: "host", Addr: c.probe.PA, PageTable: true}
+			w.st.LastFaultAddr = statAddr(c.probe.PA)
+			return res, &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
 		}
 		w.st.HostClasses.Observe(hplan.class.String())
-		if err := w.queueRefills(now+lat, hplan.refills, w.hCWC1, false, &res); err != nil {
-			return res, err
-		}
+		w.queueHostRefills(now+lat, hplan.refills, w.hCWC1, &res)
 
 		matched := false
 		for _, g := range hplan.groups {
-			w.probeBuf = hset.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(c.probe.PA, g.size), g.way)
-			for _, hp := range w.probeBuf {
+			w.hProbeBuf = hset.Table(g.size).AppendProbes(w.hProbeBuf[:0], addr.VPN(c.probe.PA, g.size), g.way)
+			for _, hp := range w.hProbeBuf {
 				w.step1PAs = append(w.step1PAs, hp.PA)
 				if hp.Match {
 					c.hpa = addr.Translate(hp.Frame, c.probe.PA, g.size)
@@ -265,7 +280,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			}
 		}
 		if !matched {
-			return res, &ErrNotMapped{Space: "host", Addr: c.probe.PA, PageTable: true}
+			w.st.LastFaultAddr = statAddr(c.probe.PA)
+			return res, &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
 		}
 	}
 	lat += w.mem.AccessParallel(now+lat, w.step1PAs, cachesim.SourceMMU)
@@ -278,14 +294,14 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// the wanted guest VPN (§3.1), so it reads all candidates and
 	// checks their guest tags.
 	w.step2PAs = w.step2PAs[:0]
-	var dataGPA uint64
+	var dataGPA addr.GPA
 	var gsize addr.PageSize
 	found := false
 	for ci := range w.cand {
 		c := &w.cand[ci]
 		w.step2PAs = append(w.step2PAs, c.hpa)
 		if c.probe.Match {
-			dataGPA = addr.Translate(c.probe.Frame, uint64(va), c.size)
+			dataGPA = addr.Translate(c.probe.Frame, va, c.size)
 			gsize = c.size
 			found = true
 		}
@@ -295,28 +311,28 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	res.Parallel2 = len(w.step2PAs)
 	w.st.Par2.Observe(uint64(len(w.step2PAs)))
 	if !found {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		w.st.LastFaultAddr = statAddr(va)
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// ---------- Step 3: data gPA -> hPA ----------
-	hplan3 := &w.fgPlan
+	hplan3 := &w.hPlan
 	planWalk(hset, w.hCWC3, dataGPA, true, hplan3)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if hplan3.fault {
-		return res, &ErrNotMapped{Space: "host", Addr: dataGPA}
+		w.st.LastFaultAddr = statAddr(dataGPA)
+		return res, &ErrNotMapped{Space: "host", GPA: dataGPA}
 	}
 	w.st.HostClasses.Observe(hplan3.class.String())
-	if err := w.queueRefills(now+lat, hplan3.refills, w.hCWC3, false, &res); err != nil {
-		return res, err
-	}
+	w.queueHostRefills(now+lat, hplan3.refills, w.hCWC3, &res)
 
 	w.step3PAs = w.step3PAs[:0]
-	var hframe uint64
+	var hframe addr.HPA
 	var hsize addr.PageSize
 	hfound := false
 	for _, g := range hplan3.groups {
-		w.probeBuf = hset.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(dataGPA, g.size), g.way)
-		for _, hp := range w.probeBuf {
+		w.hProbeBuf = hset.Table(g.size).AppendProbes(w.hProbeBuf[:0], addr.VPN(dataGPA, g.size), g.way)
+		for _, hp := range w.hProbeBuf {
 			w.step3PAs = append(w.step3PAs, hp.PA)
 			if hp.Match {
 				hframe = hp.Frame
@@ -330,7 +346,8 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	res.Parallel3 = len(w.step3PAs)
 	w.st.Par3.Observe(uint64(len(w.step3PAs)))
 	if !hfound {
-		return res, &ErrNotMapped{Space: "host", Addr: dataGPA}
+		w.st.LastFaultAddr = statAddr(dataGPA)
+		return res, &ErrNotMapped{Space: "host", GPA: dataGPA}
 	}
 
 	hpa := addr.Translate(hframe, dataGPA, hsize)
@@ -340,26 +357,30 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	return res, nil
 }
 
-// queueRefills performs the background CWT fetches a plan requested.
-// Host CWT entries live at hPAs and are fetched directly into target.
-// Guest CWT entries live at gPAs and must first be translated —
-// through the STC when the technique is on (§4.1), otherwise through
-// a full host lookup, which is exactly the overhead the STC removes.
-func (w *NestedECPT) queueRefills(now uint64, refills []refill, target *CWC, guestSide bool, res *WalkResult) error {
+// queueHostRefills performs the background CWT fetches a host-side
+// plan requested. Host CWT entries live at hPAs and are fetched
+// directly into target.
+func (w *NestedECPT) queueHostRefills(now uint64, refills []refill[addr.HPA], target *CWC, res *WalkResult) {
 	for _, r := range refills {
-		if !guestSide {
-			lat, _ := w.mem.Access(now, r.pa, cachesim.SourceMMU)
-			res.BackgroundCycles += lat
-			res.BackgroundAccesses++
-			target.Insert(r.size, r.key)
-			continue
-		}
+		lat, _ := w.mem.Access(now, r.pa, cachesim.SourceMMU)
+		res.BackgroundCycles += lat
+		res.BackgroundAccesses++
+		target.Insert(r.size, r.key)
+	}
+}
 
+// queueGuestRefills performs the background gCWT fetches a guest-side
+// plan requested. Guest CWT entries live at gPAs and must first be
+// translated — through the STC when the technique is on (§4.1),
+// otherwise through a full host lookup, which is exactly the overhead
+// the STC removes.
+func (w *NestedECPT) queueGuestRefills(now uint64, refills []refill[addr.GPA], res *WalkResult) error {
+	for _, r := range refills {
 		// The STC is keyed by the gCWT entry address (§4.1 caches the
 		// translations of gCWT entries); the value is the frame of the
 		// 4KB host page holding it.
 		key := r.pa
-		var hpa uint64
+		var hpa addr.HPA
 		translated := false
 		if w.stc != nil {
 			res.BackgroundCycles += mmucache.LatencyRT
@@ -383,16 +404,15 @@ func (w *NestedECPT) queueRefills(now uint64, refills []refill, target *CWC, gue
 			if hplan.fault {
 				// The gCWT page has no host mapping yet: surface the
 				// EPT violation so the hypervisor demand-maps it.
-				return &ErrNotMapped{Space: "host", Addr: r.pa, PageTable: true}
+				w.st.LastFaultAddr = statAddr(r.pa)
+				return &ErrNotMapped{Space: "host", GPA: r.pa, PageTable: true}
 			}
-			if err := w.queueRefills(now, hplan.refills, w.hCWC3, false, res); err != nil {
-				return err
-			}
+			w.queueHostRefills(now, hplan.refills, w.hCWC3, res)
 			w.bgPAs = w.bgPAs[:0]
 			ok := false
 			for _, g := range hplan.groups {
-				w.probeBuf = w.host.ECPTs().Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(r.pa, g.size), g.way)
-				for _, hp := range w.probeBuf {
+				w.hProbeBuf = w.host.ECPTs().Table(g.size).AppendProbes(w.hProbeBuf[:0], addr.VPN(r.pa, g.size), g.way)
+				for _, hp := range w.hProbeBuf {
 					w.bgPAs = append(w.bgPAs, hp.PA)
 					if hp.Match {
 						hpa = addr.Translate(hp.Frame, r.pa, g.size)
@@ -403,7 +423,8 @@ func (w *NestedECPT) queueRefills(now uint64, refills []refill, target *CWC, gue
 			res.BackgroundCycles += w.mem.AccessParallel(now, w.bgPAs, cachesim.SourceMMU)
 			res.BackgroundAccesses += len(w.bgPAs)
 			if !ok {
-				return &ErrNotMapped{Space: "host", Addr: r.pa, PageTable: true}
+				w.st.LastFaultAddr = statAddr(r.pa)
+				return &ErrNotMapped{Space: "host", GPA: r.pa, PageTable: true}
 			}
 			if w.stc != nil {
 				w.stc.Insert(key, addr.PageBase(hpa, addr.Page4K))

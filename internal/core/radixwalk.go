@@ -29,36 +29,36 @@ func DefaultRadixWalkConfig() RadixWalkConfig {
 	return RadixWalkConfig{PWCEntriesPerLevel: 32, NPWCEntriesPerLevel: 16, NTLBEntries: 24}
 }
 
-// pwc is a page walk cache partitioned per radix level.
-type pwc struct {
-	levels [5]*mmucache.Cache // indexed by RadixLevel (1..4)
+// pwc is a page walk cache partitioned per radix level. V is the
+// address space the cached table translates (the lookup key space) and
+// P the space its entries point into (the cached content): a guest PWC
+// is a pwc[GVA, GPA], the nested PWC over the EPT a pwc[GPA, HPA].
+// Keys are level prefixes (space-free indices), values are entry
+// contents: the next-level table base, or the frame for an L1 entry in
+// the NPWC.
+type pwc[V, P addr.Addr] struct {
+	levels [5]*mmucache.Cache[uint64, P] // indexed by RadixLevel (1..4)
 }
 
-func newPWC(name string, perLevel int, lo, hi addr.RadixLevel) *pwc {
-	p := &pwc{}
+func newPWC[V, P addr.Addr](name string, perLevel int, lo, hi addr.RadixLevel) *pwc[V, P] {
+	p := &pwc[V, P]{}
 	for l := lo; l <= hi; l++ {
-		p.levels[l] = mmucache.New(fmt.Sprintf("%s/%s", name, l), perLevel)
+		p.levels[l] = mmucache.New[uint64, P](fmt.Sprintf("%s/%s", name, l), perLevel)
 	}
 	return p
 }
 
-func pwcKey(va uint64, l addr.RadixLevel) uint64 {
-	return va >> (addr.PageShift4K + 9*(uint(l)-1))
-}
-
-// lookup probes level l for va's prefix; the cached value is the
-// entry's content (the next-level table base, or the frame for an L1
-// entry in the NPWC).
-func (p *pwc) lookup(va uint64, l addr.RadixLevel) (uint64, bool) {
+// lookup probes level l for va's prefix.
+func (p *pwc[V, P]) lookup(va V, l addr.RadixLevel) (P, bool) {
 	if p.levels[l] == nil {
 		return 0, false
 	}
-	return p.levels[l].Lookup(pwcKey(va, l))
+	return p.levels[l].Lookup(addr.LevelPrefix(va, l))
 }
 
-func (p *pwc) insert(va uint64, l addr.RadixLevel, content uint64) {
+func (p *pwc[V, P]) insert(va V, l addr.RadixLevel, content P) {
 	if p.levels[l] != nil {
-		p.levels[l].Insert(pwcKey(va, l), content)
+		p.levels[l].Insert(addr.LevelPrefix(va, l), content)
 	}
 }
 
@@ -68,21 +68,21 @@ func (p *pwc) insert(va uint64, l addr.RadixLevel, content uint64) {
 // is reusable.
 type hostRadixWalker struct {
 	mem  MemSystem
-	ept  *radix.Table
-	npwc *pwc
+	ept  *radix.Table[addr.GPA, addr.HPA]
+	npwc *pwc[addr.GPA, addr.HPA]
 	// steps is reusable walk scratch (the walkers run one walk at a
 	// time, so one buffer per walker suffices).
-	steps []radix.Step
+	steps []radix.Step[addr.HPA]
 }
 
 // walk translates gpa, returning the host frame/size, the added
 // latency, and the number of memory accesses performed.
-func (h *hostRadixWalker) walk(now uint64, gpa uint64) (frame uint64, size addr.PageSize, lat uint64, accesses int, err error) {
+func (h *hostRadixWalker) walk(now uint64, gpa addr.GPA) (frame addr.HPA, size addr.PageSize, lat uint64, accesses int, err error) {
 	var ok bool
 	h.steps, ok = h.ept.AppendWalk(h.steps[:0], gpa)
 	steps := h.steps
 	if !ok {
-		return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", Addr: gpa}
+		return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", GPA: gpa}
 	}
 	// One parallel NPWC probe round resolves the deepest cached level.
 	lat += mmucache.LatencyRT
@@ -108,17 +108,20 @@ func (h *hostRadixWalker) walk(now uint64, gpa uint64) (frame uint64, size addr.
 		}
 		h.npwc.insert(gpa, st.Level, st.NextPA)
 	}
-	return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", Addr: gpa}
+	return 0, 0, lat, accesses, &ErrNotMapped{Space: "host", GPA: gpa}
 }
 
 // NativeRadix is the Radix baseline: an x86-64 page walk with a PWC
 // (Figure 1).
 type NativeRadix struct {
-	cfg   RadixWalkConfig
-	mem   MemSystem
-	kern  *kernel.Kernel
-	pwc   *pwc
-	steps []radix.Step // reusable walk scratch
+	cfg  RadixWalkConfig
+	mem  MemSystem
+	kern *kernel.Kernel
+	// pwc caches guest radix entries; in the native design the kernel's
+	// "guest-physical" table addresses are host-physical (there is no
+	// hypervisor), so pointers cross spaces via addr.IdentityHPA below.
+	pwc   *pwc[addr.GVA, addr.GPA]
+	steps []radix.Step[addr.GPA] // reusable walk scratch
 }
 
 // NewNativeRadix builds the walker over the kernel's radix table.
@@ -130,7 +133,7 @@ func NewNativeRadix(cfg RadixWalkConfig, mem MemSystem, kern *kernel.Kernel) *Na
 		cfg:  cfg,
 		mem:  mem,
 		kern: kern,
-		pwc:  newPWC("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
+		pwc:  newPWC[addr.GVA, addr.GPA]("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
 	}
 }
 
@@ -143,10 +146,10 @@ func (w *NativeRadix) Name() string { return "Radix" }
 func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	var ok bool
-	w.steps, ok = w.kern.Radix().AppendWalk(w.steps[:0], uint64(va))
+	w.steps, ok = w.kern.Radix().AppendWalk(w.steps[:0], va)
 	steps := w.steps
 	if !ok {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT) // parallel PWC probe round
 	start := 0
@@ -155,27 +158,27 @@ func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		if st.Leaf || st.Level < addr.L2 {
 			continue // leaves and L1 entries are not PWC-cached
 		}
-		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+		if _, hit := w.pwc.lookup(va, st.Level); hit {
 			start = i + 1
 			break
 		}
 	}
 	for i := start; i < len(steps); i++ {
 		st := steps[i]
-		alat, _ := w.mem.Access(now+lat, st.EntryPA, cachesim.SourceMMU)
+		alat, _ := w.mem.Access(now+lat, addr.IdentityHPA(st.EntryPA), cachesim.SourceMMU)
 		lat += alat
 		res.Accesses++
 		if st.Leaf {
-			res.Frame = st.Frame
+			res.Frame = addr.IdentityHPA(st.Frame)
 			res.Size = st.Size
 			res.Latency = lat
 			return res, nil
 		}
 		if st.Level >= addr.L2 {
-			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+			w.pwc.insert(va, st.Level, st.NextPA)
 		}
 	}
-	return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+	return res, &ErrNotMapped{Space: "guest", GVA: va}
 }
 
 // NestedRadix is the Nested Radix baseline: the two-dimensional page
@@ -185,11 +188,11 @@ type NestedRadix struct {
 	mem   MemSystem
 	guest *kernel.Kernel
 	host  *hypervisor.Hypervisor
-	pwc   *pwc
-	npwc  *pwc
-	ntlb  *mmucache.Cache
+	pwc   *pwc[addr.GVA, addr.GPA]
+	npwc  *pwc[addr.GPA, addr.HPA]
+	ntlb  *mmucache.Cache[addr.GPA, addr.HPA]
 	hostW hostRadixWalker
-	steps []radix.Step // reusable guest walk scratch
+	steps []radix.Step[addr.GPA] // reusable guest walk scratch
 }
 
 // NewNestedRadix builds the walker over the guest radix table and the
@@ -203,9 +206,9 @@ func NewNestedRadix(cfg RadixWalkConfig, mem MemSystem, guest *kernel.Kernel, ho
 		mem:   mem,
 		guest: guest,
 		host:  host,
-		pwc:   newPWC("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
-		npwc:  newPWC("NPWC", cfg.NPWCEntriesPerLevel, addr.L1, addr.L4),
-		ntlb:  mmucache.New("NTLB", cfg.NTLBEntries),
+		pwc:   newPWC[addr.GVA, addr.GPA]("PWC", cfg.PWCEntriesPerLevel, addr.L2, addr.L4),
+		npwc:  newPWC[addr.GPA, addr.HPA]("NPWC", cfg.NPWCEntriesPerLevel, addr.L1, addr.L4),
+		ntlb:  mmucache.New[addr.GPA, addr.HPA]("NTLB", cfg.NTLBEntries),
 	}
 	w.hostW = hostRadixWalker{mem: mem, ept: host.Radix(), npwc: w.npwc}
 	return w
@@ -223,7 +226,7 @@ func (w *NestedRadix) NTLBStats() (hits, misses uint64) {
 // translateTablePage resolves the hPA of a guest page-table page
 // through the NTLB, falling back to a full host walk (the dotted
 // NTLB path of Figure 2).
-func (w *NestedRadix) translateTablePage(now uint64, entryGPA uint64, res *WalkResult) (hpa uint64, lat uint64, err error) {
+func (w *NestedRadix) translateTablePage(now uint64, entryGPA addr.GPA, res *WalkResult) (hpa addr.HPA, lat uint64, err error) {
 	lat += mmucache.LatencyRT
 	page := addr.PageBase(entryGPA, addr.Page4K)
 	if frame, ok := w.ntlb.Lookup(page); ok {
@@ -246,10 +249,10 @@ func (w *NestedRadix) translateTablePage(now uint64, entryGPA uint64, res *WalkR
 func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	var ok bool
-	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], uint64(va))
+	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], va)
 	steps := w.steps
 	if !ok {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT) // parallel guest-PWC probe round
 	start := 0
@@ -258,13 +261,13 @@ func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		if st.Leaf || st.Level < addr.L2 {
 			continue
 		}
-		if _, hit := w.pwc.lookup(uint64(va), st.Level); hit {
+		if _, hit := w.pwc.lookup(va, st.Level); hit {
 			start = i + 1
 			break
 		}
 	}
 
-	var dataGPA uint64
+	var dataGPA addr.GPA
 	var gsize addr.PageSize
 	found := false
 	for i := start; i < len(steps); i++ {
@@ -280,17 +283,17 @@ func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		lat += alat
 		res.Accesses++
 		if st.Leaf {
-			dataGPA = addr.Translate(st.Frame, uint64(va), st.Size)
+			dataGPA = addr.Translate(st.Frame, va, st.Size)
 			gsize = st.Size
 			found = true
 			break
 		}
 		if st.Level >= addr.L2 {
-			w.pwc.insert(uint64(va), st.Level, st.NextPA)
+			w.pwc.insert(va, st.Level, st.NextPA)
 		}
 	}
 	if !found {
-		return res, &ErrNotMapped{Space: "guest", Addr: uint64(va)}
+		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// Final host walk for the data page (steps 21–24 of Figure 2).

@@ -23,8 +23,8 @@ import (
 // *cachesim.Hierarchy implements it; tests substitute flat-latency
 // fakes.
 type MemSystem interface {
-	Access(now uint64, pa uint64, src cachesim.Source) (lat uint64, served cachesim.ServiceLevel)
-	AccessParallel(now uint64, pas []uint64, src cachesim.Source) uint64
+	Access(now uint64, pa addr.HPA, src cachesim.Source) (lat uint64, served cachesim.ServiceLevel)
+	AccessParallel(now uint64, pas []addr.HPA, src cachesim.Source) uint64
 }
 
 // WalkResult reports one completed page walk.
@@ -32,7 +32,7 @@ type WalkResult struct {
 	// Frame is the host physical frame the guest virtual page maps to,
 	// and Size the TLB-entry page size (the smaller of the guest and
 	// host mapping sizes, since the TLB caches the composed mapping).
-	Frame uint64
+	Frame addr.HPA
 	Size  addr.PageSize
 	// Latency is the critical-path walk latency in core cycles,
 	// measured from the L2 TLB miss.
@@ -57,7 +57,11 @@ type WalkResult struct {
 // must service (kernel/hypervisor) before retrying.
 type ErrNotMapped struct {
 	Space string // "guest" or "host"
-	Addr  uint64
+	// GVA is the faulting guest virtual address when Space is "guest".
+	GVA addr.GVA
+	// GPA is the guest physical address with no host mapping when Space
+	// is "host" (an EPT violation in hardware terms).
+	GPA addr.GPA
 	// PageTable marks host faults on guest page-table gPAs (§4.3:
 	// these must be mapped with 4KB host pages).
 	PageTable bool
@@ -65,7 +69,10 @@ type ErrNotMapped struct {
 
 // Error implements the error interface.
 func (e *ErrNotMapped) Error() string {
-	return fmt.Sprintf("core: %s address %#x not mapped", e.Space, e.Addr)
+	if e.Space == "guest" {
+		return fmt.Sprintf("core: %s address %#x not mapped", e.Space, e.GVA)
+	}
+	return fmt.Sprintf("core: %s address %#x not mapped", e.Space, e.GPA)
 }
 
 // Walker is a hardware page-walk engine for one design point.

@@ -9,10 +9,10 @@ import (
 
 // benchSet builds a host-layout table set with a resident 4KB working
 // set, the shape every walker probes on each translation step.
-func benchSet(b *testing.B) *Set {
+func benchSet(b *testing.B) *Set[uint64, uint64] {
 	b.Helper()
-	alloc := memsim.NewAllocator(1<<30, 3)
-	set, err := NewSet(ScaledSetConfig(true, 64), alloc, 1, 11)
+	alloc := memsim.NewAllocator[uint64](1<<30, 3)
+	set, err := NewSet[uint64](ScaledSetConfig(true, 64), alloc, 1, 11)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func benchSet(b *testing.B) *Set {
 	return set
 }
 
-var sinkProbes []Probe
+var sinkProbes []Probe[uint64]
 
 // BenchmarkProbesFor measures the allocating convenience wrapper: one
 // fresh probe slice per call.
@@ -39,7 +39,7 @@ func BenchmarkProbesFor(b *testing.B) {
 // append into caller-owned scratch, zero allocations once warmed.
 func BenchmarkAppendProbes(b *testing.B) {
 	tbl := benchSet(b).Table(addr.Page4K)
-	buf := make([]Probe, 0, 16)
+	buf := make([]Probe[uint64], 0, 16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -37,12 +37,12 @@ type cwtEntry struct {
 // each translation, cached in hardware by the CWCs (§3.2). The
 // structure occupies real frames so CWC refills have physical
 // addresses to fetch.
-type CWT struct {
+type CWT[P addr.Addr] struct {
 	size    addr.PageSize
-	alloc   *memsim.Allocator
+	alloc   *memsim.Allocator[P]
 	entries map[uint64]*cwtEntry
 	// pageBase maps a CWT page index to the frame backing it.
-	pageBase map[uint64]uint64
+	pageBase map[uint64]P
 }
 
 // entriesPerPage is how many CWT entries one 4KB backing page holds.
@@ -50,17 +50,17 @@ const entriesPerPage = 4096 / CWTEntryBytes
 
 // NewCWT creates an empty cuckoo walk table for the given page size,
 // backed by frames from alloc.
-func NewCWT(size addr.PageSize, alloc *memsim.Allocator) *CWT {
-	return &CWT{
+func NewCWT[P addr.Addr](size addr.PageSize, alloc *memsim.Allocator[P]) *CWT[P] {
+	return &CWT[P]{
 		size:     size,
 		alloc:    alloc,
 		entries:  make(map[uint64]*cwtEntry),
-		pageBase: make(map[uint64]uint64),
+		pageBase: make(map[uint64]P),
 	}
 }
 
 // Size returns the page size this CWT describes.
-func (c *CWT) Size() addr.PageSize { return c.size }
+func (c *CWT[P]) Size() addr.PageSize { return c.size }
 
 // EntryKey returns the key of the CWT entry covering an ECPT line tag.
 func EntryKey(tag uint64) uint64 { return tag / LinesPerCWTEntry }
@@ -68,7 +68,7 @@ func EntryKey(tag uint64) uint64 { return tag / LinesPerCWTEntry }
 // KeyForVPN returns the CWT entry key covering a page number.
 func KeyForVPN(vpn uint64) uint64 { return EntryKey(lineTag(vpn)) }
 
-func (c *CWT) entry(key uint64, create bool) *cwtEntry {
+func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
 	if e, ok := c.entries[key]; ok {
 		return e
 	}
@@ -90,21 +90,21 @@ func (c *CWT) entry(key uint64, create bool) *cwtEntry {
 // EntryPA returns the physical address (in the CWT's own address
 // space) of the entry with the given key, allocating backing storage
 // on first touch.
-func (c *CWT) EntryPA(key uint64) uint64 {
+func (c *CWT[P]) EntryPA(key uint64) P {
 	c.entry(key, true)
 	pageIdx := key / entriesPerPage
-	return c.pageBase[pageIdx] + (key%entriesPerPage)*CWTEntryBytes
+	return c.pageBase[pageIdx] + P((key%entriesPerPage)*CWTEntryBytes)
 }
 
 // setWay records that the line with the given tag lives in way; called
 // by the ECPT on every placement, keeping CWT and table coherent.
-func (c *CWT) setWay(tag uint64, way uint8) {
+func (c *CWT[P]) setWay(tag uint64, way uint8) {
 	e := c.entry(EntryKey(tag), true)
 	e.lines[tag%LinesPerCWTEntry].way = way
 }
 
 // clearWay records that no line with the given tag exists any more.
-func (c *CWT) clearWay(tag uint64) {
+func (c *CWT[P]) clearWay(tag uint64) {
 	if e := c.entry(EntryKey(tag), false); e != nil {
 		li := &e.lines[tag%LinesPerCWTEntry]
 		li.way = wayAbsent
@@ -114,13 +114,13 @@ func (c *CWT) clearWay(tag uint64) {
 
 // SetPresent records that the translation for vpn exists (its slot bit
 // within the line). Maintained by the OS alongside the page tables.
-func (c *CWT) SetPresent(vpn uint64) {
+func (c *CWT[P]) SetPresent(vpn uint64) {
 	e := c.entry(KeyForVPN(vpn), true)
 	e.lines[lineTag(vpn)%LinesPerCWTEntry].present |= 1 << lineSlot(vpn)
 }
 
 // ClearPresent removes vpn's slot-presence bit.
-func (c *CWT) ClearPresent(vpn uint64) {
+func (c *CWT[P]) ClearPresent(vpn uint64) {
 	if e := c.entry(KeyForVPN(vpn), false); e != nil {
 		e.lines[lineTag(vpn)%LinesPerCWTEntry].present &^= 1 << lineSlot(vpn)
 	}
@@ -130,13 +130,14 @@ func (c *CWT) ClearPresent(vpn uint64) {
 // the range vpn's line covers. The bit is sticky: clearing it safely
 // would need reference counting, and a stale true only costs probes,
 // never correctness — the same conservative choice real CWTs make.
-func (c *CWT) MarkSmaller(vpn uint64) {
+func (c *CWT[P]) MarkSmaller(vpn uint64) {
 	e := c.entry(KeyForVPN(vpn), true)
 	e.lines[lineTag(vpn)%LinesPerCWTEntry].hasSmaller = true
 }
 
-// Info is the CWT's answer about one page number.
-type Info struct {
+// Info is the CWT's answer about one page number. P is the space the
+// CWT entry itself lives in (the owning table set's physical space).
+type Info[P addr.Addr] struct {
 	// EntryExists reports whether the covering CWT entry exists at
 	// all; when false nothing of this size (or smaller) was ever
 	// mapped in the covered range.
@@ -152,18 +153,18 @@ type Info struct {
 	HasSmaller bool
 	// EntryKey and EntryPA locate the CWT entry, for CWC refills.
 	EntryKey uint64
-	EntryPA  uint64
+	EntryPA  P
 }
 
 // Query returns the walk-pruning information for vpn.
-func (c *CWT) Query(vpn uint64) Info {
+func (c *CWT[P]) Query(vpn uint64) Info[P] {
 	key := KeyForVPN(vpn)
 	e := c.entry(key, false)
 	if e == nil {
-		return Info{EntryKey: key}
+		return Info[P]{EntryKey: key}
 	}
 	li := e.lines[lineTag(vpn)%LinesPerCWTEntry]
-	return Info{
+	return Info[P]{
 		EntryExists: true,
 		WayKnown:    li.way != wayAbsent,
 		Way:         li.way,
@@ -175,9 +176,9 @@ func (c *CWT) Query(vpn uint64) Info {
 }
 
 // Entries returns the number of live CWT entries.
-func (c *CWT) Entries() int { return len(c.entries) }
+func (c *CWT[P]) Entries() int { return len(c.entries) }
 
 // MemoryBytes returns the frames backing the CWT, for §9.5 accounting.
-func (c *CWT) MemoryBytes() uint64 {
+func (c *CWT[P]) MemoryBytes() uint64 {
 	return uint64(len(c.pageBase)) * addr.Page4K.Bytes()
 }

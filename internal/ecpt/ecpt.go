@@ -76,32 +76,33 @@ func (c Config) validate() error {
 	return nil
 }
 
-// line is one tagged group of eight consecutive translations.
-type line struct {
+// line is one tagged group of eight consecutive translations mapping
+// into address space P.
+type line[P addr.Addr] struct {
 	valid   bool
 	tag     uint64 // VPN >> 3
 	present uint8  // bitmask over the 8 slots
-	frames  [TranslationsPerLine]uint64
+	frames  [TranslationsPerLine]P
 }
 
 // generation is one allocation of the elastic table: d parallel arrays
 // with per-way hash functions and physical base addresses.
-type generation struct {
+type generation[P addr.Addr] struct {
 	linesPerWay int
-	ways        [][]line
+	ways        [][]line[P]
 	hash        []vhash.Func
-	basePA      []uint64
+	basePA      []P
 }
 
-func (t *Table) newGeneration(linesPerWay int) *generation {
-	g := &generation{
+func (t *Table[P]) newGeneration(linesPerWay int) *generation[P] {
+	g := &generation[P]{
 		linesPerWay: linesPerWay,
-		ways:        make([][]line, t.cfg.Ways),
+		ways:        make([][]line[P], t.cfg.Ways),
 		hash:        make([]vhash.Func, t.cfg.Ways),
-		basePA:      make([]uint64, t.cfg.Ways),
+		basePA:      make([]P, t.cfg.Ways),
 	}
 	for w := 0; w < t.cfg.Ways; w++ {
-		g.ways[w] = make([]line, linesPerWay)
+		g.ways[w] = make([]line[P], linesPerWay)
 		g.hash[w] = vhash.New(t.hashSpace+t.generations*t.cfg.Ways, w)
 		g.basePA[w] = t.alloc.AllocRegion(uint64(linesPerWay)*LineBytes, memsim.PurposePageTable)
 	}
@@ -109,15 +110,15 @@ func (t *Table) newGeneration(linesPerWay int) *generation {
 	return g
 }
 
-func (g *generation) index(w int, tag uint64) int {
+func (g *generation[P]) index(w int, tag uint64) int {
 	return int(g.hash[w].Hash(tag) % uint64(g.linesPerWay))
 }
 
-func (g *generation) linePA(w, idx int) uint64 {
-	return g.basePA[w] + uint64(idx)*LineBytes
+func (g *generation[P]) linePA(w, idx int) P {
+	return g.basePA[w] + P(uint64(idx)*LineBytes)
 }
 
-func (g *generation) bytes() uint64 {
+func (g *generation[P]) bytes() uint64 {
 	return uint64(len(g.ways)) * uint64(g.linesPerWay) * LineBytes
 }
 
@@ -130,17 +131,21 @@ type Stats struct {
 	Migrated uint64
 }
 
-// Table is one elastic cuckoo page table for a single page size.
-type Table struct {
+// Table is one elastic cuckoo page table for a single page size. It
+// maps page numbers (plain uint64 VPNs — the caller owns the
+// virtual-side space) to frames in physical space P: gPA for guest
+// tables, hPA for host tables. Its own lines live at P-typed physical
+// addresses too, which is what AppendProbes hands walkers.
+type Table[P addr.Addr] struct {
 	size  addr.PageSize
 	cfg   Config
-	alloc *memsim.Allocator
-	cwt   *CWT // may be nil (e.g. no PTE-gCWT)
+	alloc *memsim.Allocator[P]
+	cwt   *CWT[P] // may be nil (e.g. no PTE-gCWT)
 
-	cur *generation
+	cur *generation[P]
 	// old is non-nil while an elastic resize is migrating lines out of
 	// the previous generation.
-	old *generation
+	old *generation[P]
 	// migratePtr[w] is the next old-generation bucket of way w to
 	// migrate; buckets below it are guaranteed empty.
 	migratePtr []int
@@ -153,18 +158,18 @@ type Table struct {
 	stats       Stats
 	// pending holds lines orphaned by an abandoned cuckoo displacement
 	// chain; startResize re-places them into the grown table.
-	pending []line
+	pending []line[P]
 }
 
 // New creates an empty table for the given page size. hashSpace
 // disambiguates the hash functions of distinct tables (e.g. guest vs
 // host) so they never share collision patterns; cwt may be nil when
 // the design keeps no CWT for this size (§4.2).
-func New(size addr.PageSize, cfg Config, alloc *memsim.Allocator, cwt *CWT, hashSpace int, seed uint64) (*Table, error) {
+func New[P addr.Addr](size addr.PageSize, cfg Config, alloc *memsim.Allocator[P], cwt *CWT[P], hashSpace int, seed uint64) (*Table[P], error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{
+	t := &Table[P]{
 		size:      size,
 		cfg:       cfg,
 		alloc:     alloc,
@@ -178,7 +183,7 @@ func New(size addr.PageSize, cfg Config, alloc *memsim.Allocator, cwt *CWT, hash
 
 // MustNew is New but panics on configuration errors; intended for
 // package-internal wiring where configs are static.
-func MustNew(size addr.PageSize, cfg Config, alloc *memsim.Allocator, cwt *CWT, hashSpace int, seed uint64) *Table {
+func MustNew[P addr.Addr](size addr.PageSize, cfg Config, alloc *memsim.Allocator[P], cwt *CWT[P], hashSpace int, seed uint64) *Table[P] {
 	t, err := New(size, cfg, alloc, cwt, hashSpace, seed)
 	if err != nil {
 		panic(err)
@@ -187,19 +192,19 @@ func MustNew(size addr.PageSize, cfg Config, alloc *memsim.Allocator, cwt *CWT, 
 }
 
 // Size returns the page size this table maps.
-func (t *Table) Size() addr.PageSize { return t.size }
+func (t *Table[P]) Size() addr.PageSize { return t.size }
 
 // Ways returns the paper's d.
-func (t *Table) Ways() int { return t.cfg.Ways }
+func (t *Table[P]) Ways() int { return t.cfg.Ways }
 
 // Entries returns the number of live translations.
-func (t *Table) Entries() uint64 { return t.entries }
+func (t *Table[P]) Entries() uint64 { return t.entries }
 
 // OccupiedLines returns the number of live lines across generations.
-func (t *Table) OccupiedLines() int { return t.occupied }
+func (t *Table[P]) OccupiedLines() int { return t.occupied }
 
 // CapacityLines returns the line capacity across live generations.
-func (t *Table) CapacityLines() int {
+func (t *Table[P]) CapacityLines() int {
 	c := t.cfg.Ways * t.cur.linesPerWay
 	if t.old != nil {
 		c += t.cfg.Ways * t.old.linesPerWay
@@ -208,14 +213,14 @@ func (t *Table) CapacityLines() int {
 }
 
 // Resizing reports whether an elastic resize is in flight.
-func (t *Table) Resizing() bool { return t.old != nil }
+func (t *Table[P]) Resizing() bool { return t.old != nil }
 
 // Stats returns a copy of the structural statistics.
-func (t *Table) Stats() Stats { return t.stats }
+func (t *Table[P]) Stats() Stats { return t.stats }
 
 // MemoryBytes returns the bytes of physical memory the table's arrays
 // occupy (both generations during a resize), for §9.5 accounting.
-func (t *Table) MemoryBytes() uint64 {
+func (t *Table[P]) MemoryBytes() uint64 {
 	b := t.cur.bytes()
 	if t.old != nil {
 		b += t.old.bytes()
@@ -224,13 +229,13 @@ func (t *Table) MemoryBytes() uint64 {
 }
 
 // CWT returns the table's cuckoo walk table, or nil.
-func (t *Table) CWT() *CWT { return t.cwt }
+func (t *Table[P]) CWT() *CWT[P] { return t.cwt }
 
 func lineTag(vpn uint64) uint64 { return vpn / TranslationsPerLine }
 func lineSlot(vpn uint64) int   { return int(vpn % TranslationsPerLine) }
 
 // findLine locates the line holding tag, if present.
-func (t *Table) findLine(tag uint64) (g *generation, w, idx int, ok bool) {
+func (t *Table[P]) findLine(tag uint64) (g *generation[P], w, idx int, ok bool) {
 	for w := 0; w < t.cfg.Ways; w++ {
 		idx := t.cur.index(w, tag)
 		if ln := &t.cur.ways[w][idx]; ln.valid && ln.tag == tag {
@@ -253,7 +258,7 @@ func (t *Table) findLine(tag uint64) (g *generation, w, idx int, ok bool) {
 
 // Insert maps vpn (a page number in this table's page size) to the
 // given frame base. Inserting an existing vpn updates its frame.
-func (t *Table) Insert(vpn, frame uint64) {
+func (t *Table[P]) Insert(vpn uint64, frame P) {
 	t.stats.Inserts++
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	if t.cwt != nil {
@@ -269,7 +274,7 @@ func (t *Table) Insert(vpn, frame uint64) {
 		t.continueMigration()
 		return
 	}
-	ln := line{valid: true, tag: tag, present: 1 << slot}
+	ln := line[P]{valid: true, tag: tag, present: 1 << slot}
 	ln.frames[slot] = frame
 	t.placeLine(ln)
 	t.entries++
@@ -280,7 +285,7 @@ func (t *Table) Insert(vpn, frame uint64) {
 
 // placeLine inserts a whole line into the current generation using
 // cuckoo displacement, resizing if the displacement chain is too long.
-func (t *Table) placeLine(ln line) {
+func (t *Table[P]) placeLine(ln line[P]) {
 	if t.tryPlace(ln) {
 		return
 	}
@@ -294,7 +299,7 @@ func (t *Table) placeLine(ln line) {
 
 // tryPlace attempts the cuckoo insertion of ln into the current
 // generation, displacing lines as needed up to MaxKicks.
-func (t *Table) tryPlace(ln line) bool {
+func (t *Table[P]) tryPlace(ln line[P]) bool {
 	cur := ln
 	lastWay := -1
 	for kick := 0; kick <= t.cfg.MaxKicks; kick++ {
@@ -327,14 +332,14 @@ func (t *Table) tryPlace(ln line) bool {
 	return false
 }
 
-func (t *Table) notifyPlacement(tag uint64, way int) {
+func (t *Table[P]) notifyPlacement(tag uint64, way int) {
 	if t.cwt != nil {
 		t.cwt.setWay(tag, uint8(way))
 	}
 }
 
 // Remove unmaps vpn. It reports whether the mapping existed.
-func (t *Table) Remove(vpn uint64) bool {
+func (t *Table[P]) Remove(vpn uint64) bool {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	g, w, idx, ok := t.findLine(tag)
 	if !ok {
@@ -362,7 +367,7 @@ func (t *Table) Remove(vpn uint64) bool {
 }
 
 // Lookup resolves vpn functionally (no timing).
-func (t *Table) Lookup(vpn uint64) (frame uint64, ok bool) {
+func (t *Table[P]) Lookup(vpn uint64) (frame P, ok bool) {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	g, w, idx, found := t.findLine(tag)
 	if !found {
@@ -377,7 +382,7 @@ func (t *Table) Lookup(vpn uint64) (frame uint64, ok bool) {
 
 // maybeStartResize begins an elastic resize when occupancy crosses the
 // load-factor limit.
-func (t *Table) maybeStartResize() {
+func (t *Table[P]) maybeStartResize() {
 	if t.old != nil {
 		return
 	}
@@ -386,7 +391,7 @@ func (t *Table) maybeStartResize() {
 	}
 }
 
-func (t *Table) startResize() {
+func (t *Table[P]) startResize() {
 	if t.old != nil {
 		// Already resizing and still out of room: finish the current
 		// migration first, then grow again.
@@ -410,7 +415,7 @@ func (t *Table) startResize() {
 // resize (placeLine can, in principle, grow the table again): it
 // captures the generation it is draining and bails out if that
 // generation is superseded underneath it.
-func (t *Table) continueMigration() {
+func (t *Table[P]) continueMigration() {
 	old := t.old
 	if old == nil {
 		return
@@ -428,7 +433,7 @@ func (t *Table) continueMigration() {
 			budget--
 			ln := old.ways[w][idx]
 			if ln.valid {
-				old.ways[w][idx] = line{}
+				old.ways[w][idx] = line[P]{}
 				t.placeLine(ln)
 				t.stats.Migrated++
 			}
@@ -453,13 +458,13 @@ func (t *Table) continueMigration() {
 }
 
 // finishMigration drains the in-flight resize completely.
-func (t *Table) finishMigration() {
+func (t *Table[P]) finishMigration() {
 	for t.old != nil {
 		t.continueMigration()
 	}
 }
 
-func (t *Table) completeResize() {
+func (t *Table[P]) completeResize() {
 	for w := 0; w < t.cfg.Ways; w++ {
 		t.alloc.FreeRegion(t.old.basePA[w], uint64(t.old.linesPerWay)*LineBytes, memsim.PurposePageTable)
 	}

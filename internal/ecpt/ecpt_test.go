@@ -8,10 +8,10 @@ import (
 	"nestedecpt/internal/memsim"
 )
 
-func newTestTable(t *testing.T, lines int, cwt bool) *Table {
+func newTestTable(t *testing.T, lines int, cwt bool) *Table[uint64] {
 	t.Helper()
-	alloc := memsim.NewAllocator(1<<30, 1)
-	var c *CWT
+	alloc := memsim.NewAllocator[uint64](1<<30, 1)
+	var c *CWT[uint64]
 	if cwt {
 		c = NewCWT(addr.Page4K, alloc)
 	}
@@ -253,7 +253,7 @@ func TestMemoryAccounting(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	alloc := memsim.NewAllocator(1<<24, 1)
+	alloc := memsim.NewAllocator[uint64](1<<24, 1)
 	bad := []Config{
 		{Ways: 1, InitialLinesPerWay: 16, MaxKicks: 4, LoadFactorLimit: 0.5, MigratePerInsert: 1},
 		{Ways: 3, InitialLinesPerWay: 0, MaxKicks: 4, LoadFactorLimit: 0.5, MigratePerInsert: 1},

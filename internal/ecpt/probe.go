@@ -1,21 +1,23 @@
 package ecpt
 
+import "nestedecpt/internal/addr"
+
 // Probe describes one hardware memory access a walker issues against
 // this table: the physical address of the ECPT line it reads and what
 // the hardware finds there. Walkers issue all probes of a step in
 // parallel (§3.1) and inspect tags afterwards.
-type Probe struct {
+type Probe[P addr.Addr] struct {
 	// Way is the ECPT way the probe targets.
 	Way int
 	// PA is the physical address of the 64-byte line, in the table's
 	// own address space (gPA for guest tables, hPA for host tables).
-	PA uint64
+	PA P
 	// TagMatch reports whether the line's VPN-group tag matched.
 	TagMatch bool
 	// Match reports whether the requested translation is present
 	// (tag matched and the slot bit is set); Frame is then valid.
 	Match bool
-	Frame uint64
+	Frame P
 }
 
 // AllWays is the way filter meaning "probe every way" (a Size walk in
@@ -35,7 +37,7 @@ const AllWays = -1
 // hardware walkers reuse across steps (§3.1).
 //
 //nestedlint:hotpath
-func (t *Table) AppendProbes(dst []Probe, vpn uint64, way int) []Probe {
+func (t *Table[P]) AppendProbes(dst []Probe[P], vpn uint64, way int) []Probe[P] {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	for w := 0; w < t.cfg.Ways; w++ {
 		if way != AllWays && w != way {
@@ -57,12 +59,12 @@ func (t *Table) AppendProbes(dst []Probe, vpn uint64, way int) []Probe {
 // freshly allocated slice. It is AppendProbes without caller-provided
 // scratch — convenient for tests and cold paths; hot paths should
 // reuse a buffer through AppendProbes instead.
-func (t *Table) ProbesFor(vpn uint64, way int) []Probe {
-	return t.AppendProbes(make([]Probe, 0, 2*t.cfg.Ways), vpn, way)
+func (t *Table[P]) ProbesFor(vpn uint64, way int) []Probe[P] {
+	return t.AppendProbes(make([]Probe[P], 0, 2*t.cfg.Ways), vpn, way)
 }
 
-func (t *Table) makeProbe(g *generation, w, idx int, tag uint64, slot int) Probe {
-	p := Probe{Way: w, PA: g.linePA(w, idx)}
+func (t *Table[P]) makeProbe(g *generation[P], w, idx int, tag uint64, slot int) Probe[P] {
+	p := Probe[P]{Way: w, PA: g.linePA(w, idx)}
 	ln := &g.ways[w][idx]
 	if ln.valid && ln.tag == tag {
 		p.TagMatch = true

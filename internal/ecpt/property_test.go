@@ -19,7 +19,7 @@ import (
 func TestPropertyRandomOps(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 0xC0FFEE} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			alloc := memsim.NewAllocator(1<<30, seed)
+			alloc := memsim.NewAllocator[uint64](1<<30, seed)
 			cwt := NewCWT(addr.Page4K, alloc)
 			tb, err := New(addr.Page4K, DefaultConfig(64), alloc, cwt, 1, seed)
 			if err != nil {

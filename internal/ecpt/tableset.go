@@ -48,18 +48,21 @@ func ScaledSetConfig(host bool, scale uint64) SetConfig {
 }
 
 // Set is the process-private (or hypervisor-private) collection of
-// ECPTs: the gECPTs of a guest, or the hECPTs of the host (§3).
-type Set struct {
-	tables [addr.NumPageSizes]*Table
-	alloc  *memsim.Allocator
+// ECPTs: the gECPTs of a guest (Set[addr.GVA, addr.GPA]) or the
+// hECPTs of the host (Set[addr.GPA, addr.HPA]). V is the space being
+// translated, P the space translated into (which is also where the
+// tables themselves live).
+type Set[V, P addr.Addr] struct {
+	tables [addr.NumPageSizes]*Table[P]
+	alloc  *memsim.Allocator[P]
 }
 
 // NewSet builds the per-size tables from cfg. hashSpace separates hash
 // functions between unrelated sets; seed drives cuckoo tie-breaking.
-func NewSet(cfg SetConfig, alloc *memsim.Allocator, hashSpace int, seed uint64) (*Set, error) {
-	s := &Set{alloc: alloc}
+func NewSet[V, P addr.Addr](cfg SetConfig, alloc *memsim.Allocator[P], hashSpace int, seed uint64) (*Set[V, P], error) {
+	s := &Set[V, P]{alloc: alloc}
 	for _, size := range addr.Sizes() {
-		var cwt *CWT
+		var cwt *CWT[P]
 		if cfg.WithCWT[size] {
 			cwt = NewCWT(size, alloc)
 		}
@@ -73,12 +76,12 @@ func NewSet(cfg SetConfig, alloc *memsim.Allocator, hashSpace int, seed uint64) 
 }
 
 // Table returns the ECPT for one page size.
-func (s *Set) Table(size addr.PageSize) *Table { return s.tables[size] }
+func (s *Set[V, P]) Table(size addr.PageSize) *Table[P] { return s.tables[size] }
 
 // Map installs a translation at the given size and maintains the
 // hierarchical has-smaller bits in the larger sizes' CWTs so walkers
 // know they must descend.
-func (s *Set) Map(va uint64, size addr.PageSize, frame uint64) {
+func (s *Set[V, P]) Map(va V, size addr.PageSize, frame P) {
 	s.tables[size].Insert(addr.VPN(va, size), frame)
 	for _, larger := range addr.Sizes() {
 		if larger <= size {
@@ -93,12 +96,12 @@ func (s *Set) Map(va uint64, size addr.PageSize, frame uint64) {
 // Unmap removes the translation for va at the given size, reporting
 // whether it existed. Has-smaller bits are left sticky (see
 // CWT.MarkSmaller).
-func (s *Set) Unmap(va uint64, size addr.PageSize) bool {
+func (s *Set[V, P]) Unmap(va V, size addr.PageSize) bool {
 	return s.tables[size].Remove(addr.VPN(va, size))
 }
 
 // Lookup resolves va functionally across all page sizes.
-func (s *Set) Lookup(va uint64) (frame uint64, size addr.PageSize, ok bool) {
+func (s *Set[V, P]) Lookup(va V) (frame P, size addr.PageSize, ok bool) {
 	// Probe largest first: at most one size can map a given address.
 	for i := addr.NumPageSizes - 1; i >= 0; i-- {
 		sz := addr.Sizes()[i]
@@ -110,7 +113,7 @@ func (s *Set) Lookup(va uint64) (frame uint64, size addr.PageSize, ok bool) {
 }
 
 // Translate resolves va to a full physical address (frame | offset).
-func (s *Set) Translate(va uint64) (pa uint64, size addr.PageSize, ok bool) {
+func (s *Set[V, P]) Translate(va V) (pa P, size addr.PageSize, ok bool) {
 	frame, size, ok := s.Lookup(va)
 	if !ok {
 		return 0, size, false
@@ -119,7 +122,7 @@ func (s *Set) Translate(va uint64) (pa uint64, size addr.PageSize, ok bool) {
 }
 
 // Entries returns the total live translations across sizes.
-func (s *Set) Entries() uint64 {
+func (s *Set[V, P]) Entries() uint64 {
 	var n uint64
 	for _, size := range addr.Sizes() {
 		n += s.tables[size].Entries()
@@ -128,7 +131,7 @@ func (s *Set) Entries() uint64 {
 }
 
 // MemoryBytes returns the physical memory held by all tables and CWTs.
-func (s *Set) MemoryBytes() uint64 {
+func (s *Set[V, P]) MemoryBytes() uint64 {
 	var b uint64
 	for _, size := range addr.Sizes() {
 		b += s.tables[size].MemoryBytes()

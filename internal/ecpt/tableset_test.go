@@ -7,10 +7,10 @@ import (
 	"nestedecpt/internal/memsim"
 )
 
-func newTestSet(t *testing.T, host bool) *Set {
+func newTestSet(t *testing.T, host bool) *Set[uint64, uint64] {
 	t.Helper()
-	alloc := memsim.NewAllocator(1<<30, 3)
-	set, err := NewSet(ScaledSetConfig(host, 64), alloc, 1, 11)
+	alloc := memsim.NewAllocator[uint64](1<<30, 3)
+	set, err := NewSet[uint64](ScaledSetConfig(host, 64), alloc, 1, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,17 +66,17 @@ func TestSetHierarchicalHasSmaller(t *testing.T) {
 	set.Map(0x1000, addr.Page4K, 0xAA000)
 	// Mapping a 4KB page must mark the 2MB and 1GB CWTs so walkers
 	// descend.
-	pmd := set.Table(addr.Page2M).CWT().Query(addr.VPN(0x1000, addr.Page2M))
+	pmd := set.Table(addr.Page2M).CWT().Query(addr.VPN(uint64(0x1000), addr.Page2M))
 	if !pmd.EntryExists || !pmd.HasSmaller {
 		t.Errorf("PMD CWT = %+v", pmd)
 	}
-	pud := set.Table(addr.Page1G).CWT().Query(addr.VPN(0x1000, addr.Page1G))
+	pud := set.Table(addr.Page1G).CWT().Query(addr.VPN(uint64(0x1000), addr.Page1G))
 	if !pud.EntryExists || !pud.HasSmaller {
 		t.Errorf("PUD CWT = %+v", pud)
 	}
 	// Mapping a 2MB page marks only the 1GB CWT.
 	set.Map(0x8000_0000, addr.Page2M, 0x20_0000)
-	pud2 := set.Table(addr.Page1G).CWT().Query(addr.VPN(0x8000_0000, addr.Page1G))
+	pud2 := set.Table(addr.Page1G).CWT().Query(addr.VPN(uint64(0x8000_0000), addr.Page1G))
 	if !pud2.HasSmaller {
 		t.Errorf("PUD CWT after 2MB map = %+v", pud2)
 	}
@@ -91,7 +91,7 @@ func TestSetCWTLayout(t *testing.T) {
 	if guest.Table(addr.Page4K).CWT() != nil {
 		t.Error("guest set has a PTE-CWT (the paper keeps none, §4.2)")
 	}
-	for _, set := range []*Set{host, guest} {
+	for _, set := range []*Set[uint64, uint64]{host, guest} {
 		if set.Table(addr.Page2M).CWT() == nil || set.Table(addr.Page1G).CWT() == nil {
 			t.Error("PMD/PUD CWTs missing")
 		}
@@ -118,7 +118,7 @@ func TestSetLookupPrefersLargest(t *testing.T) {
 	// priority.
 	set := newTestSet(t, true)
 	set.Map(0x4000_0000, addr.Page2M, 0x20_0000)
-	set.Table(addr.Page4K).Insert(addr.VPN(0x4000_0000, addr.Page4K), 0xAA000)
+	set.Table(addr.Page4K).Insert(addr.VPN(uint64(0x4000_0000), addr.Page4K), 0xAA000)
 	_, s, _ := set.Lookup(0x4000_0000)
 	if s != addr.Page2M {
 		t.Errorf("resolved size %v, want 2MB", s)

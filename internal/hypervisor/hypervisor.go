@@ -59,12 +59,12 @@ type Stats struct {
 // Hypervisor manages host memory for one VM.
 type Hypervisor struct {
 	cfg   Config
-	alloc *memsim.Allocator
-	radix *radix.Table // gPA → hPA (EPT / NPT)
-	ecpts *ecpt.Set
+	alloc *memsim.Allocator[addr.HPA]
+	radix *radix.Table[addr.GPA, addr.HPA] // gPA → hPA (EPT / NPT)
+	ecpts *ecpt.Set[addr.GPA, addr.HPA]
 	// small2m marks 2MB-aligned gPA regions that already contain 4KB
 	// host mappings and therefore can never be huge-mapped.
-	small2m map[uint64]bool
+	small2m map[addr.GPA]bool
 	stats   Stats
 }
 
@@ -75,15 +75,15 @@ func New(cfg Config) (*Hypervisor, error) {
 	}
 	h := &Hypervisor{
 		cfg:     cfg,
-		alloc:   memsim.NewAllocator(cfg.HostMemBytes, cfg.Seed),
-		small2m: make(map[uint64]bool),
+		alloc:   memsim.NewAllocator[addr.HPA](cfg.HostMemBytes, cfg.Seed),
+		small2m: make(map[addr.GPA]bool),
 	}
 	h.alloc.SetHugePageFailureRate(cfg.HugePageFailureRate)
 	if cfg.BuildRadix {
-		h.radix = radix.New(h.alloc)
+		h.radix = radix.New[addr.GPA](h.alloc)
 	}
 	if cfg.BuildECPT {
-		set, err := ecpt.NewSet(cfg.ECPT, h.alloc, 2, cfg.Seed)
+		set, err := ecpt.NewSet[addr.GPA](cfg.ECPT, h.alloc, 2, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -102,13 +102,13 @@ func MustNew(cfg Config) *Hypervisor {
 }
 
 // Radix returns the host radix table (EPT), or nil.
-func (h *Hypervisor) Radix() *radix.Table { return h.radix }
+func (h *Hypervisor) Radix() *radix.Table[addr.GPA, addr.HPA] { return h.radix }
 
 // ECPTs returns the host ECPT set, or nil.
-func (h *Hypervisor) ECPTs() *ecpt.Set { return h.ecpts }
+func (h *Hypervisor) ECPTs() *ecpt.Set[addr.GPA, addr.HPA] { return h.ecpts }
 
 // Allocator exposes the host-physical allocator.
-func (h *Hypervisor) Allocator() *memsim.Allocator { return h.alloc }
+func (h *Hypervisor) Allocator() *memsim.Allocator[addr.HPA] { return h.alloc }
 
 // Stats returns a copy of the mapping statistics.
 func (h *Hypervisor) Stats() Stats { return h.stats }
@@ -117,7 +117,7 @@ func (h *Hypervisor) Stats() Stats { return h.stats }
 // host mapping, demand-mapping it on a nested fault. isPageTable marks
 // gPAs that hold guest page tables or CWTs, which KVM backs only with
 // 4KB pages (§4.3). It reports whether a nested fault occurred.
-func (h *Hypervisor) EnsureMapped(gpa uint64, isPageTable bool) (faulted bool, err error) {
+func (h *Hypervisor) EnsureMapped(gpa addr.GPA, isPageTable bool) (faulted bool, err error) {
 	if _, _, ok := h.Translate(gpa); ok {
 		return false, nil
 	}
@@ -141,7 +141,7 @@ func (h *Hypervisor) EnsureMapped(gpa uint64, isPageTable bool) (faulted bool, e
 	return true, nil
 }
 
-func (h *Hypervisor) mapPage(base uint64, size addr.PageSize, frame uint64) {
+func (h *Hypervisor) mapPage(base addr.GPA, size addr.PageSize, frame addr.HPA) {
 	if h.radix != nil {
 		if err := h.radix.Map(base, size, frame); err != nil {
 			panic(fmt.Sprintf("hypervisor: radix map: %v", err))
@@ -153,7 +153,7 @@ func (h *Hypervisor) mapPage(base uint64, size addr.PageSize, frame uint64) {
 }
 
 // Translate resolves gPA → hPA functionally.
-func (h *Hypervisor) Translate(gpa uint64) (hpa uint64, size addr.PageSize, ok bool) {
+func (h *Hypervisor) Translate(gpa addr.GPA) (hpa addr.HPA, size addr.PageSize, ok bool) {
 	if h.ecpts != nil {
 		frame, sz, hit := h.ecpts.Lookup(gpa)
 		if !hit {

@@ -78,7 +78,7 @@ func TestSmallRegionBlocksHugeMapping(t *testing.T) {
 
 func TestRadixAndECPTAgree(t *testing.T) {
 	h := newHyp(t, true, true)
-	gpas := []uint64{0x1000, 0x20_0000, 0x1234_5000, 0x4000_0000}
+	gpas := []addr.GPA{0x1000, 0x20_0000, 0x1234_5000, 0x4000_0000}
 	for _, gpa := range gpas {
 		if _, err := h.EnsureMapped(gpa, gpa%2 == 0); err != nil {
 			t.Fatal(err)
@@ -119,7 +119,7 @@ func TestPageTableMemoryAccounting(t *testing.T) {
 	h := newHyp(t, false, false)
 	base := h.PageTableMemoryBytes()
 	for i := uint64(0); i < 5000; i++ {
-		h.EnsureMapped(i<<12, false)
+		h.EnsureMapped(addr.GPA(i)<<12, false)
 	}
 	if h.PageTableMemoryBytes() <= base {
 		t.Error("host page-table memory did not grow")

@@ -56,7 +56,8 @@ const (
 
 // VMA is a virtual memory area registered by the workload.
 type VMA struct {
-	Base, Size uint64
+	Base addr.GVA
+	Size uint64
 	// THPEligible marks areas khugepaged would back with 2MB pages.
 	THPEligible bool
 }
@@ -72,11 +73,11 @@ type Stats struct {
 // Kernel is one guest OS instance managing one address space.
 type Kernel struct {
 	cfg     Config
-	alloc   *memsim.Allocator
-	radix   *radix.Table
-	ecpts   *ecpt.Set
+	alloc   *memsim.Allocator[addr.GPA]
+	radix   *radix.Table[addr.GVA, addr.GPA]
+	ecpts   *ecpt.Set[addr.GVA, addr.GPA]
 	vmas    []VMA
-	regions map[uint64]regionState
+	regions map[addr.GVA]regionState
 	stats   Stats
 }
 
@@ -87,15 +88,15 @@ func New(cfg Config) (*Kernel, error) {
 	}
 	k := &Kernel{
 		cfg:     cfg,
-		alloc:   memsim.NewAllocator(cfg.GuestMemBytes, cfg.Seed),
-		regions: make(map[uint64]regionState),
+		alloc:   memsim.NewAllocator[addr.GPA](cfg.GuestMemBytes, cfg.Seed),
+		regions: make(map[addr.GVA]regionState),
 	}
 	k.alloc.SetHugePageFailureRate(cfg.HugePageFailureRate)
 	if cfg.BuildRadix {
-		k.radix = radix.New(k.alloc)
+		k.radix = radix.New[addr.GVA](k.alloc)
 	}
 	if cfg.BuildECPT {
-		set, err := ecpt.NewSet(cfg.ECPT, k.alloc, 1, cfg.Seed)
+		set, err := ecpt.NewSet[addr.GVA](cfg.ECPT, k.alloc, 1, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -114,14 +115,14 @@ func MustNew(cfg Config) *Kernel {
 }
 
 // Radix returns the guest radix table, or nil.
-func (k *Kernel) Radix() *radix.Table { return k.radix }
+func (k *Kernel) Radix() *radix.Table[addr.GVA, addr.GPA] { return k.radix }
 
 // ECPTs returns the guest ECPT set, or nil.
-func (k *Kernel) ECPTs() *ecpt.Set { return k.ecpts }
+func (k *Kernel) ECPTs() *ecpt.Set[addr.GVA, addr.GPA] { return k.ecpts }
 
 // Allocator exposes the guest-physical allocator (the hypervisor needs
 // its capacity; tests inspect accounting).
-func (k *Kernel) Allocator() *memsim.Allocator { return k.alloc }
+func (k *Kernel) Allocator() *memsim.Allocator[addr.GPA] { return k.alloc }
 
 // Stats returns a copy of the paging statistics.
 func (k *Kernel) Stats() Stats { return k.stats }
@@ -132,10 +133,10 @@ func (k *Kernel) DefineVMA(v VMA) {
 	k.vmas = append(k.vmas, v)
 }
 
-func (k *Kernel) vmaFor(va uint64) *VMA {
+func (k *Kernel) vmaFor(va addr.GVA) *VMA {
 	for i := range k.vmas {
 		v := &k.vmas[i]
-		if va >= v.Base && va < v.Base+v.Size {
+		if va >= v.Base && va < addr.Add(v.Base, v.Size) {
 			return v
 		}
 	}
@@ -145,7 +146,7 @@ func (k *Kernel) vmaFor(va uint64) *VMA {
 // Touch ensures the page containing va is mapped, performing a minor
 // fault (demand allocation) if needed. It reports whether a fault
 // occurred and the page size now backing va.
-func (k *Kernel) Touch(va uint64) (faulted bool, size addr.PageSize, err error) {
+func (k *Kernel) Touch(va addr.GVA) (faulted bool, size addr.PageSize, err error) {
 	if _, sz, ok := k.Translate(va); ok {
 		return false, sz, nil
 	}
@@ -159,7 +160,7 @@ func (k *Kernel) Touch(va uint64) (faulted bool, size addr.PageSize, err error) 
 	st := k.regions[region]
 	wantHuge := k.cfg.THP && v.THPEligible && st != regionSmall &&
 		// The whole 2MB region must lie inside the VMA.
-		region >= v.Base && region+addr.Page2M.Bytes() <= v.Base+v.Size
+		region >= v.Base && addr.Add(region, addr.Page2M.Bytes()) <= addr.Add(v.Base, v.Size)
 
 	if wantHuge {
 		if frame, ok := k.alloc.Alloc(addr.Page2M, memsim.PurposeData); ok {
@@ -180,7 +181,7 @@ func (k *Kernel) Touch(va uint64) (faulted bool, size addr.PageSize, err error) 
 	return true, addr.Page4K, nil
 }
 
-func (k *Kernel) mapPage(base uint64, size addr.PageSize, frame uint64) {
+func (k *Kernel) mapPage(base addr.GVA, size addr.PageSize, frame addr.GPA) {
 	if k.radix != nil {
 		if err := k.radix.Map(base, size, frame); err != nil {
 			panic(fmt.Sprintf("kernel: radix map: %v", err))
@@ -193,7 +194,7 @@ func (k *Kernel) mapPage(base uint64, size addr.PageSize, frame uint64) {
 
 // Unmap removes the mapping for the page containing va, if any,
 // from every maintained structure.
-func (k *Kernel) Unmap(va uint64) bool {
+func (k *Kernel) Unmap(va addr.GVA) bool {
 	_, size, ok := k.Translate(va)
 	if !ok {
 		return false
@@ -213,7 +214,7 @@ func (k *Kernel) Unmap(va uint64) bool {
 
 // Translate resolves gVA → gPA functionally, preferring whichever
 // structure is built (they are kept identical when both are).
-func (k *Kernel) Translate(va uint64) (gpa uint64, size addr.PageSize, ok bool) {
+func (k *Kernel) Translate(va addr.GVA) (gpa addr.GPA, size addr.PageSize, ok bool) {
 	if k.ecpts != nil {
 		frame, sz, hit := k.ecpts.Lookup(va)
 		if !hit {

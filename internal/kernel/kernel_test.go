@@ -117,7 +117,7 @@ func TestTHPPartialRegionAtVMAEdge(t *testing.T) {
 
 func TestRadixAndECPTAgree(t *testing.T) {
 	k := newKernel(t, true, true)
-	vas := []uint64{0x1000_0000, 0x1020_0000, 0x1040_5000, 0x4000_0000, 0x4001_0000}
+	vas := []addr.GVA{0x1000_0000, 0x1020_0000, 0x1040_5000, 0x4000_0000, 0x4001_0000}
 	for _, va := range vas {
 		if _, _, err := k.Touch(va); err != nil {
 			t.Fatal(err)
@@ -154,7 +154,7 @@ func TestPageTableMemoryGrows(t *testing.T) {
 	k := newKernel(t, false, false)
 	base := k.PageTableMemoryBytes()
 	for i := uint64(0); i < 2000; i++ {
-		k.Touch(0x1000_0000 + i*4096)
+		k.Touch(0x1000_0000 + addr.GVA(i)*4096)
 	}
 	if k.PageTableMemoryBytes() <= base {
 		t.Error("page-table memory did not grow")

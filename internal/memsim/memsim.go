@@ -42,7 +42,13 @@ func (p Purpose) String() string {
 // Allocator hands out physical frames from a fixed-capacity physical
 // address space. Allocation is a deterministic bump pointer per page
 // size with free lists, so repeated runs place structures identically.
-type Allocator struct {
+//
+// The type parameter names the address space the allocator mints:
+// a kernel's allocator hands out addr.GPA frames, a hypervisor's
+// addr.HPA frames. This is the one place new addresses of a domain
+// legitimately come into existence; internal bookkeeping is plain
+// byte arithmetic and only the API boundary is typed.
+type Allocator[P addr.Addr] struct {
 	capacity uint64
 	// next bumps upward for data frames; metaNext bumps downward for
 	// page-table and CWT frames. Real kernels cluster page-table pages
@@ -64,16 +70,16 @@ type Allocator struct {
 }
 
 // NewAllocator returns an allocator over [0, capacity) bytes.
-func NewAllocator(capacity uint64, seed uint64) *Allocator {
-	return &Allocator{capacity: capacity, metaNext: capacity, rng: vhash.NewRNG(seed)}
+func NewAllocator[P addr.Addr](capacity uint64, seed uint64) *Allocator[P] {
+	return &Allocator[P]{capacity: capacity, metaNext: capacity, rng: vhash.NewRNG(seed)}
 }
 
 // SetHugePageFailureRate sets the probability in [0,1] that an
 // allocation of a 2MB or 1GB frame fails due to fragmentation.
-func (a *Allocator) SetHugePageFailureRate(p float64) { a.hugeFail = p }
+func (a *Allocator[P]) SetHugePageFailureRate(p float64) { a.hugeFail = p }
 
 // Capacity returns the size of the physical address space in bytes.
-func (a *Allocator) Capacity() uint64 { return a.capacity }
+func (a *Allocator[P]) Capacity() uint64 { return a.capacity }
 
 // Alloc allocates one frame of the given size and returns its base
 // address. It returns ok=false when the space is exhausted or when a
@@ -81,21 +87,22 @@ func (a *Allocator) Capacity() uint64 { return a.capacity }
 // Page-table and CWT frames come from the clustered metadata region at
 // the top of the address space (4KB only); data frames bump upward
 // from the bottom.
-func (a *Allocator) Alloc(s addr.PageSize, why Purpose) (base uint64, ok bool) {
+func (a *Allocator[P]) Alloc(s addr.PageSize, why Purpose) (base P, ok bool) {
 	if why != PurposeData {
 		if s != addr.Page4K {
 			panic(fmt.Sprintf("memsim: %s frames must be 4KB, got %s", why, s))
 		}
-		return a.allocMeta(addr.Page4K.Bytes(), why)
+		b, ok := a.allocMeta(addr.Page4K.Bytes(), why)
+		return P(b), ok
 	}
 	if s != addr.Page4K && a.hugeFail > 0 && a.rng.Float64() < a.hugeFail {
 		return 0, false
 	}
 	if fl := a.free[s]; len(fl) > 0 {
-		base = fl[len(fl)-1]
+		base := fl[len(fl)-1]
 		a.free[s] = fl[:len(fl)-1]
 		a.used[why] += s.Bytes()
-		return base, true
+		return P(base), true
 	}
 	// Align the bump pointer to the frame size.
 	aligned := (a.next + s.Bytes() - 1) &^ (s.Bytes() - 1)
@@ -108,12 +115,12 @@ func (a *Allocator) Alloc(s addr.PageSize, why Purpose) (base uint64, ok bool) {
 	}
 	a.next = aligned + s.Bytes()
 	a.used[why] += s.Bytes()
-	return aligned, true
+	return P(aligned), true
 }
 
 // allocMeta carves bytes (4KB-aligned) downward from the metadata
 // region, preferring freed metadata frames for single-page requests.
-func (a *Allocator) allocMeta(bytes uint64, why Purpose) (base uint64, ok bool) {
+func (a *Allocator[P]) allocMeta(bytes uint64, why Purpose) (base uint64, ok bool) {
 	if bytes == addr.Page4K.Bytes() && len(a.metaFree) > 0 {
 		base = a.metaFree[len(a.metaFree)-1]
 		a.metaFree = a.metaFree[:len(a.metaFree)-1]
@@ -131,7 +138,7 @@ func (a *Allocator) allocMeta(bytes uint64, why Purpose) (base uint64, ok bool) 
 // MustAlloc allocates like Alloc but panics on exhaustion. It is meant
 // for page-table allocations, which the simulator sizes so they cannot
 // fail; a panic indicates a configuration bug, not a runtime condition.
-func (a *Allocator) MustAlloc(s addr.PageSize, why Purpose) uint64 {
+func (a *Allocator[P]) MustAlloc(s addr.PageSize, why Purpose) P {
 	// Page tables are never subject to the fragmentation model: Linux
 	// and KVM allocate them in 4KB pages (§4.3), and 4KB frames never
 	// fail below capacity.
@@ -146,9 +153,9 @@ func (a *Allocator) MustAlloc(s addr.PageSize, why Purpose) uint64 {
 }
 
 // Free returns a frame to the allocator.
-func (a *Allocator) Free(base uint64, s addr.PageSize, why Purpose) {
+func (a *Allocator[P]) Free(base P, s addr.PageSize, why Purpose) {
 	if why != PurposeData {
-		a.metaFree = append(a.metaFree, base)
+		a.metaFree = append(a.metaFree, uint64(base))
 		if a.used[why] >= s.Bytes() {
 			a.used[why] -= s.Bytes()
 		} else {
@@ -156,7 +163,7 @@ func (a *Allocator) Free(base uint64, s addr.PageSize, why Purpose) {
 		}
 		return
 	}
-	a.free[s] = append(a.free[s], base)
+	a.free[s] = append(a.free[s], uint64(base))
 	if a.used[why] >= s.Bytes() {
 		a.used[why] -= s.Bytes()
 	} else {
@@ -169,14 +176,14 @@ func (a *Allocator) Free(base uint64, s addr.PageSize, why Purpose) {
 // ways are contiguous arrays indexed by hash, so they need regions
 // rather than individual frames. It panics on exhaustion for the same
 // reason MustAlloc does.
-func (a *Allocator) AllocRegion(bytes uint64, why Purpose) uint64 {
+func (a *Allocator[P]) AllocRegion(bytes uint64, why Purpose) P {
 	sz := (bytes + addr.Page4K.Bytes() - 1) &^ (addr.Page4K.Bytes() - 1)
 	if why != PurposeData {
 		base, ok := a.allocMeta(sz, why)
 		if !ok {
 			panic(fmt.Sprintf("memsim: out of physical memory allocating %dB region for %s", sz, why))
 		}
-		return base
+		return P(base)
 	}
 	aligned := (a.next + addr.Page4K.Bytes() - 1) &^ (addr.Page4K.Bytes() - 1)
 	if aligned+sz > a.metaNext {
@@ -184,14 +191,14 @@ func (a *Allocator) AllocRegion(bytes uint64, why Purpose) uint64 {
 	}
 	a.next = aligned + sz
 	a.used[why] += sz
-	return aligned
+	return P(aligned)
 }
 
 // FreeRegion returns a region previously obtained from AllocRegion.
 // The space is handed back as 4KB frames.
-func (a *Allocator) FreeRegion(base, bytes uint64, why Purpose) {
+func (a *Allocator[P]) FreeRegion(base P, bytes uint64, why Purpose) {
 	sz := (bytes + addr.Page4K.Bytes() - 1) &^ (addr.Page4K.Bytes() - 1)
-	for p := base; p < base+sz; p += addr.Page4K.Bytes() {
+	for p := uint64(base); p < uint64(base)+sz; p += addr.Page4K.Bytes() {
 		if why != PurposeData {
 			a.metaFree = append(a.metaFree, p)
 		} else {
@@ -206,10 +213,10 @@ func (a *Allocator) FreeRegion(base, bytes uint64, why Purpose) {
 }
 
 // Used returns the bytes currently allocated for the given purpose.
-func (a *Allocator) Used(why Purpose) uint64 { return a.used[why] }
+func (a *Allocator[P]) Used(why Purpose) uint64 { return a.used[why] }
 
 // TotalUsed returns the bytes currently allocated across all purposes.
-func (a *Allocator) TotalUsed() uint64 {
+func (a *Allocator[P]) TotalUsed() uint64 {
 	var t uint64
 	for i := Purpose(0); i < numPurposes; i++ {
 		t += a.used[i]

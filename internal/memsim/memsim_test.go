@@ -6,8 +6,8 @@ import (
 	"nestedecpt/internal/addr"
 )
 
-func newTestAlloc(capMB uint64) *Allocator {
-	return NewAllocator(capMB<<20, 1)
+func newTestAlloc(capMB uint64) *Allocator[uint64] {
+	return NewAllocator[uint64](capMB<<20, 1)
 }
 
 func TestAllocAlignment(t *testing.T) {
@@ -108,7 +108,7 @@ func TestUsedAccounting(t *testing.T) {
 }
 
 func TestExhaustion(t *testing.T) {
-	a := NewAllocator(8<<12, 1) // eight 4KB frames
+	a := NewAllocator[uint64](8<<12, 1) // eight 4KB frames
 	n := 0
 	for {
 		if _, ok := a.Alloc(addr.Page4K, PurposeData); !ok {
@@ -125,7 +125,7 @@ func TestExhaustion(t *testing.T) {
 }
 
 func TestMustAllocPanicsOnExhaustion(t *testing.T) {
-	a := NewAllocator(4096, 1)
+	a := NewAllocator[uint64](4096, 1)
 	a.MustAlloc(addr.Page4K, PurposePageTable)
 	defer func() {
 		if recover() == nil {
@@ -166,7 +166,7 @@ func TestAllocRegionContiguity(t *testing.T) {
 }
 
 func TestDataAndMetaNeverOverlap(t *testing.T) {
-	a := NewAllocator(1<<20, 1) // 256 frames
+	a := NewAllocator[uint64](1<<20, 1) // 256 frames
 	dataMax, metaMin := uint64(0), a.Capacity()
 	for i := 0; i < 100; i++ {
 		d, ok := a.Alloc(addr.Page4K, PurposeData)

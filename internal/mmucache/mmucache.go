@@ -10,15 +10,16 @@ package mmucache
 import (
 	"fmt"
 
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/stats"
 )
 
 // LatencyRT is the round-trip latency of every MMU cache (Table 2).
 const LatencyRT = 4
 
-type entry struct {
-	key     uint64
-	value   uint64
+type entry[K, V addr.Addr] struct {
+	key     K
+	value   V
 	lastUse uint64
 }
 
@@ -27,37 +28,43 @@ type entry struct {
 // scan over a flat entry array is the honest model of the hardware's
 // parallel tag match — and, unlike a map, it never allocates or hashes
 // on the walk hot path.
-type Cache struct {
+//
+// The key and value domains are type parameters, so each MMU structure
+// declares what it caches: the STC maps addr.GPA→addr.HPA, the NTLB
+// maps guest-table-page addr.GPA→addr.HPA, the CWC partitions map
+// plain uint64 CWT entry keys to presence bits. A gPA-keyed cache can
+// then never be probed with an hPA (§4.4's stale-entry hazard class).
+type Cache[K, V addr.Addr] struct {
 	name     string
 	capacity int
-	entries  []entry
+	entries  []entry[K, V]
 	clock    uint64
 	counter  stats.Counter
 }
 
 // New returns an empty cache holding at most capacity entries.
-func New(name string, capacity int) *Cache {
+func New[K, V addr.Addr](name string, capacity int) *Cache[K, V] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("mmucache: %s with capacity %d", name, capacity))
 	}
-	return &Cache{
+	return &Cache[K, V]{
 		name:     name,
 		capacity: capacity,
-		entries:  make([]entry, 0, capacity),
+		entries:  make([]entry[K, V], 0, capacity),
 	}
 }
 
 // Name returns the cache's configured name.
-func (c *Cache) Name() string { return c.name }
+func (c *Cache[K, V]) Name() string { return c.name }
 
 // Capacity returns the maximum number of entries.
-func (c *Cache) Capacity() int { return c.capacity }
+func (c *Cache[K, V]) Capacity() int { return c.capacity }
 
 // Len returns the current number of entries.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache[K, V]) Len() int { return len(c.entries) }
 
 // find returns the index of key, or -1.
-func (c *Cache) find(key uint64) int {
+func (c *Cache[K, V]) find(key K) int {
 	for i := range c.entries {
 		if c.entries[i].key == key {
 			return i
@@ -69,7 +76,7 @@ func (c *Cache) find(key uint64) int {
 // Lookup probes the cache, recording a hit or miss.
 //
 //nestedlint:hotpath
-func (c *Cache) Lookup(key uint64) (value uint64, ok bool) {
+func (c *Cache[K, V]) Lookup(key K) (value V, ok bool) {
 	c.clock++
 	if i := c.find(key); i >= 0 {
 		c.entries[i].lastUse = c.clock
@@ -81,7 +88,7 @@ func (c *Cache) Lookup(key uint64) (value uint64, ok bool) {
 }
 
 // Peek probes without touching recency or statistics.
-func (c *Cache) Peek(key uint64) (value uint64, ok bool) {
+func (c *Cache[K, V]) Peek(key K) (value V, ok bool) {
 	if i := c.find(key); i >= 0 {
 		return c.entries[i].value, true
 	}
@@ -91,7 +98,7 @@ func (c *Cache) Peek(key uint64) (value uint64, ok bool) {
 // Insert adds or updates an entry, evicting the LRU entry when full.
 //
 //nestedlint:hotpath
-func (c *Cache) Insert(key, value uint64) {
+func (c *Cache[K, V]) Insert(key K, value V) {
 	c.clock++
 	if i := c.find(key); i >= 0 {
 		c.entries[i].value = value
@@ -99,7 +106,7 @@ func (c *Cache) Insert(key, value uint64) {
 		return
 	}
 	if len(c.entries) < c.capacity {
-		c.entries = append(c.entries, entry{key: key, value: value, lastUse: c.clock})
+		c.entries = append(c.entries, entry[K, V]{key: key, value: value, lastUse: c.clock})
 		return
 	}
 	victim := 0
@@ -108,11 +115,11 @@ func (c *Cache) Insert(key, value uint64) {
 			victim = i
 		}
 	}
-	c.entries[victim] = entry{key: key, value: value, lastUse: c.clock}
+	c.entries[victim] = entry[K, V]{key: key, value: value, lastUse: c.clock}
 }
 
 // Invalidate removes key if present and reports whether it was there.
-func (c *Cache) Invalidate(key uint64) bool {
+func (c *Cache[K, V]) Invalidate(key K) bool {
 	i := c.find(key)
 	if i < 0 {
 		return false
@@ -126,12 +133,12 @@ func (c *Cache) Invalidate(key uint64) bool {
 }
 
 // Flush empties the cache, keeping statistics.
-func (c *Cache) Flush() {
+func (c *Cache[K, V]) Flush() {
 	c.entries = c.entries[:0]
 }
 
 // Stats returns a copy of the hit/miss counter.
-func (c *Cache) Stats() stats.Counter { return c.counter }
+func (c *Cache[K, V]) Stats() stats.Counter { return c.counter }
 
 // ResetStats zeroes the hit/miss counter.
-func (c *Cache) ResetStats() { c.counter.Reset() }
+func (c *Cache[K, V]) ResetStats() { c.counter.Reset() }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestLookupInsert(t *testing.T) {
-	c := New("t", 4)
+	c := New[uint64, uint64]("t", 4)
 	if _, ok := c.Lookup(1); ok {
 		t.Error("empty cache hit")
 	}
@@ -24,7 +24,7 @@ func TestLookupInsert(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New("t", 2)
+	c := New[uint64, uint64]("t", 2)
 	c.Insert(1, 1)
 	c.Insert(2, 2)
 	c.Lookup(1) // make 2 the LRU
@@ -41,7 +41,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestPeekDoesNotTouch(t *testing.T) {
-	c := New("t", 2)
+	c := New[uint64, uint64]("t", 2)
 	c.Insert(1, 1)
 	c.Insert(2, 2)
 	c.Peek(1) // must NOT refresh 1
@@ -56,7 +56,7 @@ func TestPeekDoesNotTouch(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New("t", 4)
+	c := New[uint64, uint64]("t", 4)
 	c.Insert(1, 1)
 	c.Insert(2, 2)
 	if !c.Invalidate(1) {
@@ -74,7 +74,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New("t", 4)
+	c := New[uint64, uint64]("t", 4)
 	c.Insert(1, 1)
 	c.Lookup(1)
 	c.Flush()
@@ -91,7 +91,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestStatsCounting(t *testing.T) {
-	c := New("t", 2)
+	c := New[uint64, uint64]("t", 2)
 	c.Lookup(1) // miss
 	c.Insert(1, 1)
 	c.Lookup(1) // hit
@@ -106,7 +106,7 @@ func TestStatsCounting(t *testing.T) {
 }
 
 func TestCapacityRespected(t *testing.T) {
-	c := New("t", 8)
+	c := New[uint64, uint64]("t", 8)
 	for k := uint64(0); k < 100; k++ {
 		c.Insert(k, k)
 		if c.Len() > 8 {
@@ -121,11 +121,11 @@ func TestZeroCapacityPanics(t *testing.T) {
 			t.Fatal("New with zero capacity did not panic")
 		}
 	}()
-	New("t", 0)
+	New[uint64, uint64]("t", 0)
 }
 
 func TestNameCapacity(t *testing.T) {
-	c := New("mycache", 3)
+	c := New[uint64, uint64]("mycache", 3)
 	if c.Name() != "mycache" || c.Capacity() != 3 {
 		t.Error("accessors wrong")
 	}
@@ -149,7 +149,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 			}
 		}
 	}
-	c := New("ref", cap)
+	c := New[uint64, uint64]("ref", cap)
 	f := func(ops []struct {
 		Key    uint8
 		Val    uint16

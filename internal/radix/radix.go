@@ -20,56 +20,58 @@ import (
 // EntryBytes is the size of one page-table entry.
 const EntryBytes = 8
 
-type node struct {
+type node[P addr.Addr] struct {
 	// pa is the physical base address of this 4KB table page, in the
 	// address space the table itself lives in (gPA for guest tables,
 	// hPA for host tables).
-	pa       uint64
-	children [512]*node
-	leaves   [512]leaf
+	pa       P
+	children [512]*node[P]
+	leaves   [512]leaf[P]
 }
 
-type leaf struct {
+type leaf[P addr.Addr] struct {
 	valid bool
-	frame uint64
+	frame P
 }
 
-// Table is one 4-level radix page table.
-type Table struct {
-	alloc *memsim.Allocator
-	root  *node
+// Table is one 4-level radix page table mapping addresses in space V
+// to frames in space P: a guest table is a Table[addr.GVA, addr.GPA],
+// a host EPT/NPT a Table[addr.GPA, addr.HPA].
+type Table[V, P addr.Addr] struct {
+	alloc *memsim.Allocator[P]
+	root  *node[P]
 	// pages counts allocated table pages, for §9.5 accounting.
 	pages   uint64
 	entries uint64
 }
 
 // New creates an empty table whose table pages come from alloc.
-func New(alloc *memsim.Allocator) *Table {
-	t := &Table{alloc: alloc}
+func New[V, P addr.Addr](alloc *memsim.Allocator[P]) *Table[V, P] {
+	t := &Table[V, P]{alloc: alloc}
 	t.root = t.newNode()
 	return t
 }
 
-func (t *Table) newNode() *node {
+func (t *Table[V, P]) newNode() *node[P] {
 	pa := t.alloc.MustAlloc(addr.Page4K, memsim.PurposePageTable)
 	t.pages++
-	return &node{pa: pa}
+	return &node[P]{pa: pa}
 }
 
 // RootPA returns the physical address of the root (CR3 / EPTP).
-func (t *Table) RootPA() uint64 { return t.root.pa }
+func (t *Table[V, P]) RootPA() P { return t.root.pa }
 
 // TablePages returns the number of 4KB table pages in use.
-func (t *Table) TablePages() uint64 { return t.pages }
+func (t *Table[V, P]) TablePages() uint64 { return t.pages }
 
 // Entries returns the number of valid leaf entries.
-func (t *Table) Entries() uint64 { return t.entries }
+func (t *Table[V, P]) Entries() uint64 { return t.entries }
 
 // Map installs a translation from the page containing va to the frame
 // base at the given page size, building intermediate levels on demand.
 // Mapping over an existing entry of a different size is an error.
-func (t *Table) Map(va uint64, size addr.PageSize, frame uint64) error {
-	if frame&size.OffsetMask() != 0 {
+func (t *Table[V, P]) Map(va V, size addr.PageSize, frame P) error {
+	if uint64(frame)&size.OffsetMask() != 0 {
 		return fmt.Errorf("radix: frame %#x not aligned to %s", frame, size)
 	}
 	leafLevel := addr.LeafLevel(size)
@@ -93,7 +95,7 @@ func (t *Table) Map(va uint64, size addr.PageSize, frame uint64) error {
 	if n.leaves[idx].valid {
 		return fmt.Errorf("radix: va %#x already mapped", va)
 	}
-	n.leaves[idx] = leaf{valid: true, frame: frame}
+	n.leaves[idx] = leaf[P]{valid: true, frame: frame}
 	t.entries++
 	return nil
 }
@@ -101,7 +103,7 @@ func (t *Table) Map(va uint64, size addr.PageSize, frame uint64) error {
 // Unmap removes the translation for the page containing va at the
 // given size. Empty intermediate nodes are retained (like Linux, which
 // frees them lazily); their pages stay charged to the table.
-func (t *Table) Unmap(va uint64, size addr.PageSize) error {
+func (t *Table[V, P]) Unmap(va V, size addr.PageSize) error {
 	leafLevel := addr.LeafLevel(size)
 	n := t.root
 	for l := addr.L4; l > leafLevel; l-- {
@@ -114,14 +116,14 @@ func (t *Table) Unmap(va uint64, size addr.PageSize) error {
 	if !n.leaves[idx].valid {
 		return fmt.Errorf("radix: va %#x not mapped", va)
 	}
-	n.leaves[idx] = leaf{}
+	n.leaves[idx] = leaf[P]{}
 	t.entries--
 	return nil
 }
 
 // Lookup resolves va functionally (no timing), returning the mapped
 // frame base and page size.
-func (t *Table) Lookup(va uint64) (frame uint64, size addr.PageSize, ok bool) {
+func (t *Table[V, P]) Lookup(va V) (frame P, size addr.PageSize, ok bool) {
 	n := t.root
 	for l := addr.L4; l >= addr.L1; l-- {
 		idx := addr.RadixIndex(va, l)
@@ -140,17 +142,18 @@ func (t *Table) Lookup(va uint64) (frame uint64, size addr.PageSize, ok bool) {
 }
 
 // Step is one level of a radix walk: the physical address of the entry
-// the hardware reads, and what the entry contained.
-type Step struct {
+// the hardware reads, and what the entry contained. All three
+// addresses live in the table's own physical space P.
+type Step[P addr.Addr] struct {
 	Level addr.RadixLevel
 	// EntryPA is the physical address of the 8-byte entry, in the
 	// table's own address space.
-	EntryPA uint64
+	EntryPA P
 	// NextPA is the base of the next-level table (interior step).
-	NextPA uint64
+	NextPA P
 	// Leaf marks the final step; Frame then holds the mapped frame.
 	Leaf  bool
-	Frame uint64
+	Frame P
 	Size  addr.PageSize
 }
 
@@ -162,41 +165,41 @@ type Step struct {
 // performs no allocation.
 //
 //nestedlint:hotpath
-func (t *Table) AppendWalk(dst []Step, va uint64) (steps []Step, ok bool) {
+func (t *Table[V, P]) AppendWalk(dst []Step[P], va V) (steps []Step[P], ok bool) {
 	n := t.root
 	for l := addr.L4; l >= addr.L1; l-- {
 		idx := addr.RadixIndex(va, l)
-		entryPA := n.pa + idx*EntryBytes
+		entryPA := n.pa + P(idx*EntryBytes)
 		if l <= addr.L3 && n.leaves[idx].valid {
-			dst = append(dst, Step{
+			dst = append(dst, Step[P]{
 				Level: l, EntryPA: entryPA, Leaf: true,
 				Frame: n.leaves[idx].frame, Size: addr.SizeForLeaf(l),
 			})
 			return dst, true
 		}
 		if l == addr.L1 {
-			dst = append(dst, Step{Level: l, EntryPA: entryPA})
+			dst = append(dst, Step[P]{Level: l, EntryPA: entryPA})
 			return dst, false
 		}
 		child := n.children[idx]
 		if child == nil {
-			dst = append(dst, Step{Level: l, EntryPA: entryPA})
+			dst = append(dst, Step[P]{Level: l, EntryPA: entryPA})
 			return dst, false
 		}
-		dst = append(dst, Step{Level: l, EntryPA: entryPA, NextPA: child.pa})
+		dst = append(dst, Step[P]{Level: l, EntryPA: entryPA, NextPA: child.pa})
 		n = child
 	}
 	return dst, false
 }
 
 // Walk is AppendWalk into a fresh slice.
-func (t *Table) Walk(va uint64) (steps []Step, ok bool) {
-	return t.AppendWalk(make([]Step, 0, 4), va)
+func (t *Table[V, P]) Walk(va V) (steps []Step[P], ok bool) {
+	return t.AppendWalk(make([]Step[P], 0, 4), va)
 }
 
 // EntryPA returns the physical address of the level-l entry the walker
 // would read for va, when that level exists.
-func (t *Table) EntryPA(va uint64, l addr.RadixLevel) (uint64, bool) {
+func (t *Table[V, P]) EntryPA(va V, l addr.RadixLevel) (P, bool) {
 	n := t.root
 	for cur := addr.L4; cur > l; cur-- {
 		n = n.children[addr.RadixIndex(va, cur)]
@@ -204,5 +207,5 @@ func (t *Table) EntryPA(va uint64, l addr.RadixLevel) (uint64, bool) {
 			return 0, false
 		}
 	}
-	return n.pa + addr.RadixIndex(va, l)*EntryBytes, true
+	return n.pa + P(addr.RadixIndex(va, l)*EntryBytes), true
 }

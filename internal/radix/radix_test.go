@@ -8,8 +8,8 @@ import (
 	"nestedecpt/internal/memsim"
 )
 
-func newTable() *Table {
-	return New(memsim.NewAllocator(256<<20, 1))
+func newTable() *Table[uint64, uint64] {
+	return New[uint64](memsim.NewAllocator[uint64](256<<20, 1))
 }
 
 func TestMapLookup(t *testing.T) {
@@ -181,7 +181,7 @@ func TestRootPAStable(t *testing.T) {
 // TestAgainstReferenceMap drives random 4KB mappings and checks Lookup
 // against a plain map.
 func TestAgainstReferenceMap(t *testing.T) {
-	tb := New(memsim.NewAllocator(1<<30, 1))
+	tb := New[uint64](memsim.NewAllocator[uint64](1<<30, 1))
 	ref := map[uint64]uint64{}
 	f := func(pages []uint16) bool {
 		for i, p := range pages {

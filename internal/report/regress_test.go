@@ -1,0 +1,58 @@
+package report
+
+// Typed-address regression oracle: the addr.GVA/GPA/HPA refactor must
+// be a pure re-typing — every simulated cycle count, walk class split,
+// and rendered figure byte must match the untyped seed tree exactly.
+// The pinned digests below were generated on the pre-refactor tree
+// (PR 3 head) by rendering Figure 9 and §9.6 — together they exercise
+// every walker design: the nested-radix baseline, all five NestedECPT
+// technique levels, and the three §9.6 comparison baselines — on three
+// fixed seeds. Any divergence means the refactor changed simulated
+// behavior, not just types.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// typedRefactorDigests maps seed → SHA-256 of the rendered output,
+// measured before the typed-address refactor.
+var typedRefactorDigests = map[uint64]string{
+	7:    "c5d15b211a3e9f777f403c7d5d26f4a1f04025a8f9f16c5b6254f23fc8d5790c",
+	42:   "8de0bae770e6af48d061c59d4ce3ea5c6460a87d92f51ce068c99605b57f9d49",
+	1337: "56678b947d4a001f9c0ced3cc9ceb39d1dc78eba9fa0e8241cded772398f9183",
+}
+
+// renderDigest runs the differential suite for one seed and hashes the
+// full rendered output.
+func renderDigest(t *testing.T, seed uint64) string {
+	t.Helper()
+	s := NewSuite(Settings{
+		Warmup:  1_500,
+		Measure: 4_000,
+		Scale:   16,
+		Seed:    seed,
+		Apps:    []string{"GUPS"},
+	})
+	var b bytes.Buffer
+	if err := s.Figure9(&b); err != nil {
+		t.Fatalf("seed %d: Figure9: %v", seed, err)
+	}
+	if err := s.Section96(&b); err != nil {
+		t.Fatalf("seed %d: Section96: %v", seed, err)
+	}
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+func TestTypedAddressRefactorBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 1337} {
+		want := typedRefactorDigests[seed]
+		got := renderDigest(t, seed)
+		if got != want {
+			t.Errorf("seed %d: rendered output digest %s, want %s (typed-address refactor changed simulated behavior)", seed, got, want)
+		}
+	}
+}

@@ -29,11 +29,11 @@ import (
 // irrelevant.
 type flatMem struct{}
 
-func (flatMem) Access(now uint64, pa uint64, src cachesim.Source) (uint64, cachesim.ServiceLevel) {
+func (flatMem) Access(now uint64, pa addr.HPA, src cachesim.Source) (uint64, cachesim.ServiceLevel) {
 	return 10, cachesim.ServedDRAM
 }
 
-func (flatMem) AccessParallel(now uint64, pas []uint64, src cachesim.Source) uint64 {
+func (flatMem) AccessParallel(now uint64, pas []addr.HPA, src cachesim.Source) uint64 {
 	return 10
 }
 
@@ -50,10 +50,10 @@ const (
 // resolveWalk runs one walk, servicing nested faults on guest
 // page-table pages exactly like the simulator's fault loop, and
 // returns the final result.
-func resolveWalk(t *testing.T, w core.Walker, hyp *hypervisor.Hypervisor, now uint64, va uint64) core.WalkResult {
+func resolveWalk(t *testing.T, w core.Walker, hyp *hypervisor.Hypervisor, now uint64, va addr.GVA) core.WalkResult {
 	t.Helper()
 	for attempt := 0; attempt < 100; attempt++ {
-		res, err := w.Walk(now, addr.GVA(va))
+		res, err := w.Walk(now, va)
 		if err == nil {
 			return res
 		}
@@ -68,8 +68,8 @@ func resolveWalk(t *testing.T, w core.Walker, hyp *hypervisor.Hypervisor, now ui
 		// leave PageTable unset): a 2MB host mapping dropped over the
 		// guest metadata region would break the §4.3 invariant for the
 		// ECPT walkers sharing this hypervisor.
-		if _, err := hyp.EnsureMapped(nm.Addr, true); err != nil {
-			t.Fatalf("%s: servicing nested fault at %#x: %v", w.Name(), nm.Addr, err)
+		if _, err := hyp.EnsureMapped(nm.GPA, true); err != nil {
+			t.Fatalf("%s: servicing nested fault at %#x: %v", w.Name(), nm.GPA, err)
 		}
 	}
 	t.Fatalf("%s: walk %#x did not converge", w.Name(), va)
@@ -126,7 +126,7 @@ func TestDifferentialOracle(t *testing.T) {
 
 			// A 1GB guest page, mapped into both guest structures
 			// directly (the kernel's demand-fault path stops at 2MB).
-			var gigaFrame uint64
+			var gigaFrame addr.GPA
 			for i := 0; ; i++ {
 				if f, ok := kern.Allocator().Alloc(addr.Page1G, memsim.PurposeData); ok {
 					gigaFrame = f
@@ -142,19 +142,19 @@ func TestDifferentialOracle(t *testing.T) {
 			kern.ECPTs().Map(diffGigaBase, addr.Page1G, gigaFrame)
 
 			rng := vhash.NewRNG(seed)
-			touch := func(n int) []uint64 {
-				vas := make([]uint64, 0, n)
+			touch := func(n int) []addr.GVA {
+				vas := make([]addr.GVA, 0, n)
 				for i := 0; i < n; i++ {
-					var va uint64
+					var va addr.GVA
 					switch rng.Intn(3) {
 					case 0:
-						va = diffTHPBase + rng.Uint64n(diffTHPSize)
+						va = addr.GVA(diffTHPBase + rng.Uint64n(diffTHPSize))
 					case 1:
-						va = diff4KBase + rng.Uint64n(diff4KSize)
+						va = addr.GVA(diff4KBase + rng.Uint64n(diff4KSize))
 					default:
-						va = diffGigaBase + rng.Uint64n(addr.Page1G.Bytes())
+						va = addr.GVA(diffGigaBase + rng.Uint64n(addr.Page1G.Bytes()))
 					}
-					if va < diffGigaBase || va >= diffGigaBase+addr.Page1G.Bytes() {
+					if va < diffGigaBase || va >= addr.GVA(diffGigaBase)+addr.GVA(addr.Page1G.Bytes()) {
 						if _, _, err := kern.Touch(va); err != nil {
 							t.Fatal(err)
 						}
@@ -186,7 +186,7 @@ func TestDifferentialOracle(t *testing.T) {
 			}
 
 			var now uint64
-			verify := func(vas []uint64, phase string) {
+			verify := func(vas []addr.GVA, phase string) {
 				for _, va := range vas {
 					gpa, gsz, ok := kern.Translate(va)
 					if !ok {
@@ -199,7 +199,7 @@ func TestDifferentialOracle(t *testing.T) {
 					for _, w := range native {
 						res := resolveWalk(t, w, nil, now, va)
 						now += 100
-						if got := addr.Translate(res.Frame, va, res.Size); got != gpa {
+						if got := addr.Translate(res.Frame, va, res.Size); got != addr.IdentityHPA(gpa) {
 							t.Fatalf("%s: %s resolves %#x to gPA %#x, want %#x",
 								phase, w.Name(), va, got, gpa)
 						}
@@ -231,10 +231,9 @@ func TestDifferentialOracle(t *testing.T) {
 			// cuckoo migration in every structure.
 			second := touch(900)
 			var resizes uint64
-			for _, set := range []*ecpt.Set{kern.ECPTs(), hyp.ECPTs()} {
-				for _, sz := range addr.Sizes() {
-					resizes += set.Table(sz).Stats().Resizes
-				}
+			for _, sz := range addr.Sizes() {
+				resizes += kern.ECPTs().Table(sz).Stats().Resizes
+				resizes += hyp.ECPTs().Table(sz).Stats().Resizes
 			}
 			if resizes == 0 {
 				t.Fatal("trace forced no elastic rehash; oracle did not cover migration")
@@ -263,9 +262,9 @@ func TestDifferentialOracleAfterUnmap(t *testing.T) {
 	kern.DefineVMA(kernel.VMA{Base: diff4KBase, Size: diff4KSize})
 
 	rng := vhash.NewRNG(seed)
-	var vas []uint64
+	var vas []addr.GVA
 	for i := 0; i < 300; i++ {
-		va := diff4KBase + rng.Uint64n(diff4KSize)
+		va := addr.GVA(diff4KBase + rng.Uint64n(diff4KSize))
 		if _, _, err := kern.Touch(va); err != nil {
 			t.Fatal(err)
 		}
@@ -277,7 +276,7 @@ func TestDifferentialOracleAfterUnmap(t *testing.T) {
 		core.NewNativeECPT(core.DefaultNativeECPTConfig(), mem, kern),
 	}
 	// Drop every third page, then check walkers agree page by page.
-	unmapped := make(map[uint64]bool)
+	unmapped := make(map[addr.GVA]bool)
 	for i, va := range vas {
 		if i%3 == 0 && kern.Unmap(va) {
 			unmapped[addr.PageBase(va, addr.Page4K)] = true
@@ -291,7 +290,7 @@ func TestDifferentialOracleAfterUnmap(t *testing.T) {
 			t.Fatalf("kernel state inconsistent for %#x: unmapped=%v mapped=%v", va, gone, mapped)
 		}
 		for _, w := range native {
-			res, err := w.Walk(now, addr.GVA(va))
+			res, err := w.Walk(now, va)
 			now += 100
 			if gone {
 				var nm *core.ErrNotMapped
@@ -304,7 +303,7 @@ func TestDifferentialOracleAfterUnmap(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: mapped %#x: %v", w.Name(), va, err)
 			}
-			if got := addr.Translate(res.Frame, va, res.Size); got != gpa {
+			if got := addr.Translate(res.Frame, va, res.Size); got != addr.IdentityHPA(gpa) {
 				t.Fatalf("%s: %#x resolved to %#x, want %#x", w.Name(), va, got, gpa)
 			}
 		}

@@ -150,7 +150,7 @@ func (m *Machine) now() uint64 { return uint64(m.cycles) }
 // prefault makes sure va's data page is mapped end to end, charging
 // fault costs. Page-table and CWT pages are demand-mapped through the
 // walker's nested-fault path instead.
-func (m *Machine) prefault(va uint64) error {
+func (m *Machine) prefault(va addr.GVA) error {
 	faulted, _, err := m.kern.Touch(va)
 	if err != nil {
 		return err
@@ -189,7 +189,7 @@ func (m *Machine) walk(va addr.GVA) (core.WalkResult, error) {
 			return res, err
 		}
 		if attempt > 64 {
-			return res, fmt.Errorf("sim: walk for %#x cannot converge: %w", uint64(va), err)
+			return res, fmt.Errorf("sim: walk for %#x cannot converge: %w", va, err)
 		}
 		m.cycles += float64(m.cfg.Timing.PageFaultCycles)
 		if nm.Space == "host" {
@@ -197,13 +197,13 @@ func (m *Machine) walk(va addr.GVA) (core.WalkResult, error) {
 				return res, err
 			}
 			m.res.HostFaults++
-			if _, err := m.hyp.EnsureMapped(nm.Addr, nm.PageTable); err != nil {
+			if _, err := m.hyp.EnsureMapped(nm.GPA, nm.PageTable); err != nil {
 				return res, err
 			}
 			continue
 		}
 		m.res.GuestFaults++
-		if _, _, err := m.kern.Touch(nm.Addr); err != nil {
+		if _, _, err := m.kern.Touch(nm.GVA); err != nil {
 			return res, err
 		}
 	}
@@ -211,7 +211,7 @@ func (m *Machine) walk(va addr.GVA) (core.WalkResult, error) {
 
 // dataPA resolves the final physical address the CPU's data access
 // uses: the host PA in nested designs, the guest PA natively.
-func (m *Machine) dataPA(frame uint64, va uint64, size addr.PageSize) uint64 {
+func (m *Machine) dataPA(frame addr.HPA, va addr.GVA, size addr.PageSize) addr.HPA {
 	return addr.Translate(frame, va, size)
 }
 
@@ -228,16 +228,16 @@ func (m *Machine) step(measure bool) error {
 	}
 
 	// Address translation.
-	tr := m.tlb.Access(addr.GVA(acc.VA))
+	tr := m.tlb.Access(acc.VA)
 	m.cycles += float64(tr.Latency)
 	frame, size := tr.Frame, tr.Size
 	if !tr.Hit() {
-		wres, err := m.walk(addr.GVA(acc.VA))
+		wres, err := m.walk(acc.VA)
 		if err != nil {
 			return err
 		}
 		m.cycles += float64(wres.Latency) * t.ExposedWalkFrac
-		m.tlb.Fill(addr.GVA(acc.VA), wres.Size, wres.Frame)
+		m.tlb.Fill(acc.VA, wres.Size, wres.Frame)
 		frame, size = wres.Frame, wres.Size
 		if measure {
 			m.res.Walks++
@@ -284,7 +284,8 @@ func (m *Machine) step(measure bool) error {
 // applications").
 func (m *Machine) Prepopulate() error {
 	for _, v := range m.gen.VMAs() {
-		for va := v.Base; va < v.Base+v.Size; {
+		limit := addr.Add(v.Base, v.Size)
+		for va := v.Base; va < limit; {
 			_, size, err := m.kern.Touch(va)
 			if err != nil {
 				return fmt.Errorf("sim: prepopulate %#x: %w", va, err)
@@ -298,7 +299,7 @@ func (m *Machine) Prepopulate() error {
 					return err
 				}
 			}
-			va += size.Bytes()
+			va = addr.Add(va, size.Bytes())
 		}
 	}
 	return nil
@@ -306,7 +307,7 @@ func (m *Machine) Prepopulate() error {
 
 // injectRemote charges one co-runner access at va to the shared cache
 // level, demand-mapping it (untimed) if needed.
-func (m *Machine) injectRemote(va uint64) error {
+func (m *Machine) injectRemote(va addr.GVA) error {
 	if _, _, err := m.kern.Touch(va); err != nil {
 		return err
 	}
@@ -314,7 +315,6 @@ func (m *Machine) injectRemote(va uint64) error {
 	if !ok {
 		return fmt.Errorf("sim: remote translate failed for %#x", va)
 	}
-	pa := gpa
 	if m.hyp != nil {
 		if _, err := m.hyp.EnsureMapped(gpa, false); err != nil {
 			return err
@@ -323,9 +323,10 @@ func (m *Machine) injectRemote(va uint64) error {
 		if !ok {
 			return fmt.Errorf("sim: remote host translate failed for %#x", gpa)
 		}
-		pa = h
+		m.mem.AccessRemote(m.now(), h)
+		return nil
 	}
-	m.mem.AccessRemote(m.now(), pa)
+	m.mem.AccessRemote(m.now(), addr.IdentityHPA(gpa))
 	return nil
 }
 

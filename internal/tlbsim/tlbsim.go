@@ -89,7 +89,7 @@ func (c Config) Scaled(div int) Config {
 
 type tlbEntry struct {
 	vpn     uint64
-	frame   uint64
+	frame   addr.HPA
 	valid   bool
 	lastUse uint64
 }
@@ -117,7 +117,7 @@ func newSubTLB(size addr.PageSize, cfg SubTLBConfig) *subTLB {
 
 func (t *subTLB) setFor(vpn uint64) int { return int(vpn % uint64(t.sets)) }
 
-func (t *subTLB) lookup(vpn uint64) (frame uint64, ok bool) {
+func (t *subTLB) lookup(vpn uint64) (frame addr.HPA, ok bool) {
 	t.clock++
 	base := t.setFor(vpn) * t.ways
 	for w := 0; w < t.ways; w++ {
@@ -130,7 +130,7 @@ func (t *subTLB) lookup(vpn uint64) (frame uint64, ok bool) {
 	return 0, false
 }
 
-func (t *subTLB) insert(vpn, frame uint64) {
+func (t *subTLB) insert(vpn uint64, frame addr.HPA) {
 	t.clock++
 	base := t.setFor(vpn) * t.ways
 	victim := base
@@ -185,11 +185,11 @@ func newLevel(cfg LevelConfig) *level {
 	return l
 }
 
-func (l *level) lookup(va addr.GVA) (frame uint64, size addr.PageSize, ok bool) {
+func (l *level) lookup(va addr.GVA) (frame addr.HPA, size addr.PageSize, ok bool) {
 	// All page-size structures are probed in parallel in hardware; at
 	// most one can hit because a virtual page is mapped at one size.
 	for _, s := range addr.Sizes() {
-		if f, hit := l.perSize[s].lookup(addr.VPN(uint64(va), s)); hit {
+		if f, hit := l.perSize[s].lookup(addr.VPN(va, s)); hit {
 			l.counter.Hit()
 			return f, s, true
 		}
@@ -211,7 +211,7 @@ func New(cfg Config) *TLB {
 // Result describes the outcome of a TLB access.
 type Result struct {
 	// Frame is the host physical frame base (valid when Hit).
-	Frame uint64
+	Frame addr.HPA
 	// Size is the page size of the hitting entry.
 	Size addr.PageSize
 	// Level is 1 or 2 on a hit, 0 on a full miss.
@@ -232,15 +232,15 @@ func (t *TLB) Access(va addr.GVA) Result {
 	}
 	lat := t.l1.cfg.LatencyRT
 	if f, s, ok := t.l2.lookup(va); ok {
-		t.l1.perSize[s].insert(addr.VPN(uint64(va), s), f)
+		t.l1.perSize[s].insert(addr.VPN(va, s), f)
 		return Result{Frame: f, Size: s, Level: 2, Latency: lat + t.l2.cfg.LatencyRT}
 	}
 	return Result{Latency: lat + t.l2.cfg.LatencyRT}
 }
 
 // Fill installs a completed translation into both levels.
-func (t *TLB) Fill(va addr.GVA, size addr.PageSize, frame uint64) {
-	vpn := addr.VPN(uint64(va), size)
+func (t *TLB) Fill(va addr.GVA, size addr.PageSize, frame addr.HPA) {
+	vpn := addr.VPN(va, size)
 	t.l1.perSize[size].insert(vpn, frame)
 	t.l2.perSize[size].insert(vpn, frame)
 }
@@ -248,7 +248,7 @@ func (t *TLB) Fill(va addr.GVA, size addr.PageSize, frame uint64) {
 // Invalidate removes the translation for va at the given size from
 // both levels (a TLB shootdown for one page).
 func (t *TLB) Invalidate(va addr.GVA, size addr.PageSize) {
-	vpn := addr.VPN(uint64(va), size)
+	vpn := addr.VPN(va, size)
 	t.l1.perSize[size].invalidate(vpn)
 	t.l2.perSize[size].invalidate(vpn)
 }

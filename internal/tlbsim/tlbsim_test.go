@@ -52,7 +52,7 @@ func TestL2PromotionToL1(t *testing.T) {
 	// (64-entry 4-way = 16 sets; stride by 16 pages to stay in set 0).
 	tlb.Fill(0, addr.Page4K, 0x1000)
 	for i := 1; i <= 4; i++ {
-		tlb.Fill(addr.GVA(uint64(i)*16*4096), addr.Page4K, uint64(i)*0x1000)
+		tlb.Fill(addr.GVA(uint64(i)*16*4096), addr.Page4K, addr.HPA(i)*0x1000)
 	}
 	r := tlb.Access(0)
 	if !r.Hit() || r.Level != 2 {
@@ -88,7 +88,7 @@ func TestInvalidate(t *testing.T) {
 func TestFlush(t *testing.T) {
 	tlb := New(DefaultConfig())
 	for i := uint64(0); i < 32; i++ {
-		tlb.Fill(addr.GVA(i*4096), addr.Page4K, i*0x1000)
+		tlb.Fill(addr.GVA(i*4096), addr.Page4K, addr.HPA(i)*0x1000)
 	}
 	tlb.Flush()
 	for i := uint64(0); i < 32; i++ {
@@ -158,7 +158,7 @@ func TestEvictionWithinSet(t *testing.T) {
 		vas = append(vas, addr.GVA(i*16*4096))
 	}
 	for i, va := range vas {
-		tlb.Fill(va, addr.Page4K, uint64(i+1)<<12)
+		tlb.Fill(va, addr.Page4K, addr.HPA(i+1)<<12)
 	}
 	// The newest entry survives in L1; the oldest was evicted to be
 	// served from L2 (and then promoted back).

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/vhash"
 )
@@ -59,9 +60,12 @@ type graphGen struct {
 	params graphParams
 	rng    *vhash.RNG
 
-	offBase, offSize   uint64
-	edgeBase, edgeSize uint64
-	propBase, propSize uint64
+	offBase  addr.GVA
+	offSize  uint64
+	edgeBase addr.GVA
+	edgeSize uint64
+	propBase addr.GVA
+	propSize uint64
 
 	// scan state
 	scanPos uint64
@@ -123,7 +127,7 @@ func (g *graphGen) Next() Access {
 	// Continue an edge burst if one is active.
 	if g.burstLeft > 0 {
 		g.burstLeft--
-		a := Access{VA: g.edgeBase + g.burstPos%g.edgeSize, Gap: g.gap()}
+		a := Access{VA: addr.Add(g.edgeBase, g.burstPos%g.edgeSize), Gap: g.gap()}
 		g.burstPos += elemBytes
 		return a
 	}
@@ -131,7 +135,7 @@ func (g *graphGen) Next() Access {
 	switch {
 	case r < g.params.seqFrac:
 		// Sequential scan over the offset array.
-		a := Access{VA: g.offBase + g.scanPos%g.offSize, Gap: g.gap()}
+		a := Access{VA: addr.Add(g.offBase, g.scanPos%g.offSize), Gap: g.gap()}
 		g.scanPos += elemBytes
 		return a
 	case r < g.params.seqFrac+0.25:
@@ -140,7 +144,7 @@ func (g *graphGen) Next() Access {
 		g.burstLeft = deg
 		edges := g.edgeSize / elemBytes
 		g.burstPos = g.rng.Uint64n(edges) * elemBytes
-		a := Access{VA: g.edgeBase + g.burstPos%g.edgeSize, Gap: g.gap()}
+		a := Access{VA: addr.Add(g.edgeBase, g.burstPos%g.edgeSize), Gap: g.gap()}
 		g.burstPos += elemBytes
 		g.burstLeft--
 		return a
@@ -152,7 +156,7 @@ func (g *graphGen) Next() Access {
 		// into one page.
 		idx = (idx * 0x9E3779B97F4A7C15) % props
 		return Access{
-			VA:    g.propBase + idx*elemBytes,
+			VA:    addr.Add(g.propBase, idx*elemBytes),
 			Write: g.rng.Float64() < g.params.writeFrac,
 			Gap:   g.gap(),
 		}

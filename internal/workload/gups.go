@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/vhash"
 )
@@ -13,11 +14,11 @@ import (
 // why the paper sees GUPS gain the most from THP).
 type gupsGen struct {
 	rng       *vhash.RNG
-	tableBase uint64
+	tableBase addr.GVA
 	tableSize uint64
 	streamPos uint64
 	// pendingWrite makes updates read-then-write the same address.
-	pendingWrite uint64
+	pendingWrite addr.GVA
 	hasPending   bool
 }
 
@@ -47,7 +48,7 @@ func (g *gupsGen) Next() Access {
 		return Access{VA: g.pendingWrite, Write: true, Gap: 2}
 	}
 	// The update loop is almost pure memory traffic.
-	va := g.tableBase + (g.rng.Uint64n(g.tableSize/8))*8
+	va := addr.Add(g.tableBase, g.rng.Uint64n(g.tableSize/8)*8)
 	g.pendingWrite = va
 	g.hasPending = true
 	g.streamPos++

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/vhash"
 )
@@ -14,8 +15,10 @@ import (
 type mummerGen struct {
 	rng *vhash.RNG
 
-	treeBase, treeSize uint64
-	seqBase, seqSize   uint64
+	treeBase addr.GVA
+	treeSize uint64
+	seqBase  addr.GVA
+	seqSize  uint64
 
 	curNode uint64 // arena offset of the current tree node
 	depth   int
@@ -67,7 +70,7 @@ func (g *mummerGen) child(node uint64, branch uint64) uint64 {
 func (g *mummerGen) Next() Access {
 	if g.scanLeft > 0 {
 		g.scanLeft--
-		a := Access{VA: g.seqBase + g.scanPos%g.seqSize, Gap: 4}
+		a := Access{VA: addr.Add(g.seqBase, g.scanPos%g.seqSize), Gap: 4}
 		g.scanPos++
 		return a
 	}
@@ -77,12 +80,12 @@ func (g *mummerGen) Next() Access {
 		g.depth = 0
 		g.curNode = g.child(0, g.rng.Uint64n(16)) % (g.treeSize / 64)
 		g.scanLeft = 8 + g.rng.Intn(24)
-		return Access{VA: g.seqBase + g.scanPos%g.seqSize, Write: true, Gap: 6}
+		return Access{VA: addr.Add(g.seqBase, g.scanPos%g.seqSize), Write: true, Gap: 6}
 	}
 	// Descend: read the current node, then one of its children. The
 	// branch taken depends on the query, modelled as small randomness.
 	branch := g.rng.Uint64n(4)
 	g.curNode = g.child(g.curNode, branch)
 	g.depth++
-	return Access{VA: g.treeBase + g.curNode, Gap: 5}
+	return Access{VA: addr.Add(g.treeBase, g.curNode), Gap: 5}
 }

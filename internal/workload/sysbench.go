@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/vhash"
 )
@@ -12,9 +13,11 @@ import (
 // lines, giving short sequential runs inside each random touch — the
 // reason huge pages help SysBench almost as much as GUPS (§9.1).
 type sysbenchGen struct {
-	rng                *vhash.RNG
-	heapBase, heapSize uint64
-	idxBase, idxSize   uint64
+	rng      *vhash.RNG
+	heapBase addr.GVA
+	heapSize uint64
+	idxBase  addr.GVA
+	idxSize  uint64
 
 	// txn state
 	opsLeft  int
@@ -60,7 +63,7 @@ func (g *sysbenchGen) Next() Access {
 	// Finish reading the current row first.
 	if g.rowLeft > 0 {
 		g.rowLeft--
-		a := Access{VA: g.heapBase + g.rowPos%g.heapSize, Write: g.rowWrite, Gap: 6}
+		a := Access{VA: addr.Add(g.heapBase, g.rowPos%g.heapSize), Write: g.rowWrite, Gap: 6}
 		g.rowPos += 64
 		return a
 	}
@@ -68,15 +71,15 @@ func (g *sysbenchGen) Next() Access {
 	if g.idxDepth > 0 {
 		level := sysbenchIdxDepth - g.idxDepth
 		g.idxDepth--
-		var va uint64
+		var va addr.GVA
 		if level == 0 {
 			// Root and second level: a few hot pages.
-			va = g.idxBase + g.rng.Uint64n(1<<14)
+			va = addr.Add(g.idxBase, g.rng.Uint64n(1<<14))
 		} else if level == 1 {
-			va = g.idxBase + g.rng.Uint64n(min64(g.idxSize, 1<<22))
+			va = addr.Add(g.idxBase, g.rng.Uint64n(min64(g.idxSize, 1<<22)))
 		} else {
 			// Leaf level: cold, spread over the index region.
-			va = g.idxBase + g.rng.Uint64n(g.idxSize)
+			va = addr.Add(g.idxBase, g.rng.Uint64n(g.idxSize))
 		}
 		va &^= 7
 		if g.idxDepth == 0 {

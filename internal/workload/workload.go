@@ -11,13 +11,14 @@ import (
 	"fmt"
 	"sort"
 
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/kernel"
 )
 
 // Access is one memory reference issued by the application.
 type Access struct {
 	// VA is the guest virtual address referenced.
-	VA uint64
+	VA addr.GVA
 	// Write marks stores.
 	Write bool
 	// Gap is the number of non-memory instructions retired since the

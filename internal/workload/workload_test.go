@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"nestedecpt/internal/addr"
 	"nestedecpt/internal/kernel"
 )
 
@@ -39,9 +40,9 @@ func TestMustNewPanics(t *testing.T) {
 	MustNew("NoSuchApp", DefaultOptions())
 }
 
-func inVMAs(vmas []kernel.VMA, va uint64) bool {
+func inVMAs(vmas []kernel.VMA, va addr.GVA) bool {
 	for _, v := range vmas {
-		if va >= v.Base && va < v.Base+v.Size {
+		if va >= v.Base && va < addr.Add(v.Base, v.Size) {
 			return true
 		}
 	}
@@ -136,7 +137,7 @@ func TestTable4Complete(t *testing.T) {
 func TestGUPSReadModifyWrite(t *testing.T) {
 	g := MustNew("GUPS", DefaultOptions())
 	writes := 0
-	var lastVA uint64
+	var lastVA addr.GVA
 	pairs := 0
 	for i := 0; i < 10000; i++ {
 		acc := g.Next()
@@ -161,7 +162,7 @@ func TestGraphKernelsDiffer(t *testing.T) {
 	// SSSP (gather-heavy).
 	seqFrac := func(name string) float64 {
 		g := MustNew(name, DefaultOptions())
-		var prev uint64
+		var prev addr.GVA
 		seq := 0
 		const n = 20000
 		for i := 0; i < n; i++ {
