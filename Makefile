@@ -8,8 +8,12 @@
 #                crossings) invariants (README.md, "Static analysis");
 #                `go run ./cmd/nestedlint -analyzer=addrspace -json ./...`
 #                isolates one analyzer with machine-readable output
-#   make race    race-detector tier (small, targeted: the sweep engine
-#                and the simulation core, at short test settings)
+#   make race    race-detector tier (small, targeted: the sweep engine,
+#                the simulation core, and the trace recorder, at short
+#                test settings)
+#   make cover   full-suite coverage with a ratcheted minimum: fails if
+#                total statement coverage drops below COVER_BASELINE;
+#                writes cover.out for go tool cover -html inspection
 #   make bench   the evaluation benchmarks, including the sweep-engine
 #                sequential-vs-parallel scaling pair
 #   make fuzz    short exploratory fuzz runs (the committed seed corpora
@@ -28,7 +32,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test lint race bench fuzz profile benchjson benchdrift
+.PHONY: check vet build test lint race cover bench fuzz profile benchjson benchdrift
 
 check: lint build test
 
@@ -55,10 +59,24 @@ lint: build
 
 # The race detector slows the simulator by roughly an order of
 # magnitude, so this tier runs only the packages with real concurrency
-# (the runner engine and the simulations it fans out) and trims the
-# long-running tests with -short.
+# (the runner engine, the simulations it fans out, and the trace
+# recorder the parallel walks publish into) and trims the long-running
+# tests with -short.
 race:
-	$(GO) test -race -short -count=1 ./internal/runner ./internal/sim
+	$(GO) test -race -short -count=1 ./internal/runner ./internal/sim \
+		./internal/trace ./internal/traceaudit
+
+# Coverage ratchet: total statement coverage may grow but not shrink.
+# Raise COVER_BASELINE when a PR meaningfully improves coverage; never
+# lower it to make a failure go away.
+COVER_BASELINE ?= 74.0
+
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total statement coverage: $$total% (baseline $(COVER_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' || \
+		{ echo "coverage $$total% fell below the $(COVER_BASELINE)% ratchet"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
@@ -72,7 +90,8 @@ FUZZ_TARGETS = \
 	FuzzTranslateRoundTrip:./internal/addr \
 	FuzzCanonicalGVA:./internal/addr \
 	FuzzHashStability:./internal/vhash \
-	FuzzRNGStreams:./internal/vhash
+	FuzzRNGStreams:./internal/vhash \
+	FuzzTraceAudit:./internal/traceaudit
 FUZZTIME ?= 30s
 
 fuzz:

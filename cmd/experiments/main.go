@@ -47,6 +47,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress and ETA")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a JSONL walk trace of every run's measured phase to this file")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -75,6 +76,7 @@ func main() {
 	}
 	settings.Parallelism = *parallel
 	settings.RunTimeout = *runTimeout
+	settings.Trace = *tracePath != ""
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -124,6 +126,19 @@ func main() {
 	}
 	if err != nil && err != io.EOF {
 		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		f, ferr := os.Create(*tracePath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := suite.WriteTraces(f); werr != nil {
+			f.Close()
+			log.Fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "# total wall clock %.1fs at -parallel %d\n",

@@ -26,8 +26,11 @@ import (
 
 	"nestedecpt/internal/core"
 	"nestedecpt/internal/profiling"
+	"nestedecpt/internal/report"
 	"nestedecpt/internal/runner"
 	"nestedecpt/internal/sim"
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/traceaudit"
 	"nestedecpt/internal/workload"
 )
 
@@ -64,7 +67,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress and ETA")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "write a JSONL walk trace of the measured phase to this file")
+	audit := flag.Bool("audit", false, "replay each run's trace through the conformance auditor (implies tracing)")
 	flag.Parse()
+	tracing := *tracePath != "" || *audit
 
 	var names []string
 	if *design == "all" {
@@ -73,6 +79,8 @@ func main() {
 		names = strings.Split(*design, ",")
 	}
 	tasks := make([]runner.Task[*sim.Result], len(names))
+	specs := make([]traceaudit.Spec, len(names))
+	collectors := make([]*trace.Collector, len(names))
 	for i, name := range names {
 		d, ok := designNames[strings.TrimSpace(name)]
 		if !ok {
@@ -86,11 +94,23 @@ func main() {
 			cfg.Tech = core.PlainTechniques()
 			cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)
 		}
+		specs[i] = sim.AuditSpec(cfg)
+		run := func(ctx context.Context) (*sim.Result, error) {
+			return sim.RunContext(ctx, cfg)
+		}
+		if tracing {
+			// Each run records into its own collector; serialization
+			// happens afterwards in task order, so the trace file is
+			// byte-identical at every -parallel value.
+			rec, col := trace.NewCollected()
+			collectors[i] = col
+			run = func(ctx context.Context) (*sim.Result, error) {
+				return sim.RunTraced(ctx, cfg, rec)
+			}
+		}
 		tasks[i] = runner.Task[*sim.Result]{
 			Name: fmt.Sprintf("%v/%s", d, *app),
-			Run: func(ctx context.Context) (*sim.Result, error) {
-				return sim.RunContext(ctx, cfg)
-			},
+			Run:  run,
 		}
 	}
 
@@ -113,6 +133,7 @@ func main() {
 		log.Print(perr)
 	}
 
+	violations := 0
 	for i, r := range results {
 		if i > 0 {
 			fmt.Println()
@@ -121,7 +142,48 @@ func main() {
 			log.Fatalf("%s: %v", r.Name, r.Err)
 		}
 		printResult(r.Value)
+		if tracing {
+			events := collectors[i].Events()
+			report.WriteTraceSummary(os.Stdout, report.Summarize(events))
+			if *audit {
+				vs := traceaudit.Audit(events, specs[i])
+				violations += len(vs)
+				for _, v := range vs {
+					fmt.Fprintf(os.Stderr, "audit %s: %v\n", r.Name, v)
+				}
+				if len(vs) == 0 {
+					fmt.Printf("audit             clean (%d events)\n", len(events))
+				}
+			}
+		}
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, results, collectors); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if violations > 0 {
+		log.Fatalf("%d audit violations", violations)
+	}
+}
+
+// writeTrace serializes every run's events, in task order, as JSONL
+// with one run-header line per run.
+func writeTrace(path string, results []runner.Result[*sim.Result], collectors []*trace.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tw := trace.NewWriter(f)
+	for i, r := range results {
+		tw.RunHeader(r.Name)
+		tw.Events(collectors[i].Events())
+	}
+	if err := tw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printResult(r *sim.Result) {

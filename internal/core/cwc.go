@@ -5,6 +5,7 @@ import (
 	"nestedecpt/internal/ecpt"
 	"nestedecpt/internal/mmucache"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
 )
 
 // CWCConfig sizes one cuckoo walk cache, in entries per CWT class.
@@ -42,6 +43,17 @@ func NewCWC(name string, cfg CWCConfig) *CWC {
 		}
 	}
 	return c
+}
+
+// SetTrace attaches a trace recorder to every class partition, tagging
+// each inner cache with its page-size class so cache events carry the
+// partition they touched.
+func (c *CWC) SetTrace(r *trace.Recorder, id trace.CacheID, walker trace.WalkerKind) {
+	for _, s := range addr.Sizes() {
+		if c.caches[s] != nil {
+			c.caches[s].SetTrace(r, id, walker, s)
+		}
+	}
 }
 
 // Has reports whether the class for size exists and is enabled.

@@ -6,6 +6,8 @@ import (
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/ecpt"
 	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/traceaudit"
 )
 
 func newPlannerSet(t *testing.T, withPTECWT bool) *ecpt.Set[uint64, uint64] {
@@ -274,5 +276,98 @@ func TestAdaptiveControllerDisablesAndBacksOff(t *testing.T) {
 	}
 	if len(st.PTESeries.Points) == 0 || len(st.PMDSeries.Points) == 0 {
 		t.Error("no Figure 12 interval samples recorded")
+	}
+}
+
+// TestAdaptiveControllerExactThresholds pins the strictness of the
+// §4.2/§9.2 comparisons at the exact boundary values: a window hit
+// rate equal to the 0.5 disable threshold must NOT disable (the
+// comparison is strictly below), and a rate equal to the 0.85 enable
+// threshold must NOT enable — and must not consume backoff cooldown
+// either, since the window did not qualify.
+func TestAdaptiveControllerExactThresholds(t *testing.T) {
+	f := newFixture(t, false, true, false, true, false)
+	cfg := DefaultNestedECPTConfig(AdvancedTechniques())
+	cfg.AdaptIntervalCycles = 1000
+	w := NewNestedECPT(cfg, f.mem, f.kern, f.hyp)
+	rec, col := trace.NewCollected()
+	w.SetRecorder(rec)
+
+	// feed drives one class's monitoring window to exactly hits/misses:
+	// a hit is an insert immediately looked back up, a miss a lookup of
+	// an absent key.
+	feed := func(size addr.PageSize, hits, misses int) {
+		for i := 0; i < hits; i++ {
+			key := uint64((i + 1) * 1000)
+			w.hCWC3.Insert(size, key)
+			w.hCWC3.Lookup(size, key)
+		}
+		for i := 0; i < misses; i++ {
+			w.hCWC3.Lookup(size, uint64((i+1)*997_001))
+		}
+	}
+
+	// Interval 1: PTE rate exactly 0.5 over 20 samples. The disable
+	// rule is strictly < 0.5, so caching must stay enabled.
+	feed(addr.Page4K, 10, 10)
+	w.maybeAdapt(10_000)
+	if !w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("PTE caching disabled at hit rate == 0.5 (threshold is strict)")
+	}
+
+	// Interval 2: just below the boundary -> disable (backoff=1,
+	// cooldown=1).
+	feed(addr.Page4K, 9, 11)
+	w.maybeAdapt(20_000)
+	if w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("PTE caching not disabled at hit rate 0.45")
+	}
+
+	// Interval 3: PMD rate exactly 0.85 (17/20). The enable rule is
+	// strictly > 0.85: no re-enable, and the non-qualifying window must
+	// not consume the cooldown.
+	feed(addr.Page2M, 17, 3)
+	w.maybeAdapt(30_000)
+	if w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("PTE caching re-enabled at hit rate == 0.85 (threshold is strict)")
+	}
+
+	// Interval 4: qualifying window; if interval 3 had consumed the
+	// cooldown this would re-enable — it must only decrement it.
+	feed(addr.Page2M, 18, 2)
+	w.maybeAdapt(40_000)
+	if w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("boundary-rate window consumed the backoff cooldown")
+	}
+
+	// Interval 5: second qualifying window -> re-enable.
+	feed(addr.Page2M, 18, 2)
+	w.maybeAdapt(50_000)
+	if !w.hCWC3.Enabled(addr.Page4K) {
+		t.Fatal("not re-enabled after cooldown was served")
+	}
+
+	// The emitted adaptive events must satisfy the auditor's toggle
+	// discipline (interval spacing, adjacency, strict thresholds).
+	rec.Flush()
+	spec := traceaudit.Spec{
+		Walker:              trace.WalkerNestedECPT,
+		Ways:                3,
+		AdaptIntervalCycles: cfg.AdaptIntervalCycles,
+		AdaptDisableBelow:   cfg.AdaptDisableBelow,
+		AdaptEnableAbove:    cfg.AdaptEnableAbove,
+	}
+	events := col.Events()
+	toggles := 0
+	for _, ev := range events {
+		if ev.Kind == trace.KindAdaptToggle {
+			toggles++
+		}
+	}
+	if toggles != 2 {
+		t.Errorf("toggle events = %d, want 2 (one disable, one enable)", toggles)
+	}
+	for _, v := range traceaudit.Audit(events, spec) {
+		t.Errorf("trace audit: %v", v)
 	}
 }

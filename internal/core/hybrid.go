@@ -9,6 +9,7 @@ import (
 	"nestedecpt/internal/mmucache"
 	"nestedecpt/internal/radix"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
 	"nestedecpt/internal/vhash"
 )
 
@@ -58,6 +59,7 @@ type Hybrid struct {
 	ntlb  *mmucache.Cache[addr.GPA, addr.HPA]
 	hcwc  *CWC
 	st    HybridStats
+	rec   *trace.Recorder
 	// scratch, reused across walks to keep the hot path allocation-free.
 	paBuf    []addr.HPA
 	probeBuf []ecpt.Probe[addr.HPA]
@@ -86,6 +88,16 @@ func NewHybrid(cfg HybridConfig, mem MemSystem, guest *kernel.Kernel, host *hype
 // Name implements Walker.
 func (w *Hybrid) Name() string { return "Nested Hybrid" }
 
+// SetRecorder attaches a trace recorder to the walker and its MMU
+// caches (guest PWC, nested TLB, host CWC). A nil recorder disables
+// tracing.
+func (w *Hybrid) SetRecorder(r *trace.Recorder) {
+	w.rec = r
+	w.pwc.setTrace(r, trace.CachePWC, trace.WalkerHybrid)
+	w.ntlb.SetTrace(r, trace.CacheNTLB, trace.WalkerHybrid, trace.NoSize)
+	w.hcwc.SetTrace(r, trace.CacheHCWC, trace.WalkerHybrid)
+}
+
 // Stats returns a snapshot of the walker statistics.
 func (w *Hybrid) Stats() HybridStats { return w.st }
 
@@ -108,6 +120,13 @@ func (w *Hybrid) translateGPA(now uint64, gpa addr.GPA, row int, res *WalkResult
 	w.st.HostClasses.Observe(plan.class.String())
 	// hCWT refills are plain background fetches at hPAs.
 	for _, r := range plan.refills {
+		if w.rec != nil {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindRefill, Walker: trace.WalkerHybrid,
+				Space: trace.SpaceHost, Size: r.size, Way: trace.WayNone,
+				HPA: r.pa, Aux: r.key, Flag: true,
+			})
+		}
 		rlat, _ := w.mem.Access(now+lat, r.pa, cachesim.SourceMMU)
 		res.BackgroundCycles += rlat
 		res.BackgroundAccesses++
@@ -120,6 +139,13 @@ func (w *Hybrid) translateGPA(now uint64, gpa addr.GPA, row int, res *WalkResult
 	found := false
 	for _, g := range plan.groups {
 		w.probeBuf = w.host.ECPTs().Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(gpa, g.size), g.way)
+		if w.rec != nil && len(w.probeBuf) > 0 {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerHybrid,
+				Step: uint8(row), Space: trace.SpaceHost, Size: g.size, Way: int8(g.way),
+				GPA: gpa, HPA: w.probeBuf[0].PA, Aux: uint64(len(w.probeBuf)),
+			})
+		}
 		for _, p := range w.probeBuf {
 			w.paBuf = append(w.paBuf, p.PA)
 			if p.Match {
@@ -144,9 +170,16 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Walks++
 	var res WalkResult
 	var ok bool
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindWalkBegin, Walker: trace.WalkerHybrid,
+			Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], va)
 	steps := w.steps
 	if !ok {
+		w.traceFault(now, trace.SpaceGuest, va, 0)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT) // parallel guest-PWC probe round
@@ -168,6 +201,13 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	for i := start; i < len(steps); i++ {
 		st := steps[i]
 		row := 5 - int(st.Level) // gL4 is row 1 ... gL1 is row 4
+		if w.rec != nil {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerHybrid,
+				Step: uint8(row), Space: trace.SpaceGuest, Size: trace.NoSize,
+				Way: trace.WayNone, GVA: va, GPA: st.EntryPA,
+			})
+		}
 		// Translate the guest table page: NTLB first, then one host
 		// ECPT step.
 		lat += mmucache.LatencyRT
@@ -179,6 +219,7 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			h, _, tlat, err := w.translateGPA(now+lat, st.EntryPA, row, &res)
 			lat += tlat
 			if err != nil {
+				w.traceFault(now+lat, trace.SpaceHost, va, st.EntryPA)
 				return res, err
 			}
 			hpa = h
@@ -199,18 +240,47 @@ func (w *Hybrid) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		}
 	}
 	if !found {
+		w.traceFault(now+lat, trace.SpaceGuest, va, 0)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// Final host ECPT step for the data page (row 5).
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerHybrid,
+			Step: 5, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone,
+			GVA: va, GPA: dataGPA,
+		})
+	}
 	hpa, hsize, tlat, err := w.translateGPA(now+lat, dataGPA, 5, &res)
 	lat += tlat
 	if err != nil {
+		w.traceFault(now+lat, trace.SpaceHost, va, dataGPA)
 		return res, err
 	}
 
 	res.Size = minSize(gsize, hsize)
 	res.Frame = addr.PageBase(hpa, res.Size)
 	res.Latency = lat
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindWalkEnd, Walker: trace.WalkerHybrid,
+			Space: trace.SpaceHost, Size: res.Size, Way: trace.WayNone,
+			GVA: va, HPA: res.Frame, Aux: lat,
+		})
+	}
 	return res, nil
+}
+
+// traceFault records a failed hybrid walk.
+//
+//nestedlint:hotpath
+func (w *Hybrid) traceFault(now uint64, space trace.Space, va addr.GVA, gpa addr.GPA) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Emit(trace.Event{
+		Now: now, Kind: trace.KindFault, Walker: trace.WalkerHybrid,
+		Space: space, Size: trace.NoSize, Way: trace.WayNone, GVA: va, GPA: gpa,
+	})
 }

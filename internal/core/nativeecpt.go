@@ -7,6 +7,7 @@ import (
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/mmucache"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
 	"nestedecpt/internal/vhash"
 )
 
@@ -38,6 +39,7 @@ type NativeECPT struct {
 	kern *kernel.Kernel
 	cwc  *CWC
 	st   NativeECPTStats
+	rec  *trace.Recorder
 	// scratch, reused across walks to keep the hot path allocation-free.
 	// The kernel's addresses are guest-physical; in the native design
 	// they are also the machine's physical addresses, so probe PAs cross
@@ -70,6 +72,13 @@ func (w *NativeECPT) Stats() NativeECPTStats { return w.st }
 // CWC exposes the cuckoo walk cache.
 func (w *NativeECPT) CWC() *CWC { return w.cwc }
 
+// SetRecorder attaches a trace recorder to the walker and its walk
+// cache. A nil recorder disables tracing.
+func (w *NativeECPT) SetRecorder(r *trace.Recorder) {
+	w.rec = r
+	w.cwc.SetTrace(r, trace.CacheCWC, trace.WalkerNativeECPT)
+}
+
 // ResetStats clears measurement state at the end of warm-up.
 func (w *NativeECPT) ResetStats() {
 	w.st = NativeECPTStats{Classes: stats.NewDistribution()}
@@ -85,15 +94,33 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	set := w.kern.ECPTs()
 
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindWalkBegin, Walker: trace.WalkerNativeECPT,
+			Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindStepBegin, Walker: trace.WalkerNativeECPT,
+			Step: 1, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	plan := &w.plan
 	planWalk(set, w.cwc, va, true, plan)
 	lat := uint64(mmucache.LatencyRT + vhash.LatencyCycles)
 	if plan.fault {
+		w.traceFault(now+lat, va)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	w.st.Classes.Observe(plan.class.String())
 	// Native CWT refills are plain physical fetches.
 	for _, r := range plan.refills {
+		if w.rec != nil {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindRefill, Walker: trace.WalkerNativeECPT,
+				Space: trace.SpaceGuest, Size: r.size, Way: trace.WayNone,
+				GPA: r.pa, Aux: r.key, Flag: true,
+			})
+		}
 		rlat, _ := w.mem.Access(now+lat, addr.IdentityHPA(r.pa), cachesim.SourceMMU)
 		res.BackgroundCycles += rlat
 		res.BackgroundAccesses++
@@ -106,6 +133,13 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	found := false
 	for _, g := range plan.groups {
 		w.probeBuf = set.Table(g.size).AppendProbes(w.probeBuf[:0], addr.VPN(va, g.size), g.way)
+		if w.rec != nil && len(w.probeBuf) > 0 {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerNativeECPT,
+				Step: 1, Space: trace.SpaceGuest, Size: g.size, Way: int8(g.way),
+				GVA: va, GPA: w.probeBuf[0].PA, Aux: uint64(len(w.probeBuf)),
+			})
+		}
 		for _, p := range w.probeBuf {
 			w.probes = append(w.probes, addr.IdentityHPA(p.PA))
 			if p.Match {
@@ -118,11 +152,32 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	res.Parallel1 = len(w.probes)
 	w.st.Par.Observe(uint64(len(w.probes)))
 	if !found {
+		w.traceFault(now+lat, va)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	res.Frame = addr.IdentityHPA(frame)
 	res.Size = size
 	res.Latency = lat
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindWalkEnd, Walker: trace.WalkerNativeECPT,
+			Space: trace.SpaceGuest, Size: res.Size, Way: trace.WayNone,
+			GVA: va, HPA: res.Frame, Aux: lat,
+		})
+	}
 	return res, nil
+}
+
+// traceFault records a failed native walk.
+//
+//nestedlint:hotpath
+func (w *NativeECPT) traceFault(now uint64, va addr.GVA) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Emit(trace.Event{
+		Now: now, Kind: trace.KindFault, Walker: trace.WalkerNativeECPT,
+		Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+	})
 }

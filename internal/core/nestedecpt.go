@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/cachesim"
 	"nestedecpt/internal/ecpt"
@@ -8,6 +10,7 @@ import (
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/mmucache"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
 	"nestedecpt/internal/vhash"
 )
 
@@ -133,6 +136,9 @@ type NestedECPT struct {
 	adaptBackoff  uint64
 	adaptCooldown uint64
 	st            NestedECPTStats
+	// rec receives walk-trace events; nil (the default) disables
+	// tracing, costing the hot path one pointer test per site.
+	rec *trace.Recorder
 
 	// scratch buffers, reused across walks to keep the hot path
 	// allocation-free. The PA buffers hold host-physical probe targets;
@@ -201,6 +207,18 @@ func (w *NestedECPT) Stats() NestedECPTStats { return w.st }
 // CWCs exposes the three cuckoo walk caches for characterization.
 func (w *NestedECPT) CWCs() (gcwc, hcwc1, hcwc3 *CWC) { return w.gCWC, w.hCWC1, w.hCWC3 }
 
+// SetRecorder attaches a trace recorder to the walker and all of its
+// MMU caches. A nil recorder disables tracing.
+func (w *NestedECPT) SetRecorder(r *trace.Recorder) {
+	w.rec = r
+	w.gCWC.SetTrace(r, trace.CacheGCWC, trace.WalkerNestedECPT)
+	w.hCWC1.SetTrace(r, trace.CacheHCWC1, trace.WalkerNestedECPT)
+	w.hCWC3.SetTrace(r, trace.CacheHCWC3, trace.WalkerNestedECPT)
+	if w.stc != nil {
+		w.stc.SetTrace(r, trace.CacheSTC, trace.WalkerNestedECPT, trace.NoSize)
+	}
+}
+
 // ResetStats clears all measurement state at the end of warm-up.
 func (w *NestedECPT) ResetStats() {
 	w.st = NestedECPTStats{GuestClasses: stats.NewDistribution(), HostClasses: stats.NewDistribution()}
@@ -216,6 +234,12 @@ func (w *NestedECPT) ResetStats() {
 //
 //nestedlint:hotpath
 func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindWalkBegin, Walker: trace.WalkerNestedECPT,
+			Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	w.maybeAdapt(now)
 	w.st.Walks++
 	var res WalkResult
@@ -226,11 +250,18 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// ---------- Step 1: gVA -> hPTEs locating the gECPT entries ----------
 	// Consult the gCWC (all classes probed in parallel; one MMU-cache
 	// round trip) and hash the guest VPNs.
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindStepBegin, Walker: trace.WalkerNestedECPT,
+			Step: 1, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	gplan := &w.gPlan
 	planWalk(gset, w.gCWC, va, true, gplan)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if gplan.fault {
 		w.st.LastFaultAddr = statAddr(va)
+		w.traceFault(now+lat, trace.SpaceGuest, va, 0)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	w.st.GuestClasses.Observe(gplan.class.String())
@@ -243,6 +274,13 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.cand = w.cand[:0]
 	for _, g := range gplan.groups {
 		w.gProbeBuf = gset.Table(g.size).AppendProbes(w.gProbeBuf[:0], addr.VPN(va, g.size), g.way)
+		if w.rec != nil && len(w.gProbeBuf) > 0 {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerNestedECPT,
+				Step: 1, Space: trace.SpaceGuest, Size: g.size, Way: int8(g.way),
+				GVA: va, GPA: w.gProbeBuf[0].PA, Aux: uint64(len(w.gProbeBuf)),
+			})
+		}
 		for _, p := range w.gProbeBuf {
 			w.cand = append(w.cand, candidate{probe: p, size: g.size})
 		}
@@ -263,6 +301,7 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		}
 		if hplan.fault {
 			w.st.LastFaultAddr = statAddr(c.probe.PA)
+			w.traceFault(now+lat, trace.SpaceHost, va, c.probe.PA)
 			return res, &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
 		}
 		w.st.HostClasses.Observe(hplan.class.String())
@@ -271,6 +310,13 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		matched := false
 		for _, g := range hplan.groups {
 			w.hProbeBuf = hset.Table(g.size).AppendProbes(w.hProbeBuf[:0], addr.VPN(c.probe.PA, g.size), g.way)
+			if w.rec != nil && len(w.hProbeBuf) > 0 {
+				w.rec.Emit(trace.Event{
+					Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerNestedECPT,
+					Step: 1, Space: trace.SpaceHost, Size: g.size, Way: int8(g.way),
+					GPA: c.probe.PA, HPA: w.hProbeBuf[0].PA, Aux: uint64(len(w.hProbeBuf)),
+				})
+			}
 			for _, hp := range w.hProbeBuf {
 				w.step1PAs = append(w.step1PAs, hp.PA)
 				if hp.Match {
@@ -281,6 +327,7 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		}
 		if !matched {
 			w.st.LastFaultAddr = statAddr(c.probe.PA)
+			w.traceFault(now+lat, trace.SpaceHost, va, c.probe.PA)
 			return res, &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
 		}
 	}
@@ -293,6 +340,12 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	// The hardware cannot tell which tag-matching hPTE corresponds to
 	// the wanted guest VPN (§3.1), so it reads all candidates and
 	// checks their guest tags.
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerNestedECPT,
+			Step: 2, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	w.step2PAs = w.step2PAs[:0]
 	var dataGPA addr.GPA
 	var gsize addr.PageSize
@@ -312,15 +365,24 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Par2.Observe(uint64(len(w.step2PAs)))
 	if !found {
 		w.st.LastFaultAddr = statAddr(va)
+		w.traceFault(now+lat, trace.SpaceGuest, va, 0)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// ---------- Step 3: data gPA -> hPA ----------
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerNestedECPT,
+			Step: 3, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone,
+			GVA: va, GPA: dataGPA,
+		})
+	}
 	hplan3 := &w.hPlan
 	planWalk(hset, w.hCWC3, dataGPA, true, hplan3)
 	lat += mmucache.LatencyRT + vhash.LatencyCycles
 	if hplan3.fault {
 		w.st.LastFaultAddr = statAddr(dataGPA)
+		w.traceFault(now+lat, trace.SpaceHost, va, dataGPA)
 		return res, &ErrNotMapped{Space: "host", GPA: dataGPA}
 	}
 	w.st.HostClasses.Observe(hplan3.class.String())
@@ -332,6 +394,13 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	hfound := false
 	for _, g := range hplan3.groups {
 		w.hProbeBuf = hset.Table(g.size).AppendProbes(w.hProbeBuf[:0], addr.VPN(dataGPA, g.size), g.way)
+		if w.rec != nil && len(w.hProbeBuf) > 0 {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerNestedECPT,
+				Step: 3, Space: trace.SpaceHost, Size: g.size, Way: int8(g.way),
+				GPA: dataGPA, HPA: w.hProbeBuf[0].PA, Aux: uint64(len(w.hProbeBuf)),
+			})
+		}
 		for _, hp := range w.hProbeBuf {
 			w.step3PAs = append(w.step3PAs, hp.PA)
 			if hp.Match {
@@ -347,6 +416,7 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	w.st.Par3.Observe(uint64(len(w.step3PAs)))
 	if !hfound {
 		w.st.LastFaultAddr = statAddr(dataGPA)
+		w.traceFault(now+lat, trace.SpaceHost, va, dataGPA)
 		return res, &ErrNotMapped{Space: "host", GPA: dataGPA}
 	}
 
@@ -354,7 +424,28 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	res.Size = minSize(gsize, hsize)
 	res.Frame = addr.PageBase(hpa, res.Size)
 	res.Latency = lat
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindWalkEnd, Walker: trace.WalkerNestedECPT,
+			Space: trace.SpaceHost, Size: res.Size, Way: trace.WayNone,
+			GVA: va, HPA: res.Frame, Aux: lat,
+		})
+	}
 	return res, nil
+}
+
+// traceFault records a walk terminated by a missing mapping. gpa is 0
+// for guest-space faults (the faulting address is then the gVA).
+//
+//nestedlint:hotpath
+func (w *NestedECPT) traceFault(now uint64, space trace.Space, va addr.GVA, gpa addr.GPA) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Emit(trace.Event{
+		Now: now, Kind: trace.KindFault, Walker: trace.WalkerNestedECPT,
+		Space: space, Size: trace.NoSize, Way: trace.WayNone, GVA: va, GPA: gpa,
+	})
 }
 
 // queueHostRefills performs the background CWT fetches a host-side
@@ -362,6 +453,13 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 // directly into target.
 func (w *NestedECPT) queueHostRefills(now uint64, refills []refill[addr.HPA], target *CWC, res *WalkResult) {
 	for _, r := range refills {
+		if w.rec != nil {
+			w.rec.Emit(trace.Event{
+				Now: now, Kind: trace.KindRefill, Walker: trace.WalkerNestedECPT,
+				Space: trace.SpaceHost, Size: r.size, Way: trace.WayNone,
+				HPA: r.pa, Aux: r.key, Flag: true,
+			})
+		}
 		lat, _ := w.mem.Access(now, r.pa, cachesim.SourceMMU)
 		res.BackgroundCycles += lat
 		res.BackgroundAccesses++
@@ -376,6 +474,13 @@ func (w *NestedECPT) queueHostRefills(now uint64, refills []refill[addr.HPA], ta
 // the STC removes.
 func (w *NestedECPT) queueGuestRefills(now uint64, refills []refill[addr.GPA], res *WalkResult) error {
 	for _, r := range refills {
+		if w.rec != nil {
+			w.rec.Emit(trace.Event{
+				Now: now, Kind: trace.KindRefill, Walker: trace.WalkerNestedECPT,
+				Space: trace.SpaceGuest, Size: r.size, Way: trace.WayNone,
+				GPA: r.pa, Aux: r.key, Flag: true,
+			})
+		}
 		// The STC is keyed by the gCWT entry address (§4.1 caches the
 		// translations of gCWT entries); the value is the frame of the
 		// 4KB host page holding it.
@@ -412,6 +517,17 @@ func (w *NestedECPT) queueGuestRefills(now uint64, refills []refill[addr.GPA], r
 			ok := false
 			for _, g := range hplan.groups {
 				w.hProbeBuf = w.host.ECPTs().Table(g.size).AppendProbes(w.hProbeBuf[:0], addr.VPN(r.pa, g.size), g.way)
+				if w.rec != nil && len(w.hProbeBuf) > 0 {
+					// Background probes carry Step 0 and the background
+					// flag: they are not part of the walk's sequential
+					// critical path, so the Step-1 PTE-only invariant
+					// does not apply to them.
+					w.rec.Emit(trace.Event{
+						Now: now, Kind: trace.KindProbe, Walker: trace.WalkerNestedECPT,
+						Step: 0, Space: trace.SpaceHost, Size: g.size, Way: int8(g.way),
+						GPA: r.pa, HPA: w.hProbeBuf[0].PA, Aux: uint64(len(w.hProbeBuf)), Flag: true,
+					})
+				}
 				for _, hp := range w.hProbeBuf {
 					w.bgPAs = append(w.bgPAs, hp.PA)
 					if hp.Match {
@@ -450,6 +566,17 @@ func (w *NestedECPT) maybeAdapt(now uint64) {
 	w.lastAdapt = now
 	pte := w.hCWC3.WindowStats(addr.Page4K)
 	pmd := w.hCWC3.WindowStats(addr.Page2M)
+	if w.rec != nil {
+		// One event per monitoring interval, whether or not anything
+		// toggles; the window hit rates travel as float bits so the
+		// auditor can re-check every toggle against the §4.2 thresholds.
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindAdaptInterval, Walker: trace.WalkerNestedECPT,
+			Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone,
+			Cache: trace.CacheHCWC3,
+			Aux:   math.Float64bits(pte.HitRate()), Aux2: math.Float64bits(pmd.HitRate()),
+		})
+	}
 	if pte.Total() > 0 {
 		w.st.PTESeries.Append(pte.HitRate())
 	}
@@ -459,6 +586,7 @@ func (w *NestedECPT) maybeAdapt(now uint64) {
 	if w.hCWC3.Enabled(addr.Page4K) {
 		if pte.Total() >= 16 && pte.HitRate() < w.cfg.AdaptDisableBelow {
 			w.hCWC3.SetEnabled(addr.Page4K, false)
+			w.traceToggle(now, false, pte)
 			if w.adaptBackoff == 0 {
 				w.adaptBackoff = 1
 			} else if w.adaptBackoff < 1<<20 {
@@ -473,7 +601,26 @@ func (w *NestedECPT) maybeAdapt(now uint64) {
 				w.adaptCooldown--
 			} else {
 				w.hCWC3.SetEnabled(addr.Page4K, true)
+				w.traceToggle(now, true, pmd)
 			}
 		}
 	}
+}
+
+// traceToggle records one adaptive PTE-hCWT caching toggle: on=false
+// disables the Step-3 hCWC's PTE class, on=true re-enables it. The
+// qualifying window's hit rate (float bits) and sample count ride in
+// Aux/Aux2 so the auditor can verify the threshold comparison.
+//
+//nestedlint:hotpath
+func (w *NestedECPT) traceToggle(now uint64, on bool, window stats.Counter) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Emit(trace.Event{
+		Now: now, Kind: trace.KindAdaptToggle, Walker: trace.WalkerNestedECPT,
+		Space: trace.SpaceHost, Size: addr.Page4K, Way: trace.WayNone,
+		Cache: trace.CacheHCWC3, Flag: on,
+		Aux:   math.Float64bits(window.HitRate()), Aux2: window.Total(),
+	})
 }

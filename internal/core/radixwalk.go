@@ -9,6 +9,7 @@ import (
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/mmucache"
 	"nestedecpt/internal/radix"
+	"nestedecpt/internal/trace"
 )
 
 // RadixWalkConfig sizes the radix MMU caches (Table 2's radix rows).
@@ -48,6 +49,15 @@ func newPWC[V, P addr.Addr](name string, perLevel int, lo, hi addr.RadixLevel) *
 	return p
 }
 
+// setTrace wires a trace recorder into every level partition.
+func (p *pwc[V, P]) setTrace(r *trace.Recorder, id trace.CacheID, walker trace.WalkerKind) {
+	for _, c := range p.levels {
+		if c != nil {
+			c.SetTrace(r, id, walker, trace.NoSize)
+		}
+	}
+}
+
 // lookup probes level l for va's prefix.
 func (p *pwc[V, P]) lookup(va V, l addr.RadixLevel) (P, bool) {
 	if p.levels[l] == nil {
@@ -73,6 +83,8 @@ type hostRadixWalker struct {
 	// steps is reusable walk scratch (the walkers run one walk at a
 	// time, so one buffer per walker suffices).
 	steps []radix.Step[addr.HPA]
+	rec   *trace.Recorder
+	wkind trace.WalkerKind
 }
 
 // walk translates gpa, returning the host frame/size, the added
@@ -99,6 +111,15 @@ func (h *hostRadixWalker) walk(now uint64, gpa addr.GPA) (frame addr.HPA, size a
 	}
 	for i := start; i < len(steps); i++ {
 		st := steps[i]
+		if h.rec != nil {
+			// Host (EPT) radix rows: one sequential access each, tagged
+			// Step 0 — they nest inside the guest walk's own steps.
+			h.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: h.wkind,
+				Step: 0, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone,
+				GPA: gpa, HPA: st.EntryPA, Aux: 1,
+			})
+		}
 		alat, _ := h.mem.Access(now+lat, st.EntryPA, cachesim.SourceMMU)
 		lat += alat
 		accesses++
@@ -122,6 +143,7 @@ type NativeRadix struct {
 	// hypervisor), so pointers cross spaces via addr.IdentityHPA below.
 	pwc   *pwc[addr.GVA, addr.GPA]
 	steps []radix.Step[addr.GPA] // reusable walk scratch
+	rec   *trace.Recorder
 }
 
 // NewNativeRadix builds the walker over the kernel's radix table.
@@ -140,15 +162,29 @@ func NewNativeRadix(cfg RadixWalkConfig, mem MemSystem, kern *kernel.Kernel) *Na
 // Name implements Walker.
 func (w *NativeRadix) Name() string { return "Radix" }
 
+// SetRecorder attaches a trace recorder to the walker and its PWC. A
+// nil recorder disables tracing.
+func (w *NativeRadix) SetRecorder(r *trace.Recorder) {
+	w.rec = r
+	w.pwc.setTrace(r, trace.CachePWC, trace.WalkerNativeRadix)
+}
+
 // Walk implements Walker.
 //
 //nestedlint:hotpath
 func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	var ok bool
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindWalkBegin, Walker: trace.WalkerNativeRadix,
+			Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	w.steps, ok = w.kern.Radix().AppendWalk(w.steps[:0], va)
 	steps := w.steps
 	if !ok {
+		w.traceFault(now, va)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT) // parallel PWC probe round
@@ -163,8 +199,22 @@ func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			break
 		}
 	}
+	step := uint8(0)
 	for i := start; i < len(steps); i++ {
 		st := steps[i]
+		step++
+		if w.rec != nil {
+			// Each radix row is one sequential step of one access.
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerNativeRadix,
+				Step: step, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+			})
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerNativeRadix,
+				Step: step, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone,
+				GVA: va, GPA: st.EntryPA, Aux: 1,
+			})
+		}
 		alat, _ := w.mem.Access(now+lat, addr.IdentityHPA(st.EntryPA), cachesim.SourceMMU)
 		lat += alat
 		res.Accesses++
@@ -172,13 +222,34 @@ func (w *NativeRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			res.Frame = addr.IdentityHPA(st.Frame)
 			res.Size = st.Size
 			res.Latency = lat
+			if w.rec != nil {
+				w.rec.Emit(trace.Event{
+					Now: now + lat, Kind: trace.KindWalkEnd, Walker: trace.WalkerNativeRadix,
+					Space: trace.SpaceGuest, Size: res.Size, Way: trace.WayNone,
+					GVA: va, HPA: res.Frame, Aux: lat,
+				})
+			}
 			return res, nil
 		}
 		if st.Level >= addr.L2 {
 			w.pwc.insert(va, st.Level, st.NextPA)
 		}
 	}
+	w.traceFault(now+lat, va)
 	return res, &ErrNotMapped{Space: "guest", GVA: va}
+}
+
+// traceFault records a failed native radix walk.
+//
+//nestedlint:hotpath
+func (w *NativeRadix) traceFault(now uint64, va addr.GVA) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Emit(trace.Event{
+		Now: now, Kind: trace.KindFault, Walker: trace.WalkerNativeRadix,
+		Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+	})
 }
 
 // NestedRadix is the Nested Radix baseline: the two-dimensional page
@@ -193,6 +264,7 @@ type NestedRadix struct {
 	ntlb  *mmucache.Cache[addr.GPA, addr.HPA]
 	hostW hostRadixWalker
 	steps []radix.Step[addr.GPA] // reusable guest walk scratch
+	rec   *trace.Recorder
 }
 
 // NewNestedRadix builds the walker over the guest radix table and the
@@ -216,6 +288,18 @@ func NewNestedRadix(cfg RadixWalkConfig, mem MemSystem, guest *kernel.Kernel, ho
 
 // Name implements Walker.
 func (w *NestedRadix) Name() string { return "Nested Radix" }
+
+// SetRecorder attaches a trace recorder to the walker and its MMU
+// caches (guest PWC, nested PWC, nested TLB). A nil recorder disables
+// tracing.
+func (w *NestedRadix) SetRecorder(r *trace.Recorder) {
+	w.rec = r
+	w.pwc.setTrace(r, trace.CachePWC, trace.WalkerNestedRadix)
+	w.npwc.setTrace(r, trace.CacheNPWC, trace.WalkerNestedRadix)
+	w.ntlb.SetTrace(r, trace.CacheNTLB, trace.WalkerNestedRadix, trace.NoSize)
+	w.hostW.rec = r
+	w.hostW.wkind = trace.WalkerNestedRadix
+}
 
 // NTLBStats returns the nested TLB hit/miss counter.
 func (w *NestedRadix) NTLBStats() (hits, misses uint64) {
@@ -249,9 +333,16 @@ func (w *NestedRadix) translateTablePage(now uint64, entryGPA addr.GPA, res *Wal
 func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var res WalkResult
 	var ok bool
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now, Kind: trace.KindWalkBegin, Walker: trace.WalkerNestedRadix,
+			Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: va,
+		})
+	}
 	w.steps, ok = w.guest.Radix().AppendWalk(w.steps[:0], va)
 	steps := w.steps
 	if !ok {
+		w.traceFault(now, trace.SpaceGuest, va, 0)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	lat := uint64(mmucache.LatencyRT) // parallel guest-PWC probe round
@@ -270,14 +361,33 @@ func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	var dataGPA addr.GPA
 	var gsize addr.PageSize
 	found := false
+	step := uint8(0)
 	for i := start; i < len(steps); i++ {
 		st := steps[i]
+		step++
+		if w.rec != nil {
+			// One sequential step per Figure-2 row: the host translation
+			// of the guest table page plus the guest entry read.
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerNestedRadix,
+				Step: step, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone,
+				GVA: va, GPA: st.EntryPA,
+			})
+		}
 		// Rows of Figure 2: translate the guest table page (steps
 		// hL4..hL1), then read the guest entry (step gLi).
 		hpa, tlat, err := w.translateTablePage(now+lat, st.EntryPA, &res)
 		lat += tlat
 		if err != nil {
+			w.traceFault(now+lat, trace.SpaceHost, va, st.EntryPA)
 			return res, err
+		}
+		if w.rec != nil {
+			w.rec.Emit(trace.Event{
+				Now: now + lat, Kind: trace.KindProbe, Walker: trace.WalkerNestedRadix,
+				Step: step, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone,
+				GVA: va, HPA: hpa, Aux: 1,
+			})
 		}
 		alat, _ := w.mem.Access(now+lat, hpa, cachesim.SourceMMU)
 		lat += alat
@@ -293,14 +403,23 @@ func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		}
 	}
 	if !found {
+		w.traceFault(now+lat, trace.SpaceGuest, va, 0)
 		return res, &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// Final host walk for the data page (steps 21–24 of Figure 2).
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindStepBegin, Walker: trace.WalkerNestedRadix,
+			Step: step + 1, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone,
+			GVA: va, GPA: dataGPA,
+		})
+	}
 	hframe, hsize, hlat, acc, err := w.hostW.walk(now+lat, dataGPA)
 	lat += hlat
 	res.Accesses += acc
 	if err != nil {
+		w.traceFault(now+lat, trace.SpaceHost, va, dataGPA)
 		return res, err
 	}
 
@@ -308,5 +427,25 @@ func (w *NestedRadix) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	res.Size = minSize(gsize, hsize)
 	res.Frame = addr.PageBase(hpa, res.Size)
 	res.Latency = lat
+	if w.rec != nil {
+		w.rec.Emit(trace.Event{
+			Now: now + lat, Kind: trace.KindWalkEnd, Walker: trace.WalkerNestedRadix,
+			Space: trace.SpaceHost, Size: res.Size, Way: trace.WayNone,
+			GVA: va, HPA: res.Frame, Aux: lat,
+		})
+	}
 	return res, nil
+}
+
+// traceFault records a failed nested radix walk.
+//
+//nestedlint:hotpath
+func (w *NestedRadix) traceFault(now uint64, space trace.Space, va addr.GVA, gpa addr.GPA) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Emit(trace.Event{
+		Now: now, Kind: trace.KindFault, Walker: trace.WalkerNestedRadix,
+		Space: space, Size: trace.NoSize, Way: trace.WayNone, GVA: va, GPA: gpa,
+	})
 }

@@ -17,6 +17,7 @@ import (
 
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/trace"
 	"nestedecpt/internal/vhash"
 )
 
@@ -159,7 +160,18 @@ type Table[P addr.Addr] struct {
 	// pending holds lines orphaned by an abandoned cuckoo displacement
 	// chain; startResize re-places them into the grown table.
 	pending []line[P]
+	// rec receives structural trace events (resize, migration); nil
+	// (the default) disables tracing.
+	rec *trace.Recorder
 }
+
+// SetRecorder attaches a trace recorder to the table's structural
+// events. A nil recorder disables tracing.
+func (t *Table[P]) SetRecorder(r *trace.Recorder) { t.rec = r }
+
+// traceSpace tags the table's events with the address space its frames
+// (and its own lines) live in: guest for gECPTs, host for hECPTs.
+func (t *Table[P]) traceSpace() trace.Space { return trace.SpaceOf[P]() }
 
 // New creates an empty table for the given page size. hashSpace
 // disambiguates the hash functions of distinct tables (e.g. guest vs
@@ -401,6 +413,14 @@ func (t *Table[P]) startResize() {
 	t.old = t.cur
 	t.cur = t.newGeneration(t.old.linesPerWay * 2)
 	t.migratePtr = make([]int, t.cfg.Ways)
+	if t.rec != nil {
+		// Structural events carry no cycle time (Now=0): the table does
+		// not know the walker clock; Seq orders them within the trace.
+		t.rec.Emit(trace.Event{
+			Kind: trace.KindResizeStart, Space: t.traceSpace(), Size: t.size,
+			Way: trace.WayNone, Aux: uint64(t.cur.linesPerWay),
+		})
+	}
 	// Re-place any lines orphaned by an abandoned kick chain.
 	pend := t.pending
 	t.pending = nil
@@ -436,6 +456,12 @@ func (t *Table[P]) continueMigration() {
 				old.ways[w][idx] = line[P]{}
 				t.placeLine(ln)
 				t.stats.Migrated++
+				if t.rec != nil {
+					t.rec.Emit(trace.Event{
+						Kind: trace.KindMigrateLine, Space: t.traceSpace(),
+						Size: t.size, Way: int8(w), Aux: ln.tag,
+					})
+				}
 			}
 		}
 		if !progressed {
@@ -470,4 +496,10 @@ func (t *Table[P]) completeResize() {
 	}
 	t.old = nil
 	t.migratePtr = nil
+	if t.rec != nil {
+		t.rec.Emit(trace.Event{
+			Kind: trace.KindResizeEnd, Space: t.traceSpace(), Size: t.size,
+			Way: trace.WayNone, Aux: t.stats.Migrated,
+		})
+	}
 }

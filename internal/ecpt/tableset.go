@@ -5,6 +5,7 @@ import (
 
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/trace"
 )
 
 // SetConfig configures a full ECPT set: one elastic cuckoo table per
@@ -77,6 +78,14 @@ func NewSet[V, P addr.Addr](cfg SetConfig, alloc *memsim.Allocator[P], hashSpace
 
 // Table returns the ECPT for one page size.
 func (s *Set[V, P]) Table(size addr.PageSize) *Table[P] { return s.tables[size] }
+
+// SetRecorder attaches a trace recorder to every table's structural
+// events (elastic resizes, line migration).
+func (s *Set[V, P]) SetRecorder(r *trace.Recorder) {
+	for _, size := range addr.Sizes() {
+		s.tables[size].SetRecorder(r)
+	}
+}
 
 // Map installs a translation at the given size and maintains the
 // hierarchical has-smaller bits in the larger sizes' CWTs so walkers

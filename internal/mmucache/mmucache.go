@@ -12,6 +12,7 @@ import (
 
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
 )
 
 // LatencyRT is the round-trip latency of every MMU cache (Table 2).
@@ -40,6 +41,42 @@ type Cache[K, V addr.Addr] struct {
 	entries  []entry[K, V]
 	clock    uint64
 	counter  stats.Counter
+
+	// Trace identity, set by SetTrace: which structure this cache is in
+	// the walk-trace vocabulary and which walker owns it. rec==nil (the
+	// default) disables event emission entirely.
+	rec      *trace.Recorder
+	traceID  trace.CacheID
+	traceWlk trace.WalkerKind
+	// traceSize tags partitioned caches (the CWC classes) with their
+	// page-size class; NoSize otherwise.
+	traceSize addr.PageSize
+}
+
+// SetTrace attaches a trace recorder and the cache's trace identity.
+// size is the page-size class for partitioned caches (trace.NoSize when
+// the cache is not class-partitioned). A nil recorder disables tracing.
+func (c *Cache[K, V]) SetTrace(r *trace.Recorder, id trace.CacheID, walker trace.WalkerKind, size addr.PageSize) {
+	c.rec = r
+	c.traceID = id
+	c.traceWlk = walker
+	c.traceSize = size
+}
+
+// emit records one cache event carrying the consulted key and (for
+// hits and inserts) the cached value, each in its own address space.
+//
+//nestedlint:hotpath
+func (c *Cache[K, V]) emit(kind trace.Kind, key K, value V, withValue bool) {
+	ev := trace.Event{
+		Kind: kind, Walker: c.traceWlk, Cache: c.traceID,
+		Space: trace.SpaceOf[V](), Size: c.traceSize, Way: trace.WayNone,
+	}
+	trace.SetAddr(&ev, key)
+	if withValue {
+		trace.SetAddr(&ev, value)
+	}
+	c.rec.Emit(ev)
 }
 
 // New returns an empty cache holding at most capacity entries.
@@ -81,9 +118,16 @@ func (c *Cache[K, V]) Lookup(key K) (value V, ok bool) {
 	if i := c.find(key); i >= 0 {
 		c.entries[i].lastUse = c.clock
 		c.counter.Hit()
+		if c.rec != nil {
+			c.emit(trace.KindCacheHit, key, c.entries[i].value, true)
+		}
 		return c.entries[i].value, true
 	}
 	c.counter.Miss()
+	if c.rec != nil {
+		var zero V
+		c.emit(trace.KindCacheMiss, key, zero, false)
+	}
 	return 0, false
 }
 
@@ -100,6 +144,9 @@ func (c *Cache[K, V]) Peek(key K) (value V, ok bool) {
 //nestedlint:hotpath
 func (c *Cache[K, V]) Insert(key K, value V) {
 	c.clock++
+	if c.rec != nil {
+		c.emit(trace.KindCacheInsert, key, value, true)
+	}
 	if i := c.find(key); i >= 0 {
 		c.entries[i].value = value
 		c.entries[i].lastUse = c.clock

@@ -24,6 +24,8 @@ import (
 	"nestedecpt/internal/runner"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/traceaudit"
 	"nestedecpt/internal/workload"
 )
 
@@ -97,6 +99,10 @@ type Settings struct {
 	// clock in the parallel engine; an expired run fails the sweep
 	// instead of hanging it.
 	RunTimeout time.Duration
+	// Trace records a walk trace of every run's measured phase;
+	// retrieve them with Suite.Traces. Traces accumulate in run-plan
+	// order, so the set is identical at every Parallelism.
+	Trace bool
 }
 
 // DefaultSettings returns the full evaluation scale.
@@ -144,11 +150,24 @@ func (k runKey) String() string {
 	return s
 }
 
+// RunTrace is one run's collected walk trace.
+type RunTrace struct {
+	// Name is the run's identity (runKey.String()).
+	Name string
+	// Events is the measured phase's event stream.
+	Events []trace.Event
+	// Spec is the audit specification the run's config implies.
+	Spec traceaudit.Spec
+}
+
 // Suite caches simulation results across experiments.
 type Suite struct {
 	Settings Settings
 	ctx      context.Context
 	results  map[runKey]*sim.Result
+	// traces collects per-run walk traces (Settings.Trace) in the
+	// order runs are first simulated.
+	traces []RunTrace
 
 	// planning is set while a renderer is replayed against placeholder
 	// results to enumerate the runs it needs; planKeys collects them in
@@ -203,7 +222,18 @@ func (s *Suite) run(k runKey) (*sim.Result, error) {
 		}
 		return planResult(), nil
 	}
-	r, err := sim.RunContext(s.ctx, s.config(k))
+	cfg := s.config(k)
+	var r *sim.Result
+	var err error
+	if s.Settings.Trace {
+		rec, col := trace.NewCollected()
+		r, err = sim.RunTraced(s.ctx, cfg, rec)
+		if err == nil {
+			s.traces = append(s.traces, RunTrace{Name: k.String(), Events: col.Events(), Spec: sim.AuditSpec(cfg)})
+		}
+	} else {
+		r, err = sim.RunContext(s.ctx, cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("report: %v/%s thp=%v tech=%v: %w", k.design, k.app, k.thp, k.tech, err)
 	}
@@ -264,14 +294,22 @@ func (s *Suite) prefetch(keys []runKey) error {
 		return nil
 	}
 	tasks := make([]runner.Task[*sim.Result], len(keys))
+	collectors := make([]*trace.Collector, len(keys))
 	for i, k := range keys {
 		cfg := s.config(k)
-		tasks[i] = runner.Task[*sim.Result]{
-			Name: k.String(),
-			Run: func(ctx context.Context) (*sim.Result, error) {
-				return sim.RunContext(ctx, cfg)
-			},
+		run := func(ctx context.Context) (*sim.Result, error) {
+			return sim.RunContext(ctx, cfg)
 		}
+		if s.Settings.Trace {
+			// Per-run recorders; traces append below in plan order, so
+			// the collected set matches the sequential engine's.
+			rec, col := trace.NewCollected()
+			collectors[i] = col
+			run = func(ctx context.Context) (*sim.Result, error) {
+				return sim.RunTraced(ctx, cfg, rec)
+			}
+		}
+		tasks[i] = runner.Task[*sim.Result]{Name: k.String(), Run: run}
 	}
 	results := runner.Run(s.ctx, tasks, runner.Options{
 		Parallelism: s.Settings.Parallelism,
@@ -285,8 +323,28 @@ func (s *Suite) prefetch(keys []runKey) error {
 			return fmt.Errorf("report: %v/%s thp=%v tech=%v: %w", k.design, k.app, k.thp, k.tech, r.Err)
 		}
 		s.results[keys[i]] = r.Value
+		if s.Settings.Trace {
+			s.traces = append(s.traces, RunTrace{
+				Name: keys[i].String(), Events: collectors[i].Events(), Spec: sim.AuditSpec(s.config(keys[i])),
+			})
+		}
 	}
 	return nil
+}
+
+// Traces returns every collected run trace (Settings.Trace), in the
+// order the runs were first simulated.
+func (s *Suite) Traces() []RunTrace { return s.traces }
+
+// WriteTraces serializes every collected run trace as JSONL, one
+// run-header line per run, in collection order.
+func (s *Suite) WriteTraces(w io.Writer) error {
+	tw := trace.NewWriter(w)
+	for _, rt := range s.traces {
+		tw.RunHeader(rt.Name)
+		tw.Events(rt.Events)
+	}
+	return tw.Flush()
 }
 
 // parallelized wraps a renderer: with the parallel engine selected it

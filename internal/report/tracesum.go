@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"nestedecpt/internal/trace"
+)
+
+// traceMaxStep is the largest sequential step the summary accounts
+// per-step: the nested ECPT walk has 3, the deepest radix-style walk
+// (nested radix, hybrid) reaches 5–6. Steps beyond the bound still
+// count toward walk totals.
+const traceMaxStep = 8
+
+// TraceStepSummary accounts one sequential step position across every
+// walk in a trace.
+type TraceStepSummary struct {
+	// Begins counts StepBegin events at this position.
+	Begins uint64
+	// ProbeGroups counts foreground probe groups issued in this step;
+	// LineProbes sums their parallel line probes.
+	ProbeGroups uint64
+	LineProbes  uint64
+	// Cycles sums the time from this step's StepBegin to the next
+	// step boundary (the following StepBegin, WalkEnd, or Fault).
+	Cycles uint64
+}
+
+// TraceCacheSummary accounts one MMU cache's consults in a trace.
+type TraceCacheSummary struct {
+	Hits, Misses, Inserts uint64
+}
+
+// TraceSummary is the per-step latency / probe-count accounting of one
+// trace: what each sequential step of the walks cost and how wide its
+// parallel probing ran, plus structural-event totals.
+type TraceSummary struct {
+	Events uint64
+	Walks  uint64
+	// Completed / Faulted split walk outcomes; WalkCycles sums the
+	// completed walks' critical-path latencies (WalkEnd Aux).
+	Completed  uint64
+	Faulted    uint64
+	WalkCycles uint64
+
+	// Step is indexed by step position; index 0 collects background
+	// (step-0) probe groups.
+	Step [traceMaxStep + 1]TraceStepSummary
+
+	// Cache is indexed by trace.CacheID.
+	Cache [16]TraceCacheSummary
+
+	Refills        uint64
+	Resizes        uint64
+	Migrated       uint64
+	AdaptIntervals uint64
+	AdaptToggles   uint64
+}
+
+// Summarize replays events into a TraceSummary. It tolerates malformed
+// streams (summaries are diagnostics, not validators — use
+// internal/traceaudit to judge conformance).
+func Summarize(events []trace.Event) TraceSummary {
+	var s TraceSummary
+	s.Events = uint64(len(events))
+	// Current walk state: the open step and when it began.
+	step, stepNow := -1, uint64(0)
+	closeStep := func(now uint64) {
+		if step >= 0 && step <= traceMaxStep && now >= stepNow {
+			s.Step[step].Cycles += now - stepNow
+		}
+		step = -1
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindWalkBegin:
+			s.Walks++
+			step = -1
+		case trace.KindStepBegin:
+			closeStep(ev.Now)
+			step, stepNow = int(ev.Step), ev.Now
+			if step <= traceMaxStep {
+				s.Step[step].Begins++
+			}
+		case trace.KindProbe:
+			if int(ev.Step) <= traceMaxStep {
+				s.Step[ev.Step].ProbeGroups++
+				s.Step[ev.Step].LineProbes += ev.Aux
+			}
+		case trace.KindWalkEnd:
+			closeStep(ev.Now)
+			s.Completed++
+			s.WalkCycles += ev.Aux
+		case trace.KindFault:
+			closeStep(ev.Now)
+			s.Faulted++
+		case trace.KindCacheHit:
+			if int(ev.Cache) < len(s.Cache) {
+				s.Cache[ev.Cache].Hits++
+			}
+		case trace.KindCacheMiss:
+			if int(ev.Cache) < len(s.Cache) {
+				s.Cache[ev.Cache].Misses++
+			}
+		case trace.KindCacheInsert:
+			if int(ev.Cache) < len(s.Cache) {
+				s.Cache[ev.Cache].Inserts++
+			}
+		case trace.KindRefill:
+			s.Refills++
+		case trace.KindResizeStart:
+			s.Resizes++
+		case trace.KindMigrateLine:
+			s.Migrated++
+		case trace.KindAdaptInterval:
+			s.AdaptIntervals++
+		case trace.KindAdaptToggle:
+			s.AdaptToggles++
+		}
+	}
+	return s
+}
+
+// summaryCaches fixes the cache print order (no map iteration: report
+// output must be byte-stable).
+var summaryCaches = [...]trace.CacheID{
+	trace.CacheGCWC, trace.CacheHCWC1, trace.CacheHCWC3, trace.CacheSTC,
+	trace.CacheCWC, trace.CachePWC, trace.CacheNPWC, trace.CacheNTLB, trace.CacheHCWC,
+}
+
+// WriteTraceSummary renders the accounting as text, one block per
+// populated step and cache. Output is deterministic for a given trace.
+func WriteTraceSummary(w io.Writer, s TraceSummary) {
+	fmt.Fprintf(w, "trace             %d events, %d walks (%d completed, %d faulted)\n",
+		s.Events, s.Walks, s.Completed, s.Faulted)
+	if s.Completed > 0 {
+		fmt.Fprintf(w, "walk latency      %.1f cyc/walk (critical path)\n",
+			float64(s.WalkCycles)/float64(s.Completed))
+	}
+	for i := 1; i <= traceMaxStep; i++ {
+		st := s.Step[i]
+		if st.Begins == 0 && st.ProbeGroups == 0 {
+			continue
+		}
+		var perWalk, width, cyc float64
+		if s.Walks > 0 {
+			perWalk = float64(st.LineProbes) / float64(s.Walks)
+		}
+		if st.ProbeGroups > 0 {
+			width = float64(st.LineProbes) / float64(st.ProbeGroups)
+		}
+		if st.Begins > 0 {
+			cyc = float64(st.Cycles) / float64(st.Begins)
+		}
+		fmt.Fprintf(w, "step %-12d %d begins, %.1f cyc/step, %d probe groups (%.1f lines/group, %.2f lines/walk)\n",
+			i, st.Begins, cyc, st.ProbeGroups, width, perWalk)
+	}
+	if bg := s.Step[0]; bg.ProbeGroups > 0 {
+		fmt.Fprintf(w, "background        %d probe groups (%d line probes)\n", bg.ProbeGroups, bg.LineProbes)
+	}
+	for _, id := range summaryCaches {
+		c := s.Cache[id]
+		if c.Hits+c.Misses+c.Inserts == 0 {
+			continue
+		}
+		total := c.Hits + c.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(c.Hits) / float64(total)
+		}
+		fmt.Fprintf(w, "cache %-11s %d/%d hits (%.1f%%), %d inserts\n", id, c.Hits, total, rate, c.Inserts)
+	}
+	if s.Refills > 0 {
+		fmt.Fprintf(w, "CWT refills       %d\n", s.Refills)
+	}
+	if s.Resizes > 0 || s.Migrated > 0 {
+		fmt.Fprintf(w, "elastic resizes   %d (%d lines migrated)\n", s.Resizes, s.Migrated)
+	}
+	if s.AdaptIntervals > 0 {
+		fmt.Fprintf(w, "adaptive          %d intervals, %d toggles\n", s.AdaptIntervals, s.AdaptToggles)
+	}
+}

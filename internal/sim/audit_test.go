@@ -1,0 +1,226 @@
+package sim
+
+// Every simulated configuration in this package's tests runs under the
+// trace-auditing conformance harness: runAudited records the measured
+// phase's walk trace and replays it through internal/traceaudit, so a
+// regression in any walker's step discipline, probe fan-out, §4.3
+// PTE-only Step-1 lookups, §4.4 guest/host cache separation, or §4.2
+// adaptive toggles fails the suite even when the aggregate statistics
+// still look plausible.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/runner"
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/traceaudit"
+)
+
+// runAudited is Run with the conformance harness attached: the run's
+// walk trace is collected and audited against the configuration's
+// spec, and every violation fails t.
+func runAudited(t *testing.T, cfg Config) (*Result, error) {
+	t.Helper()
+	rec, col := trace.NewCollected()
+	res, err := RunTraced(context.Background(), cfg, rec)
+	if err != nil {
+		return res, err
+	}
+	auditEvents(t, col.Events(), AuditSpec(cfg))
+	return res, nil
+}
+
+// auditEvents replays events through the auditor and reports the
+// violations (capped, so a systemic breach does not flood the log).
+func auditEvents(t *testing.T, events []trace.Event, spec traceaudit.Spec) {
+	t.Helper()
+	vs := traceaudit.Audit(events, spec)
+	const maxReport = 10
+	for i, v := range vs {
+		if i == maxReport {
+			t.Errorf("trace audit: ... and %d more violations", len(vs)-maxReport)
+			break
+		}
+		t.Errorf("trace audit: %v", v)
+	}
+}
+
+// goldenDesigns lists every traceable design, in serialization order.
+var goldenDesigns = []Design{
+	DesignRadix, DesignECPT, DesignNestedRadix, DesignNestedECPT, DesignNestedHybrid,
+}
+
+// goldenConfig is the pinned golden-trace run: seed 42, short, GUPS
+// (TLB-hostile, so every access stream exercises the walkers).
+func goldenConfig(d Design) Config {
+	cfg := DefaultConfig(d, "GUPS", false)
+	cfg.WarmupAccesses = 500
+	cfg.MeasureAccesses = 1_500
+	cfg.WorkloadOpts.Seed = 42
+	return cfg
+}
+
+// goldenSerialize runs every golden design on the sweep engine at the
+// given parallelism and serializes the traces in task order.
+func goldenSerialize(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	tasks := make([]runner.Task[*Result], len(goldenDesigns))
+	collectors := make([]*trace.Collector, len(goldenDesigns))
+	for i, d := range goldenDesigns {
+		cfg := goldenConfig(d)
+		rec, col := trace.NewCollected()
+		collectors[i] = col
+		tasks[i] = runner.Task[*Result]{
+			Name: cfg.Design.String(),
+			Run: func(ctx context.Context) (*Result, error) {
+				return RunTraced(ctx, cfg, rec)
+			},
+		}
+	}
+	results := runner.Run(context.Background(), tasks, runner.Options{Parallelism: parallelism})
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		tw.RunHeader(r.Name)
+		tw.Events(collectors[i].Events())
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceDigest pins the serialized walk trace of a pinned-seed
+// short run per design: the trace must be byte-identical at -parallel 1
+// and 8, and its digest must match the committed golden. A mismatch
+// means event emission, ordering, or serialization changed — inspect
+// the diff, then refresh with UPDATE_GOLDEN=1 go test ./internal/sim
+// -run TestGoldenTraceDigest.
+func TestGoldenTraceDigest(t *testing.T) {
+	seq := goldenSerialize(t, 1)
+	par := goldenSerialize(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("trace differs between -parallel 1 (%d bytes) and 8 (%d bytes)", len(seq), len(par))
+	}
+
+	sum := sha256.Sum256(seq)
+	got := hex.EncodeToString(sum[:])
+	goldenPath := filepath.Join("testdata", "golden_trace.sha256")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace digest updated: %s", got)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden digest (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("golden trace digest mismatch:\n  got  %s\n  want %s\nevent emission or serialization changed; if intended, refresh with UPDATE_GOLDEN=1",
+			got, strings.TrimSpace(string(want)))
+	}
+}
+
+// TestGoldenTraceAuditsClean replays the golden traces through the
+// auditor: the pinned runs must conform, not just reproduce.
+func TestGoldenTraceAuditsClean(t *testing.T) {
+	for _, d := range goldenDesigns {
+		cfg := goldenConfig(d)
+		rec, col := trace.NewCollected()
+		if _, err := RunTraced(context.Background(), cfg, rec); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		events := col.Events()
+		if len(events) == 0 {
+			t.Errorf("%v: traceable design emitted no events", d)
+		}
+		auditEvents(t, events, AuditSpec(cfg))
+	}
+}
+
+// TestTraceRoundTripsThroughJSONL serializes a real run's trace and
+// parses it back: the decoded events must equal the originals, so
+// offline audits see exactly what the walkers emitted.
+func TestTraceRoundTripsThroughJSONL(t *testing.T) {
+	cfg := goldenConfig(DesignNestedECPT)
+	rec, col := trace.NewCollected()
+	if _, err := RunTraced(context.Background(), cfg, rec); err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	tw.RunHeader("roundtrip")
+	tw.Events(events)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.ParseEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(events) {
+		t.Fatalf("parsed %d events, wrote %d", len(parsed), len(events))
+	}
+	for i := range parsed {
+		if parsed[i] != events[i] {
+			t.Fatalf("event %d changed across serialization:\n  wrote  %+v\n  parsed %+v", i, events[i], parsed[i])
+		}
+	}
+	auditEvents(t, parsed, AuditSpec(cfg))
+}
+
+// TestAuditSpecDerivation checks the config→spec mapping the harness
+// and the CLIs rely on.
+func TestAuditSpecDerivation(t *testing.T) {
+	cfg := DefaultConfig(DesignNestedECPT, "GUPS", false)
+	spec := AuditSpec(cfg)
+	if spec.Walker != trace.WalkerNestedECPT || !spec.PageTable4KB {
+		t.Errorf("advanced nested spec = %+v", spec)
+	}
+	if spec.Ways != 3 || spec.AdaptIntervalCycles != cfg.NestedECPT.AdaptIntervalCycles {
+		t.Errorf("spec thresholds = %+v", spec)
+	}
+	if spec.AdaptDisableBelow != 0.5 || spec.AdaptEnableAbove != 0.85 {
+		t.Errorf("spec thresholds = %+v", spec)
+	}
+
+	cfg.ECPTWays = 4
+	if got := AuditSpec(cfg).Ways; got != 4 {
+		t.Errorf("ways override not honored: %d", got)
+	}
+
+	plain := DefaultConfig(DesignNestedECPT, "GUPS", false)
+	plain.Tech = core.PlainTechniques()
+	plain.NestedECPT = core.DefaultNestedECPTConfig(plain.Tech)
+	pspec := AuditSpec(plain)
+	if pspec.PageTable4KB || pspec.AdaptIntervalCycles != 0 {
+		t.Errorf("plain spec enforces advanced techniques: %+v", pspec)
+	}
+
+	for d, wantW := range map[Design]trace.WalkerKind{
+		DesignRadix:        trace.WalkerNativeRadix,
+		DesignECPT:         trace.WalkerNativeECPT,
+		DesignNestedRadix:  trace.WalkerNestedRadix,
+		DesignNestedHybrid: trace.WalkerHybrid,
+		DesignAgileIdeal:   trace.WalkerNone,
+	} {
+		if got := AuditSpec(DefaultConfig(d, "GUPS", false)).Walker; got != wantW {
+			t.Errorf("%v walker = %v, want %v", d, got, wantW)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/traceaudit"
+)
+
+// AuditSpec derives the trace-audit specification a run under cfg must
+// conform to: the walker identity, the configured cuckoo ways, and —
+// for the nested ECPT design — the §4.3 page-table-page discipline and
+// the §4.2 adaptive-controller thresholds. Pass the effective (post-
+// normalization) config when available; the fields AuditSpec reads are
+// stable across normalization.
+func AuditSpec(cfg Config) traceaudit.Spec {
+	spec := traceaudit.Spec{Ways: 3}
+	if cfg.ECPTWays > 0 {
+		spec.Ways = cfg.ECPTWays
+	}
+	switch cfg.Design {
+	case DesignRadix:
+		spec.Walker = trace.WalkerNativeRadix
+	case DesignECPT:
+		spec.Walker = trace.WalkerNativeECPT
+	case DesignNestedRadix:
+		spec.Walker = trace.WalkerNestedRadix
+	case DesignNestedHybrid:
+		spec.Walker = trace.WalkerHybrid
+	case DesignNestedECPT:
+		spec.Walker = trace.WalkerNestedECPT
+		spec.PageTable4KB = cfg.Tech.PageTable4KB
+		if cfg.Tech.Step3AdaptivePTE {
+			spec.AdaptIntervalCycles = cfg.NestedECPT.AdaptIntervalCycles
+			spec.AdaptDisableBelow = cfg.NestedECPT.AdaptDisableBelow
+			spec.AdaptEnableAbove = cfg.NestedECPT.AdaptEnableAbove
+		}
+	}
+	return spec
+}

@@ -14,6 +14,7 @@ import (
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/stats"
 	"nestedecpt/internal/tlbsim"
+	"nestedecpt/internal/trace"
 	"nestedecpt/internal/workload"
 )
 
@@ -35,6 +36,9 @@ type Machine struct {
 	// cycles is the core clock, tracked fractionally so issue-width
 	// division does not lose time.
 	cycles float64
+
+	// rec, when set, receives walk-trace events for the measured phase.
+	rec *trace.Recorder
 
 	res Result
 }
@@ -143,6 +147,30 @@ func (m *Machine) Kernel() *kernel.Kernel { return m.kern }
 
 // Hypervisor exposes the hypervisor (nil for native designs).
 func (m *Machine) Hypervisor() *hypervisor.Hypervisor { return m.hyp }
+
+// SetRecorder attaches a trace recorder to the machine. Tracing
+// activates at the start of the measured phase — after pre-population
+// and warm-up — so the trace captures steady-state walks plus the
+// structural events (elastic resizes, adaptive toggles) they trigger,
+// not the bulk mapping work. Call before Run; a nil recorder leaves
+// tracing disabled.
+func (m *Machine) SetRecorder(r *trace.Recorder) { m.rec = r }
+
+// wireRecorder threads the recorder through the walker and the live
+// page tables. Walkers that do not support tracing (the idealized
+// baselines) are silently left untraced.
+func (m *Machine) wireRecorder() {
+	type recorderSetter interface{ SetRecorder(*trace.Recorder) }
+	if s, ok := m.walker.(recorderSetter); ok {
+		s.SetRecorder(m.rec)
+	}
+	if m.kern.ECPTs() != nil {
+		m.kern.ECPTs().SetRecorder(m.rec)
+	}
+	if m.hyp != nil && m.hyp.ECPTs() != nil {
+		m.hyp.ECPTs().SetRecorder(m.rec)
+	}
+}
 
 // now returns the current core cycle.
 func (m *Machine) now() uint64 { return uint64(m.cycles) }
@@ -363,6 +391,9 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	m.resetStats()
+	if m.rec != nil {
+		m.wireRecorder()
+	}
 
 	startCycles := m.cycles
 	for i := uint64(0); i < m.cfg.MeasureAccesses; i++ {
@@ -376,6 +407,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	m.res.Cycles = uint64(m.cycles - startCycles)
+	m.rec.Flush()
 
 	m.collect()
 	return &m.res, nil
@@ -444,5 +476,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return m.RunContext(ctx)
+}
+
+// RunTraced is RunContext with a walk-trace recorder attached: the
+// measured phase emits events into rec, which is flushed before the
+// result returns.
+func RunTraced(ctx context.Context, cfg Config, rec *trace.Recorder) (*Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.SetRecorder(rec)
 	return m.RunContext(ctx)
 }

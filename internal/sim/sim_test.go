@@ -22,7 +22,7 @@ func TestAllDesignsRun(t *testing.T) {
 	for d := Design(0); d < numDesigns; d++ {
 		for _, thp := range []bool{false, true} {
 			cfg := quickConfig(d, "BC", thp)
-			res, err := Run(cfg)
+			res, err := runAudited(t, cfg)
 			if err != nil {
 				t.Fatalf("%v thp=%v: %v", d, thp, err)
 			}
@@ -38,11 +38,11 @@ func TestAllDesignsRun(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	cfg := quickConfig(DesignNestedECPT, "GUPS", true)
-	r1, err := Run(cfg)
+	r1, err := runAudited(t, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(cfg)
+	r2, err := runAudited(t, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,9 +54,9 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedChangesResult(t *testing.T) {
 	cfg := quickConfig(DesignNestedECPT, "GUPS", true)
-	r1, _ := Run(cfg)
+	r1, _ := runAudited(t, cfg)
 	cfg.WorkloadOpts.Seed = 1234
-	r2, err := Run(cfg)
+	r2, err := runAudited(t, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestSeedChangesResult(t *testing.T) {
 }
 
 func TestSteadyStateHasNoFaults(t *testing.T) {
-	res, err := Run(quickConfig(DesignNestedECPT, "BC", true))
+	res, err := runAudited(t, quickConfig(DesignNestedECPT, "BC", true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestSteadyStateHasNoFaults(t *testing.T) {
 }
 
 func TestTLBMissesProduceWalks(t *testing.T) {
-	res, err := Run(quickConfig(DesignNestedRadix, "GUPS", false))
+	res, err := runAudited(t, quickConfig(DesignNestedRadix, "GUPS", false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +97,11 @@ func TestTLBMissesProduceWalks(t *testing.T) {
 }
 
 func TestNativeFasterThanNested(t *testing.T) {
-	nat, err := Run(quickConfig(DesignRadix, "GUPS", false))
+	nat, err := runAudited(t, quickConfig(DesignRadix, "GUPS", false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	nested, err := Run(quickConfig(DesignNestedRadix, "GUPS", false))
+	nested, err := runAudited(t, quickConfig(DesignNestedRadix, "GUPS", false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +111,8 @@ func TestNativeFasterThanNested(t *testing.T) {
 }
 
 func TestTHPFasterThan4K(t *testing.T) {
-	r4k, _ := Run(quickConfig(DesignNestedRadix, "GUPS", false))
-	rthp, err := Run(quickConfig(DesignNestedRadix, "GUPS", true))
+	r4k, _ := runAudited(t, quickConfig(DesignNestedRadix, "GUPS", false))
+	rthp, err := runAudited(t, quickConfig(DesignNestedRadix, "GUPS", true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,8 +122,8 @@ func TestTHPFasterThan4K(t *testing.T) {
 }
 
 func TestAgileIdealBeatsNestedRadix(t *testing.T) {
-	nr, _ := Run(quickConfig(DesignNestedRadix, "GUPS", false))
-	ag, err := Run(quickConfig(DesignAgileIdeal, "GUPS", false))
+	nr, _ := runAudited(t, quickConfig(DesignNestedRadix, "GUPS", false))
+	ag, err := runAudited(t, quickConfig(DesignAgileIdeal, "GUPS", false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +143,14 @@ func TestWalkerStatsExposed(t *testing.T) {
 	if res.NestedECPT.GuestClasses.Total() == 0 {
 		t.Error("guest classes empty")
 	}
-	res2, err := Run(quickConfig(DesignECPT, "BC", true))
+	res2, err := runAudited(t, quickConfig(DesignECPT, "BC", true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res2.NativeECPT == nil {
 		t.Error("NativeECPT stats missing")
 	}
-	res3, err := Run(quickConfig(DesignNestedHybrid, "BC", true))
+	res3, err := runAudited(t, quickConfig(DesignNestedHybrid, "BC", true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestWalkerStatsExposed(t *testing.T) {
 }
 
 func TestMemoryAccounting(t *testing.T) {
-	res, err := Run(quickConfig(DesignNestedECPT, "BC", false))
+	res, err := runAudited(t, quickConfig(DesignNestedECPT, "BC", false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestScalingAppliedToStructures(t *testing.T) {
 }
 
 func TestInterferenceInjected(t *testing.T) {
-	res, err := Run(quickConfig(DesignNestedECPT, "GUPS", false))
+	res, err := runAudited(t, quickConfig(DesignNestedECPT, "GUPS", false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,11 +260,11 @@ func TestEcptBeatsRadixOnGUPS(t *testing.T) {
 		cfg.MeasureAccesses = 120_000
 		return cfg
 	}
-	r, err := Run(long(DesignNestedRadix))
+	r, err := runAudited(t, long(DesignNestedRadix))
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := Run(long(DesignNestedECPT))
+	e, err := runAudited(t, long(DesignNestedECPT))
 	if err != nil {
 		t.Fatal(err)
 	}

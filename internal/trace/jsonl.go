@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nestedecpt/internal/addr"
+)
+
+// The JSONL form writes every Event field, in declaration order, on
+// one line. Enumerations serialize as their String() names and
+// addresses as 0x-hex strings, so traces diff readably and the bytes
+// are a pure function of the event values — the property the golden
+// trace digests pin.
+
+// sizeName serializes a page size, tolerating NoSize and garbage (a
+// parsed trace may carry anything).
+func sizeName(s addr.PageSize) string {
+	switch s {
+	case addr.Page4K:
+		return "4KB"
+	case addr.Page2M:
+		return "2MB"
+	case addr.Page1G:
+		return "1GB"
+	case NoSize:
+		return "-"
+	}
+	return "?"
+}
+
+// parseSize is the inverse of sizeName.
+func parseSize(s string) (addr.PageSize, error) {
+	switch s {
+	case "4KB":
+		return addr.Page4K, nil
+	case "2MB":
+		return addr.Page2M, nil
+	case "1GB":
+		return addr.Page1G, nil
+	case "-":
+		return NoSize, nil
+	}
+	return NoSize, fmt.Errorf("trace: unknown page size %q", s)
+}
+
+// appendHex appends a 0x-prefixed hex magnitude.
+func appendHex(dst []byte, v uint64) []byte {
+	dst = append(dst, '0', 'x')
+	return strconv.AppendUint(dst, v, 16)
+}
+
+// AppendJSONL appends ev's JSONL line (including the trailing newline)
+// to dst and returns the extended slice. The field order and formats
+// are stable: identical events always serialize to identical bytes.
+//
+//nestedlint:domaincast serialization erases the address domains into labelled hex fields; the parser re-mints them from the same labels
+func AppendJSONL(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, ev.Seq, 10)
+	dst = append(dst, `,"now":`...)
+	dst = strconv.AppendUint(dst, ev.Now, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, `","walker":"`...)
+	dst = append(dst, ev.Walker.String()...)
+	dst = append(dst, `","step":`...)
+	dst = strconv.AppendUint(dst, uint64(ev.Step), 10)
+	dst = append(dst, `,"space":"`...)
+	dst = append(dst, ev.Space.String()...)
+	dst = append(dst, `","size":"`...)
+	dst = append(dst, sizeName(ev.Size)...)
+	dst = append(dst, `","way":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Way), 10)
+	dst = append(dst, `,"cache":"`...)
+	dst = append(dst, ev.Cache.String()...)
+	dst = append(dst, `","gva":"`...)
+	dst = appendHex(dst, uint64(ev.GVA))
+	dst = append(dst, `","gpa":"`...)
+	dst = appendHex(dst, uint64(ev.GPA))
+	dst = append(dst, `","hpa":"`...)
+	dst = appendHex(dst, uint64(ev.HPA))
+	dst = append(dst, `","aux":`...)
+	dst = strconv.AppendUint(dst, ev.Aux, 10)
+	dst = append(dst, `,"aux2":`...)
+	dst = strconv.AppendUint(dst, ev.Aux2, 10)
+	dst = append(dst, `,"flag":`...)
+	dst = strconv.AppendBool(dst, ev.Flag)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// jsonEvent is the decode mirror of the JSONL line.
+type jsonEvent struct {
+	Seq    uint64 `json:"seq"`
+	Now    uint64 `json:"now"`
+	Kind   string `json:"kind"`
+	Walker string `json:"walker"`
+	Step   uint8  `json:"step"`
+	Space  string `json:"space"`
+	Size   string `json:"size"`
+	Way    int8   `json:"way"`
+	Cache  string `json:"cache"`
+	GVA    string `json:"gva"`
+	GPA    string `json:"gpa"`
+	HPA    string `json:"hpa"`
+	Aux    uint64 `json:"aux"`
+	Aux2   uint64 `json:"aux2"`
+	Flag   bool   `json:"flag"`
+}
+
+// lookupName resolves a serialized enum name back to its value.
+func lookupName(names []string, name string) (int, bool) {
+	for i, n := range names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func parseHex(s string) (uint64, error) {
+	if len(s) < 3 || s[0] != '0' || s[1] != 'x' {
+		return 0, fmt.Errorf("trace: address %q is not 0x-hex", s)
+	}
+	return strconv.ParseUint(s[2:], 16, 64)
+}
+
+// ParseLine decodes one JSONL line back into an Event. It rejects
+// unknown enum names and malformed addresses; the auditor treats a
+// parse failure as a malformed trace, not a panic.
+//
+//nestedlint:domaincast parsing re-mints the typed addresses from the labelled hex fields AppendJSONL wrote
+func ParseLine(line []byte) (Event, error) {
+	var je jsonEvent
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, fmt.Errorf("trace: parse: %w", err)
+	}
+	var ev Event
+	ev.Seq, ev.Now, ev.Step = je.Seq, je.Now, je.Step
+	ev.Aux, ev.Aux2, ev.Flag = je.Aux, je.Aux2, je.Flag
+	k, ok := lookupName(kindNames[:], je.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown kind %q", je.Kind)
+	}
+	ev.Kind = Kind(k)
+	w, ok := lookupName(walkerNames[:], je.Walker)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown walker %q", je.Walker)
+	}
+	ev.Walker = WalkerKind(w)
+	sp, ok := lookupName(spaceNames[:], je.Space)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown space %q", je.Space)
+	}
+	ev.Space = Space(sp)
+	sz, err := parseSize(je.Size)
+	if err != nil {
+		return Event{}, err
+	}
+	ev.Size = sz
+	c, ok := lookupName(cacheNames[:], je.Cache)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown cache %q", je.Cache)
+	}
+	ev.Cache = CacheID(c)
+	ev.Way = je.Way
+	gva, err := parseHex(je.GVA)
+	if err != nil {
+		return Event{}, err
+	}
+	gpa, err := parseHex(je.GPA)
+	if err != nil {
+		return Event{}, err
+	}
+	hpa, err := parseHex(je.HPA)
+	if err != nil {
+		return Event{}, err
+	}
+	ev.GVA, ev.GPA, ev.HPA = addr.GVA(gva), addr.GPA(gpa), addr.HPA(hpa)
+	return ev, nil
+}
+
+// ParseEvents decodes a whole JSONL stream, skipping run-header lines
+// (lines starting with {"run":) and blank lines. It stops at the
+// first malformed event line.
+func ParseEvents(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || bytes.HasPrefix(line, []byte(`{"run":`)) {
+			continue
+		}
+		ev, err := ParseLine(line)
+		if err != nil {
+			return events, err
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return events, err
+	}
+	return events, nil
+}
+
+// Writer serializes run-labelled event streams to JSONL. It is not a
+// Sink: deterministic tracing collects each run's events first and
+// writes them in run order afterwards, regardless of the parallelism
+// the runs executed at.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// RunHeader writes the {"run":...} line that labels the events that
+// follow, so one file can carry several runs in a stable order.
+func (tw *Writer) RunHeader(name string) {
+	if tw.err != nil {
+		return
+	}
+	b, _ := json.Marshal(name)
+	_, tw.err = fmt.Fprintf(tw.bw, `{"run":%s}`+"\n", b)
+}
+
+// Events writes each event as one JSONL line.
+func (tw *Writer) Events(events []Event) {
+	for _, ev := range events {
+		if tw.err != nil {
+			return
+		}
+		tw.buf = AppendJSONL(tw.buf[:0], ev)
+		_, tw.err = tw.bw.Write(tw.buf)
+	}
+}
+
+// Flush drains the writer and returns the first error encountered.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.bw.Flush()
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"nestedecpt/internal/addr"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Now: 10, Kind: KindWalkBegin, Walker: WalkerNestedECPT, Step: 0,
+			Space: SpaceGuest, Size: NoSize, Way: WayNone, GVA: 0xdeadbeef000},
+		{Now: 10, Kind: KindStepBegin, Walker: WalkerNestedECPT, Step: 1,
+			Space: SpaceHost, Size: NoSize, Way: WayNone, GVA: 0xdeadbeef000},
+		{Now: 10, Kind: KindProbe, Walker: WalkerNestedECPT, Step: 1,
+			Space: SpaceHost, Size: addr.Page4K, Way: WayAll, HPA: 0x1000, Aux: 3},
+		{Now: 14, Kind: KindCacheHit, Walker: WalkerNestedECPT, Step: 2,
+			Space: SpaceGuest, Size: addr.Page2M, Way: 1, Cache: CacheGCWC,
+			GVA: 0xdeadbeef000},
+		{Now: 30, Kind: KindWalkEnd, Walker: WalkerNestedECPT, Step: 3,
+			Space: SpaceHost, Size: addr.Page4K, Way: 0, GVA: 0xdeadbeef000,
+			HPA: 0x7777000, Aux: 20},
+		{Kind: KindResizeStart, Space: SpaceGuest, Size: addr.Page1G,
+			Way: WayNone, Aux: 128, Flag: true},
+	}
+}
+
+func TestRecorderAssignsSequenceAndFlushes(t *testing.T) {
+	c := &Collector{}
+	r := NewRecorder(c, 4)
+	evs := sampleEvents()
+	for _, ev := range evs {
+		r.Emit(ev)
+	}
+	// Capacity 4: one batch of 4 flushed automatically, 2 still buffered.
+	if got := len(c.Events()); got != 4 {
+		t.Fatalf("before Flush: collector holds %d events, want 4", got)
+	}
+	r.Flush()
+	got := c.Events()
+	if len(got) != len(evs) {
+		t.Fatalf("after Flush: collector holds %d events, want %d", len(got), len(evs))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has Seq %d, want %d", i, ev.Seq, i)
+		}
+	}
+	if r.Events() != uint64(len(evs)) {
+		t.Fatalf("Events() = %d, want %d", r.Events(), len(evs))
+	}
+	// Flush on an empty buffer is a no-op.
+	r.Flush()
+	if len(c.Events()) != len(evs) {
+		t.Fatalf("second Flush changed the collector: %d events", len(c.Events()))
+	}
+}
+
+func TestNilRecorderIsDisabledAndAllocationFree(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	r.Flush()
+	if r.Events() != 0 {
+		t.Fatal("nil recorder reports events")
+	}
+	ev := sampleEvents()[0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRecorderConcurrentEmitters(t *testing.T) {
+	r, c := NewCollected()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Emit(Event{Kind: KindProbe, Aux: uint64(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Flush()
+	evs := c.Events()
+	if len(evs) != workers*perWorker {
+		t.Fatalf("collected %d events, want %d", len(evs), workers*perWorker)
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate Seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestJSONLRoundTripAndStability(t *testing.T) {
+	evs := sampleEvents()
+	for i := range evs {
+		evs[i].Seq = uint64(i)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.RunHeader("round-trip")
+	w.Events(evs)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	if !strings.HasPrefix(first, `{"run":"round-trip"}`+"\n") {
+		t.Fatalf("missing run header: %q", first[:40])
+	}
+
+	parsed, err := ParseEvents(strings.NewReader(first))
+	if err != nil {
+		t.Fatalf("ParseEvents: %v", err)
+	}
+	if len(parsed) != len(evs) {
+		t.Fatalf("parsed %d events, want %d", len(parsed), len(evs))
+	}
+	for i := range evs {
+		if parsed[i] != evs[i] {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, parsed[i], evs[i])
+		}
+	}
+
+	// Re-serializing the parsed events must reproduce the bytes exactly.
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2)
+	w2.RunHeader("round-trip")
+	w2.Events(parsed)
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatal("re-serialized trace differs from original bytes")
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	good := AppendJSONL(nil, sampleEvents()[2])
+	if _, err := ParseLine(good[:len(good)-1]); err != nil {
+		t.Fatalf("good line rejected: %v", err)
+	}
+	bad := []string{
+		`not json`,
+		`{"seq":0}extra`,
+		strings.Replace(string(good), `"kind":"Probe"`, `"kind":"Probed"`, 1),
+		strings.Replace(string(good), `"space":"host"`, `"space":"limbo"`, 1),
+		strings.Replace(string(good), `"size":"4KB"`, `"size":"3KB"`, 1),
+		strings.Replace(string(good), `"cache":""`, `"cache":"L9"`, 1),
+		strings.Replace(string(good), `"walker":"nested-ecpt"`, `"walker":"x"`, 1),
+		strings.Replace(string(good), `"hpa":"0x1000"`, `"hpa":"1000"`, 1),
+		strings.Replace(string(good), `"gva":"0x0"`, `"gva":"0xzz"`, 1),
+	}
+	for _, line := range bad {
+		if _, err := ParseLine([]byte(line)); err == nil {
+			t.Errorf("malformed line accepted: %s", line)
+		}
+	}
+}
+
+func TestSetAddrAndSpaceOf(t *testing.T) {
+	var ev Event
+	SetAddr(&ev, addr.GVA(1))
+	SetAddr(&ev, addr.GPA(2))
+	SetAddr(&ev, addr.HPA(3))
+	if ev.GVA != 1 || ev.GPA != 2 || ev.HPA != 3 {
+		t.Fatalf("SetAddr routed wrong: %+v", ev)
+	}
+	var ev2 Event
+	SetAddr(&ev2, uint64(9))
+	if ev2 != (Event{}) {
+		t.Fatalf("SetAddr over uint64 mutated the event: %+v", ev2)
+	}
+	if SpaceOf[addr.GVA]() != SpaceGuest || SpaceOf[addr.GPA]() != SpaceGuest {
+		t.Fatal("guest domains not SpaceGuest")
+	}
+	if SpaceOf[addr.HPA]() != SpaceHost {
+		t.Fatal("HPA not SpaceHost")
+	}
+	if SpaceOf[uint64]() != SpaceNone {
+		t.Fatal("uint64 not SpaceNone")
+	}
+}
+
+func TestEnumStringsStable(t *testing.T) {
+	// The serialization vocabulary is pinned: changing a name silently
+	// breaks committed golden traces.
+	if KindProbe.String() != "Probe" || KindAdaptToggle.String() != "AdaptToggle" {
+		t.Fatal("kind names drifted")
+	}
+	if WalkerNestedECPT.String() != "nested-ecpt" {
+		t.Fatal("walker names drifted")
+	}
+	if CacheHCWC1.String() != "hCWC1" || !CacheGCWC.GuestSide() || CacheHCWC3.GuestSide() {
+		t.Fatal("cache names or sides drifted")
+	}
+	if Kind(200).String() != "Kind(invalid)" || Space(9).String() != "Space(invalid)" {
+		t.Fatal("out-of-range strings drifted")
+	}
+	if WalkerKind(99).String() != "Walker(invalid)" || CacheID(99).String() != "Cache(invalid)" {
+		t.Fatal("out-of-range strings drifted")
+	}
+}

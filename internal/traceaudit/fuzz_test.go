@@ -1,0 +1,68 @@
+package traceaudit
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/trace"
+)
+
+// FuzzTraceAudit feeds mutated JSONL event streams through the parser
+// and the auditor. The auditor's contract under fuzzing: malformed
+// orderings surface as violations or parse errors, never as panics,
+// and auditing is deterministic (the same bytes always produce the
+// same verdict).
+func FuzzTraceAudit(f *testing.F) {
+	seed := func(events []trace.Event) {
+		var b []byte
+		for _, ev := range events {
+			b = trace.AppendJSONL(b, ev)
+		}
+		f.Add(b)
+	}
+	seed(seqd(goodWalk(100)))
+	seed(seqd(append(adaptPair(5000, 0.3, 0.2, false, 64),
+		adaptPair(10000, 0.1, 0.9, true, 32)...)))
+	seed(seqd([]trace.Event{
+		{Kind: trace.KindResizeStart, Space: trace.SpaceHost, Size: addr.Page2M, Way: trace.WayNone, Aux: 128},
+		{Kind: trace.KindMigrateLine, Space: trace.SpaceHost, Size: addr.Page2M, Way: 2, Aux: 9},
+		{Kind: trace.KindResizeEnd, Space: trace.SpaceHost, Size: addr.Page2M, Way: trace.WayNone, Aux: 128},
+	}))
+	// Known-bad orderings keep the corpus anchored on the reject path.
+	seed(seqd(goodWalk(100)[1:]))                // step without a walk
+	seed(seqd(adaptPair(0, 0.9, 0.1, false, 4))) // threshold + window breaches
+	f.Add([]byte("{\"run\":\"fuzz\"}\nnot json at all\n"))
+
+	spec := testSpec()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := trace.ParseEvents(bytes.NewReader(data))
+		vs := Audit(events, spec)
+		// Determinism: the same stream must audit identically.
+		again := Audit(events, spec)
+		if len(vs) != len(again) {
+			t.Fatalf("audit not deterministic: %d then %d violations", len(vs), len(again))
+		}
+		for i := range vs {
+			if vs[i] != again[i] {
+				t.Fatalf("audit not deterministic at %d: %v vs %v", i, vs[i], again[i])
+			}
+		}
+		// Nonsense specs must not panic either.
+		Audit(events, Spec{Ways: -1, AdaptDisableBelow: math.NaN(), AdaptEnableAbove: math.Inf(-1)})
+		if err != nil {
+			return // malformed tail: parse error is the rejection
+		}
+		// A stream the recorder could not have produced must not audit
+		// clean: sequence numbers out of order are always rejected.
+		for i := 1; i < len(events); i++ {
+			if events[i].Seq <= events[i-1].Seq {
+				if len(vs) == 0 {
+					t.Fatalf("non-monotonic seq at %d audited clean", i)
+				}
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package traceaudit replays a walk trace (internal/trace) and checks
+// the paper's structural invariants event by event. Where the
+// simulator's statistics can only show that aggregates look right, the
+// auditor proves per-translation properties: a nested walk is at most
+// three sequential steps (§3), probe fan-out matches the configured
+// number of ways, Step-1 host lookups touch only the PTE-hECPT when
+// the 4KB page-table-page technique is on (§4.3), no guest-side walk
+// structure ever caches a host-physical value (§4.4), and adaptive
+// PTE-hCWT toggles happen only at monitoring-interval boundaries and
+// only when the §4.2 thresholds qualify.
+//
+// Audit never panics: it is fed fuzz-mutated event streams and must
+// degrade into violations, not crashes.
+package traceaudit
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/trace"
+)
+
+// Spec describes the configuration a trace claims to have run under.
+// The auditor checks the trace against it.
+type Spec struct {
+	// Walker is the design that emitted the walks. WalkerNone skips
+	// walker-identity checks (structural-only audits).
+	Walker trace.WalkerKind
+	// Ways is the configured number of ECPT ways d; probe groups with
+	// no way filter must fan out to d..2d line probes (the upper bound
+	// is the both-generations transient of an in-flight elastic
+	// resize). Zero skips fan-out checks.
+	Ways int
+	// PageTable4KB mirrors Techniques.PageTable4KB: when set, every
+	// foreground Step-1 host probe of a nested ECPT walk must touch the
+	// PTE-hECPT only (§4.3).
+	PageTable4KB bool
+	// AdaptIntervalCycles is the §4.2 monitoring interval; consecutive
+	// AdaptInterval events must be at least this far apart. Zero skips
+	// spacing checks.
+	AdaptIntervalCycles uint64
+	// AdaptDisableBelow / AdaptEnableAbove are the §4.2/§9.2
+	// thresholds: a disable toggle requires its window hit rate
+	// strictly below AdaptDisableBelow, an enable toggle strictly
+	// above AdaptEnableAbove.
+	AdaptDisableBelow float64
+	AdaptEnableAbove  float64
+	// AdaptMinSamples is the minimum window population a toggle may
+	// act on; zero defaults to the controller's 16.
+	AdaptMinSamples uint64
+}
+
+// DefaultAdaptMinSamples is the adaptive controller's minimum window
+// population (internal/core.maybeAdapt requires 16 samples).
+const DefaultAdaptMinSamples = 16
+
+// Violation is one invariant breach, anchored to the event that
+// exposed it.
+type Violation struct {
+	// Seq is the sequence number of the offending event.
+	Seq uint64
+	// Rule is a short stable identifier of the broken invariant.
+	Rule string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String renders the violation for test failures and CLI output.
+func (v Violation) String() string {
+	return fmt.Sprintf("seq %d: [%s] %s", v.Seq, v.Rule, v.Detail)
+}
+
+// resize-generation states per (space, size) table.
+const (
+	resizeUnknown = iota // before the first resize event: tracing may
+	// have attached mid-resize, so migrations without a
+	// ResizeStart are legal until the first ResizeEnd.
+	resizeOpen
+	resizeClosed
+)
+
+// auditor carries the replay state machine.
+type auditor struct {
+	spec Spec
+	out  []Violation
+
+	haveSeq bool
+	lastSeq uint64
+
+	walkOpen   bool
+	walkWalker trace.WalkerKind
+	curStep    int
+
+	// resize state per (space, size); spaces 0..2 × sizes 0..2.
+	resize [3 * addr.NumPageSizes]uint8
+
+	prevKind     trace.Kind
+	prevInterval trace.Event
+	haveInterval bool
+	lastIntNow   uint64
+	haveIntNow   bool
+}
+
+func (a *auditor) fail(ev trace.Event, rule, format string, args ...any) {
+	a.out = append(a.out, Violation{Seq: ev.Seq, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Audit replays events in order and returns every invariant violation
+// found. A nil or empty slice of events audits clean. The returned
+// violations are in event order; an empty result means the trace
+// conforms.
+func Audit(events []trace.Event, spec Spec) []Violation {
+	a := &auditor{spec: spec}
+	if a.spec.AdaptMinSamples == 0 {
+		a.spec.AdaptMinSamples = DefaultAdaptMinSamples
+	}
+	for _, ev := range events {
+		a.event(ev)
+	}
+	if a.walkOpen {
+		a.out = append(a.out, Violation{Seq: a.lastSeq, Rule: "walk-truncated",
+			Detail: "trace ends inside an open walk"})
+	}
+	return a.out
+}
+
+// AuditReader parses a JSONL trace and audits it. A malformed line is
+// itself an audit failure: the parse error is returned alongside any
+// violations found in the well-formed prefix.
+func AuditReader(r io.Reader, spec Spec) ([]Violation, error) {
+	events, err := trace.ParseEvents(r)
+	return Audit(events, spec), err
+}
+
+// event advances the state machine by one event.
+func (a *auditor) event(ev trace.Event) {
+	// -------- well-formedness: every event, every kind --------
+	if a.haveSeq && ev.Seq <= a.lastSeq {
+		a.fail(ev, "seq-monotonic", "sequence %d not above predecessor %d", ev.Seq, a.lastSeq)
+	}
+	a.lastSeq, a.haveSeq = ev.Seq, true
+	if !ev.Kind.Valid() {
+		a.fail(ev, "kind-invalid", "kind %d is not an emittable event kind", uint8(ev.Kind))
+		a.prevKind = ev.Kind
+		return
+	}
+	if !ev.Space.Valid() || !ev.Walker.Valid() || !ev.Cache.Valid() {
+		a.fail(ev, "enum-invalid", "space/walker/cache out of vocabulary (%d/%d/%d)",
+			uint8(ev.Space), uint8(ev.Walker), uint8(ev.Cache))
+		a.prevKind = ev.Kind
+		return
+	}
+	if ev.Size != trace.NoSize && ev.Size >= addr.NumPageSizes {
+		a.fail(ev, "size-invalid", "page size %d is neither a real size nor NoSize", uint8(ev.Size))
+		a.prevKind = ev.Kind
+		return
+	}
+
+	switch ev.Kind {
+	case trace.KindWalkBegin:
+		if a.walkOpen {
+			a.fail(ev, "walk-nested", "WalkBegin while a walk is already open")
+		}
+		if a.spec.Walker != trace.WalkerNone && ev.Walker != a.spec.Walker {
+			a.fail(ev, "walker-mixed", "walk by %q in a %q trace", ev.Walker, a.spec.Walker)
+		}
+		a.walkOpen, a.walkWalker, a.curStep = true, ev.Walker, 0
+
+	case trace.KindStepBegin:
+		a.stepBegin(ev)
+
+	case trace.KindProbe:
+		a.probe(ev)
+
+	case trace.KindWalkEnd:
+		if !a.walkOpen {
+			a.fail(ev, "walk-unopened", "WalkEnd without a matching WalkBegin")
+		} else if a.walkWalker == trace.WalkerNestedECPT && a.curStep != 3 {
+			// §3: a successful nested ECPT walk is exactly the three
+			// sequential steps of Figure 6 — never fewer, never more.
+			a.fail(ev, "walk-incomplete", "nested walk completed after step %d, want 3", a.curStep)
+		} else if a.curStep == 0 {
+			a.fail(ev, "walk-incomplete", "walk completed without any step")
+		}
+		a.walkOpen, a.curStep = false, 0
+
+	case trace.KindFault:
+		if !a.walkOpen {
+			a.fail(ev, "walk-unopened", "Fault without a matching WalkBegin")
+		}
+		a.walkOpen, a.curStep = false, 0
+
+	case trace.KindCacheHit, trace.KindCacheMiss, trace.KindCacheInsert:
+		a.cacheEvent(ev)
+
+	case trace.KindResizeStart, trace.KindResizeEnd, trace.KindMigrateLine:
+		a.resizeEvent(ev)
+
+	case trace.KindAdaptInterval:
+		if a.haveIntNow {
+			if ev.Now < a.lastIntNow {
+				a.fail(ev, "interval-order", "interval at cycle %d after one at %d", ev.Now, a.lastIntNow)
+			} else if a.spec.AdaptIntervalCycles > 0 && ev.Now-a.lastIntNow < a.spec.AdaptIntervalCycles {
+				a.fail(ev, "interval-spacing", "intervals %d cycles apart, want >= %d",
+					ev.Now-a.lastIntNow, a.spec.AdaptIntervalCycles)
+			}
+		}
+		a.lastIntNow, a.haveIntNow = ev.Now, true
+		a.prevInterval, a.haveInterval = ev, true
+
+	case trace.KindAdaptToggle:
+		a.toggle(ev)
+	}
+	a.prevKind = ev.Kind
+}
+
+// stepBegin checks the sequential-step discipline.
+func (a *auditor) stepBegin(ev trace.Event) {
+	if !a.walkOpen {
+		a.fail(ev, "walk-unopened", "StepBegin outside a walk")
+		return
+	}
+	step := int(ev.Step)
+	if a.walkWalker == trace.WalkerNestedECPT {
+		// The nested ECPT walk is at most three steps, visited in
+		// order with none skipped (Figure 6).
+		if step > 3 {
+			a.fail(ev, "step-limit", "nested walk step %d exceeds the 3-step bound", step)
+		} else if step != a.curStep+1 {
+			a.fail(ev, "step-order", "nested walk step %d after step %d, want %d",
+				step, a.curStep, a.curStep+1)
+		}
+	} else if step <= a.curStep {
+		// Radix-style walks number their rows; rows only descend the
+		// tree, so steps strictly increase.
+		a.fail(ev, "step-order", "step %d does not advance past step %d", step, a.curStep)
+	}
+	a.curStep = step
+}
+
+// probe checks probe placement and fan-out.
+func (a *auditor) probe(ev trace.Event) {
+	if ev.Step == 0 {
+		// Background work (CWT-refill translations) and nested host
+		// radix rows probe at step 0. For ECPT walkers step-0 probes
+		// must be flagged background — a foreground ECPT probe always
+		// belongs to a numbered step.
+		if !ev.Flag && (ev.Walker == trace.WalkerNestedECPT || ev.Walker == trace.WalkerNativeECPT) {
+			a.fail(ev, "probe-background", "step-0 ECPT probe without the background flag")
+		}
+	} else {
+		if !a.walkOpen {
+			a.fail(ev, "walk-unopened", "foreground probe outside a walk")
+		} else if int(ev.Step) != a.curStep {
+			a.fail(ev, "probe-step", "probe at step %d inside step %d", ev.Step, a.curStep)
+		}
+	}
+
+	// Fan-out: an ECPT probe group (real page-size class) issues one
+	// line probe per selected way, at most doubled while an elastic
+	// resize keeps both generations live.
+	if ev.Size != trace.NoSize {
+		n := ev.Aux
+		switch {
+		case ev.Way >= 0:
+			if n < 1 || n > 2 {
+				a.fail(ev, "probe-fanout", "way-%d probe group issued %d line probes, want 1..2", ev.Way, n)
+			}
+		case ev.Way == trace.WayAll:
+			if a.spec.Ways > 0 {
+				d := uint64(a.spec.Ways)
+				if n < d || n > 2*d {
+					a.fail(ev, "probe-fanout", "all-ways probe group issued %d line probes, want %d..%d", n, d, 2*d)
+				}
+			}
+		default:
+			a.fail(ev, "way-invalid", "ECPT probe group with way %d", ev.Way)
+		}
+	}
+
+	// §4.3: with the 4KB page-table-page technique on, a foreground
+	// Step-1 host lookup touches only the PTE-hECPT.
+	if a.spec.PageTable4KB && ev.Walker == trace.WalkerNestedECPT &&
+		ev.Step == 1 && ev.Space == trace.SpaceHost && !ev.Flag && ev.Size != addr.Page4K {
+		a.fail(ev, "step1-pte-only", "Step-1 host probe against the %v hECPT with PageTable4KB on", ev.Size)
+	}
+}
+
+// cacheEvent checks the §4.4 separation: guest-side walk structures
+// (gCWC, native CWC, guest PWC) must never hold host-physical
+// payloads.
+func (a *auditor) cacheEvent(ev trace.Event) {
+	if !ev.Cache.GuestSide() {
+		return
+	}
+	if ev.HPA != 0 {
+		a.fail(ev, "guest-side-hpa", "%v %v carries host-physical payload 0x%x (§4.4)",
+			ev.Cache, ev.Kind, ev.HPA)
+	}
+	if ev.Space == trace.SpaceHost {
+		a.fail(ev, "guest-side-space", "%v %v tagged host-space (§4.4)", ev.Cache, ev.Kind)
+	}
+}
+
+// resizeEvent checks the elastic-resize bracketing per table.
+func (a *auditor) resizeEvent(ev trace.Event) {
+	if ev.Space == trace.SpaceNone || ev.Size == trace.NoSize {
+		a.fail(ev, "resize-payload", "%v without a (space, size) table identity", ev.Kind)
+		return
+	}
+	idx := (int(ev.Space)-1)*addr.NumPageSizes + int(ev.Size)
+	if idx < 0 || idx >= len(a.resize) {
+		a.fail(ev, "resize-payload", "%v table identity out of range", ev.Kind)
+		return
+	}
+	st := a.resize[idx]
+	switch ev.Kind {
+	case trace.KindResizeStart:
+		if st == resizeOpen {
+			a.fail(ev, "resize-bracket", "ResizeStart for %v/%v with a resize already open", ev.Space, ev.Size)
+		}
+		a.resize[idx] = resizeOpen
+	case trace.KindMigrateLine:
+		// resizeUnknown is legal: tracing can attach while a resize
+		// begun before the measured phase is still migrating.
+		if st == resizeClosed {
+			a.fail(ev, "resize-bracket", "MigrateLine for %v/%v outside a resize", ev.Space, ev.Size)
+		}
+	case trace.KindResizeEnd:
+		if st == resizeClosed {
+			a.fail(ev, "resize-bracket", "ResizeEnd for %v/%v without a ResizeStart", ev.Space, ev.Size)
+		}
+		a.resize[idx] = resizeClosed
+	}
+}
+
+// toggle checks the §4.2 adaptive-controller discipline: a toggle
+// happens only at a monitoring-interval boundary (immediately after
+// its AdaptInterval event, same cycle) and only when the qualifying
+// window clears the threshold with enough samples.
+func (a *auditor) toggle(ev trace.Event) {
+	if a.prevKind != trace.KindAdaptInterval || !a.haveInterval {
+		a.fail(ev, "toggle-adjacent", "AdaptToggle not immediately after its AdaptInterval")
+		return
+	}
+	iv := a.prevInterval
+	if ev.Now != iv.Now {
+		a.fail(ev, "toggle-adjacent", "toggle at cycle %d, interval at %d", ev.Now, iv.Now)
+	}
+	if ev.Cache != iv.Cache {
+		a.fail(ev, "toggle-adjacent", "toggle on %v, interval on %v", ev.Cache, iv.Cache)
+	}
+	// The qualifying window: the PTE window drives disables, the PMD
+	// window drives enables (§4.2); the toggle's Aux must be the same
+	// rate its interval reported.
+	wantBits := iv.Aux
+	if ev.Flag {
+		wantBits = iv.Aux2
+	}
+	if ev.Aux != wantBits {
+		a.fail(ev, "toggle-window", "toggle window rate bits 0x%x differ from interval's 0x%x", ev.Aux, wantBits)
+	}
+	rate := math.Float64frombits(ev.Aux)
+	if ev.Aux2 < a.spec.AdaptMinSamples {
+		a.fail(ev, "toggle-threshold", "toggle on a %d-sample window, want >= %d", ev.Aux2, a.spec.AdaptMinSamples)
+	}
+	if ev.Flag {
+		// Enable: PMD window rate strictly above the enable threshold.
+		// A NaN rate fails the comparison and is flagged.
+		if !(rate > a.spec.AdaptEnableAbove) {
+			a.fail(ev, "toggle-threshold", "enable at hit rate %v, want > %v", rate, a.spec.AdaptEnableAbove)
+		}
+	} else if !(rate < a.spec.AdaptDisableBelow) {
+		a.fail(ev, "toggle-threshold", "disable at hit rate %v, want < %v", rate, a.spec.AdaptDisableBelow)
+	}
+}

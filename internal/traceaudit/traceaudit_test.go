@@ -1,0 +1,322 @@
+package traceaudit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/trace"
+)
+
+// testSpec mirrors the default Advanced nested ECPT configuration.
+func testSpec() Spec {
+	return Spec{
+		Walker:              trace.WalkerNestedECPT,
+		Ways:                3,
+		PageTable4KB:        true,
+		AdaptIntervalCycles: 1000,
+		AdaptDisableBelow:   0.5,
+		AdaptEnableAbove:    0.85,
+	}
+}
+
+// seqd assigns sequence numbers 0..n-1, as a recorder would.
+func seqd(events []trace.Event) []trace.Event {
+	for i := range events {
+		events[i].Seq = uint64(i)
+	}
+	return events
+}
+
+// goodWalk is one conformant three-step nested walk.
+func goodWalk(now uint64) []trace.Event {
+	w := trace.WalkerNestedECPT
+	return []trace.Event{
+		{Now: now, Kind: trace.KindWalkBegin, Walker: w, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x1000},
+		{Now: now, Kind: trace.KindStepBegin, Walker: w, Step: 1, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x1000},
+		{Now: now, Kind: trace.KindProbe, Walker: w, Step: 1, Space: trace.SpaceGuest, Size: addr.Page4K, Way: trace.WayAll, GVA: 0x1000, GPA: 0x2000, Aux: 3},
+		{Now: now, Kind: trace.KindProbe, Walker: w, Step: 1, Space: trace.SpaceHost, Size: addr.Page4K, Way: 1, GPA: 0x2000, HPA: 0x3000, Aux: 1},
+		{Now: now + 10, Kind: trace.KindStepBegin, Walker: w, Step: 2, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x1000},
+		{Now: now + 20, Kind: trace.KindStepBegin, Walker: w, Step: 3, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x1000, GPA: 0x4000},
+		{Now: now + 20, Kind: trace.KindProbe, Walker: w, Step: 3, Space: trace.SpaceHost, Size: addr.Page2M, Way: trace.WayAll, GPA: 0x4000, HPA: 0x5000, Aux: 6},
+		{Now: now + 30, Kind: trace.KindWalkEnd, Walker: w, Space: trace.SpaceHost, Size: addr.Page4K, Way: trace.WayNone, GVA: 0x1000, HPA: 0x6000, Aux: 30},
+	}
+}
+
+func wantClean(t *testing.T, events []trace.Event, spec Spec) {
+	t.Helper()
+	if vs := Audit(events, spec); len(vs) != 0 {
+		t.Fatalf("want clean audit, got %d violations; first: %v", len(vs), vs[0])
+	}
+}
+
+func wantRule(t *testing.T, events []trace.Event, spec Spec, rule string) {
+	t.Helper()
+	vs := Audit(events, spec)
+	for _, v := range vs {
+		if v.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("want a %q violation, got %v", rule, vs)
+}
+
+func TestCleanNestedWalkAudits(t *testing.T) {
+	events := append(goodWalk(100), goodWalk(200)...)
+	wantClean(t, seqd(events), testSpec())
+}
+
+func TestEmptyTraceAuditsClean(t *testing.T) {
+	wantClean(t, nil, testSpec())
+}
+
+func TestSeqMustIncrease(t *testing.T) {
+	events := seqd(goodWalk(100))
+	events[3].Seq = events[2].Seq // duplicate
+	wantRule(t, events, testSpec(), "seq-monotonic")
+}
+
+func TestNestedWalkStepDiscipline(t *testing.T) {
+	t.Run("skipped step", func(t *testing.T) {
+		events := goodWalk(100)
+		events = append(events[:4], events[5:]...) // drop StepBegin 2
+		wantRule(t, seqd(events), testSpec(), "step-order")
+	})
+	t.Run("fourth step", func(t *testing.T) {
+		events := goodWalk(100)
+		extra := trace.Event{Now: 125, Kind: trace.KindStepBegin, Walker: trace.WalkerNestedECPT,
+			Step: 4, Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone}
+		events = append(events[:7], extra, events[7])
+		wantRule(t, seqd(events), testSpec(), "step-limit")
+	})
+	t.Run("walk ends early", func(t *testing.T) {
+		events := goodWalk(100)
+		events = append(events[:5], events[7]) // end after step 2
+		wantRule(t, seqd(events), testSpec(), "walk-incomplete")
+	})
+	t.Run("step outside walk", func(t *testing.T) {
+		events := goodWalk(100)[1:2]
+		wantRule(t, seqd(events), testSpec(), "walk-unopened")
+	})
+	t.Run("nested WalkBegin", func(t *testing.T) {
+		events := append(goodWalk(100)[:3], goodWalk(100)...)
+		wantRule(t, seqd(events), testSpec(), "walk-nested")
+	})
+	t.Run("truncated", func(t *testing.T) {
+		wantRule(t, seqd(goodWalk(100)[:4]), testSpec(), "walk-truncated")
+	})
+}
+
+func TestProbeFanOutMatchesWays(t *testing.T) {
+	t.Run("all-ways too few", func(t *testing.T) {
+		events := goodWalk(100)
+		events[2].Aux = 2 // d=3 requires 3..6
+		wantRule(t, seqd(events), testSpec(), "probe-fanout")
+	})
+	t.Run("all-ways too many", func(t *testing.T) {
+		events := goodWalk(100)
+		events[6].Aux = 7
+		wantRule(t, seqd(events), testSpec(), "probe-fanout")
+	})
+	t.Run("single-way too many", func(t *testing.T) {
+		events := goodWalk(100)
+		events[3].Aux = 3 // one way probes 1..2 lines
+		wantRule(t, seqd(events), testSpec(), "probe-fanout")
+	})
+	t.Run("resize transient is legal", func(t *testing.T) {
+		events := goodWalk(100)
+		events[2].Aux = 6 // both generations of all 3 ways
+		events[3].Aux = 2
+		wantClean(t, seqd(events), testSpec())
+	})
+	t.Run("ways zero skips", func(t *testing.T) {
+		spec := testSpec()
+		spec.Ways = 0
+		events := goodWalk(100)
+		events[2].Aux = 1
+		wantClean(t, seqd(events), spec)
+	})
+}
+
+func TestStep1HostProbesArePTEOnly(t *testing.T) {
+	events := goodWalk(100)
+	events[3].Size = addr.Page2M // Step-1 host probe against PMD-hECPT
+	wantRule(t, seqd(events), testSpec(), "step1-pte-only")
+
+	// Background (flagged, step-0) host probes are exempt: CWT-refill
+	// translations probe all classes (§4.1).
+	bg := trace.Event{Now: 100, Kind: trace.KindProbe, Walker: trace.WalkerNestedECPT,
+		Step: 0, Space: trace.SpaceHost, Size: addr.Page1G, Way: trace.WayAll,
+		GPA: 0x4000, HPA: 0x5000, Aux: 3, Flag: true}
+	events = goodWalk(100)
+	events = append(events[:4], append([]trace.Event{bg}, events[4:]...)...)
+	wantClean(t, seqd(events), testSpec())
+
+	// With the technique off the same stream is legal.
+	spec := testSpec()
+	spec.PageTable4KB = false
+	events = goodWalk(100)
+	events[3].Size = addr.Page2M
+	wantClean(t, seqd(events), spec)
+}
+
+func TestGuestSideCachesNeverHoldHostPhysical(t *testing.T) {
+	for _, cache := range []trace.CacheID{trace.CacheGCWC, trace.CacheCWC, trace.CachePWC} {
+		ev := trace.Event{Kind: trace.KindCacheInsert, Cache: cache,
+			Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, HPA: 0xdead000}
+		wantRule(t, seqd([]trace.Event{ev}), testSpec(), "guest-side-hpa")
+	}
+	// Host-side caches may: the STC's whole point is caching gPA→hPA.
+	ev := trace.Event{Kind: trace.KindCacheInsert, Cache: trace.CacheSTC,
+		Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone, GPA: 0x2000, HPA: 0x3000}
+	wantClean(t, seqd([]trace.Event{ev}), testSpec())
+
+	ev = trace.Event{Kind: trace.KindCacheHit, Cache: trace.CachePWC,
+		Space: trace.SpaceHost, Size: trace.NoSize, Way: trace.WayNone, GPA: 0x2000}
+	wantRule(t, seqd([]trace.Event{ev}), testSpec(), "guest-side-space")
+}
+
+// adaptPair builds a conformant interval+toggle pair at now.
+func adaptPair(now uint64, pteRate, pmdRate float64, enable bool, windowTotal uint64) []trace.Event {
+	w := trace.WalkerNestedECPT
+	rate := pteRate
+	if enable {
+		rate = pmdRate
+	}
+	return []trace.Event{
+		{Now: now, Kind: trace.KindAdaptInterval, Walker: w, Space: trace.SpaceHost,
+			Size: trace.NoSize, Way: trace.WayNone, Cache: trace.CacheHCWC3,
+			Aux: math.Float64bits(pteRate), Aux2: math.Float64bits(pmdRate)},
+		{Now: now, Kind: trace.KindAdaptToggle, Walker: w, Space: trace.SpaceHost,
+			Size: addr.Page4K, Way: trace.WayNone, Cache: trace.CacheHCWC3, Flag: enable,
+			Aux: math.Float64bits(rate), Aux2: windowTotal},
+	}
+}
+
+func TestAdaptiveToggleDiscipline(t *testing.T) {
+	t.Run("conformant disable and enable", func(t *testing.T) {
+		events := adaptPair(1000, 0.3, 0.2, false, 64)
+		events = append(events, adaptPair(2000, 0.1, 0.9, true, 32)...)
+		wantClean(t, seqd(events), testSpec())
+	})
+	t.Run("disable at rate not below threshold", func(t *testing.T) {
+		wantRule(t, seqd(adaptPair(1000, 0.5, 0.2, false, 64)), testSpec(), "toggle-threshold")
+	})
+	t.Run("enable at rate not above threshold", func(t *testing.T) {
+		wantRule(t, seqd(adaptPair(1000, 0.1, 0.85, true, 64)), testSpec(), "toggle-threshold")
+	})
+	t.Run("window too small", func(t *testing.T) {
+		wantRule(t, seqd(adaptPair(1000, 0.3, 0.2, false, 15)), testSpec(), "toggle-threshold")
+	})
+	t.Run("NaN rate", func(t *testing.T) {
+		events := adaptPair(1000, 0.3, 0.2, false, 64)
+		events[0].Aux = math.Float64bits(math.NaN())
+		events[1].Aux = math.Float64bits(math.NaN())
+		wantRule(t, seqd(events), testSpec(), "toggle-threshold")
+	})
+	t.Run("toggle without its interval", func(t *testing.T) {
+		wantRule(t, seqd(adaptPair(1000, 0.3, 0.2, false, 64)[1:]), testSpec(), "toggle-adjacent")
+	})
+	t.Run("toggle at a different cycle", func(t *testing.T) {
+		events := adaptPair(1000, 0.3, 0.2, false, 64)
+		events[1].Now = 1500
+		wantRule(t, seqd(events), testSpec(), "toggle-adjacent")
+	})
+	t.Run("toggle rate differs from interval", func(t *testing.T) {
+		events := adaptPair(1000, 0.3, 0.2, false, 64)
+		events[1].Aux = math.Float64bits(0.2)
+		wantRule(t, seqd(events), testSpec(), "toggle-window")
+	})
+	t.Run("intervals too close", func(t *testing.T) {
+		events := adaptPair(1000, 0.3, 0.2, false, 64)
+		events = append(events, adaptPair(1500, 0.1, 0.9, true, 32)...)
+		wantRule(t, seqd(events), testSpec(), "interval-spacing")
+	})
+	t.Run("intervals out of order", func(t *testing.T) {
+		events := adaptPair(2000, 0.3, 0.2, false, 64)
+		events = append(events, adaptPair(500, 0.1, 0.9, true, 32)...)
+		wantRule(t, seqd(events), testSpec(), "interval-order")
+	})
+}
+
+func TestResizeBracketing(t *testing.T) {
+	start := trace.Event{Kind: trace.KindResizeStart, Space: trace.SpaceGuest,
+		Size: addr.Page4K, Way: trace.WayNone, Aux: 128}
+	mig := trace.Event{Kind: trace.KindMigrateLine, Space: trace.SpaceGuest,
+		Size: addr.Page4K, Way: 1, Aux: 7}
+	end := trace.Event{Kind: trace.KindResizeEnd, Space: trace.SpaceGuest,
+		Size: addr.Page4K, Way: trace.WayNone, Aux: 64}
+
+	t.Run("conformant", func(t *testing.T) {
+		wantClean(t, seqd([]trace.Event{start, mig, mig, end}), testSpec())
+	})
+	t.Run("attached mid-resize", func(t *testing.T) {
+		// Tracing can begin while a pre-measurement resize is still
+		// migrating: leading migrations and end are legal.
+		wantClean(t, seqd([]trace.Event{mig, end, start, mig, end}), testSpec())
+	})
+	t.Run("migrate after end", func(t *testing.T) {
+		wantRule(t, seqd([]trace.Event{start, end, mig}), testSpec(), "resize-bracket")
+	})
+	t.Run("double start", func(t *testing.T) {
+		wantRule(t, seqd([]trace.Event{start, start}), testSpec(), "resize-bracket")
+	})
+	t.Run("double end", func(t *testing.T) {
+		wantRule(t, seqd([]trace.Event{start, end, end}), testSpec(), "resize-bracket")
+	})
+	t.Run("tables are independent", func(t *testing.T) {
+		hostStart := start
+		hostStart.Space = trace.SpaceHost
+		wantRule(t, seqd([]trace.Event{start, hostStart, end, end}), testSpec(), "resize-bracket")
+	})
+	t.Run("missing identity", func(t *testing.T) {
+		bad := start
+		bad.Size = trace.NoSize
+		wantRule(t, seqd([]trace.Event{bad}), testSpec(), "resize-payload")
+	})
+}
+
+func TestMalformedEnumsAreRejectedNotPanicked(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.Kind(0)},
+		{Kind: trace.Kind(250)},
+		{Kind: trace.KindProbe, Space: trace.Space(9)},
+		{Kind: trace.KindProbe, Walker: trace.WalkerKind(9)},
+		{Kind: trace.KindCacheHit, Cache: trace.CacheID(200)},
+		{Kind: trace.KindProbe, Size: 7},
+	}
+	vs := Audit(seqd(events), testSpec())
+	if len(vs) < len(events) {
+		t.Fatalf("want >= %d violations for malformed enums, got %v", len(events), vs)
+	}
+}
+
+func TestAuditReaderParsesAndAudits(t *testing.T) {
+	var b []byte
+	for _, ev := range seqd(goodWalk(100)) {
+		b = trace.AppendJSONL(b, ev)
+	}
+	vs, err := AuditReader(strings.NewReader(string(b)), testSpec())
+	if err != nil {
+		t.Fatalf("AuditReader: %v", err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("want clean audit, got %v", vs)
+	}
+
+	// A malformed line surfaces as a parse error alongside the audit
+	// of the well-formed prefix.
+	bad := append(append([]byte{}, b...), []byte("{\"garbage\":1}\n")...)
+	if _, err := AuditReader(strings.NewReader(string(bad)), testSpec()); err == nil {
+		t.Fatal("want parse error for malformed trailing line")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Seq: 7, Rule: "step-order", Detail: "boom"}
+	want := "seq 7: [step-order] boom"
+	if v.String() != want {
+		t.Fatalf("String() = %q, want %q", v.String(), want)
+	}
+}
