@@ -5,7 +5,12 @@
 // benchmark number.
 package nestedecpt
 
-import "testing"
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/core"
+)
 
 func TestNestedECPTWalkAllocationFree(t *testing.T) {
 	m, vas := warmedWalkMachine(t, NestedECPT, "GUPS", true)
@@ -27,6 +32,42 @@ func TestNestedECPTWalkAllocationFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state nested ECPT Walk performs %v allocs/op; want 0", allocs)
+	}
+}
+
+// The batched walk path reuses the per-walker BatchState scratch, so a
+// steady-state WalkBatch must stay allocation-free across every batch
+// size the pipeline issues.
+func TestNestedECPTWalkBatchAllocationFree(t *testing.T) {
+	m, vas := warmedWalkMachine(t, NestedECPT, "GUPS", true)
+	w := m.Walker()
+	const batch = 32
+	gvas := make([]addr.GVA, batch)
+	outs := make([]core.WalkResult, batch)
+	errs := make([]error, batch)
+	fill := func(start int) {
+		for i := range gvas {
+			gvas[i] = vas[(start+i)%len(vas)]
+		}
+	}
+	// One warm call grows the BatchState stage slices to batch size.
+	fill(0)
+	w.WalkBatch(walkBenchNow, gvas, outs, errs)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		fill(i)
+		i += batch
+		if lat := w.WalkBatch(walkBenchNow, gvas, outs, errs); lat == 0 {
+			t.Fatal("batched walk reported zero latency")
+		}
+		for j := range errs {
+			if errs[j] != nil {
+				t.Fatal(errs[j])
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state nested ECPT WalkBatch performs %v allocs/op; want 0", allocs)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"nestedecpt/internal/addr"
+	"nestedecpt/internal/core"
 	"nestedecpt/internal/report"
 )
 
@@ -212,6 +213,39 @@ func BenchmarkSingleWalkNestedECPT(b *testing.B) {
 		if _, err := m.Walker().Walk(walkBenchNow, vas[i%len(vas)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchWalkNestedECPT measures the batched walker hot path:
+// WalkBatch over pre-resolved mapped addresses at the pipeline's batch
+// sizes. ns/walk (= ns/op divided by the batch size) is the number the
+// BENCH_3.json snapshot tracks; the batch path must stay 0 allocs.
+func BenchmarkBatchWalkNestedECPT(b *testing.B) {
+	for _, batch := range []int{8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			m, vas := warmedWalkMachine(b, NestedECPT, "GUPS", true)
+			w := m.Walker()
+			// Feed sliding windows of a pre-extended pool so the timed
+			// loop measures WalkBatch alone, never input staging.
+			pool := make([]addr.GVA, len(vas)+batch)
+			copy(pool, vas)
+			copy(pool[len(vas):], vas)
+			outs := make([]core.WalkResult, batch)
+			errs := make([]error, batch)
+			w.WalkBatch(walkBenchNow, pool[:batch], outs, errs) // grow scratch before timing
+			off := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.WalkBatch(walkBenchNow, pool[off:off+batch], outs, errs)
+				if off++; off == len(vas) {
+					off = 0
+				}
+			}
+			b.StopTimer()
+			perWalk := float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch)
+			b.ReportMetric(perWalk, "ns/walk")
+		})
 	}
 }
 

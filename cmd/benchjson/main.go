@@ -1,17 +1,18 @@
 // Command benchjson measures the walker hot path and emits the numbers
-// as machine-readable JSON (BENCH_2.json), so the performance
+// as machine-readable JSON (BENCH_3.json), so the performance
 // trajectory of the simulator is tracked in-repo alongside the figures.
 //
 // Usage:
 //
-//	benchjson                     # writes BENCH_2.json
+//	benchjson                     # writes BENCH_3.json
 //	benchjson -o out.json         # custom path
 //	benchjson -benchtime 2s       # longer measurement per entry
-//	benchjson -drift BENCH_2.json # re-measure and compare, no write
+//	benchjson -drift BENCH_3.json # re-measure and compare, no write
 //
 // The file carries the pre-optimization baseline of the headline
 // benchmark, the current headline walk configurations (ns/walk,
-// walks/sec, allocs/walk), and the hash micro-benchmark. Regenerate
+// walks/sec, allocs/walk) for both the sequential Walk entry point and
+// the batched WalkBatch one, and the hash micro-benchmark. Regenerate
 // with `make benchjson` after touching the walk path.
 //
 // Drift mode (`make benchdrift`) re-measures the same entries and
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"nestedecpt/internal/addr"
+	"nestedecpt/internal/core"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/vhash"
 )
@@ -42,10 +44,13 @@ import (
 const walkBenchNow = uint64(1) << 40
 
 type walkEntry struct {
-	Name          string  `json:"name"`
-	Design        string  `json:"design"`
-	App           string  `json:"app"`
-	THP           bool    `json:"thp"`
+	Name   string `json:"name"`
+	Design string `json:"design"`
+	App    string `json:"app"`
+	THP    bool   `json:"thp"`
+	// Batch is the WalkBatch lane count (0 for sequential Walk
+	// entries); ns_per_walk is then ns/op divided by the lane count.
+	Batch         int     `json:"batch,omitempty"`
 	NsPerWalk     float64 `json:"ns_per_walk"`
 	WalksPerSec   float64 `json:"walks_per_sec"`
 	AllocsPerWalk int64   `json:"allocs_per_walk"`
@@ -81,18 +86,19 @@ func fromResult(r testing.BenchmarkResult) (ns float64, ops float64, allocs, byt
 	return ns, ops, r.AllocsPerOp(), r.AllocedBytesPerOp()
 }
 
-// benchWalk builds a warmed machine for one configuration, resolves a
-// mapped VA set (failing loudly if none resolve), and times Walk.
-func benchWalk(design sim.Design, app string, thp bool) (walkEntry, error) {
+// warmedMachine builds and runs a machine for one configuration, then
+// resolves a mapped VA set (failing loudly if none resolve) so the
+// timed loops below never measure the fault path.
+func warmedMachine(design sim.Design, app string, thp bool) (*sim.Machine, []addr.GVA, error) {
 	cfg := sim.DefaultConfig(design, app, thp)
 	cfg.WarmupAccesses = 5_000
 	cfg.MeasureAccesses = 5_000
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
-		return walkEntry{}, err
+		return nil, nil, err
 	}
 	if _, err := m.Run(); err != nil {
-		return walkEntry{}, err
+		return nil, nil, err
 	}
 	var vas []addr.GVA
 	for i := uint64(0); i < 8192 && len(vas) < 1024; i++ {
@@ -102,7 +108,16 @@ func benchWalk(design sim.Design, app string, thp bool) (walkEntry, error) {
 		}
 	}
 	if len(vas) == 0 {
-		return walkEntry{}, fmt.Errorf("%v/%s: no mapped VAs resolved", design, app)
+		return nil, nil, fmt.Errorf("%v/%s: no mapped VAs resolved", design, app)
+	}
+	return m, vas, nil
+}
+
+// benchWalk times the sequential Walk entry point.
+func benchWalk(design sim.Design, app string, thp bool) (walkEntry, error) {
+	m, vas, err := warmedMachine(design, app, thp)
+	if err != nil {
+		return walkEntry{}, err
 	}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -125,6 +140,49 @@ func benchWalk(design sim.Design, app string, thp bool) (walkEntry, error) {
 	}, nil
 }
 
+// benchWalkBatch times the batched WalkBatch entry point at one lane
+// count, feeding sliding windows of a pre-extended pool so the timed
+// loop measures the walker alone. Per-walk figures divide by the lane
+// count: one op translates `batch` addresses.
+func benchWalkBatch(design sim.Design, app string, thp bool, batch int) (walkEntry, error) {
+	m, vas, err := warmedMachine(design, app, thp)
+	if err != nil {
+		return walkEntry{}, err
+	}
+	w := m.Walker()
+	pool := make([]addr.GVA, len(vas)+batch)
+	copy(pool, vas)
+	copy(pool[len(vas):], vas)
+	outs := make([]core.WalkResult, batch)
+	errs := make([]error, batch)
+	w.WalkBatch(walkBenchNow, pool[:batch], outs, errs) // grow scratch before timing
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		off := 0
+		for i := 0; i < b.N; i++ {
+			if lat := w.WalkBatch(walkBenchNow, pool[off:off+batch], outs, errs); lat == 0 {
+				b.Fatal("batched walk reported zero latency")
+			}
+			if off++; off == len(vas) {
+				off = 0
+			}
+		}
+	})
+	ns, _, allocs, bytes := fromResult(r)
+	perWalk := ns / float64(batch)
+	return walkEntry{
+		Name:          fmt.Sprintf("walkbatch/%v/%s/thp=%v/batch=%d", design, app, thp, batch),
+		Design:        fmt.Sprintf("%v", design),
+		App:           app,
+		THP:           thp,
+		Batch:         batch,
+		NsPerWalk:     perWalk,
+		WalksPerSec:   1e9 / perWalk,
+		AllocsPerWalk: allocs / int64(batch),
+		BytesPerWalk:  bytes / int64(batch),
+	}, nil
+}
+
 func benchHash() microEntry {
 	f := vhash.New(1, 2)
 	var sink uint64
@@ -142,7 +200,7 @@ func benchHash() microEntry {
 // measure runs the full benchmark suite and assembles the document.
 func measure() document {
 	doc := document{
-		Schema:    "nestedecpt-bench/2",
+		Schema:    "nestedecpt-bench/3",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -175,7 +233,16 @@ func measure() document {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "%-40s %10.1f ns/walk %12.0f walks/s %3d allocs/walk\n",
+		fmt.Fprintf(os.Stderr, "%-48s %10.1f ns/walk %12.0f walks/s %3d allocs/walk\n",
+			e.Name, e.NsPerWalk, e.WalksPerSec, e.AllocsPerWalk)
+		doc.Walks = append(doc.Walks, e)
+	}
+	for _, batch := range []int{8, 32} {
+		e, err := benchWalkBatch(sim.DesignNestedECPT, "GUPS", true, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%-48s %10.1f ns/walk %12.0f walks/s %3d allocs/walk\n",
 			e.Name, e.NsPerWalk, e.WalksPerSec, e.AllocsPerWalk)
 		doc.Walks = append(doc.Walks, e)
 	}
@@ -242,7 +309,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	testing.Init() // registers test.benchtime so testing.Benchmark honours it
-	out := flag.String("o", "BENCH_2.json", "output path")
+	out := flag.String("o", "BENCH_3.json", "output path")
 	benchtime := flag.Duration("benchtime", time.Second, "measurement time per entry")
 	drift := flag.String("drift", "", "compare a fresh measurement against this snapshot instead of writing (exits 1 on drift)")
 	tolerance := flag.Float64("tolerance", 0.5, "fractional ns/op regression allowed in -drift mode")

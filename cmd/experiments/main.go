@@ -42,6 +42,8 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "override warm-up accesses")
 	measure := flag.Uint64("measure", 0, "override measured accesses")
 	scale := flag.Uint64("scale", 0, "override footprint scale divisor")
+	batch := flag.Int("batch", 0, "accesses per pipeline step; >1 batches page walks through the MSHR overlap model")
+	mshrs := flag.Int("mshrs", 0, "in-flight walker probes per batched stage (0 = default, 1 = serialized)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = sequential engine)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-simulation timeout (0 = none), e.g. 10m")
 	verbose := flag.Bool("v", false, "print per-run progress and ETA")
@@ -74,6 +76,8 @@ func main() {
 	if *verbose {
 		settings.Progress = os.Stderr
 	}
+	settings.BatchSize = *batch
+	settings.BatchMSHRs = *mshrs
 	settings.Parallelism = *parallel
 	settings.RunTimeout = *runTimeout
 	settings.Trace = *tracePath != ""

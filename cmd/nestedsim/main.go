@@ -63,6 +63,8 @@ func main() {
 	accesses := flag.Uint64("accesses", 1_000_000, "measured accesses")
 	scale := flag.Uint64("scale", 64, "footprint scale divisor vs the paper")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
+	batch := flag.Int("batch", 0, "accesses per pipeline step; >1 batches page walks through the MSHR overlap model")
+	mshrs := flag.Int("mshrs", 0, "in-flight walker probes per batched stage (0 = default, 1 = serialized)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations when several designs are given")
 	verbose := flag.Bool("v", false, "print per-run progress and ETA")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -90,6 +92,8 @@ func main() {
 		cfg.WarmupAccesses = *warmup
 		cfg.MeasureAccesses = *accesses
 		cfg.WorkloadOpts = workload.Options{Scale: *scale, Seed: *seed}
+		cfg.BatchSize = *batch
+		cfg.BatchMSHRs = *mshrs
 		if *plain {
 			cfg.Tech = core.PlainTechniques()
 			cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)
@@ -196,6 +200,10 @@ func printResult(r *sim.Result) {
 	fmt.Fprintf(w, "L2 TLB            %v\n", &r.L2TLB)
 	fmt.Fprintf(w, "page walks        %d  (%.2f /k-instr, mean %.0f cyc, p95 %d cyc)\n",
 		r.Walks, r.WalksPKI(), r.WalkLatency.Mean(), r.WalkLatency.Percentile(0.95))
+	if r.Batches > 0 {
+		fmt.Fprintf(w, "walk batches      %d  (%.2f walks/batch, overlap speedup %.2fx)\n",
+			r.Batches, float64(r.Walks)/float64(r.Batches), r.WalkOverlapSpeedup())
+	}
 	fmt.Fprintf(w, "MMU busy cycles   %d (%.1f%% of cycles)\n", r.MMUBusyCycles, 100*float64(r.MMUBusyCycles)/float64(r.Cycles))
 	fmt.Fprintf(w, "MMU RPKI          %.2f\n", r.MMURPKI())
 	fmt.Fprintf(w, "L2 MPKI           %.2f   L3 MPKI %.2f\n", r.L2MPKI(), r.L3MPKI())

@@ -63,18 +63,14 @@ const PageShift4K = 12
 // hierarchy (Table 2: 64B lines).
 const CacheLineBytes = 64
 
+// pageShifts holds log2 of each page size in bytes. A table keeps
+// Shift — and everything built on it (VPN, Bytes, OffsetMask), all
+// called several times per walk — small enough to inline; an invalid
+// size panics on the bounds check.
+var pageShifts = [NumPageSizes]uint8{Page4K: 12, Page2M: 21, Page1G: 30}
+
 // Shift returns log2 of the page size in bytes.
-func (s PageSize) Shift() uint {
-	switch s {
-	case Page4K:
-		return 12
-	case Page2M:
-		return 21
-	case Page1G:
-		return 30
-	}
-	panic(fmt.Sprintf("addr: invalid page size %d", s))
-}
+func (s PageSize) Shift() uint { return uint(pageShifts[s]) }
 
 // Bytes returns the page size in bytes.
 func (s PageSize) Bytes() uint64 { return 1 << s.Shift() }

@@ -7,6 +7,7 @@ import (
 	"nestedecpt/internal/hypervisor"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/trace"
 )
 
 // AgileIdeal is the idealized Agile Paging design of §9.6: the guest
@@ -20,6 +21,15 @@ type AgileIdeal struct {
 	guest *kernel.Kernel
 	host  *hypervisor.Hypervisor
 	pwc   *levelCache[addr.GVA, addr.GPA]
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	core.BatchState
+}
+
+// WalkBatch implements core.Walker via the generic single-stage
+// batcher (the baselines emit no trace events).
+func (w *AgileIdeal) WalkBatch(now uint64, gvas []addr.GVA, out []core.WalkResult, errs []error) uint64 {
+	return core.SequentialWalkBatch(w, &w.BatchState, nil, trace.WalkerNone, now, gvas, out, errs)
 }
 
 // NewAgileIdeal builds the idealized walker. The guest kernel must

@@ -8,6 +8,7 @@ import (
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/memsim"
 	"nestedecpt/internal/mmucache"
+	"nestedecpt/internal/trace"
 )
 
 // FlatNested implements flat nested page tables (§9.6): the guest
@@ -25,6 +26,15 @@ type FlatNested struct {
 	ntlb     *mmucache.Cache[addr.GPA, addr.HPA]
 	flatBase addr.HPA
 	flatSize uint64
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	core.BatchState
+}
+
+// WalkBatch implements core.Walker via the generic single-stage
+// batcher (the baselines emit no trace events).
+func (w *FlatNested) WalkBatch(now uint64, gvas []addr.GVA, out []core.WalkResult, errs []error) uint64 {
+	return core.SequentialWalkBatch(w, &w.BatchState, nil, trace.WalkerNone, now, gvas, out, errs)
 }
 
 // NewFlatNested builds the walker; it reserves the flat host table

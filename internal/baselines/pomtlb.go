@@ -7,6 +7,7 @@ import (
 	"nestedecpt/internal/hypervisor"
 	"nestedecpt/internal/kernel"
 	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/trace"
 )
 
 // POMTLBConfig sizes the part-of-memory TLB.
@@ -45,6 +46,15 @@ type POMTLB struct {
 	clock    uint64
 	hits     uint64
 	misses   uint64
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	core.BatchState
+}
+
+// WalkBatch implements core.Walker via the generic single-stage
+// batcher (the baselines emit no trace events).
+func (w *POMTLB) WalkBatch(now uint64, gvas []addr.GVA, out []core.WalkResult, errs []error) uint64 {
+	return core.SequentialWalkBatch(w, &w.BatchState, nil, trace.WalkerNone, now, gvas, out, errs)
 }
 
 // NewPOMTLB builds the design over a full nested-radix fallback.

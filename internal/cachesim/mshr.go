@@ -1,0 +1,59 @@
+// MSHR-style overlap model for batched page walks.
+//
+// A single walk's parallel probes already overlap inside one
+// AccessParallel group (issue-gap staggering, slowest-member latency).
+// Batched translation adds a second axis of memory-level parallelism:
+// the walker's MSHR file lets the *same stage* of several in-flight
+// walks keep their misses outstanding together, so a batch charges the
+// slowest member of each concurrent wave instead of the sum of every
+// lane (§3.2's bandwidth argument, applied across walks instead of
+// across ways).
+//
+// The model is deliberately stateless: WalkBatch captures each lane's
+// per-stage memory cost while executing the lanes functionally in
+// element order (so cache, DRAM, and statistics state stay bit-exact
+// with sequential walks), then combines the captured costs here. With
+// one MSHR the combine degenerates to a plain sum — the sequential
+// latency model — which is what pins the overlap math to the
+// single-walk baseline.
+package cachesim
+
+// DefaultWalkMSHRs is the number of in-flight walk lanes a batch may
+// overlap when the configuration does not say otherwise. Eight matches
+// the L1 MSHR head-room the Table 2 hierarchy leaves for the MMU.
+const DefaultWalkMSHRs = 8
+
+// OverlapWaves combines the per-lane latencies of one batch stage under
+// an mshrs-entry MSHR file. Lanes are grouped, in order, into waves of
+// at most mshrs concurrent misses; a wave costs its slowest member, and
+// waves serialize (MSHR exhaustion: a lane past the file's capacity
+// waits for an earlier wave to retire). Properties the unit tests pin:
+//
+//   - mshrs >= len(lats): one wave, cost = max (overlapped misses
+//     charge max-latency, not sum-latency).
+//   - mshrs == 1: every wave is a single lane, cost = sum — bit
+//     identical to issuing the lanes sequentially.
+//   - otherwise: ceil(len/mshrs) waves, each charging its own max.
+//
+// mshrs <= 0 is treated as DefaultWalkMSHRs so a zero-valued
+// configuration cannot silently serialize every batch.
+//
+//nestedlint:hotpath
+func OverlapWaves(lats []uint64, mshrs int) uint64 {
+	if mshrs <= 0 {
+		mshrs = DefaultWalkMSHRs
+	}
+	var total, waveMax uint64
+	fill := 0
+	for _, l := range lats {
+		if l > waveMax {
+			waveMax = l
+		}
+		fill++
+		if fill == mshrs {
+			total += waveMax
+			waveMax, fill = 0, 0
+		}
+	}
+	return total + waveMax
+}

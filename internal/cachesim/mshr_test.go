@@ -1,0 +1,108 @@
+package cachesim
+
+import "testing"
+
+// TestOverlapWavesMaxNotSum pins the headline MSHR property: when the
+// whole batch fits in the MSHR file, overlapping misses charge the
+// slowest lane, not the sum of all lanes.
+func TestOverlapWavesMaxNotSum(t *testing.T) {
+	lats := []uint64{40, 120, 70, 90}
+	for _, mshrs := range []int{4, 8, 100} {
+		if got := OverlapWaves(lats, mshrs); got != 120 {
+			t.Errorf("OverlapWaves(%v, %d) = %d, want max 120", lats, mshrs, got)
+		}
+	}
+}
+
+// TestOverlapWavesSingleMSHRIsSequential pins the regression anchor:
+// one MSHR serializes every lane, so the combine is bit-identical to
+// the sequential latency model. The batched walkers rely on this to
+// degenerate to the pre-batching numbers at -mshrs 1.
+func TestOverlapWavesSingleMSHRIsSequential(t *testing.T) {
+	lats := []uint64{40, 120, 70, 90, 3}
+	var sum uint64
+	for _, l := range lats {
+		sum += l
+	}
+	if got := OverlapWaves(lats, 1); got != sum {
+		t.Errorf("OverlapWaves(%v, 1) = %d, want sequential sum %d", lats, got, sum)
+	}
+}
+
+// TestOverlapWavesExhaustionSerializes checks the wave math: lanes past
+// the MSHR capacity wait for an earlier wave to retire, so the batch
+// costs the sum of per-wave maxima.
+func TestOverlapWavesExhaustionSerializes(t *testing.T) {
+	lats := []uint64{10, 20, 30, 40, 50}
+	cases := []struct {
+		mshrs int
+		want  uint64
+	}{
+		{2, 20 + 40 + 50}, // waves [10,20] [30,40] [50]
+		{3, 30 + 50},      // waves [10,20,30] [40,50]
+		{4, 40 + 50},      // waves [10..40] [50]
+		{5, 50},           // one wave
+	}
+	for _, c := range cases {
+		if got := OverlapWaves(lats, c.mshrs); got != c.want {
+			t.Errorf("OverlapWaves(%v, %d) = %d, want %d", lats, c.mshrs, got, c.want)
+		}
+	}
+}
+
+// TestOverlapWavesZeroTakesDefault checks that a zero-valued (or
+// negative) configuration falls back to DefaultWalkMSHRs instead of
+// silently serializing every batch.
+func TestOverlapWavesZeroTakesDefault(t *testing.T) {
+	lats := make([]uint64, DefaultWalkMSHRs+1)
+	for i := range lats {
+		lats[i] = uint64(i + 1)
+	}
+	want := OverlapWaves(lats, DefaultWalkMSHRs)
+	for _, mshrs := range []int{0, -3} {
+		if got := OverlapWaves(lats, mshrs); got != want {
+			t.Errorf("OverlapWaves(lats, %d) = %d, want default-MSHR result %d", mshrs, got, want)
+		}
+	}
+}
+
+// TestOverlapWavesEdges covers the degenerate batches WalkBatch can
+// legitimately produce.
+func TestOverlapWavesEdges(t *testing.T) {
+	if got := OverlapWaves(nil, 8); got != 0 {
+		t.Errorf("empty batch = %d, want 0", got)
+	}
+	if got := OverlapWaves([]uint64{77}, 8); got != 77 {
+		t.Errorf("single lane = %d, want 77", got)
+	}
+	if got := OverlapWaves([]uint64{0, 0, 0}, 2); got != 0 {
+		t.Errorf("all-zero lanes = %d, want 0", got)
+	}
+}
+
+// TestOverlapWavesBounds property-checks the invariant the trace
+// auditor enforces on live batches: max(lats) <= result <= sum(lats)
+// for every MSHR width.
+func TestOverlapWavesBounds(t *testing.T) {
+	lats := []uint64{5, 250, 1, 90, 90, 13, 47, 300, 2}
+	var sum, max uint64
+	for _, l := range lats {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	for mshrs := 1; mshrs <= len(lats)+1; mshrs++ {
+		got := OverlapWaves(lats, mshrs)
+		if got < max || got > sum {
+			t.Errorf("OverlapWaves(lats, %d) = %d outside [%d, %d]", mshrs, got, max, sum)
+		}
+		// Widening the MSHR file can only help.
+		if mshrs > 1 {
+			if prev := OverlapWaves(lats, mshrs-1); got > prev {
+				t.Errorf("OverlapWaves not monotone: mshrs %d -> %d raised %d -> %d",
+					mshrs-1, mshrs, prev, got)
+			}
+		}
+	}
+}

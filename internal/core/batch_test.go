@@ -1,0 +1,250 @@
+package core
+
+// Walker-level batch tests: WalkBatch on every walker must return, lane
+// for lane, exactly what sequential Walks return on an identically
+// built and warmed twin, and its batch latency must respect the MSHR
+// overlap model's bounds. The sim-level oracle proves the same property
+// through full machines; these tests pin it at the walker API, where
+// each implementation's stage bookkeeping lives.
+
+import (
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/vhash"
+)
+
+// batchWalkerBuild deterministically constructs one walker over freshly
+// built, fully warmed state and returns the mapped VAs to batch over.
+// Calling it twice yields functionally identical twins.
+type batchWalkerBuild func(t *testing.T) (Walker, []addr.GVA)
+
+// nativeKernel builds the deterministic single-level kernel the native
+// walkers run against, with every returned VA already touched.
+func nativeKernel(t *testing.T, radix bool) (*kernel.Kernel, []addr.GVA) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{
+		GuestMemBytes: 1 << 30,
+		BuildRadix:    radix,
+		BuildECPT:     !radix,
+		ECPT:          ecpt.ScaledSetConfig(false, 64),
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.DefineVMA(kernel.VMA{Base: 0x2000_0000, Size: 64 << 20})
+	rng := vhash.NewRNG(5)
+	var vas []addr.GVA
+	for i := 0; i < 128; i++ {
+		va := addr.GVA(0x2000_0000 + rng.Uint64n(64<<20))
+		if _, _, err := k.Touch(va); err != nil {
+			t.Fatal(err)
+		}
+		vas = append(vas, va)
+	}
+	return k, vas
+}
+
+func batchBuilders() map[string]batchWalkerBuild {
+	return map[string]batchWalkerBuild{
+		"nested-ecpt": func(t *testing.T) (Walker, []addr.GVA) {
+			f := newFixture(t, false, true, false, true, true)
+			w := NewNestedECPT(DefaultNestedECPTConfig(AdvancedTechniques()), f.mem, f.kern, f.hyp)
+			driveWalker(t, f, w)
+			return w, f.vas
+		},
+		"nested-radix": func(t *testing.T) (Walker, []addr.GVA) {
+			f := newFixture(t, true, false, true, false, true)
+			w := NewNestedRadix(DefaultRadixWalkConfig(), f.mem, f.kern, f.hyp)
+			driveWalker(t, f, w)
+			return w, f.vas
+		},
+		"hybrid": func(t *testing.T) (Walker, []addr.GVA) {
+			f := newFixture(t, true, false, false, true, true)
+			w := NewHybrid(DefaultHybridConfig(), f.mem, f.kern, f.hyp)
+			driveWalker(t, f, w)
+			return w, f.vas
+		},
+		"native-ecpt": func(t *testing.T) (Walker, []addr.GVA) {
+			k, vas := nativeKernel(t, false)
+			w := NewNativeECPT(DefaultNativeECPTConfig(), &flatMem{lat: 10}, k)
+			for _, va := range vas {
+				if _, err := w.Walk(0, va); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return w, vas
+		},
+		"native-radix": func(t *testing.T) (Walker, []addr.GVA) {
+			k, vas := nativeKernel(t, true)
+			w := NewNativeRadix(DefaultRadixWalkConfig(), &flatMem{lat: 10}, k)
+			for _, va := range vas {
+				if _, err := w.Walk(0, va); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return w, vas
+		},
+	}
+}
+
+// TestWalkBatchMatchesSequential is the walker-level differential
+// oracle: identical twins, one walked lane by lane, one batched at
+// several chunk sizes, must produce identical per-lane results.
+func TestWalkBatchMatchesSequential(t *testing.T) {
+	const now = uint64(1) << 30
+	for name, build := range batchBuilders() {
+		t.Run(name, func(t *testing.T) {
+			wSeq, vas := build(t)
+			wBat, _ := build(t)
+			seqOut := make([]WalkResult, len(vas))
+			seqErr := make([]error, len(vas))
+			for i, va := range vas {
+				seqOut[i], seqErr[i] = wSeq.Walk(now, va)
+			}
+			outs := make([]WalkResult, len(vas))
+			errs := make([]error, len(vas))
+			sizes := []int{1, 2, 7, 64}
+			for start, si := 0, 0; start < len(vas); si++ {
+				n := sizes[si%len(sizes)]
+				if start+n > len(vas) {
+					n = len(vas) - start
+				}
+				chunk := vas[start : start+n]
+				lat := wBat.WalkBatch(now, chunk, outs[start:start+n], errs[start:start+n])
+				var sum, max uint64
+				for i := start; i < start+n; i++ {
+					if errs[i] == nil {
+						sum += outs[i].Latency
+						if outs[i].Latency > max {
+							max = outs[i].Latency
+						}
+					}
+				}
+				if lat < max || lat > sum {
+					t.Fatalf("chunk at %d: batch latency %d outside [max %d, sum %d]", start, lat, max, sum)
+				}
+				start += n
+			}
+			for i := range vas {
+				if seqErr[i] != nil || errs[i] != nil {
+					t.Fatalf("lane %d: unexpected errors %v / %v", i, seqErr[i], errs[i])
+				}
+				if seqOut[i] != outs[i] {
+					t.Fatalf("lane %d (%#x): sequential %+v != batched %+v", i, vas[i], seqOut[i], outs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWalkBatchSingleMSHRPinsSequentialLatency checks the serialization
+// pin: with one MSHR no lanes overlap, so the batch latency is exactly
+// the sum of the lane latencies; restoring a wide MSHR file can only
+// shrink it.
+func TestWalkBatchSingleMSHRPinsSequentialLatency(t *testing.T) {
+	const now = uint64(1) << 30
+	for name, build := range batchBuilders() {
+		t.Run(name, func(t *testing.T) {
+			w, vas := build(t)
+			n := 16
+			if n > len(vas) {
+				n = len(vas)
+			}
+			outs := make([]WalkResult, n)
+			errs := make([]error, n)
+			type mshrSetter interface{ SetBatchMSHRs(int) }
+			w.(mshrSetter).SetBatchMSHRs(1)
+			lat := w.WalkBatch(now, vas[:n], outs, errs)
+			var sum uint64
+			for i := range outs {
+				if errs[i] != nil {
+					t.Fatal(errs[i])
+				}
+				sum += outs[i].Latency
+			}
+			if lat != sum {
+				t.Fatalf("mshrs=1 batch latency %d != lane sum %d", lat, sum)
+			}
+			w.(mshrSetter).SetBatchMSHRs(cachesim.DefaultWalkMSHRs)
+			wide := w.WalkBatch(now, vas[:n], outs, errs)
+			if wide > lat {
+				t.Fatalf("widening MSHRs grew latency: %d -> %d", lat, wide)
+			}
+		})
+	}
+}
+
+// TestWalkBatchEmpty pins the degenerate case on every walker: a
+// zero-length batch costs nothing and emits nothing.
+func TestWalkBatchEmpty(t *testing.T) {
+	for name, build := range batchBuilders() {
+		t.Run(name, func(t *testing.T) {
+			w, _ := build(t)
+			if lat := w.WalkBatch(0, nil, nil, nil); lat != 0 {
+				t.Fatalf("empty batch latency = %d", lat)
+			}
+		})
+	}
+}
+
+func TestBatchStateMSHRAccessor(t *testing.T) {
+	var b BatchState
+	if got := b.BatchMSHRs(); got != cachesim.DefaultWalkMSHRs {
+		t.Fatalf("zero-value BatchMSHRs = %d, want default %d", got, cachesim.DefaultWalkMSHRs)
+	}
+	b.SetBatchMSHRs(3)
+	if got := b.BatchMSHRs(); got != 3 {
+		t.Fatalf("BatchMSHRs = %d after SetBatchMSHRs(3)", got)
+	}
+	b.SetBatchMSHRs(0)
+	if got := b.BatchMSHRs(); got != cachesim.DefaultWalkMSHRs {
+		t.Fatalf("BatchMSHRs = %d after SetBatchMSHRs(0), want default", got)
+	}
+}
+
+// TestWalkBatchTraceBrackets checks the trace contract the auditor
+// enforces: a batch opens with KindBatchBegin carrying the lane count,
+// closes with KindBatchEnd carrying the overlapped latency, and wraps
+// exactly the lanes' walk events.
+func TestWalkBatchTraceBrackets(t *testing.T) {
+	const now = uint64(1) << 30
+	f := newFixture(t, false, true, false, true, true)
+	w := NewNestedECPT(DefaultNestedECPTConfig(AdvancedTechniques()), f.mem, f.kern, f.hyp)
+	driveWalker(t, f, w)
+	rec, col := trace.NewCollected()
+	w.SetRecorder(rec)
+	const lanes = 4
+	outs := make([]WalkResult, lanes)
+	errs := make([]error, lanes)
+	lat := w.WalkBatch(now, f.vas[:lanes], outs, errs)
+	rec.Flush()
+	evs := col.Events()
+	if len(evs) < 2 {
+		t.Fatalf("no trace events recorded")
+	}
+	first, last := evs[0], evs[len(evs)-1]
+	if first.Kind != trace.KindBatchBegin || first.Aux != lanes || first.Now != now {
+		t.Fatalf("first event %+v is not the expected batch begin", first)
+	}
+	if last.Kind != trace.KindBatchEnd || last.Aux != lat || last.Now != now+lat {
+		t.Fatalf("last event %+v is not the expected batch end", last)
+	}
+	walks := 0
+	for _, ev := range evs[1 : len(evs)-1] {
+		if ev.Kind == trace.KindBatchBegin || ev.Kind == trace.KindBatchEnd {
+			t.Fatalf("nested batch bracket: %+v", ev)
+		}
+		if ev.Kind == trace.KindWalkBegin {
+			walks++
+		}
+	}
+	if walks != lanes {
+		t.Fatalf("bracket contains %d walks, declared %d lanes", walks, lanes)
+	}
+}

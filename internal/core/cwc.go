@@ -158,6 +158,9 @@ type probePlan[P addr.Addr] struct {
 	// call misses at most one CWC class before returning.
 	groupArr  [addr.NumPageSizes]probeGroup
 	refillArr [addr.NumPageSizes]refill[P]
+	// info is the CWT answer scratch QueryInto fills per consult level,
+	// keeping the Info struct off the call-return path.
+	info ecpt.Info[P]
 }
 
 // reset readies the plan for reuse, re-aliasing the slices onto the
@@ -186,6 +189,19 @@ func (p *probePlan[P]) setAllGroups() {
 	p.addGroup(addr.Page4K, ecpt.AllWays)
 }
 
+// refillPA resolves the physical address of a CWT entry queued for a
+// CWC refill. A query of an existing entry already carries its PA, so
+// the common path adds no table consult; only a refill of an entry
+// that has never been touched goes through EntryPA, whose first-touch
+// side effect (creating the entry and allocating its backing page)
+// must be preserved.
+func refillPA[P addr.Addr](cwt *ecpt.CWT[P], info *ecpt.Info[P]) P {
+	if info.EntryExists {
+		return info.EntryPA
+	}
+	return cwt.EntryPA(info.EntryKey)
+}
+
 // planWalk consults the CWCs top-down (1GB, then 2MB, then 4KB) and
 // prunes the parallel probe set exactly as §3.2/§4.2 describe, writing
 // the result into the caller's reusable plan. set is the ECPT set
@@ -203,20 +219,21 @@ func planWalk[V, P addr.Addr](set *ecpt.Set[V, P], cwc *CWC, va V, usePTE bool, 
 		plan.class = WalkComplete
 		return
 	}
-	info1 := pud.Query(addr.VPN(va, addr.Page1G))
+	info := &plan.info
+	pud.QueryInto(addr.VPN(va, addr.Page1G), info)
 	plan.lookups++
-	if !cwc.Lookup(addr.Page1G, info1.EntryKey) {
-		plan.addRefill(addr.Page1G, info1.EntryKey, pud.EntryPA(info1.EntryKey))
+	if !cwc.Lookup(addr.Page1G, info.EntryKey) {
+		plan.addRefill(addr.Page1G, info.EntryKey, refillPA(pud, info))
 		plan.setAllGroups()
 		plan.class = WalkComplete
 		return
 	}
-	if info1.Present {
-		plan.addGroup(addr.Page1G, int(info1.Way))
+	if info.Present {
+		plan.addGroup(addr.Page1G, int(info.Way))
 		plan.class = WalkDirect
 		return
 	}
-	if !info1.EntryExists || !info1.HasSmaller {
+	if !info.EntryExists || !info.HasSmaller {
 		plan.fault = true
 		return
 	}
@@ -229,21 +246,21 @@ func planWalk[V, P addr.Addr](set *ecpt.Set[V, P], cwc *CWC, va V, usePTE bool, 
 		plan.class = WalkPartial
 		return
 	}
-	info2 := pmd.Query(addr.VPN(va, addr.Page2M))
+	pmd.QueryInto(addr.VPN(va, addr.Page2M), info)
 	plan.lookups++
-	if !cwc.Lookup(addr.Page2M, info2.EntryKey) {
-		plan.addRefill(addr.Page2M, info2.EntryKey, pmd.EntryPA(info2.EntryKey))
+	if !cwc.Lookup(addr.Page2M, info.EntryKey) {
+		plan.addRefill(addr.Page2M, info.EntryKey, refillPA(pmd, info))
 		plan.addGroup(addr.Page2M, ecpt.AllWays)
 		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkPartial
 		return
 	}
-	if info2.Present {
-		plan.addGroup(addr.Page2M, int(info2.Way))
+	if info.Present {
+		plan.addGroup(addr.Page2M, int(info.Way))
 		plan.class = WalkDirect
 		return
 	}
-	if !info2.EntryExists || !info2.HasSmaller {
+	if !info.EntryExists || !info.HasSmaller {
 		plan.fault = true
 		return
 	}
@@ -257,16 +274,16 @@ func planWalk[V, P addr.Addr](set *ecpt.Set[V, P], cwc *CWC, va V, usePTE bool, 
 		plan.class = WalkSize
 		return
 	}
-	info4 := pte.Query(addr.VPN(va, addr.Page4K))
+	pte.QueryInto(addr.VPN(va, addr.Page4K), info)
 	plan.lookups++
-	if !cwc.Lookup(addr.Page4K, info4.EntryKey) {
-		plan.addRefill(addr.Page4K, info4.EntryKey, pte.EntryPA(info4.EntryKey))
+	if !cwc.Lookup(addr.Page4K, info.EntryKey) {
+		plan.addRefill(addr.Page4K, info.EntryKey, refillPA(pte, info))
 		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkSize
 		return
 	}
-	if info4.Present {
-		plan.addGroup(addr.Page4K, int(info4.Way))
+	if info.Present {
+		plan.addGroup(addr.Page4K, int(info.Way))
 		plan.class = WalkDirect
 		return
 	}
@@ -286,10 +303,11 @@ func planPTEOnly[V, P addr.Addr](set *ecpt.Set[V, P], cwc *CWC, va V, plan *prob
 		plan.class = WalkSize
 		return
 	}
-	info := pte.Query(addr.VPN(va, addr.Page4K))
+	info := &plan.info
+	pte.QueryInto(addr.VPN(va, addr.Page4K), info)
 	plan.lookups++
 	if !cwc.Lookup(addr.Page4K, info.EntryKey) {
-		plan.addRefill(addr.Page4K, info.EntryKey, pte.EntryPA(info.EntryKey))
+		plan.addRefill(addr.Page4K, info.EntryKey, refillPA(pte, info))
 		plan.addGroup(addr.Page4K, ecpt.AllWays)
 		plan.class = WalkSize
 		return

@@ -65,6 +65,17 @@ type Hybrid struct {
 	probeBuf []ecpt.Probe[addr.HPA]
 	plan     probePlan[addr.HPA]
 	steps    []radix.Step[addr.GPA]
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	BatchState
+}
+
+// WalkBatch implements Walker. The hybrid walk serializes its guest
+// radix rows, so each lane's whole latency forms one overlap stage.
+//
+//nestedlint:hotpath
+func (w *Hybrid) WalkBatch(now uint64, gvas []addr.GVA, out []WalkResult, errs []error) uint64 {
+	return SequentialWalkBatch(w, &w.BatchState, w.rec, trace.WalkerHybrid, now, gvas, out, errs)
 }
 
 // NewHybrid builds the walker over the guest radix table and host

@@ -47,6 +47,13 @@ type NativeECPT struct {
 	probes   []addr.HPA
 	probeBuf []ecpt.Probe[addr.GPA]
 	plan     probePlan[addr.GPA]
+
+	// stageLat captures the walk's single AccessParallel group latency
+	// — the memory stage WalkBatch overlaps across lanes.
+	stageLat uint64
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	BatchState
 }
 
 // NewNativeECPT builds the walker over the kernel's ECPT set.
@@ -90,8 +97,51 @@ func (w *NativeECPT) ResetStats() {
 //
 //nestedlint:hotpath
 func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
-	w.st.Walks++
 	var res WalkResult
+	err := w.walkInto(now, va, &res)
+	return res, err
+}
+
+// WalkBatch implements Walker: lanes execute functionally in element
+// order straight into out[i]; the batch latency overlaps each lane's
+// ECPT probe group under the MSHR model while the per-lane fixed costs
+// (CWC consult, hash latency) serialize. Faulted lanes contribute the
+// probe stage they completed and no fixed cost.
+//
+//nestedlint:hotpath
+func (w *NativeECPT) WalkBatch(now uint64, gvas []addr.GVA, out []WalkResult, errs []error) uint64 {
+	if len(gvas) == 0 {
+		return 0
+	}
+	if w.rec != nil {
+		emitBatchBegin(w.rec, trace.WalkerNativeECPT, now, len(gvas))
+	}
+	b := &w.BatchState
+	b.grow(len(gvas))
+	var fixed uint64
+	for i := range gvas {
+		errs[i] = w.walkInto(now, gvas[i], &out[i])
+		b.stage[0][i] = w.stageLat
+		if errs[i] == nil {
+			fixed += out[i].Latency - w.stageLat
+		}
+	}
+	lat := fixed + cachesim.OverlapWaves(b.stage[0], b.mshrs)
+	if w.rec != nil {
+		emitBatchEnd(w.rec, trace.WalkerNativeECPT, now+lat, lat)
+	}
+	return lat
+}
+
+// walkInto is the walk lane shared by Walk and WalkBatch: one full
+// translation into *res (overwriting it), recording the probe-group
+// latency in w.stageLat.
+//
+//nestedlint:hotpath
+func (w *NativeECPT) walkInto(now uint64, va addr.GVA, res *WalkResult) error {
+	*res = WalkResult{}
+	w.stageLat = 0
+	w.st.Walks++
 	set := w.kern.ECPTs()
 
 	if w.rec != nil {
@@ -109,7 +159,7 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	lat := uint64(mmucache.LatencyRT + vhash.LatencyCycles)
 	if plan.fault {
 		w.traceFault(now+lat, va)
-		return res, &ErrNotMapped{Space: "guest", GVA: va}
+		return &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	w.st.Classes.Observe(plan.class.String())
 	// Native CWT refills are plain physical fetches.
@@ -147,13 +197,14 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			}
 		}
 	}
-	lat += w.mem.AccessParallel(now+lat, w.probes, cachesim.SourceMMU)
+	w.stageLat = w.mem.AccessParallel(now+lat, w.probes, cachesim.SourceMMU)
+	lat += w.stageLat
 	res.Accesses += len(w.probes)
 	res.Parallel1 = len(w.probes)
 	w.st.Par.Observe(uint64(len(w.probes)))
 	if !found {
 		w.traceFault(now+lat, va)
-		return res, &ErrNotMapped{Space: "guest", GVA: va}
+		return &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	res.Frame = addr.IdentityHPA(frame)
@@ -166,7 +217,7 @@ func (w *NativeECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			GVA: va, HPA: res.Frame, Aux: lat,
 		})
 	}
-	return res, nil
+	return nil
 }
 
 // traceFault records a failed native walk.

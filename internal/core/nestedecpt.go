@@ -158,6 +158,14 @@ type NestedECPT struct {
 	gPlan  probePlan[addr.GPA]
 	hPlan  probePlan[addr.HPA]
 	bgPlan probePlan[addr.HPA]
+
+	// stageLat captures the three AccessParallel group latencies of the
+	// most recent walk — the per-step memory costs WalkBatch overlaps
+	// across lanes. A step a walk never reaches (fault) stays zero.
+	stageLat [3]uint64
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	BatchState
 }
 
 // candidate is one gECPT line probe with its resolved host location.
@@ -234,6 +242,57 @@ func (w *NestedECPT) ResetStats() {
 //
 //nestedlint:hotpath
 func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
+	var res WalkResult
+	err := w.walkInto(now, va, &res)
+	return res, err
+}
+
+// WalkBatch implements Walker: the lanes execute functionally in
+// element order (their state effects and per-lane results are exactly
+// those of sequential Walks), each lane writing straight into out[i];
+// the batch latency overlaps the three per-step memory stages across
+// lanes under the MSHR model, while per-lane fixed costs (MMU-cache
+// consults, hash latency) serialize. Faulted lanes contribute the
+// stages they completed and no fixed cost.
+//
+//nestedlint:hotpath
+func (w *NestedECPT) WalkBatch(now uint64, gvas []addr.GVA, out []WalkResult, errs []error) uint64 {
+	if len(gvas) == 0 {
+		return 0
+	}
+	if w.rec != nil {
+		emitBatchBegin(w.rec, trace.WalkerNestedECPT, now, len(gvas))
+	}
+	b := &w.BatchState
+	b.grow(len(gvas))
+	var fixed uint64
+	for i := range gvas {
+		errs[i] = w.walkInto(now, gvas[i], &out[i])
+		b.stage[0][i] = w.stageLat[0]
+		b.stage[1][i] = w.stageLat[1]
+		b.stage[2][i] = w.stageLat[2]
+		if errs[i] == nil {
+			fixed += out[i].Latency - (w.stageLat[0] + w.stageLat[1] + w.stageLat[2])
+		}
+	}
+	lat := fixed +
+		cachesim.OverlapWaves(b.stage[0], b.mshrs) +
+		cachesim.OverlapWaves(b.stage[1], b.mshrs) +
+		cachesim.OverlapWaves(b.stage[2], b.mshrs)
+	if w.rec != nil {
+		emitBatchEnd(w.rec, trace.WalkerNestedECPT, now+lat, lat)
+	}
+	return lat
+}
+
+// walkInto is the walk lane shared by Walk and WalkBatch: it performs
+// one full translation into *res (overwriting it) and records the
+// step-latency breakdown in w.stageLat.
+//
+//nestedlint:hotpath
+func (w *NestedECPT) walkInto(now uint64, va addr.GVA, res *WalkResult) error {
+	*res = WalkResult{}
+	w.stageLat = [3]uint64{}
 	if w.rec != nil {
 		w.rec.Emit(trace.Event{
 			Now: now, Kind: trace.KindWalkBegin, Walker: trace.WalkerNestedECPT,
@@ -242,7 +301,6 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	}
 	w.maybeAdapt(now)
 	w.st.Walks++
-	var res WalkResult
 	var lat uint64
 	gset := w.guest.ECPTs()
 	hset := w.host.ECPTs()
@@ -262,11 +320,11 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	if gplan.fault {
 		w.st.LastFaultAddr = statAddr(va)
 		w.traceFault(now+lat, trace.SpaceGuest, va, 0)
-		return res, &ErrNotMapped{Space: "guest", GVA: va}
+		return &ErrNotMapped{Space: "guest", GVA: va}
 	}
 	w.st.GuestClasses.Observe(gplan.class.String())
-	if err := w.queueGuestRefills(now+lat, gplan.refills, &res); err != nil {
-		return res, err
+	if err := w.queueGuestRefills(now+lat, gplan.refills, res); err != nil {
+		return err
 	}
 
 	// Expand the guest plan into candidate gECPT line probes, tagged
@@ -302,10 +360,10 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		if hplan.fault {
 			w.st.LastFaultAddr = statAddr(c.probe.PA)
 			w.traceFault(now+lat, trace.SpaceHost, va, c.probe.PA)
-			return res, &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
+			return &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
 		}
 		w.st.HostClasses.Observe(hplan.class.String())
-		w.queueHostRefills(now+lat, hplan.refills, w.hCWC1, &res)
+		w.queueHostRefills(now+lat, hplan.refills, w.hCWC1, res)
 
 		matched := false
 		for _, g := range hplan.groups {
@@ -328,10 +386,11 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 		if !matched {
 			w.st.LastFaultAddr = statAddr(c.probe.PA)
 			w.traceFault(now+lat, trace.SpaceHost, va, c.probe.PA)
-			return res, &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
+			return &ErrNotMapped{Space: "host", GPA: c.probe.PA, PageTable: true}
 		}
 	}
-	lat += w.mem.AccessParallel(now+lat, w.step1PAs, cachesim.SourceMMU)
+	w.stageLat[0] = w.mem.AccessParallel(now+lat, w.step1PAs, cachesim.SourceMMU)
+	lat += w.stageLat[0]
 	res.Accesses += len(w.step1PAs)
 	res.Parallel1 = len(w.step1PAs)
 	w.st.Par1.Observe(uint64(len(w.step1PAs)))
@@ -359,14 +418,15 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			found = true
 		}
 	}
-	lat += w.mem.AccessParallel(now+lat, w.step2PAs, cachesim.SourceMMU)
+	w.stageLat[1] = w.mem.AccessParallel(now+lat, w.step2PAs, cachesim.SourceMMU)
+	lat += w.stageLat[1]
 	res.Accesses += len(w.step2PAs)
 	res.Parallel2 = len(w.step2PAs)
 	w.st.Par2.Observe(uint64(len(w.step2PAs)))
 	if !found {
 		w.st.LastFaultAddr = statAddr(va)
 		w.traceFault(now+lat, trace.SpaceGuest, va, 0)
-		return res, &ErrNotMapped{Space: "guest", GVA: va}
+		return &ErrNotMapped{Space: "guest", GVA: va}
 	}
 
 	// ---------- Step 3: data gPA -> hPA ----------
@@ -383,10 +443,10 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 	if hplan3.fault {
 		w.st.LastFaultAddr = statAddr(dataGPA)
 		w.traceFault(now+lat, trace.SpaceHost, va, dataGPA)
-		return res, &ErrNotMapped{Space: "host", GPA: dataGPA}
+		return &ErrNotMapped{Space: "host", GPA: dataGPA}
 	}
 	w.st.HostClasses.Observe(hplan3.class.String())
-	w.queueHostRefills(now+lat, hplan3.refills, w.hCWC3, &res)
+	w.queueHostRefills(now+lat, hplan3.refills, w.hCWC3, res)
 
 	w.step3PAs = w.step3PAs[:0]
 	var hframe addr.HPA
@@ -410,14 +470,15 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			}
 		}
 	}
-	lat += w.mem.AccessParallel(now+lat, w.step3PAs, cachesim.SourceMMU)
+	w.stageLat[2] = w.mem.AccessParallel(now+lat, w.step3PAs, cachesim.SourceMMU)
+	lat += w.stageLat[2]
 	res.Accesses += len(w.step3PAs)
 	res.Parallel3 = len(w.step3PAs)
 	w.st.Par3.Observe(uint64(len(w.step3PAs)))
 	if !hfound {
 		w.st.LastFaultAddr = statAddr(dataGPA)
 		w.traceFault(now+lat, trace.SpaceHost, va, dataGPA)
-		return res, &ErrNotMapped{Space: "host", GPA: dataGPA}
+		return &ErrNotMapped{Space: "host", GPA: dataGPA}
 	}
 
 	hpa := addr.Translate(hframe, dataGPA, hsize)
@@ -431,7 +492,7 @@ func (w *NestedECPT) Walk(now uint64, va addr.GVA) (WalkResult, error) {
 			GVA: va, HPA: res.Frame, Aux: lat,
 		})
 	}
-	return res, nil
+	return nil
 }
 
 // traceFault records a walk terminated by a missing mapping. gpa is 0

@@ -144,6 +144,18 @@ type NativeRadix struct {
 	pwc   *pwc[addr.GVA, addr.GPA]
 	steps []radix.Step[addr.GPA] // reusable walk scratch
 	rec   *trace.Recorder
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	BatchState
+}
+
+// WalkBatch implements Walker. A radix walk is a serial pointer chase
+// with no internal parallel stages, so each lane's whole latency forms
+// one overlap stage.
+//
+//nestedlint:hotpath
+func (w *NativeRadix) WalkBatch(now uint64, gvas []addr.GVA, out []WalkResult, errs []error) uint64 {
+	return SequentialWalkBatch(w, &w.BatchState, w.rec, trace.WalkerNativeRadix, now, gvas, out, errs)
 }
 
 // NewNativeRadix builds the walker over the kernel's radix table.
@@ -265,6 +277,18 @@ type NestedRadix struct {
 	hostW hostRadixWalker
 	steps []radix.Step[addr.GPA] // reusable guest walk scratch
 	rec   *trace.Recorder
+
+	// BatchState provides SetBatchMSHRs and the batch scratch.
+	BatchState
+}
+
+// WalkBatch implements Walker. The nested radix walk is a serial chase
+// through up to 24 dependent accesses, so each lane's whole latency
+// forms one overlap stage.
+//
+//nestedlint:hotpath
+func (w *NestedRadix) WalkBatch(now uint64, gvas []addr.GVA, out []WalkResult, errs []error) uint64 {
+	return SequentialWalkBatch(w, &w.BatchState, w.rec, trace.WalkerNestedRadix, now, gvas, out, errs)
 }
 
 // NewNestedRadix builds the walker over the guest radix table and the

@@ -79,6 +79,16 @@ func (e *ErrNotMapped) Error() string {
 type Walker interface {
 	// Walk translates va starting at core cycle now.
 	Walk(now uint64, va addr.GVA) (WalkResult, error)
+	// WalkBatch translates a batch of addresses issued together at
+	// cycle now, writing lane i's result and error into out[i] /
+	// errs[i] (both must hold at least len(gvas) elements). Lane
+	// results — including each out[i].Latency, which stays the lane's
+	// own sequential critical path — and every piece of simulator
+	// state are identical to len(gvas) sequential Walk calls at the
+	// same cycle; the returned value is the batch's MSHR-overlapped
+	// latency, bounded between the slowest lane and the sum of all
+	// lanes (see cachesim.OverlapWaves).
+	WalkBatch(now uint64, gvas []addr.GVA, out []WalkResult, errs []error) uint64
 	// Name identifies the design (matches Table 1's naming).
 	Name() string
 }

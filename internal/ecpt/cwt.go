@@ -32,17 +32,36 @@ type cwtEntry struct {
 	lines [LinesPerCWTEntry]cwtLineInfo
 }
 
+// cwtPage is one 4KB backing page of the CWT with its entries stored
+// inline: the page's frame, a liveness bitmap over its entries, and
+// the entry payloads themselves. Keeping a whole page behind a single
+// map slot is what makes Query — the hottest CWT operation, consulted
+// up to three times per walk side — one map lookup plus array
+// indexing, where a per-entry map cost three lookups (entry, entry
+// again for its PA, page frame).
+type cwtPage[P addr.Addr] struct {
+	base    P
+	live    uint64 // bitmap over entries: which have been created
+	entries [entriesPerPage]cwtEntry
+}
+
 // CWT is the software cuckoo walk table for one page size: the
 // OS-maintained structure that records which ECPT way (if any) holds
 // each translation, cached in hardware by the CWCs (§3.2). The
 // structure occupies real frames so CWC refills have physical
 // addresses to fetch.
 type CWT[P addr.Addr] struct {
-	size    addr.PageSize
-	alloc   *memsim.Allocator[P]
-	entries map[uint64]*cwtEntry
-	// pageBase maps a CWT page index to the frame backing it.
-	pageBase map[uint64]P
+	size     addr.PageSize
+	alloc    *memsim.Allocator[P]
+	pages    map[uint64]*cwtPage[P]
+	nEntries int
+	// One-slot page cache: consecutive queries of one walk (and of
+	// consecutive walks over a hot working set) land on the same CWT
+	// page, so remembering the last page skips even the single map
+	// lookup. Pages are never removed, so the cached pointer cannot go
+	// stale.
+	lastIdx  uint64
+	lastPage *cwtPage[P]
 }
 
 // entriesPerPage is how many CWT entries one 4KB backing page holds.
@@ -52,10 +71,9 @@ const entriesPerPage = 4096 / CWTEntryBytes
 // backed by frames from alloc.
 func NewCWT[P addr.Addr](size addr.PageSize, alloc *memsim.Allocator[P]) *CWT[P] {
 	return &CWT[P]{
-		size:     size,
-		alloc:    alloc,
-		entries:  make(map[uint64]*cwtEntry),
-		pageBase: make(map[uint64]P),
+		size:  size,
+		alloc: alloc,
+		pages: make(map[uint64]*cwtPage[P]),
 	}
 }
 
@@ -68,23 +86,45 @@ func EntryKey(tag uint64) uint64 { return tag / LinesPerCWTEntry }
 // KeyForVPN returns the CWT entry key covering a page number.
 func KeyForVPN(vpn uint64) uint64 { return EntryKey(lineTag(vpn)) }
 
-func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
-	if e, ok := c.entries[key]; ok {
-		return e
+// page returns the backing page holding key's entry, consulting the
+// one-slot cache first. When create is set a missing page is built and
+// its frame allocated — the same first-touch allocation point the
+// per-entry layout had, so allocator streams are unchanged.
+func (c *CWT[P]) page(key uint64, create bool) *cwtPage[P] {
+	idx := key / entriesPerPage
+	if pg := c.lastPage; pg != nil && c.lastIdx == idx {
+		return pg
 	}
-	if !create {
+	pg, ok := c.pages[idx]
+	if !ok {
+		if !create {
+			return nil
+		}
+		pg = &cwtPage[P]{base: c.alloc.MustAlloc(addr.Page4K, memsim.PurposeCWT)}
+		c.pages[idx] = pg
+	}
+	c.lastIdx, c.lastPage = idx, pg
+	return pg
+}
+
+func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
+	pg := c.page(key, create)
+	if pg == nil {
 		return nil
 	}
-	e := &cwtEntry{}
-	for i := range e.lines {
-		e.lines[i].way = wayAbsent
+	slot := key % entriesPerPage
+	if pg.live&(1<<slot) == 0 {
+		if !create {
+			return nil
+		}
+		e := &pg.entries[slot]
+		for i := range e.lines {
+			e.lines[i].way = wayAbsent
+		}
+		pg.live |= 1 << slot
+		c.nEntries++
 	}
-	c.entries[key] = e
-	pageIdx := key / entriesPerPage
-	if _, ok := c.pageBase[pageIdx]; !ok {
-		c.pageBase[pageIdx] = c.alloc.MustAlloc(addr.Page4K, memsim.PurposeCWT)
-	}
-	return e
+	return &pg.entries[slot]
 }
 
 // EntryPA returns the physical address (in the CWT's own address
@@ -92,8 +132,7 @@ func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
 // on first touch.
 func (c *CWT[P]) EntryPA(key uint64) P {
 	c.entry(key, true)
-	pageIdx := key / entriesPerPage
-	return c.pageBase[pageIdx] + P((key%entriesPerPage)*CWTEntryBytes)
+	return c.page(key, true).base + P((key%entriesPerPage)*CWTEntryBytes)
 }
 
 // setWay records that the line with the given tag lives in way; called
@@ -156,29 +195,52 @@ type Info[P addr.Addr] struct {
 	EntryPA  P
 }
 
-// Query returns the walk-pruning information for vpn.
+// Query returns the walk-pruning information for vpn. It never creates
+// the entry: a missing entry reports only its key, and EntryPA is
+// populated (straight off the page, no allocation) only for entries
+// that already exist — callers needing a PA for a missing entry go
+// through EntryPA, which is the allocating first-touch point.
 func (c *CWT[P]) Query(vpn uint64) Info[P] {
-	key := KeyForVPN(vpn)
-	e := c.entry(key, false)
-	if e == nil {
-		return Info[P]{EntryKey: key}
+	var info Info[P]
+	c.QueryInto(vpn, &info)
+	return info
+}
+
+// QueryInto is Query writing into caller-owned storage — the walkers'
+// form: planWalk consults up to three CWTs per plan on every
+// translation, and filling a reused Info in place keeps the struct off
+// the call-return path.
+//
+//nestedlint:hotpath
+func (c *CWT[P]) QueryInto(vpn uint64, out *Info[P]) {
+	tag := lineTag(vpn)
+	key := EntryKey(tag)
+	pg := c.page(key, false)
+	if pg == nil {
+		*out = Info[P]{EntryKey: key}
+		return
 	}
-	li := e.lines[lineTag(vpn)%LinesPerCWTEntry]
-	return Info[P]{
+	slot := key % entriesPerPage
+	if pg.live&(1<<slot) == 0 {
+		*out = Info[P]{EntryKey: key}
+		return
+	}
+	li := &pg.entries[slot].lines[tag%LinesPerCWTEntry]
+	*out = Info[P]{
 		EntryExists: true,
 		WayKnown:    li.way != wayAbsent,
 		Way:         li.way,
 		Present:     li.present&(1<<lineSlot(vpn)) != 0,
 		HasSmaller:  li.hasSmaller,
 		EntryKey:    key,
-		EntryPA:     c.EntryPA(key),
+		EntryPA:     pg.base + P(slot*CWTEntryBytes),
 	}
 }
 
 // Entries returns the number of live CWT entries.
-func (c *CWT[P]) Entries() int { return len(c.entries) }
+func (c *CWT[P]) Entries() int { return c.nEntries }
 
 // MemoryBytes returns the frames backing the CWT, for §9.5 accounting.
 func (c *CWT[P]) MemoryBytes() uint64 {
-	return uint64(len(c.pageBase)) * addr.Page4K.Bytes()
+	return uint64(len(c.pages)) * addr.Page4K.Bytes()
 }

@@ -90,14 +90,23 @@ type line[P addr.Addr] struct {
 // with per-way hash functions and physical base addresses.
 type generation[P addr.Addr] struct {
 	linesPerWay int
-	ways        [][]line[P]
-	hash        []vhash.Func
-	basePA      []P
+	// mask enables the index fast path when linesPerWay is a power of
+	// two (Table 2's sizes all are, and doubling resizes preserve it):
+	// hash & mask replaces a hardware divide on the probe hot path.
+	// pow2 gates it because mask == 0 is the legitimate mask of a
+	// one-line way.
+	mask uint64
+	pow2 bool
+	ways [][]line[P]
+	hash []vhash.Func
+	basePA []P
 }
 
 func (t *Table[P]) newGeneration(linesPerWay int) *generation[P] {
 	g := &generation[P]{
 		linesPerWay: linesPerWay,
+		mask:        uint64(linesPerWay - 1),
+		pow2:        linesPerWay&(linesPerWay-1) == 0,
 		ways:        make([][]line[P], t.cfg.Ways),
 		hash:        make([]vhash.Func, t.cfg.Ways),
 		basePA:      make([]P, t.cfg.Ways),
@@ -112,7 +121,11 @@ func (t *Table[P]) newGeneration(linesPerWay int) *generation[P] {
 }
 
 func (g *generation[P]) index(w int, tag uint64) int {
-	return int(g.hash[w].Hash(tag) % uint64(g.linesPerWay))
+	h := g.hash[w].Hash(tag)
+	if g.pow2 {
+		return int(h & g.mask)
+	}
+	return int(h % uint64(g.linesPerWay))
 }
 
 func (g *generation[P]) linePA(w, idx int) P {

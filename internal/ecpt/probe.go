@@ -39,20 +39,43 @@ const AllWays = -1
 //nestedlint:hotpath
 func (t *Table[P]) AppendProbes(dst []Probe[P], vpn uint64, way int) []Probe[P] {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
+	if way != AllWays {
+		// Direct walk: the CWC pinned the way, so exactly one bucket
+		// (plus its unmigrated old-generation twin during a resize) is
+		// probed — the warm-path shape, kept branch-free in the loop.
+		return t.appendWayProbes(dst, way, tag, slot)
+	}
 	for w := 0; w < t.cfg.Ways; w++ {
-		if way != AllWays && w != way {
-			continue
-		}
-		idx := t.cur.index(w, tag)
-		dst = append(dst, t.makeProbe(t.cur, w, idx, tag, slot))
-		if t.old != nil {
-			oidx := t.old.index(w, tag)
-			if oidx >= t.migratePtr[w] {
-				dst = append(dst, t.makeProbe(t.old, w, oidx, tag, slot))
-			}
+		dst = t.appendWayProbes(dst, w, tag, slot)
+	}
+	return dst
+}
+
+//nestedlint:hotpath
+func (t *Table[P]) appendWayProbes(dst []Probe[P], w int, tag uint64, slot int) []Probe[P] {
+	idx := t.cur.index(w, tag)
+	dst = appendProbe(dst)
+	t.fillProbe(&dst[len(dst)-1], t.cur, w, idx, tag, slot)
+	if t.old != nil {
+		oidx := t.old.index(w, tag)
+		if oidx >= t.migratePtr[w] {
+			dst = appendProbe(dst)
+			t.fillProbe(&dst[len(dst)-1], t.old, w, oidx, tag, slot)
 		}
 	}
 	return dst
+}
+
+// appendProbe extends dst by one element, reusing capacity when the
+// caller recycles its buffer (the walkers' steady state) so the probe
+// is filled in place rather than copied through an append.
+//
+//nestedlint:hotpath
+func appendProbe[P addr.Addr](dst []Probe[P]) []Probe[P] {
+	if len(dst) < cap(dst) {
+		return dst[:len(dst)+1]
+	}
+	return append(dst, Probe[P]{})
 }
 
 // ProbesFor returns the memory accesses needed to look up vpn in a
@@ -63,8 +86,8 @@ func (t *Table[P]) ProbesFor(vpn uint64, way int) []Probe[P] {
 	return t.AppendProbes(make([]Probe[P], 0, 2*t.cfg.Ways), vpn, way)
 }
 
-func (t *Table[P]) makeProbe(g *generation[P], w, idx int, tag uint64, slot int) Probe[P] {
-	p := Probe[P]{Way: w, PA: g.linePA(w, idx)}
+func (t *Table[P]) fillProbe(p *Probe[P], g *generation[P], w, idx int, tag uint64, slot int) {
+	*p = Probe[P]{Way: w, PA: g.linePA(w, idx)}
 	ln := &g.ways[w][idx]
 	if ln.valid && ln.tag == tag {
 		p.TagMatch = true
@@ -73,5 +96,4 @@ func (t *Table[P]) makeProbe(g *generation[P], w, idx int, tag uint64, slot int)
 			p.Frame = ln.frames[slot]
 		}
 	}
-	return p
 }

@@ -103,6 +103,11 @@ type Settings struct {
 	// retrieve them with Suite.Traces. Traces accumulate in run-plan
 	// order, so the set is identical at every Parallelism.
 	Trace bool
+	// BatchSize, when > 1, runs every simulation with the batched
+	// walk pipeline (sim.Config.BatchSize); BatchMSHRs sets its
+	// overlap width.
+	BatchSize  int
+	BatchMSHRs int
 }
 
 // DefaultSettings returns the full evaluation scale.
@@ -198,6 +203,8 @@ func (s *Suite) config(k runKey) sim.Config {
 	cfg.WarmupAccesses = s.Settings.Warmup
 	cfg.MeasureAccesses = s.Settings.Measure
 	cfg.WorkloadOpts = workload.Options{Scale: s.Settings.Scale, Seed: s.Settings.Seed}
+	cfg.BatchSize = s.Settings.BatchSize
+	cfg.BatchMSHRs = s.Settings.BatchMSHRs
 	if k.design == sim.DesignNestedECPT {
 		cfg.Tech = k.tech.Techniques()
 		cfg.NestedECPT = core.DefaultNestedECPTConfig(cfg.Tech)

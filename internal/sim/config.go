@@ -160,6 +160,17 @@ type Config struct {
 	Hierarchy cachesim.HierarchyConfig
 	Timing    TimingConfig
 
+	// BatchSize issues this many application accesses per pipeline
+	// step; the page walks their L2 TLB misses trigger go through
+	// Walker.WalkBatch and overlap in the MSHR model. Zero or one
+	// keeps the sequential one-access-at-a-time pipeline (bit-exact
+	// with earlier versions).
+	BatchSize int
+	// BatchMSHRs bounds how many of a batch's walker memory probes
+	// may be in flight at once (miss-status holding registers); zero
+	// takes cachesim.DefaultWalkMSHRs, one serializes the batch.
+	BatchMSHRs int
+
 	// ECPTWays overrides the paper's d=3 cuckoo ways in every elastic
 	// table (guest and host), for the ways-ablation study; zero keeps 3.
 	ECPTWays int
@@ -246,6 +257,12 @@ func (c *Config) normalize(footprint uint64) error {
 	}
 	if c.Cores == 0 {
 		c.Cores = 8
+	}
+	if c.BatchSize < 0 {
+		c.BatchSize = 0
+	}
+	if c.BatchMSHRs < 0 {
+		c.BatchMSHRs = 0
 	}
 	c.Hierarchy = c.Hierarchy.Scaled(c.CacheScale)
 	// The L3 is shared: the paper runs the application on all 8 cores,

@@ -1,0 +1,87 @@
+package sim
+
+// FuzzWalkBatch drives the differential batch oracle with fuzzer-chosen
+// lane sequences: arbitrary mixes of mapped, duplicated, and unmapped
+// addresses, at arbitrary batch lengths (including zero and one). The
+// batched arm must never panic and must return element-wise the exact
+// results and errors of the sequential arm.
+
+import (
+	"sync"
+	"testing"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/core"
+)
+
+var (
+	fuzzOnce sync.Once
+	// fuzzMu serializes fuzz executions: both arms share state across
+	// executions and must see every lane sequence in the same order.
+	fuzzMu   sync.Mutex
+	fuzzSeq  *Machine
+	fuzzBat  *Machine
+	fuzzVAs  []addr.GVA
+	fuzzOuts []core.WalkResult
+	fuzzErrs []error
+)
+
+// fuzzLane decodes one input byte into a lane address: most values
+// pick from the mapped pool (with natural duplicates), every eighth
+// points outside any VMA so fault lanes interleave freely.
+func fuzzLane(c byte) addr.GVA {
+	if c%8 == 7 {
+		return addr.Add(addr.GVA(0x6000_0000_0000), uint64(c>>3)*4096)
+	}
+	return fuzzVAs[int(c)%len(fuzzVAs)]
+}
+
+func FuzzWalkBatch(f *testing.F) {
+	f.Add([]byte{})                               // zero-length batch
+	f.Add([]byte{3})                              // single element
+	f.Add([]byte{9, 9, 9, 9})                     // duplicate GVAs
+	f.Add([]byte{7, 0, 15, 1, 23, 2})             // unmapped interleaved
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 8, 9, 10})  // plain mapped batch
+	f.Add([]byte{255, 254, 253, 7, 7, 12, 12, 0}) // mixed tail
+
+	fuzzOnce.Do(func() {
+		fuzzSeq, fuzzVAs = oracleMachine(f, DesignNestedECPT, "GUPS", true)
+		fuzzBat, _ = oracleMachine(f, DesignNestedECPT, "GUPS", true)
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzMu.Lock()
+		defer fuzzMu.Unlock()
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		lanes := make([]addr.GVA, len(data))
+		for i, c := range data {
+			lanes[i] = fuzzLane(c)
+		}
+		seqOut := make([]core.WalkResult, len(lanes))
+		seqErr := make([]error, len(lanes))
+		for i, va := range lanes {
+			seqOut[i], seqErr[i] = fuzzSeq.walker.Walk(oracleNow, va)
+		}
+		if cap(fuzzOuts) < len(lanes) {
+			fuzzOuts = make([]core.WalkResult, len(lanes))
+			fuzzErrs = make([]error, len(lanes))
+		}
+		outs, errs := fuzzOuts[:len(lanes)], fuzzErrs[:len(lanes)]
+		lat := fuzzBat.walker.WalkBatch(oracleNow, lanes, outs, errs)
+		if len(lanes) == 0 && lat != 0 {
+			t.Fatalf("zero-length batch returned latency %d", lat)
+		}
+		checkBatchLatency(t, lat, outs, errs)
+		for i := range lanes {
+			if seqOut[i] != outs[i] {
+				t.Fatalf("lane %d (%#x): result diverged\n  sequential %+v\n  batched    %+v",
+					i, lanes[i], seqOut[i], outs[i])
+			}
+			if !sameErr(seqErr[i], errs[i]) {
+				t.Fatalf("lane %d (%#x): error diverged: %v vs %v", i, lanes[i], seqErr[i], errs[i])
+			}
+		}
+	})
+}

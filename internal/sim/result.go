@@ -27,6 +27,13 @@ type Result struct {
 	Walks       uint64
 	WalkLatency *stats.Histogram
 	WalkCycles  uint64
+	// Batches counts WalkBatch invocations with at least one lane;
+	// BatchWalkCycles is the sum of their MSHR-overlapped critical
+	// paths. Zero when BatchSize <= 1. WalkCycles still accumulates
+	// per-lane sequential latencies, so WalkCycles - BatchWalkCycles
+	// is the stall time batching hid.
+	Batches         uint64
+	BatchWalkCycles uint64
 	// MMUBusyCycles adds background MMU work to WalkCycles (Figure 10).
 	MMUBusyCycles uint64
 	// MMUAccesses counts all MMU-issued memory requests, critical-path
@@ -93,6 +100,16 @@ func (r *Result) L3MPKI() float64 {
 // MMUL2Misses returns L2 misses initiated by the MMU (the STC's
 // "reduces MMU-initiated L2 misses by 17%" claim).
 func (r *Result) MMUL2Misses() uint64 { return r.L2Stats.Misses[cachesim.SourceMMU] }
+
+// WalkOverlapSpeedup returns the ratio of per-lane walk cycles to the
+// MSHR-overlapped batch critical path — how much latency batching hid.
+// Returns 1 when the run was not batched.
+func (r *Result) WalkOverlapSpeedup() float64 {
+	if r.BatchWalkCycles == 0 {
+		return 1
+	}
+	return float64(r.WalkCycles) / float64(r.BatchWalkCycles)
+}
 
 // WalksPKI returns page walks per kilo instruction.
 func (r *Result) WalksPKI() float64 {

@@ -40,7 +40,28 @@ type Machine struct {
 	// rec, when set, receives walk-trace events for the measured phase.
 	rec *trace.Recorder
 
+	// batch holds the reusable scratch for the batched pipeline.
+	batch batchScratch
+
 	res Result
+}
+
+// batchScratch is the per-machine scratch the batched step reuses so
+// the measure loop stays allocation-free.
+type batchScratch struct {
+	accs   []workload.Access
+	frames []addr.HPA
+	sizes  []addr.PageSize
+	// lanes maps each missing access to its index in accs, and
+	// laneWalk to the unique walk (index into vas) servicing it:
+	// secondary misses to a page already in flight coalesce onto the
+	// primary's walk, as MSHR secondary misses do. vas, outs and errs
+	// are the WalkBatch arguments for the unique walks.
+	lanes    []int
+	laneWalk []int
+	vas      []addr.GVA
+	outs     []core.WalkResult
+	errs     []error
 }
 
 // NewMachine builds the system for cfg without running it.
@@ -117,6 +138,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.walker = baselines.NewFlatNested(m.mem, m.kern, m.hyp)
 	default:
 		return nil, fmt.Errorf("sim: unhandled design %v", cfg.Design)
+	}
+
+	if cfg.BatchMSHRs > 0 {
+		type mshrSetter interface{ SetBatchMSHRs(int) }
+		if s, ok := m.walker.(mshrSetter); ok {
+			s.SetBatchMSHRs(cfg.BatchMSHRs)
+		}
 	}
 
 	for i := 1; i < cfg.Cores; i++ {
@@ -219,22 +247,27 @@ func (m *Machine) walk(va addr.GVA) (core.WalkResult, error) {
 		if attempt > 64 {
 			return res, fmt.Errorf("sim: walk for %#x cannot converge: %w", va, err)
 		}
-		m.cycles += float64(m.cfg.Timing.PageFaultCycles)
-		if nm.Space == "host" {
-			if m.hyp == nil {
-				return res, err
-			}
-			m.res.HostFaults++
-			if _, err := m.hyp.EnsureMapped(nm.GPA, nm.PageTable); err != nil {
-				return res, err
-			}
-			continue
-		}
-		m.res.GuestFaults++
-		if _, _, err := m.kern.Touch(nm.GVA); err != nil {
+		if err := m.serviceFault(nm); err != nil {
 			return res, err
 		}
 	}
+}
+
+// serviceFault charges fault-entry cycles and repairs the mapping an
+// ErrNotMapped walk error reported, so the walk can be retried.
+func (m *Machine) serviceFault(nm *core.ErrNotMapped) error {
+	m.cycles += float64(m.cfg.Timing.PageFaultCycles)
+	if nm.Space == "host" {
+		if m.hyp == nil {
+			return nm
+		}
+		m.res.HostFaults++
+		_, err := m.hyp.EnsureMapped(nm.GPA, nm.PageTable)
+		return err
+	}
+	m.res.GuestFaults++
+	_, _, err := m.kern.Touch(nm.GVA)
+	return err
 }
 
 // dataPA resolves the final physical address the CPU's data access
@@ -301,6 +334,135 @@ func (m *Machine) step(measure bool) error {
 	if measure {
 		m.res.Instructions += acc.Gap + 1 // the access is an instruction too
 		m.res.MemAccesses++
+	}
+	return nil
+}
+
+// stepBatch runs n application accesses through the machine as one
+// pipeline step: every L2-TLB-missing lane goes through a single
+// Walker.WalkBatch call, so the walks overlap in the MSHR model and
+// the core stalls for the overlapped critical path instead of the
+// per-lane sum. Functional behaviour per lane is identical to step()
+// except that the batch's TLB probes all precede its fills — the
+// lanes are in flight together, so a duplicate VA misses (and walks)
+// once per lane, as replayed MSHR lanes would.
+func (m *Machine) stepBatch(measure bool, n int) error {
+	t := &m.cfg.Timing
+	b := &m.batch
+	b.accs = b.accs[:0]
+	for i := 0; i < n; i++ {
+		b.accs = append(b.accs, m.gen.Next())
+	}
+
+	// Execution gaps and demand faults, in program order.
+	for i := range b.accs {
+		m.cycles += float64(b.accs[i].Gap) / t.IssueWidth
+		if err := m.prefault(b.accs[i].VA); err != nil {
+			return err
+		}
+	}
+
+	// Address translation: probe the TLB for every lane, coalescing
+	// the misses into unique in-flight walks. A secondary miss to a
+	// page whose walk is already in flight rides that walk instead of
+	// issuing its own — the MSHR merge real hardware performs, and
+	// what keeps a read-modify-write pair inside one batch from
+	// walking twice where the sequential pipeline would TLB-hit.
+	b.frames, b.sizes = b.frames[:0], b.sizes[:0]
+	b.lanes, b.laneWalk, b.vas = b.lanes[:0], b.laneWalk[:0], b.vas[:0]
+	for i := range b.accs {
+		tr := m.tlb.Access(b.accs[i].VA)
+		m.cycles += float64(tr.Latency)
+		b.frames = append(b.frames, tr.Frame)
+		b.sizes = append(b.sizes, tr.Size)
+		if !tr.Hit() {
+			vpn := addr.VPN(b.accs[i].VA, addr.Page4K)
+			w := -1
+			for j := range b.vas {
+				if addr.VPN(b.vas[j], addr.Page4K) == vpn {
+					w = j
+					break
+				}
+			}
+			if w < 0 {
+				w = len(b.vas)
+				b.vas = append(b.vas, b.accs[i].VA)
+			}
+			b.lanes = append(b.lanes, i)
+			b.laneWalk = append(b.laneWalk, w)
+		}
+	}
+
+	if len(b.vas) > 0 {
+		if cap(b.outs) < len(b.vas) {
+			b.outs = make([]core.WalkResult, len(b.vas))
+			b.errs = make([]error, len(b.vas))
+		}
+		outs, errs := b.outs[:len(b.vas)], b.errs[:len(b.vas)]
+		batchLat := m.walker.WalkBatch(m.now(), b.vas, outs, errs)
+		m.cycles += float64(batchLat) * t.ExposedWalkFrac
+
+		for li := range outs {
+			// Faulted walks replay sequentially after fault service,
+			// as hardware would; faults are rare in steady state, so
+			// the serialization is negligible and its latency is
+			// charged on top of the batch's critical path.
+			if errs[li] != nil {
+				var nm *core.ErrNotMapped
+				if !errors.As(errs[li], &nm) {
+					return errs[li]
+				}
+				if err := m.serviceFault(nm); err != nil {
+					return err
+				}
+				wres, err := m.walk(b.vas[li])
+				if err != nil {
+					return err
+				}
+				m.cycles += float64(wres.Latency) * t.ExposedWalkFrac
+				outs[li] = wres
+			}
+			wres := &outs[li]
+			m.tlb.Fill(b.vas[li], wres.Size, wres.Frame)
+			if measure {
+				m.res.Walks++
+				m.res.WalkCycles += wres.Latency
+				m.res.MMUBusyCycles += wres.Latency + wres.BackgroundCycles
+				m.res.MMUAccesses += uint64(wres.Accesses + wres.BackgroundAccesses)
+				m.res.WalkLatency.Observe(wres.Latency)
+			}
+		}
+		for li, i := range b.lanes {
+			wres := &outs[b.laneWalk[li]]
+			b.frames[i], b.sizes[i] = wres.Frame, wres.Size
+		}
+		if measure {
+			m.res.Batches++
+			m.res.BatchWalkCycles += batchLat
+		}
+	}
+
+	// The data accesses themselves, in program order.
+	for i := range b.accs {
+		pa := m.dataPA(b.frames[i], b.accs[i].VA, b.sizes[i])
+		lat, served := m.mem.Access(m.now(), pa, cachesim.SourceCPU)
+		if b.accs[i].Write {
+			m.cycles += float64(lat) * t.ExposedWriteFrac
+		} else {
+			m.cycles += float64(lat) * t.ExposedReadFrac
+		}
+		if served >= cachesim.ServedL3 {
+			for _, g := range m.corunners {
+				racc := g.Next()
+				if err := m.injectRemote(racc.VA); err != nil {
+					return err
+				}
+			}
+		}
+		if measure {
+			m.res.Instructions += b.accs[i].Gap + 1
+			m.res.MemAccesses++
+		}
 	}
 	return nil
 }
@@ -396,14 +558,30 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	startCycles := m.cycles
-	for i := uint64(0); i < m.cfg.MeasureAccesses; i++ {
-		if i%ctxCheckInterval == 0 {
+	if m.cfg.BatchSize > 1 {
+		for i := uint64(0); i < m.cfg.MeasureAccesses; {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			n := uint64(m.cfg.BatchSize)
+			if rem := m.cfg.MeasureAccesses - i; rem < n {
+				n = rem
+			}
+			if err := m.stepBatch(true, int(n)); err != nil {
+				return nil, fmt.Errorf("sim: measured access %d: %w", i, err)
+			}
+			i += n
 		}
-		if err := m.step(true); err != nil {
-			return nil, fmt.Errorf("sim: measured access %d: %w", i, err)
+	} else {
+		for i := uint64(0); i < m.cfg.MeasureAccesses; i++ {
+			if i%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if err := m.step(true); err != nil {
+				return nil, fmt.Errorf("sim: measured access %d: %w", i, err)
+			}
 		}
 	}
 	m.res.Cycles = uint64(m.cycles - startCycles)

@@ -186,22 +186,65 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// distHotSlots is how many distinct categories a Distribution counts
+// inline before spilling to a map. Four covers the walk-class
+// vocabulary (Direct / Size / Partial / Complete), so the per-walk
+// Observe calls on the translation hot path never touch a map.
+const distHotSlots = 4
+
 // Distribution accumulates named-category counts, used for the walk
 // breakdown of Figure 14 (Direct / Size / Partial / Complete).
+//
+// The first distHotSlots distinct category names live in fixed inline
+// slots; later ones spill to a lazily-created map. Observe is called
+// several times per page walk with a tiny, stable vocabulary, so the
+// inline scan (which compares interned name pointers before bytes)
+// replaces a string-keyed map assignment on the hot path. The slot
+// layout is a deterministic function of the observation sequence:
+// two Distributions fed identical sequences are deeply equal, which
+// the batch-oracle tests rely on.
 type Distribution struct {
-	counts map[string]uint64
-	total  uint64
+	hotNames  [distHotSlots]string
+	hotCounts [distHotSlots]uint64
+	hot       int
+	overflow  map[string]uint64
+	total     uint64
 }
 
 // NewDistribution returns an empty distribution.
 func NewDistribution() *Distribution {
-	return &Distribution{counts: make(map[string]uint64)}
+	return &Distribution{}
 }
 
 // Observe counts one event in category name.
 func (d *Distribution) Observe(name string) {
-	d.counts[name]++
 	d.total++
+	for i := 0; i < d.hot; i++ {
+		if d.hotNames[i] == name {
+			d.hotCounts[i]++
+			return
+		}
+	}
+	if d.hot < distHotSlots {
+		d.hotNames[d.hot] = name
+		d.hotCounts[d.hot] = 1
+		d.hot++
+		return
+	}
+	if d.overflow == nil {
+		d.overflow = make(map[string]uint64)
+	}
+	d.overflow[name]++
+}
+
+// count returns category name's count across slots and overflow.
+func (d *Distribution) count(name string) uint64 {
+	for i := 0; i < d.hot; i++ {
+		if d.hotNames[i] == name {
+			return d.hotCounts[i]
+		}
+	}
+	return d.overflow[name]
 }
 
 // Fraction returns category name's share of all events.
@@ -209,7 +252,7 @@ func (d *Distribution) Fraction(name string) float64 {
 	if d.total == 0 {
 		return 0
 	}
-	return float64(d.counts[name]) / float64(d.total)
+	return float64(d.count(name)) / float64(d.total)
 }
 
 // Total returns the number of observed events.
@@ -217,9 +260,10 @@ func (d *Distribution) Total() uint64 { return d.total }
 
 // Categories returns the category names in sorted order.
 func (d *Distribution) Categories() []string {
-	out := make([]string, 0, len(d.counts))
+	out := make([]string, 0, d.hot+len(d.overflow))
+	out = append(out, d.hotNames[:d.hot]...)
 	//nestedlint:ignore iteration order is erased by the sort below before any key is observable
-	for k := range d.counts {
+	for k := range d.overflow {
 		out = append(out, k)
 	}
 	sort.Strings(out)

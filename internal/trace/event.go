@@ -63,6 +63,15 @@ const (
 	// KindAdaptToggle records the adaptive controller enabling
 	// (Flag=true) or disabling (Flag=false) one CWC class.
 	KindAdaptToggle
+	// KindBatchBegin opens one batched walk group (WalkBatch): Aux is
+	// the number of lanes the batch carries. Every KindWalkBegin /
+	// KindWalkEnd / KindFault between the bracket events belongs to one
+	// of those lanes.
+	KindBatchBegin
+	// KindBatchEnd closes a batch: Aux is the MSHR-overlapped batch
+	// latency, which the auditor bounds between the slowest lane and the
+	// sum of all lanes.
+	KindBatchEnd
 	numKinds
 )
 
@@ -71,7 +80,7 @@ const (
 var kindNames = [numKinds]string{
 	"Invalid", "WalkBegin", "StepBegin", "Probe", "CacheHit", "CacheMiss",
 	"CacheInsert", "Refill", "WalkEnd", "Fault", "ResizeStart", "ResizeEnd",
-	"MigrateLine", "AdaptInterval", "AdaptToggle",
+	"MigrateLine", "AdaptInterval", "AdaptToggle", "BatchBegin", "BatchEnd",
 }
 
 // String names the kind as it appears in JSONL.

@@ -1,0 +1,109 @@
+package traceaudit
+
+import (
+	"testing"
+
+	"nestedecpt/internal/trace"
+)
+
+// batchWrap brackets the given lane walks in one batch: a BatchBegin
+// declaring lanes, the walks, and a BatchEnd reporting endLat as the
+// overlapped batch latency.
+func batchWrap(lanes uint64, endLat uint64, walks ...[]trace.Event) []trace.Event {
+	w := trace.WalkerNestedECPT
+	events := []trace.Event{{Now: 100, Kind: trace.KindBatchBegin, Walker: w,
+		Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, Aux: lanes}}
+	for _, lane := range walks {
+		events = append(events, lane...)
+	}
+	return append(events, trace.Event{Now: 100 + endLat, Kind: trace.KindBatchEnd, Walker: w,
+		Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, Aux: endLat})
+}
+
+// faultedWalk is a conformant lane that ends in a fault instead of a
+// translation: it reports no critical-path latency.
+func faultedWalk(now uint64) []trace.Event {
+	w := trace.WalkerNestedECPT
+	return []trace.Event{
+		{Now: now, Kind: trace.KindWalkBegin, Walker: w, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x9000},
+		{Now: now, Kind: trace.KindStepBegin, Walker: w, Step: 1, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x9000},
+		{Now: now + 5, Kind: trace.KindFault, Walker: w, Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone, GVA: 0x9000},
+	}
+}
+
+// Each goodWalk lane reports latency 30 in its WalkEnd, so a two-lane
+// batch must end with Aux in [30, 60].
+func TestCleanBatchAudits(t *testing.T) {
+	events := batchWrap(2, 45, goodWalk(100), goodWalk(200))
+	wantClean(t, seqd(events), testSpec())
+}
+
+func TestBatchBracketDiscipline(t *testing.T) {
+	t.Run("nested batch", func(t *testing.T) {
+		inner := batchWrap(1, 30, goodWalk(100))
+		events := batchWrap(2, 45, goodWalk(100), inner)
+		wantRule(t, seqd(events), testSpec(), "batch-nested")
+	})
+	t.Run("begin inside walk", func(t *testing.T) {
+		lane := goodWalk(100)
+		events := append(lane[:2:2], batchWrap(1, 30, goodWalk(100))...)
+		wantRule(t, seqd(events), testSpec(), "batch-inside-walk")
+	})
+	t.Run("end inside walk", func(t *testing.T) {
+		events := batchWrap(1, 30, goodWalk(100)[:4])
+		wantRule(t, seqd(events), testSpec(), "batch-inside-walk")
+	})
+	t.Run("zero lanes", func(t *testing.T) {
+		wantRule(t, seqd(batchWrap(0, 0)), testSpec(), "batch-lanes")
+	})
+	t.Run("end without begin", func(t *testing.T) {
+		events := batchWrap(1, 30, goodWalk(100))[1:]
+		wantRule(t, seqd(events), testSpec(), "batch-unopened")
+	})
+	t.Run("truncated", func(t *testing.T) {
+		events := batchWrap(2, 45, goodWalk(100), goodWalk(200))
+		wantRule(t, seqd(events[:len(events)-1]), testSpec(), "batch-truncated")
+	})
+}
+
+func TestBatchLaneCount(t *testing.T) {
+	t.Run("fewer walks than declared", func(t *testing.T) {
+		events := batchWrap(3, 45, goodWalk(100), goodWalk(200))
+		wantRule(t, seqd(events), testSpec(), "batch-lane-count")
+	})
+	t.Run("more walks than declared", func(t *testing.T) {
+		events := batchWrap(1, 45, goodWalk(100), goodWalk(200))
+		wantRule(t, seqd(events), testSpec(), "batch-lane-count")
+	})
+	t.Run("faulted lanes count", func(t *testing.T) {
+		events := batchWrap(2, 45, goodWalk(100), faultedWalk(200))
+		wantClean(t, seqd(events), testSpec())
+	})
+}
+
+func TestBatchLatencyBounds(t *testing.T) {
+	t.Run("below slowest lane", func(t *testing.T) {
+		events := batchWrap(2, 20, goodWalk(100), goodWalk(200))
+		wantRule(t, seqd(events), testSpec(), "batch-latency")
+	})
+	t.Run("above lane sum", func(t *testing.T) {
+		events := batchWrap(2, 100, goodWalk(100), goodWalk(200))
+		wantRule(t, seqd(events), testSpec(), "batch-latency")
+	})
+	t.Run("bounds inclusive", func(t *testing.T) {
+		wantClean(t, seqd(batchWrap(2, 30, goodWalk(100), goodWalk(200))), testSpec())
+		wantClean(t, seqd(batchWrap(2, 60, goodWalk(100), goodWalk(200))), testSpec())
+	})
+	t.Run("fault waives upper bound", func(t *testing.T) {
+		// A faulted lane charges its completed stages to the batch but
+		// reports no WalkEnd latency, so the sum-of-lanes ceiling no
+		// longer holds; the floor still does.
+		events := batchWrap(2, 100, goodWalk(100), faultedWalk(200))
+		wantClean(t, seqd(events), testSpec())
+	})
+	t.Run("single-lane batch is exact", func(t *testing.T) {
+		wantClean(t, seqd(batchWrap(1, 30, goodWalk(100))), testSpec())
+		wantRule(t, seqd(batchWrap(1, 29, goodWalk(100))), testSpec(), "batch-latency")
+		wantRule(t, seqd(batchWrap(1, 31, goodWalk(100))), testSpec(), "batch-latency")
+	})
+}

@@ -93,6 +93,17 @@ type auditor struct {
 	walkWalker trace.WalkerKind
 	curStep    int
 
+	// batch bracket state (KindBatchBegin/KindBatchEnd): a batch may
+	// not nest, must declare its lane count up front, and must contain
+	// exactly that many walks; its overlapped latency is bounded by the
+	// slowest lane below and the lane sum above.
+	batchOpen     bool
+	batchLanes    uint64
+	batchWalks    uint64
+	batchMaxLane  uint64
+	batchSumLane  uint64
+	batchHasFault bool
+
 	// resize state per (space, size); spaces 0..2 × sizes 0..2.
 	resize [3 * addr.NumPageSizes]uint8
 
@@ -122,6 +133,10 @@ func Audit(events []trace.Event, spec Spec) []Violation {
 	if a.walkOpen {
 		a.out = append(a.out, Violation{Seq: a.lastSeq, Rule: "walk-truncated",
 			Detail: "trace ends inside an open walk"})
+	}
+	if a.batchOpen {
+		a.out = append(a.out, Violation{Seq: a.lastSeq, Rule: "batch-truncated",
+			Detail: "trace ends inside an open batch"})
 	}
 	return a.out
 }
@@ -167,6 +182,9 @@ func (a *auditor) event(ev trace.Event) {
 			a.fail(ev, "walker-mixed", "walk by %q in a %q trace", ev.Walker, a.spec.Walker)
 		}
 		a.walkOpen, a.walkWalker, a.curStep = true, ev.Walker, 0
+		if a.batchOpen {
+			a.batchWalks++
+		}
 
 	case trace.KindStepBegin:
 		a.stepBegin(ev)
@@ -185,12 +203,30 @@ func (a *auditor) event(ev trace.Event) {
 			a.fail(ev, "walk-incomplete", "walk completed without any step")
 		}
 		a.walkOpen, a.curStep = false, 0
+		if a.batchOpen {
+			a.batchSumLane += ev.Aux
+			if ev.Aux > a.batchMaxLane {
+				a.batchMaxLane = ev.Aux
+			}
+		}
 
 	case trace.KindFault:
 		if !a.walkOpen {
 			a.fail(ev, "walk-unopened", "Fault without a matching WalkBegin")
 		}
 		a.walkOpen, a.curStep = false, 0
+		if a.batchOpen {
+			// A faulted lane reports no critical-path latency, but its
+			// completed stages are still charged to the batch, so the
+			// upper latency bound no longer holds.
+			a.batchHasFault = true
+		}
+
+	case trace.KindBatchBegin:
+		a.batchBegin(ev)
+
+	case trace.KindBatchEnd:
+		a.batchEnd(ev)
 
 	case trace.KindCacheHit, trace.KindCacheMiss, trace.KindCacheInsert:
 		a.cacheEvent(ev)
@@ -286,6 +322,51 @@ func (a *auditor) probe(ev trace.Event) {
 		ev.Step == 1 && ev.Space == trace.SpaceHost && !ev.Flag && ev.Size != addr.Page4K {
 		a.fail(ev, "step1-pte-only", "Step-1 host probe against the %v hECPT with PageTable4KB on", ev.Size)
 	}
+}
+
+// batchBegin opens a batch bracket: batches never nest, never start
+// inside an individual walk, and declare at least one lane.
+func (a *auditor) batchBegin(ev trace.Event) {
+	if a.batchOpen {
+		a.fail(ev, "batch-nested", "BatchBegin while a batch is already open")
+	}
+	if a.walkOpen {
+		a.fail(ev, "batch-inside-walk", "BatchBegin inside an open walk")
+	}
+	if ev.Aux == 0 {
+		a.fail(ev, "batch-lanes", "BatchBegin declaring zero lanes")
+	}
+	a.batchOpen = true
+	a.batchLanes = ev.Aux
+	a.batchWalks, a.batchMaxLane, a.batchSumLane = 0, 0, 0
+	a.batchHasFault = false
+}
+
+// batchEnd closes a batch bracket and checks the walk count against
+// the declared lanes and the overlapped latency against its bounds:
+// at least the slowest lane (overlap cannot beat the critical path of
+// one walk), at most the lane sum (an MSHR model can only help). The
+// upper bound is skipped when a lane faulted, because faulted lanes
+// charge their completed stages without reporting a lane latency.
+func (a *auditor) batchEnd(ev trace.Event) {
+	if !a.batchOpen {
+		a.fail(ev, "batch-unopened", "BatchEnd without a matching BatchBegin")
+		return
+	}
+	if a.walkOpen {
+		a.fail(ev, "batch-inside-walk", "BatchEnd inside an open walk")
+	}
+	if a.batchWalks != a.batchLanes {
+		a.fail(ev, "batch-lane-count", "batch declared %d lanes but contained %d walks",
+			a.batchLanes, a.batchWalks)
+	}
+	if ev.Aux < a.batchMaxLane {
+		a.fail(ev, "batch-latency", "batch latency %d below its slowest lane %d", ev.Aux, a.batchMaxLane)
+	}
+	if !a.batchHasFault && ev.Aux > a.batchSumLane {
+		a.fail(ev, "batch-latency", "batch latency %d above its lane sum %d", ev.Aux, a.batchSumLane)
+	}
+	a.batchOpen = false
 }
 
 // cacheEvent checks the §4.4 separation: guest-side walk structures

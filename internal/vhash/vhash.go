@@ -15,6 +15,26 @@ import (
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
+// crcSlices are slicing-by-8 tables derived from crcTable: slice 0 is
+// the byte-at-a-time table and slice k advances a remainder by k more
+// zero bytes. They let Hash fold all eight key bytes with independent
+// table lookups instead of an eight-deep dependent chain (the classic
+// slicing-by-8 construction; bit-identical to crc64.Update, pinned by
+// the equivalence test and the vhash fuzz corpus).
+var crcSlices = buildSlices()
+
+func buildSlices() *[8][256]uint64 {
+	var t [8][256]uint64
+	t[0] = *crcTable
+	for k := 1; k < 8; k++ {
+		for i := 0; i < 256; i++ {
+			prev := t[k-1][i]
+			t[k][i] = t[0][byte(prev)] ^ (prev >> 8)
+		}
+	}
+	return &t
+}
+
 // Func is a seeded hash function mapping a 64-bit key (a VPN) to a
 // 64-bit digest. Callers reduce the digest modulo their table size.
 type Func struct {
@@ -41,25 +61,30 @@ func New(table, way int) Func {
 // CRC with a multiplicative finalizer, which models what hardware
 // achieves by giving each way a differently-wired polynomial.
 //
-// The CRC is the byte-at-a-time crc64.Update recurrence unrolled over
-// the eight key bytes directly, skipping the []byte marshalling — this
-// runs once per (way, table) on every translation step, so it is the
-// single hottest function of the simulator. The digests are
-// bit-identical to the crc64.Update path (pinned by the equivalence
-// test and the vhash fuzz corpus).
+// The CRC consumes exactly the eight key bytes, so the byte-at-a-time
+// crc64.Update recurrence folds into one slicing-by-8 round: the
+// initial remainder (^seed) is XORed into the data word and each
+// resulting byte indexes its own table — eight independent loads where
+// the byte-serial chain had eight dependent ones. This runs once per
+// (way, table) on every translation step, so it is the single hottest
+// function of the simulator, and it is latency-bound, which is what
+// slicing-by-8 attacks. Note (key^seed)^(^seed) = ^key: the seed
+// cancels out of the folded word and differentiates the ways through
+// the multiplicative finalizer alone, exactly as in the byte-serial
+// form. The digests are bit-identical to the crc64.Update path (pinned
+// by the equivalence test and the vhash fuzz corpus).
 //
 //nestedlint:hotpath
 func (f Func) Hash(key uint64) uint64 {
-	k := key ^ f.seed
-	crc := ^f.seed
-	crc = crcTable[byte(crc)^byte(k)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>8)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>16)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>24)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>32)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>40)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>48)] ^ (crc >> 8)
-	crc = crcTable[byte(crc)^byte(k>>56)] ^ (crc >> 8)
+	x := ^key // == (key ^ f.seed) ^ ^f.seed: data word XOR initial remainder
+	crc := crcSlices[7][byte(x)] ^
+		crcSlices[6][byte(x>>8)] ^
+		crcSlices[5][byte(x>>16)] ^
+		crcSlices[4][byte(x>>24)] ^
+		crcSlices[3][byte(x>>32)] ^
+		crcSlices[2][byte(x>>40)] ^
+		crcSlices[1][byte(x>>48)] ^
+		crcSlices[0][byte(x>>56)]
 	return mix64(^crc * (f.seed | 1))
 }
 
