@@ -9,8 +9,10 @@
 #                `go run ./cmd/nestedlint -analyzer=addrspace -json ./...`
 #                isolates one analyzer with machine-readable output
 #   make race    race-detector tier (small, targeted: the sweep engine,
-#                the simulation core, and the trace recorder, at short
-#                test settings)
+#                the simulation core, the trace recorder, and the
+#                lock-free concurrent translation layer — the
+#                epoch-versioned ECPT generations and the multi-VM
+#                serve engine — at short test settings)
 #   make cover   full-suite coverage with a ratcheted minimum: fails if
 #                total statement coverage drops below COVER_BASELINE;
 #                writes cover.out for go tool cover -html inspection
@@ -22,13 +24,16 @@
 #                is the target's exit code
 #   make profile runs a representative sweep under the CPU and heap
 #                profilers; inspect with `go tool pprof cpu.pprof`
-#   make benchjson regenerates BENCH_3.json, the machine-readable
-#                walker performance snapshot (commit it when the walk
-#                path changes)
+#   make benchjson regenerates BENCH_4.json, the machine-readable
+#                walker + serve performance snapshot (commit it when
+#                the walk path changes)
 #   make benchdrift re-measures the walker benchmarks and compares them
-#                against the committed BENCH_3.json (non-blocking CI
+#                against the committed BENCH_4.json (non-blocking CI
 #                job; exits non-zero on allocation growth or a large
 #                time regression)
+#   make servesmoke short multi-VM throughput gate: nestedserve must
+#                sustain a modest translations/sec floor (CI runs it
+#                race-clean alongside)
 
 GO ?= go
 
@@ -59,12 +64,13 @@ lint: build
 
 # The race detector slows the simulator by roughly an order of
 # magnitude, so this tier runs only the packages with real concurrency
-# (the runner engine, the simulations it fans out, and the trace
-# recorder the parallel walks publish into) and trims the long-running
-# tests with -short.
+# (the runner engine, the simulations it fans out, the trace recorder
+# the parallel walks publish into, and the lock-free concurrent
+# translation layer: epoch-versioned ECPT snapshots and the multi-VM
+# serve engine) and trims the long-running tests with -short.
 race:
 	$(GO) test -race -short -count=1 -parallel 8 ./internal/runner ./internal/sim \
-		./internal/trace ./internal/traceaudit
+		./internal/trace ./internal/traceaudit ./internal/ecpt ./internal/serve
 
 # Coverage ratchet: total statement coverage may grow but not shrink.
 # Raise COVER_BASELINE when a PR meaningfully improves coverage; never
@@ -115,7 +121,16 @@ profile:
 	@echo "inspect with: $(GO) tool pprof cpu.pprof   (or mem.pprof)"
 
 benchjson:
-	$(GO) run ./cmd/benchjson -o BENCH_3.json
+	$(GO) run ./cmd/benchjson -o BENCH_4.json
 
 benchdrift:
-	$(GO) run ./cmd/benchjson -drift BENCH_3.json
+	$(GO) run ./cmd/benchjson -drift BENCH_4.json
+
+# Throughput smoke: a short serve run must clear a deliberately modest
+# floor (shared CI runners are slow and single-core; the committed
+# BENCH_4.json records the real rate). Keep the floor well under the
+# VM-density acceptance rate so the gate catches collapses, not noise.
+SERVE_MINRATE ?= 50000
+
+servesmoke:
+	$(GO) run ./cmd/nestedserve -vms 8 -duration 1s -minrate $(SERVE_MINRATE)

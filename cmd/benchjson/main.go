@@ -1,18 +1,20 @@
 // Command benchjson measures the walker hot path and emits the numbers
-// as machine-readable JSON (BENCH_3.json), so the performance
+// as machine-readable JSON (BENCH_4.json), so the performance
 // trajectory of the simulator is tracked in-repo alongside the figures.
 //
 // Usage:
 //
-//	benchjson                     # writes BENCH_3.json
+//	benchjson                     # writes BENCH_4.json
 //	benchjson -o out.json         # custom path
 //	benchjson -benchtime 2s       # longer measurement per entry
-//	benchjson -drift BENCH_3.json # re-measure and compare, no write
+//	benchjson -drift BENCH_4.json # re-measure and compare, no write
 //
 // The file carries the pre-optimization baseline of the headline
 // benchmark, the current headline walk configurations (ns/walk,
 // walks/sec, allocs/walk) for both the sequential Walk entry point and
-// the batched WalkBatch one, and the hash micro-benchmark. Regenerate
+// the batched WalkBatch one, the hash micro-benchmark, and — new in
+// generation 4 — the multi-VM serve throughput (aggregate
+// translations/sec of the lock-free concurrent walkers). Regenerate
 // with `make benchjson` after touching the walk path.
 //
 // Drift mode (`make benchdrift`) re-measures the same entries and
@@ -23,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +37,7 @@ import (
 
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/core"
+	"nestedecpt/internal/serve"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/vhash"
 )
@@ -65,6 +69,20 @@ type microEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// serveEntry snapshots one multi-VM serve run: wall-clock aggregate
+// throughput of the lock-free concurrent walkers plus the correctness
+// counters that must stay exact (no leaked generations).
+type serveEntry struct {
+	Name               string  `json:"name"`
+	VMs                int     `json:"vms"`
+	Workers            int     `json:"workers"`
+	TranslationsPerSec float64 `json:"translations_per_sec"`
+	P50Cycles          uint64  `json:"p50_cycles"`
+	P99Cycles          uint64  `json:"p99_cycles"`
+	Retries            uint64  `json:"retries"`
+	PendingReclaims    int     `json:"pending_reclaims"`
+}
+
 type document struct {
 	Schema    string `json:"schema"`
 	GoVersion string `json:"go_version"`
@@ -76,6 +94,7 @@ type document struct {
 	Baseline walkEntry    `json:"baseline"`
 	Walks    []walkEntry  `json:"walks"`
 	Micro    []microEntry `json:"micro"`
+	Serve    []serveEntry `json:"serve,omitempty"`
 }
 
 func fromResult(r testing.BenchmarkResult) (ns float64, ops float64, allocs, bytes int64) {
@@ -197,10 +216,31 @@ func benchHash() microEntry {
 	return microEntry{Name: "vhash.Hash", NsPerOp: ns, OpsPerSec: ops, AllocsPerOp: allocs, BytesPerOp: bytes}
 }
 
+// benchServe measures the multi-VM service's aggregate wall-clock
+// throughput on the shared smoke configuration.
+func benchServe(d time.Duration) (serveEntry, error) {
+	cfg := serve.DefaultConfig()
+	cfg.Duration = d
+	sum, err := serve.Run(context.Background(), cfg)
+	if err != nil {
+		return serveEntry{}, err
+	}
+	return serveEntry{
+		Name:               fmt.Sprintf("serve/%s/vms=%d", sum.Workload, sum.VMs),
+		VMs:                sum.VMs,
+		Workers:            sum.Workers,
+		TranslationsPerSec: sum.TranslationsPerSec,
+		P50Cycles:          sum.P50,
+		P99Cycles:          sum.P99,
+		Retries:            sum.Retries,
+		PendingReclaims:    sum.PendingReclaims,
+	}, nil
+}
+
 // measure runs the full benchmark suite and assembles the document.
 func measure() document {
 	doc := document{
-		Schema:    "nestedecpt-bench/3",
+		Schema:    "nestedecpt-bench/4",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -250,6 +290,13 @@ func measure() document {
 	fmt.Fprintf(os.Stderr, "%-40s %10.1f ns/op   %12.0f ops/s   %3d allocs/op\n",
 		hm.Name, hm.NsPerOp, hm.OpsPerSec, hm.AllocsPerOp)
 	doc.Micro = append(doc.Micro, hm)
+	se, err := benchServe(time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%-48s %12.0f translations/s  p50=%d p99=%d cycles\n",
+		se.Name, se.TranslationsPerSec, se.P50Cycles, se.P99Cycles)
+	doc.Serve = append(doc.Serve, se)
 	return doc
 }
 
@@ -302,6 +349,28 @@ func checkDrift(snapshot, fresh document, tolerance float64) int {
 				m.Name, base.NsPerOp, m.NsPerOp, tolerance*100)
 		}
 	}
+	snapServe := make(map[string]serveEntry, len(snapshot.Serve))
+	for _, s := range snapshot.Serve {
+		snapServe[s.Name] = s
+	}
+	for _, s := range fresh.Serve {
+		// Correctness counters are exact regardless of the snapshot: a
+		// leaked generation or runaway retry rate is a bug, not noise.
+		if s.PendingReclaims != 0 {
+			fail("%s: %d generations pending after final collect", s.Name, s.PendingReclaims)
+		}
+		base, ok := snapServe[s.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "note: %s not in snapshot; regenerate with `make benchjson`\n", s.Name)
+			continue
+		}
+		// Throughput is wall-clock and machine-dependent; only a drop
+		// beyond tolerance counts as drift.
+		if base.TranslationsPerSec > 0 && s.TranslationsPerSec < base.TranslationsPerSec*(1-tolerance) {
+			fail("%s: %.0f -> %.0f translations/sec (tolerance %.0f%%)",
+				s.Name, base.TranslationsPerSec, s.TranslationsPerSec, tolerance*100)
+		}
+	}
 	return regressions
 }
 
@@ -309,7 +378,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	testing.Init() // registers test.benchtime so testing.Benchmark honours it
-	out := flag.String("o", "BENCH_3.json", "output path")
+	out := flag.String("o", "BENCH_4.json", "output path")
 	benchtime := flag.Duration("benchtime", time.Second, "measurement time per entry")
 	drift := flag.String("drift", "", "compare a fresh measurement against this snapshot instead of writing (exits 1 on drift)")
 	tolerance := flag.Float64("tolerance", 0.5, "fractional ns/op regression allowed in -drift mode")

@@ -1,0 +1,84 @@
+// Command nestedserve runs the multi-VM translation service: many
+// guests, each with its own guest ECPT set over one shared host ECPT
+// set, translated by a GOMAXPROCS-wide pool of lock-free walkers while
+// a churn mutator keeps publishing new table generations.
+//
+// Usage:
+//
+//	nestedserve                          # the VM-density experiment (48 guests, 2s)
+//	nestedserve -vms 96 -duration 5s     # denser, longer
+//	nestedserve -ops 10000 -churn 0      # deterministic fixed-op run, frozen tables
+//	nestedserve -minrate 1000000         # exit non-zero under 1M translations/sec
+//
+// The -minrate gate is what CI's throughput smoke job uses: a short
+// run must sustain the floor or the job fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nestedecpt/internal/report"
+	"nestedecpt/internal/serve"
+	"nestedecpt/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nestedserve: ")
+
+	def := serve.VMDensityConfig()
+	vms := flag.Int("vms", def.VMs, "number of guest VMs sharing the host ECPT set")
+	workers := flag.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
+	app := flag.String("app", def.Workload, "application every guest runs (Table 4 name): "+strings.Join(workload.Names(), ", "))
+	scale := flag.Uint64("scale", def.Scale, "footprint scale divisor vs the paper")
+	seed := flag.Uint64("seed", def.Seed, "deterministic seed")
+	thp := flag.Bool("thp", def.THP, "enable transparent huge pages")
+	duration := flag.Duration("duration", def.Duration, "wall-clock run length (ignored when -ops > 0)")
+	ops := flag.Uint64("ops", 0, "translations per worker; > 0 switches to the deterministic fixed-op mode")
+	churn := flag.Int("churn", def.ChurnPagesPerRound, "pages mapped/unmapped per guest per churn round (0 freezes the tables)")
+	churnInterval := flag.Duration("churn-interval", 0, "pause between churn rounds (0 = default)")
+	minRate := flag.Float64("minrate", 0, "fail (exit 1) if aggregate translations/sec falls below this floor")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	cfg := def
+	cfg.VMs = *vms
+	cfg.Workers = *workers
+	cfg.Workload = *app
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.THP = *thp
+	cfg.Duration = *duration
+	cfg.OpsPerWorker = *ops
+	cfg.ChurnPagesPerRound = *churn
+	cfg.ChurnInterval = *churnInterval
+
+	// SIGINT/SIGTERM cancel the run; the engine drains its workers and
+	// still reports what it measured.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	start := time.Now()
+	sum, err := serve.Run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.RenderServe(os.Stdout, sum)
+	fmt.Printf("total runtime     %v (including guest construction and prepopulation)\n",
+		time.Since(start).Round(time.Millisecond))
+
+	if *minRate > 0 && sum.TranslationsPerSec < *minRate {
+		log.Fatalf("throughput %.0f translations/sec below the -minrate floor %.0f",
+			sum.TranslationsPerSec, *minRate)
+	}
+}

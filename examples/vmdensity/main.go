@@ -1,20 +1,44 @@
 // VM density scenario: a cloud host deciding which page-table design
-// to deploy. Compares all three nested designs (plus the §9.6
-// baselines) on the two server workloads, reporting the translation
-// overhead that limits consolidation.
+// to deploy, then measuring how many guests that choice lets it pack.
+//
+// Phase 1 compares the nested designs (plus the §9.6 baselines) on the
+// two server workloads. Every (design, app) guest simulates
+// concurrently — each run owns its seeds, so the table is identical at
+// any parallelism — and prints in Table 1 order.
+//
+// Phase 2 is the consolidation measurement itself: a multi-VM
+// translation service (nestedecpt.Serve) where every guest shares one
+// host ECPT set and a pool of lock-free walkers translates against
+// epoch-versioned snapshots while churn publishes new generations.
+// This is the same engine and configuration CI's throughput smoke job
+// and the cmd/nestedserve CLI use.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sync"
+	"time"
 
 	"nestedecpt"
 )
 
+type cell struct {
+	design nestedecpt.Design
+	name   string
+	app    string
+	res    *nestedecpt.Result
+	err    error
+}
+
 func main() {
 	log.SetFlags(0)
-	accesses := flag.Uint64("accesses", 120_000, "measured accesses per run")
+	accesses := flag.Uint64("accesses", 120_000, "measured accesses per comparison run")
+	vms := flag.Int("vms", 16, "guests in the serve phase")
+	duration := flag.Duration("duration", 500*time.Millisecond, "serve phase length")
 	flag.Parse()
 
 	designs := []struct {
@@ -28,28 +52,63 @@ func main() {
 		{nestedecpt.POMTLB, "POM-TLB"},
 		{nestedecpt.FlatNested, "Flat Nested"},
 	}
+	apps := []string{"SysBench", "GUPS"}
 
-	for _, app := range []string{"SysBench", "GUPS"} {
+	// Phase 1: every guest at once. Each simulation derives all its
+	// randomness from its own config seed, so concurrent completion
+	// order cannot change any number in the table.
+	cells := make([]cell, 0, len(designs)*len(apps))
+	for _, app := range apps {
+		for _, ds := range designs {
+			cells = append(cells, cell{design: ds.d, name: ds.name, app: app})
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(c *cell) {
+			defer wg.Done()
+			cfg := nestedecpt.DefaultConfig(c.design, c.app, true)
+			cfg.WarmupAccesses, cfg.MeasureAccesses = 40_000, *accesses
+			c.res, c.err = nestedecpt.Run(cfg)
+		}(&cells[i])
+	}
+	wg.Wait()
+
+	i := 0
+	for _, app := range apps {
 		fmt.Printf("== %s (virtualized, THP) ==\n", app)
 		fmt.Printf("%-14s %11s %10s %12s %12s\n", "Design", "Cycles", "IPC", "MMU busy %", "Mean walk")
 		var base uint64
-		for _, ds := range designs {
-			cfg := nestedecpt.DefaultConfig(ds.d, app, true)
-			cfg.WarmupAccesses, cfg.MeasureAccesses = 40_000, *accesses
-			res, err := nestedecpt.Run(cfg)
-			if err != nil {
-				log.Fatalf("%s/%s: %v", app, ds.name, err)
+		for range designs {
+			c := cells[i]
+			i++
+			if c.err != nil {
+				log.Fatalf("%s/%s: %v", c.app, c.name, c.err)
 			}
 			if base == 0 {
-				base = res.Cycles
+				base = c.res.Cycles
 			}
 			fmt.Printf("%-14s %11d %10.3f %11.1f%% %9.0f cyc  (%.3fx)\n",
-				ds.name, res.Cycles, res.IPC(),
-				100*float64(res.MMUBusyCycles)/float64(res.Cycles),
-				res.WalkLatency.Mean(),
-				float64(base)/float64(res.Cycles))
+				c.name, c.res.Cycles, c.res.IPC(),
+				100*float64(c.res.MMUBusyCycles)/float64(c.res.Cycles),
+				c.res.WalkLatency.Mean(),
+				float64(base)/float64(c.res.Cycles))
 		}
 		fmt.Println()
 	}
 	fmt.Println("Lower MMU-busy share means more of the machine goes to guests.")
+	fmt.Println()
+
+	// Phase 2: pack the winning design. All guests translate at once
+	// through the shared host ECPT set, lock-free.
+	cfg := nestedecpt.VMDensityServeConfig()
+	cfg.VMs = *vms
+	cfg.Duration = *duration
+	fmt.Printf("== consolidation: %d concurrent guests on nested ECPTs ==\n", cfg.VMs)
+	sum, err := nestedecpt.Serve(context.Background(), cfg)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	nestedecpt.RenderServe(os.Stdout, sum)
 }

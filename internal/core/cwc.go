@@ -178,6 +178,14 @@ func (p *probePlan[P]) addGroup(size addr.PageSize, way int) {
 }
 
 func (p *probePlan[P]) addRefill(size addr.PageSize, key uint64, pa P) {
+	// pa 0 means the CWT entry has no backing page to fetch: only
+	// possible in concurrent mode, where walkers are read-only and must
+	// not first-touch CWT storage (ecpt.CWT.RefillPA). Skipping the
+	// refill just lets the CWC miss again; sequential mode always has a
+	// backing page here, so its refill stream is unchanged.
+	if pa == 0 {
+		return
+	}
 	p.refills = append(p.refills, refill[P]{size: size, key: key, pa: pa})
 }
 
@@ -192,14 +200,13 @@ func (p *probePlan[P]) setAllGroups() {
 // refillPA resolves the physical address of a CWT entry queued for a
 // CWC refill. A query of an existing entry already carries its PA, so
 // the common path adds no table consult; only a refill of an entry
-// that has never been touched goes through EntryPA, whose first-touch
-// side effect (creating the entry and allocating its backing page)
-// must be preserved.
+// that has never been touched goes through the CWT, whose sequential
+// first-touch side effect (creating the entry and allocating its
+// backing page) must be preserved — and whose concurrent mode must
+// not mutate, reporting 0 instead (see ecpt.CWT.RefillPA and
+// probePlan.addRefill).
 func refillPA[P addr.Addr](cwt *ecpt.CWT[P], info *ecpt.Info[P]) P {
-	if info.EntryExists {
-		return info.EntryPA
-	}
-	return cwt.EntryPA(info.EntryKey)
+	return cwt.RefillPA(info)
 }
 
 // planWalk consults the CWCs top-down (1GB, then 2MB, then 4KB) and

@@ -1,6 +1,8 @@
 package ecpt
 
 import (
+	"sync/atomic"
+
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/memsim"
 )
@@ -43,6 +45,10 @@ type cwtPage[P addr.Addr] struct {
 	base    P
 	live    uint64 // bitmap over entries: which have been created
 	entries [entriesPerPage]cwtEntry
+	// sealed marks pages reachable from a published snapshot
+	// (concurrent mode, view.go): the writer clones instead of
+	// mutating them. Writer-private; readers never consult it.
+	sealed bool
 }
 
 // CWT is the software cuckoo walk table for one page size: the
@@ -59,9 +65,21 @@ type CWT[P addr.Addr] struct {
 	// consecutive walks over a hot working set) land on the same CWT
 	// page, so remembering the last page skips even the single map
 	// lookup. Pages are never removed, so the cached pointer cannot go
-	// stale.
+	// stale. In concurrent mode the cache is writer-private (reads go
+	// through immutable views, which must not mutate shared state) and
+	// copy-on-write page replacement keeps it pointing at the writable
+	// copy.
 	lastIdx  uint64
 	lastPage *cwtPage[P]
+
+	// Concurrent mode (view.go): dom is set by the owning table's
+	// EnterConcurrent; pub holds the last published snapshot; mapShared
+	// marks the pages map as aliased by that snapshot; dirty tracks
+	// whether anything changed since the last publish.
+	dom       *EpochDomain
+	pub       atomic.Pointer[cwtView[P]]
+	mapShared bool
+	dirty     bool
 }
 
 // entriesPerPage is how many CWT entries one 4KB backing page holds.
@@ -108,6 +126,11 @@ func (c *CWT[P]) page(key uint64, create bool) *cwtPage[P] {
 }
 
 func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
+	if c.dom != nil {
+		// Concurrent mode: every entry handed out here is writable, so
+		// map privatization and page copy-on-write happen first.
+		return c.mutableEntry(key, create)
+	}
 	pg := c.page(key, create)
 	if pg == nil {
 		return nil
@@ -129,9 +152,13 @@ func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
 
 // EntryPA returns the physical address (in the CWT's own address
 // space) of the entry with the given key, allocating backing storage
-// on first touch.
+// on first touch. Writer-side in concurrent mode (first touch
+// mutates); lock-free readers go through RefillPA.
 func (c *CWT[P]) EntryPA(key uint64) P {
 	c.entry(key, true)
+	if c.dom != nil {
+		return c.pages[key/entriesPerPage].base + P((key%entriesPerPage)*CWTEntryBytes)
+	}
 	return c.page(key, true).base + P((key%entriesPerPage)*CWTEntryBytes)
 }
 
@@ -213,6 +240,12 @@ func (c *CWT[P]) Query(vpn uint64) Info[P] {
 //
 //nestedlint:hotpath
 func (c *CWT[P]) QueryInto(vpn uint64, out *Info[P]) {
+	// Concurrent readers are served from the immutable snapshot, which
+	// also bypasses the mutable one-slot page cache below.
+	if v := c.pub.Load(); v != nil {
+		v.queryInto(vpn, out)
+		return
+	}
 	tag := lineTag(vpn)
 	key := EntryKey(tag)
 	pg := c.page(key, false)

@@ -14,6 +14,7 @@ package ecpt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nestedecpt/internal/addr"
 	"nestedecpt/internal/memsim"
@@ -100,6 +101,13 @@ type generation[P addr.Addr] struct {
 	ways [][]line[P]
 	hash []vhash.Func
 	basePA []P
+	// sealed and shared implement concurrent-mode copy-on-write
+	// (view.go): a sealed generation is reachable from a published
+	// view and must not be written; shared[w] marks way arrays still
+	// aliased with a sealed snapshot. Both are writer-private — readers
+	// never consult them.
+	sealed bool
+	shared []bool
 }
 
 func (t *Table[P]) newGeneration(linesPerWay int) *generation[P] {
@@ -176,6 +184,15 @@ type Table[P addr.Addr] struct {
 	// rec receives structural trace events (resize, migration); nil
 	// (the default) disables tracing.
 	rec *trace.Recorder
+
+	// Concurrent mode (view.go): dom is the epoch domain reclaiming
+	// dead generations (nil = sequential mode, the bit-identical
+	// original paths); pub holds the latest published snapshot; and
+	// deferred collects the region-free callbacks of generations that
+	// died since the last Publish.
+	dom      *EpochDomain
+	pub      atomic.Pointer[tableView[P]]
+	deferred []func()
 }
 
 // SetRecorder attaches a trace recorder to the table's structural
@@ -290,7 +307,8 @@ func (t *Table[P]) Insert(vpn uint64, frame P) {
 		t.cwt.SetPresent(vpn)
 	}
 	if g, w, idx, ok := t.findLine(tag); ok {
-		ln := &g.ways[w][idx]
+		g = t.writable(g)
+		ln := &g.writableWay(w)[idx]
 		if ln.present&(1<<slot) == 0 {
 			ln.present |= 1 << slot
 			t.entries++
@@ -327,11 +345,14 @@ func (t *Table[P]) placeLine(ln line[P]) {
 func (t *Table[P]) tryPlace(ln line[P]) bool {
 	cur := ln
 	lastWay := -1
+	// Unseal the destination once up front: every code path below
+	// writes into the current generation.
+	tcur := t.writable(t.cur)
 	for kick := 0; kick <= t.cfg.MaxKicks; kick++ {
 		for w := 0; w < t.cfg.Ways; w++ {
-			idx := t.cur.index(w, cur.tag)
-			if !t.cur.ways[w][idx].valid {
-				t.cur.ways[w][idx] = cur
+			idx := tcur.index(w, cur.tag)
+			if !tcur.ways[w][idx].valid {
+				tcur.writableWay(w)[idx] = cur
 				t.notifyPlacement(cur.tag, w)
 				return true
 			}
@@ -342,9 +363,9 @@ func (t *Table[P]) tryPlace(ln line[P]) bool {
 		if w == lastWay {
 			w = (w + 1) % t.cfg.Ways
 		}
-		idx := t.cur.index(w, cur.tag)
-		victim := t.cur.ways[w][idx]
-		t.cur.ways[w][idx] = cur
+		idx := tcur.index(w, cur.tag)
+		victim := tcur.ways[w][idx]
+		tcur.writableWay(w)[idx] = cur
 		t.notifyPlacement(cur.tag, w)
 		cur = victim
 		lastWay = w
@@ -370,10 +391,11 @@ func (t *Table[P]) Remove(vpn uint64) bool {
 	if !ok {
 		return false
 	}
-	ln := &g.ways[w][idx]
-	if ln.present&(1<<slot) == 0 {
+	if ln := &g.ways[w][idx]; ln.present&(1<<slot) == 0 {
 		return false
 	}
+	g = t.writable(g)
+	ln := &g.writableWay(w)[idx]
 	ln.present &^= 1 << slot
 	ln.frames[slot] = 0
 	t.entries--
@@ -391,10 +413,34 @@ func (t *Table[P]) Remove(vpn uint64) bool {
 	return true
 }
 
-// Lookup resolves vpn functionally (no timing).
+// Lookup resolves vpn functionally (no timing). It reads the writer's
+// own state — including mutations staged since the last Publish — so
+// in concurrent mode it belongs to the mutating goroutine (the kernel
+// and hypervisor fault paths depend on seeing their unpublished maps);
+// concurrent readers use SnapshotLookup.
 func (t *Table[P]) Lookup(vpn uint64) (frame P, ok bool) {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	g, w, idx, found := t.findLine(tag)
+	if !found {
+		return 0, false
+	}
+	ln := &g.ways[w][idx]
+	if ln.present&(1<<slot) == 0 {
+		return 0, false
+	}
+	return ln.frames[slot], true
+}
+
+// SnapshotLookup resolves vpn against the latest published view — the
+// form safe to call from concurrent reader goroutines. In sequential
+// mode (nothing published) it falls back to Lookup.
+func (t *Table[P]) SnapshotLookup(vpn uint64) (frame P, ok bool) {
+	v := t.pub.Load()
+	if v == nil {
+		return t.Lookup(vpn)
+	}
+	tag, slot := lineTag(vpn), lineSlot(vpn)
+	g, w, idx, found := v.findLine(tag)
 	if !found {
 		return 0, false
 	}
@@ -466,7 +512,10 @@ func (t *Table[P]) continueMigration() {
 			budget--
 			ln := old.ways[w][idx]
 			if ln.valid {
-				old.ways[w][idx] = line[P]{}
+				// writable re-points t.old at the clone it may make, so
+				// the supersession comparisons above keep holding.
+				old = t.writable(old)
+				old.writableWay(w)[idx] = line[P]{}
 				t.placeLine(ln)
 				t.stats.Migrated++
 				if t.rec != nil {
@@ -504,8 +553,15 @@ func (t *Table[P]) finishMigration() {
 }
 
 func (t *Table[P]) completeResize() {
-	for w := 0; w < t.cfg.Ways; w++ {
-		t.alloc.FreeRegion(t.old.basePA[w], uint64(t.old.linesPerWay)*LineBytes, memsim.PurposePageTable)
+	if t.dom != nil {
+		// Readers holding the last published view may still probe the
+		// dead generation's region: retire it through the epoch domain
+		// instead of freeing it in place.
+		t.retireGeneration(t.old)
+	} else {
+		for w := 0; w < t.cfg.Ways; w++ {
+			t.alloc.FreeRegion(t.old.basePA[w], uint64(t.old.linesPerWay)*LineBytes, memsim.PurposePageTable)
+		}
 	}
 	t.old = nil
 	t.migratePtr = nil

@@ -1,0 +1,141 @@
+package ecpt
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// EpochDomain implements the grace-period protocol that lets many
+// walkers read published ECPT generations while a single writer
+// retires superseded ones (DESIGN.md §10). It is the reclamation half
+// of the concurrent mode Table.EnterConcurrent switches on:
+//
+//   - the writer publishes a new immutable view with an atomic pointer
+//     store, then calls Advance, bumping the global epoch;
+//   - every reader brackets each walk with Enter/Exit, pinning the
+//     global epoch it observed for the duration of the walk;
+//   - a retired resource (the backing region of a dead generation) is
+//     stamped with the post-publish epoch and freed by Collect only
+//     once every active reader has pinned an epoch at least that new —
+//     at which point no reader can still hold a view that references
+//     the resource.
+//
+// The ordering argument: Go's sync/atomic operations are sequentially
+// consistent with each other. The writer stores the new view before
+// Advance increments the epoch; a reader pins by loading the epoch
+// before loading the view pointer. A reader whose pinned epoch is >=
+// the retire stamp therefore loaded the epoch after the increment,
+// hence after the view store, hence its view load cannot return the
+// retired view.
+//
+// Advance, Retire and Collect are writer-side: they must only be
+// called from the single mutating goroutine. NewReader may be called
+// from any goroutine; Enter/Exit are private to their reader.
+type EpochDomain struct {
+	global atomic.Uint64
+
+	mu      sync.Mutex
+	readers []*EpochReader
+	limbo   []retired
+}
+
+// retired is one resource awaiting its grace period.
+type retired struct {
+	epoch uint64
+	free  func()
+}
+
+// readerIdle marks a reader outside any Enter/Exit bracket; it
+// compares greater than every real epoch so idle readers never delay
+// reclamation.
+const readerIdle = math.MaxUint64
+
+// EpochReader is one walker's registration in a domain. Each reader is
+// owned by exactly one goroutine; distinct goroutines need distinct
+// readers.
+type EpochReader struct {
+	dom    *EpochDomain
+	pinned atomic.Uint64
+}
+
+// NewReader registers a reader with the domain.
+func (d *EpochDomain) NewReader() *EpochReader {
+	r := &EpochReader{dom: d}
+	r.pinned.Store(readerIdle)
+	d.mu.Lock()
+	d.readers = append(d.readers, r)
+	d.mu.Unlock()
+	return r
+}
+
+// Enter pins the current epoch for the walk that follows. Walk-scoped:
+// Enter, translate, Exit.
+//
+//nestedlint:hotpath
+func (r *EpochReader) Enter() {
+	r.pinned.Store(r.dom.global.Load())
+}
+
+// Exit releases the pin taken by Enter.
+//
+//nestedlint:hotpath
+func (r *EpochReader) Exit() {
+	r.pinned.Store(readerIdle)
+}
+
+// Epoch returns the current global epoch (diagnostics and tests).
+func (d *EpochDomain) Epoch() uint64 { return d.global.Load() }
+
+// Advance publishes a new epoch and returns it. Writer-side; call
+// after the atomic view store it fences.
+func (d *EpochDomain) Advance() uint64 { return d.global.Add(1) }
+
+// Retire schedules free to run once every reader active now has moved
+// past the current epoch. Writer-side; call after the Advance that
+// made the resource unreachable from the published views.
+func (d *EpochDomain) Retire(free func()) {
+	d.mu.Lock()
+	d.limbo = append(d.limbo, retired{epoch: d.global.Load(), free: free})
+	d.mu.Unlock()
+}
+
+// Pending returns how many retired resources still await their grace
+// period.
+func (d *EpochDomain) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.limbo)
+}
+
+// Collect frees every retired resource whose grace period has elapsed
+// and returns how many were freed. Writer-side: the free callbacks run
+// on the calling goroutine (they typically return regions to a
+// non-thread-safe allocator).
+func (d *EpochDomain) Collect() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.limbo) == 0 {
+		return 0
+	}
+	min := uint64(readerIdle)
+	for _, r := range d.readers {
+		if p := r.pinned.Load(); p < min {
+			min = p
+		}
+	}
+	freed := 0
+	kept := d.limbo[:0]
+	for _, rt := range d.limbo {
+		// A reader pinned below rt.epoch may still hold the view that
+		// references the resource; anyone at or above it cannot.
+		if min >= rt.epoch {
+			rt.free()
+			freed++
+		} else {
+			kept = append(kept, rt)
+		}
+	}
+	d.limbo = kept
+	return freed
+}

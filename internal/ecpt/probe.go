@@ -39,28 +39,39 @@ const AllWays = -1
 //nestedlint:hotpath
 func (t *Table[P]) AppendProbes(dst []Probe[P], vpn uint64, way int) []Probe[P] {
 	tag, slot := lineTag(vpn), lineSlot(vpn)
+	// Concurrent mode serves the latest published snapshot; sequential
+	// mode (pub never stored) reads the live state directly. The
+	// writer's fields must not even be loaded once a view exists —
+	// the single writer re-points them while readers are here.
+	var cur, old *generation[P]
+	var mig []int
+	if v := t.pub.Load(); v != nil {
+		cur, old, mig = v.cur, v.old, v.migratePtr
+	} else {
+		cur, old, mig = t.cur, t.old, t.migratePtr
+	}
 	if way != AllWays {
 		// Direct walk: the CWC pinned the way, so exactly one bucket
 		// (plus its unmigrated old-generation twin during a resize) is
 		// probed — the warm-path shape, kept branch-free in the loop.
-		return t.appendWayProbes(dst, way, tag, slot)
+		return appendWayProbes(dst, cur, old, mig, way, tag, slot)
 	}
 	for w := 0; w < t.cfg.Ways; w++ {
-		dst = t.appendWayProbes(dst, w, tag, slot)
+		dst = appendWayProbes(dst, cur, old, mig, w, tag, slot)
 	}
 	return dst
 }
 
 //nestedlint:hotpath
-func (t *Table[P]) appendWayProbes(dst []Probe[P], w int, tag uint64, slot int) []Probe[P] {
-	idx := t.cur.index(w, tag)
+func appendWayProbes[P addr.Addr](dst []Probe[P], cur, old *generation[P], mig []int, w int, tag uint64, slot int) []Probe[P] {
+	idx := cur.index(w, tag)
 	dst = appendProbe(dst)
-	t.fillProbe(&dst[len(dst)-1], t.cur, w, idx, tag, slot)
-	if t.old != nil {
-		oidx := t.old.index(w, tag)
-		if oidx >= t.migratePtr[w] {
+	fillProbe(&dst[len(dst)-1], cur, w, idx, tag, slot)
+	if old != nil {
+		oidx := old.index(w, tag)
+		if oidx >= mig[w] {
 			dst = appendProbe(dst)
-			t.fillProbe(&dst[len(dst)-1], t.old, w, oidx, tag, slot)
+			fillProbe(&dst[len(dst)-1], old, w, oidx, tag, slot)
 		}
 	}
 	return dst
@@ -86,7 +97,7 @@ func (t *Table[P]) ProbesFor(vpn uint64, way int) []Probe[P] {
 	return t.AppendProbes(make([]Probe[P], 0, 2*t.cfg.Ways), vpn, way)
 }
 
-func (t *Table[P]) fillProbe(p *Probe[P], g *generation[P], w, idx int, tag uint64, slot int) {
+func fillProbe[P addr.Addr](p *Probe[P], g *generation[P], w, idx int, tag uint64, slot int) {
 	*p = Probe[P]{Way: w, PA: g.linePA(w, idx)}
 	ln := &g.ways[w][idx]
 	if ln.valid && ln.tag == tag {

@@ -87,6 +87,25 @@ func (s *Set[V, P]) SetRecorder(r *trace.Recorder) {
 	}
 }
 
+// EnterConcurrent switches every table of the set into concurrent
+// mode: reads (probes, CWT queries, SnapshotLookup) serve immutable
+// epoch-versioned views while mutations stay private to the single
+// writing goroutine until Publish. Dead generations are reclaimed
+// through dom's grace periods. See view.go for the protocol.
+func (s *Set[V, P]) EnterConcurrent(dom *EpochDomain) {
+	for _, size := range addr.Sizes() {
+		s.tables[size].EnterConcurrent(dom)
+	}
+}
+
+// Publish makes all mutations since the last Publish visible to
+// concurrent readers, one table (and its CWT) at a time. Writer-side.
+func (s *Set[V, P]) Publish() {
+	for _, size := range addr.Sizes() {
+		s.tables[size].Publish()
+	}
+}
+
 // Map installs a translation at the given size and maintains the
 // hierarchical has-smaller bits in the larger sizes' CWTs so walkers
 // know they must descend.

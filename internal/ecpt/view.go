@@ -1,0 +1,309 @@
+package ecpt
+
+import (
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/memsim"
+	"nestedecpt/internal/trace"
+)
+
+// This file is the concurrent half of the table: immutable,
+// epoch-versioned snapshots (views) that walkers read without locks,
+// and the copy-on-write machinery the single writer uses to build the
+// next snapshot off to the side (DESIGN.md §10).
+//
+// Mode switch. A table starts in sequential mode: pub is nil, every
+// code path is exactly the pre-concurrency one, and the golden-trace
+// digest is preserved bit for bit. EnterConcurrent attaches an
+// EpochDomain and publishes the first view; from then on the read
+// paths (AppendProbes, Lookup, CWT.QueryInto) serve the latest
+// published snapshot while mutations accumulate privately until the
+// next Publish.
+//
+// Writer discipline. Concurrent mode still has exactly one writer:
+// Insert/Remove/Map/Unmap and Publish must all come from a single
+// goroutine (the allocator and the CWT bookkeeping are deliberately
+// not thread-safe). What the mode buys is that any number of *reader*
+// goroutines may walk concurrently with that writer.
+//
+// Copy-on-write granularity. Publishing seals the current generations
+// (and CWT pages); the first mutation after a publish clones the
+// generation header, and each way's line array is cloned only when
+// first written (ways are megabytes where lines are bytes, so per-way
+// sharing is what keeps a publish-heavy churn affordable). The clone
+// keeps the original's physical base addresses: a view's probe
+// addresses stay valid until the region itself is retired through the
+// epoch domain.
+
+// tableView is one immutable snapshot of a table's probe state:
+// everything the lock-free read paths consult.
+type tableView[P addr.Addr] struct {
+	cur *generation[P]
+	// old is non-nil while the snapshot was taken mid-resize.
+	old *generation[P]
+	// migratePtr is the writer's migration frontier at publish time
+	// (copied: the writer keeps mutating its own).
+	migratePtr []int
+}
+
+// EnterConcurrent switches the table into concurrent mode: reads are
+// served from immutable published views, mutations stay private until
+// Publish, and dead generations are reclaimed through dom's grace
+// periods. The switch itself publishes the current state.
+func (t *Table[P]) EnterConcurrent(dom *EpochDomain) {
+	t.dom = dom
+	if t.cwt != nil {
+		t.cwt.dom = dom
+	}
+	t.Publish()
+}
+
+// Concurrent reports whether EnterConcurrent was called.
+func (t *Table[P]) Concurrent() bool { return t.dom != nil }
+
+// Publish makes every mutation since the previous Publish visible to
+// concurrent readers: it seals the live generations (and the CWT's
+// pages), stores the new view with one atomic pointer swap, advances
+// the epoch, and retires the backing regions of generations that died
+// since the last publish. No-op in sequential mode.
+func (t *Table[P]) Publish() {
+	if t.dom == nil {
+		return
+	}
+	if t.cwt != nil {
+		t.cwt.publish()
+	}
+	t.seal(t.cur)
+	t.seal(t.old)
+	v := &tableView[P]{cur: t.cur, old: t.old}
+	if t.migratePtr != nil {
+		v.migratePtr = append([]int(nil), t.migratePtr...)
+	}
+	t.pub.Store(v)
+	epoch := t.dom.Advance()
+	if t.rec != nil {
+		t.rec.Emit(trace.Event{
+			Kind: trace.KindGenPublish, Space: t.traceSpace(), Size: t.size,
+			Way: trace.WayNone, Aux: epoch,
+		})
+	}
+	for _, free := range t.deferred {
+		t.dom.Retire(free)
+	}
+	t.deferred = t.deferred[:0]
+	t.dom.Collect()
+}
+
+// seal freezes g against in-place mutation: the next write clones it.
+func (t *Table[P]) seal(g *generation[P]) {
+	if g == nil || g.sealed {
+		return
+	}
+	g.sealed = true
+	if g.shared == nil {
+		g.shared = make([]bool, len(g.ways))
+	}
+	for i := range g.shared {
+		g.shared[i] = true
+	}
+}
+
+// writable returns a mutable stand-in for g, cloning a sealed
+// generation and re-pointing t.cur / t.old at the clone. Callers must
+// use the returned pointer for both the write and any subsequent
+// identity comparison against t.cur / t.old. Sequential mode returns g
+// unchanged.
+func (t *Table[P]) writable(g *generation[P]) *generation[P] {
+	if t.dom == nil || !g.sealed {
+		return g
+	}
+	ng := &generation[P]{
+		linesPerWay: g.linesPerWay,
+		mask:        g.mask,
+		pow2:        g.pow2,
+		ways:        append([][]line[P](nil), g.ways...),
+		hash:        g.hash,   // immutable after construction
+		basePA:      g.basePA, // the clone models the same physical region
+		shared:      make([]bool, len(g.ways)),
+	}
+	for i := range ng.shared {
+		ng.shared[i] = true
+	}
+	switch g {
+	case t.cur:
+		t.cur = ng
+	case t.old:
+		t.old = ng
+	}
+	return ng
+}
+
+// writableWay returns way w's line array for writing, cloning it the
+// first time it is written after a publish.
+func (g *generation[P]) writableWay(w int) []line[P] {
+	if g.shared != nil && g.shared[w] {
+		g.ways[w] = append([]line[P](nil), g.ways[w]...)
+		g.shared[w] = false
+	}
+	return g.ways[w]
+}
+
+// retireGeneration defers the return of g's backing regions until the
+// next Publish retires them through the epoch domain — a reader
+// holding the previous view may still be probing them.
+func (t *Table[P]) retireGeneration(g *generation[P]) {
+	alloc, ways, lines := t.alloc, t.cfg.Ways, g.linesPerWay
+	base := g.basePA
+	t.deferred = append(t.deferred, func() {
+		for w := 0; w < ways; w++ {
+			alloc.FreeRegion(base[w], uint64(lines)*LineBytes, memsim.PurposePageTable)
+		}
+	})
+}
+
+// viewFindLine is findLine against a snapshot.
+//
+//nestedlint:hotpath
+func (v *tableView[P]) findLine(tag uint64) (g *generation[P], w, idx int, ok bool) {
+	for w := 0; w < len(v.cur.ways); w++ {
+		idx := v.cur.index(w, tag)
+		if ln := &v.cur.ways[w][idx]; ln.valid && ln.tag == tag {
+			return v.cur, w, idx, true
+		}
+	}
+	if v.old != nil {
+		for w := 0; w < len(v.old.ways); w++ {
+			idx := v.old.index(w, tag)
+			if idx < v.migratePtr[w] {
+				continue // already migrated out at publish time
+			}
+			if ln := &v.old.ways[w][idx]; ln.valid && ln.tag == tag {
+				return v.old, w, idx, true
+			}
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// cwtView is one immutable snapshot of a CWT: the page map as of the
+// last publish. Pages reachable from a view are sealed; the writer
+// replaces (never mutates) them.
+type cwtView[P addr.Addr] struct {
+	pages map[uint64]*cwtPage[P]
+}
+
+// queryInto is QueryInto against a snapshot. It deliberately skips the
+// writer's one-slot page cache: the cache is mutable state and views
+// must stay read-only.
+//
+//nestedlint:hotpath
+func (v *cwtView[P]) queryInto(vpn uint64, out *Info[P]) {
+	tag := lineTag(vpn)
+	key := EntryKey(tag)
+	pg := v.pages[key/entriesPerPage]
+	if pg == nil {
+		*out = Info[P]{EntryKey: key}
+		return
+	}
+	slot := key % entriesPerPage
+	if pg.live&(1<<slot) == 0 {
+		*out = Info[P]{EntryKey: key}
+		return
+	}
+	li := &pg.entries[slot].lines[tag%LinesPerCWTEntry]
+	*out = Info[P]{
+		EntryExists: true,
+		WayKnown:    li.way != wayAbsent,
+		Way:         li.way,
+		Present:     li.present&(1<<lineSlot(vpn)) != 0,
+		HasSmaller:  li.hasSmaller,
+		EntryKey:    key,
+		EntryPA:     pg.base + P(slot*CWTEntryBytes),
+	}
+}
+
+// publish seals the CWT's pages and swaps in a fresh snapshot. Called
+// by the owning table's Publish.
+func (c *CWT[P]) publish() {
+	if c.pub.Load() != nil && !c.dirty {
+		return
+	}
+	for _, pg := range c.pages {
+		pg.sealed = true
+	}
+	c.mapShared = true
+	c.pub.Store(&cwtView[P]{pages: c.pages})
+	c.dirty = false
+}
+
+// mutableEntry is the concurrent-mode counterpart of entry: it
+// privatizes the page map (if a snapshot shares it) and clones sealed
+// pages before handing out a writable entry pointer.
+func (c *CWT[P]) mutableEntry(key uint64, create bool) *cwtEntry {
+	idx := key / entriesPerPage
+	pg, ok := c.pages[idx]
+	if !ok {
+		if !create {
+			return nil
+		}
+		c.privatizeMap()
+		pg = &cwtPage[P]{base: c.alloc.MustAlloc(addr.Page4K, memsim.PurposeCWT)}
+		c.pages[idx] = pg
+		c.lastIdx, c.lastPage = idx, pg
+		c.dirty = true
+	} else if pg.sealed {
+		c.privatizeMap()
+		np := new(cwtPage[P])
+		*np = *pg
+		np.sealed = false
+		c.pages[idx] = np
+		c.lastIdx, c.lastPage = idx, np
+		c.dirty = true
+		pg = np
+	}
+	slot := key % entriesPerPage
+	if pg.live&(1<<slot) == 0 {
+		if !create {
+			return nil
+		}
+		e := &pg.entries[slot]
+		for i := range e.lines {
+			e.lines[i].way = wayAbsent
+		}
+		pg.live |= 1 << slot
+		c.nEntries++
+		c.dirty = true
+	}
+	return &pg.entries[slot]
+}
+
+// privatizeMap clones the page map when the latest snapshot still
+// shares it, so map inserts never race with view lookups.
+func (c *CWT[P]) privatizeMap() {
+	if !c.mapShared {
+		return
+	}
+	np := make(map[uint64]*cwtPage[P], len(c.pages)+1)
+	for k, v := range c.pages {
+		np[k] = v
+	}
+	c.pages = np
+	c.mapShared = false
+	c.dirty = true
+}
+
+// RefillPA resolves the physical address a CWC refill fetches for a
+// queried CWT entry. A query of an existing entry already carries its
+// PA. A missing entry is the sequential first-touch point (EntryPA
+// creates it); concurrent walkers are strictly read-only, so in
+// concurrent mode a missing entry's refill reports address zero — a
+// negative-caching fetch that costs one access and caches the absence,
+// which is also what the hardware would see for a never-touched range.
+func (c *CWT[P]) RefillPA(info *Info[P]) P {
+	if info.EntryExists {
+		return info.EntryPA
+	}
+	if c.pub.Load() != nil {
+		return 0
+	}
+	return c.EntryPA(info.EntryKey)
+}

@@ -19,6 +19,12 @@ import (
 type Config struct {
 	// GuestMemBytes is the guest-physical memory size.
 	GuestMemBytes uint64
+	// GPABase offsets this guest's physical window: all gPAs the kernel
+	// mints lie in [GPABase, GPABase+GuestMemBytes). A multi-VM host
+	// (internal/serve) gives each guest a disjoint window over one
+	// shared hypervisor; zero (the default) reproduces the single-VM
+	// layout byte for byte. Must be 1GB-aligned.
+	GPABase uint64
 	// THP enables transparent 2MB pages for eligible VMAs.
 	THP bool
 	// BuildRadix / BuildECPT select which page-table structures the
@@ -88,7 +94,7 @@ func New(cfg Config) (*Kernel, error) {
 	}
 	k := &Kernel{
 		cfg:     cfg,
-		alloc:   memsim.NewAllocator[addr.GPA](cfg.GuestMemBytes, cfg.Seed),
+		alloc:   memsim.NewAllocatorAt[addr.GPA](cfg.GPABase, cfg.GuestMemBytes, cfg.Seed),
 		regions: make(map[addr.GVA]regionState),
 	}
 	k.alloc.SetHugePageFailureRate(cfg.HugePageFailureRate)

@@ -49,6 +49,11 @@ func (p Purpose) String() string {
 // legitimately come into existence; internal bookkeeping is plain
 // byte arithmetic and only the API boundary is typed.
 type Allocator[P addr.Addr] struct {
+	// base offsets every minted address: a multi-VM host gives each
+	// guest a disjoint [base, base+capacity) guest-physical window over
+	// one shared hypervisor (internal/serve), so gPAs from different
+	// VMs never collide in the shared host tables.
+	base     uint64
 	capacity uint64
 	// next bumps upward for data frames; metaNext bumps downward for
 	// page-table and CWT frames. Real kernels cluster page-table pages
@@ -71,7 +76,37 @@ type Allocator[P addr.Addr] struct {
 
 // NewAllocator returns an allocator over [0, capacity) bytes.
 func NewAllocator[P addr.Addr](capacity uint64, seed uint64) *Allocator[P] {
-	return &Allocator[P]{capacity: capacity, metaNext: capacity, rng: vhash.NewRNG(seed)}
+	return NewAllocatorAt[P](0, capacity, seed)
+}
+
+// NewAllocatorAt returns an allocator over [base, base+capacity)
+// bytes. All internal bookkeeping is absolute, so every minted frame,
+// region, and free-list entry carries the base; base must be 1GB-
+// aligned so frame alignment at every page size is preserved.
+func NewAllocatorAt[P addr.Addr](base, capacity uint64, seed uint64) *Allocator[P] {
+	if base%addr.Page1G.Bytes() != 0 {
+		panic(fmt.Sprintf("memsim: allocator base %#x not 1GB-aligned", base))
+	}
+	return &Allocator[P]{
+		base:     base,
+		capacity: capacity,
+		next:     base,
+		metaNext: base + capacity,
+		rng:      vhash.NewRNG(seed),
+	}
+}
+
+// Base returns the first byte of the allocator's address window.
+func (a *Allocator[P]) Base() uint64 { return a.base }
+
+// MetaRegion returns the current extent of the clustered metadata
+// region: every page-table or CWT frame minted so far lies in
+// [floor, top). The floor moves down as more metadata is allocated —
+// callers pre-mapping the region (internal/serve backs guest metadata
+// with host pages ahead of lock-free walkers) should include slack
+// below it.
+func (a *Allocator[P]) MetaRegion() (floor, top P) {
+	return P(a.metaNext), P(a.base + a.capacity)
 }
 
 // SetHugePageFailureRate sets the probability in [0,1] that an

@@ -208,3 +208,47 @@ func TestAlignmentHolesRecycled(t *testing.T) {
 		t.Errorf("alignment hole not recycled: got %#x", h)
 	}
 }
+
+// TestAllocatorAt checks the based-window allocator the multi-VM serve
+// engine uses for disjoint per-guest gPA ranges: data grows up from
+// the base, metadata down from base+capacity, and both stay inside
+// the window.
+func TestAllocatorAt(t *testing.T) {
+	const base, capacity = uint64(3) << 30, uint64(1) << 30
+	a := NewAllocatorAt[uint64](base, capacity, 7)
+	if a.Base() != base {
+		t.Fatalf("Base() = %#x, want %#x", a.Base(), base)
+	}
+	pa, ok := a.Alloc(addr.Page4K, PurposeData)
+	if !ok {
+		t.Fatal("data alloc failed")
+	}
+	if pa < base || pa >= base+capacity {
+		t.Fatalf("data alloc %#x outside window [%#x, %#x)", pa, base, base+capacity)
+	}
+	meta := a.AllocRegion(64, PurposePageTable)
+	if meta < base || meta >= base+capacity {
+		t.Fatalf("meta alloc %#x outside window", meta)
+	}
+	floor, top := a.MetaRegion()
+	if top != base+capacity {
+		t.Fatalf("MetaRegion top = %#x, want %#x", top, base+capacity)
+	}
+	if floor > meta {
+		t.Fatalf("MetaRegion floor %#x above live metadata %#x", floor, meta)
+	}
+	if floor <= pa {
+		t.Fatalf("metadata floor %#x reaches into data region (last data %#x)", floor, pa)
+	}
+}
+
+// TestAllocatorAtUnalignedBase: per-VM windows must be 1GB-aligned so
+// every page size tiles them.
+func TestAllocatorAtUnalignedBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned base did not panic")
+		}
+	}()
+	NewAllocatorAt[uint64](4096, 1<<30, 1)
+}

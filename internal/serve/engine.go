@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/cachesim"
+	"nestedecpt/internal/core"
+	"nestedecpt/internal/ecpt"
+	"nestedecpt/internal/hypervisor"
+	"nestedecpt/internal/kernel"
+	"nestedecpt/internal/runner"
+	"nestedecpt/internal/sim"
+	"nestedecpt/internal/stats"
+	"nestedecpt/internal/workload"
+)
+
+// Churn-VMA layout: every guest gets one churn-private area above all
+// workload VMAs (the generators' bases top out at 0x6800_...). The
+// mutator demand-maps fresh pages through it and unmaps old ones,
+// driving cuckoo inserts, removes, and elastic resizes while the
+// workers translate workload addresses — which are never unmapped, so
+// a snapshot can only ever be stale about churn pages no walker asks
+// about.
+const (
+	churnBase addr.GVA = 0x7000_0000_0000
+	// churnWindowPages bounds the live churn pages per guest; beyond
+	// it the mutator unmaps the oldest page per fresh touch.
+	churnWindowPages = 2048
+	// churnSpanPages is the VA span churn cycles through before
+	// wrapping (pages past the window are unmapped by then).
+	churnSpanPages = 8192
+)
+
+// engine is one fully-built service instance.
+type engine struct {
+	cfg    Config
+	simCfg sim.Config // normalized single-VM sizing, reused per guest
+	hyp    *hypervisor.Hypervisor
+	kerns  []*kernel.Kernel
+	dom    *ecpt.EpochDomain
+
+	// metaFloor tracks each guest's metadata-region low-water mark:
+	// gPAs below it are not yet host-mapped, and the churn round that
+	// grows metadata past it pre-maps the new span before publishing.
+	metaFloor []addr.GPA
+
+	// churn state, owned by the single mutator goroutine.
+	churnNext []uint64 // next page index to touch, per VM
+	churnLive []uint64 // live churn pages, per VM
+
+	stop      atomic.Bool
+	publishes atomic.Uint64
+	churnOps  atomic.Uint64
+	churnErr  error
+}
+
+// Run builds the service for cfg and drives it to completion.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	cfg = cfg.normalized()
+	e, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(ctx)
+}
+
+// build constructs the shared host, the per-VM guests, and pre-maps
+// every translation the steady-state workers will ask for.
+func build(cfg Config) (*engine, error) {
+	base := sim.DefaultConfig(sim.DesignNestedECPT, cfg.Workload, cfg.THP)
+	base.WorkloadOpts.Scale = cfg.Scale
+	base.WorkloadOpts.Seed = cfg.Seed
+	probe, err := workload.New(cfg.Workload, base.WorkloadOpts)
+	if err != nil {
+		return nil, err
+	}
+	simCfg, err := base.Normalized(probe.Footprint())
+	if err != nil {
+		return nil, err
+	}
+
+	// Each guest owns a disjoint 1GB-aligned guest-physical window, so
+	// gPAs from different VMs never collide in the shared host tables.
+	stride := alignUp(simCfg.GuestMemBytes, addr.Page1G.Bytes())
+
+	hcfg := hypervisor.Config{
+		HostMemBytes:        uint64(cfg.VMs)*simCfg.GuestMemBytes + (2 << 30),
+		THP:                 cfg.THP,
+		BuildECPT:           true,
+		ECPT:                ecpt.ScaledSetConfig(true, cfg.Scale),
+		Seed:                cfg.Seed + 202,
+		HugePageFailureRate: simCfg.HugePageFailureRate,
+	}
+	hyp, err := hypervisor.New(hcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:       cfg,
+		simCfg:    simCfg,
+		hyp:       hyp,
+		kerns:     make([]*kernel.Kernel, cfg.VMs),
+		dom:       &ecpt.EpochDomain{},
+		metaFloor: make([]addr.GPA, cfg.VMs),
+		churnNext: make([]uint64, cfg.VMs),
+		churnLive: make([]uint64, cfg.VMs),
+	}
+	for i := 0; i < cfg.VMs; i++ {
+		kcfg := kernel.Config{
+			GuestMemBytes:       simCfg.GuestMemBytes,
+			GPABase:             uint64(i) * stride,
+			THP:                 cfg.THP,
+			BuildECPT:           true,
+			ECPT:                ecpt.ScaledSetConfig(false, cfg.Scale),
+			Seed:                simCfg.WorkloadOpts.Seed + 101 + uint64(i)*9973,
+			HugePageFailureRate: simCfg.HugePageFailureRate,
+		}
+		k, err := kernel.New(kcfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: vm %d: %w", i, err)
+		}
+		for _, v := range probe.VMAs() {
+			k.DefineVMA(v)
+		}
+		k.DefineVMA(kernel.VMA{Base: churnBase, Size: churnSpanPages * addr.Page4K.Bytes()})
+		e.kerns[i] = k
+	}
+
+	if err := e.prepopulate(probe.VMAs()); err != nil {
+		return nil, err
+	}
+
+	// Switch every table into concurrent mode, host set first: a
+	// published guest snapshot may reference guest-physical table and
+	// CWT addresses, and those must already be translatable through
+	// the published host snapshot.
+	e.hyp.ECPTs().EnterConcurrent(e.dom)
+	for _, k := range e.kerns {
+		k.ECPTs().EnterConcurrent(e.dom)
+	}
+	return e, nil
+}
+
+// prepopulate installs the complete guest and host mappings for every
+// workload VMA of every guest, then backs each guest's page-table and
+// CWT region with host mappings, so steady-state walks never fault.
+func (e *engine) prepopulate(vmas []kernel.VMA) error {
+	for i, k := range e.kerns {
+		for _, v := range vmas {
+			limit := addr.Add(v.Base, v.Size)
+			for va := v.Base; va < limit; {
+				_, size, err := k.Touch(va)
+				if err != nil {
+					return fmt.Errorf("serve: vm %d prepopulate %#x: %w", i, va, err)
+				}
+				base := addr.PageBase(va, size)
+				gpa, _, ok := k.Translate(base)
+				if !ok {
+					return fmt.Errorf("serve: vm %d translate %#x after touch", i, va)
+				}
+				// Host-map every 4KB granule of the guest page: a host
+				// huge-page fallback covers only one granule per call,
+				// and a later walk may ask for any of them.
+				for off := uint64(0); off < size.Bytes(); off += addr.Page4K.Bytes() {
+					if _, err := e.hyp.EnsureMapped(addr.Add(gpa, off), false); err != nil {
+						return fmt.Errorf("serve: vm %d: %w", i, err)
+					}
+				}
+				va = addr.Add(base, size.Bytes())
+			}
+		}
+		if err := e.syncMetadata(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncMetadata host-maps guest vm's metadata region growth: every
+// page-table or CWT frame the guest allocated since the last sync.
+// Walkers fetch guest table lines and gCWT entries by guest-physical
+// address, so the whole region must be translatable before a snapshot
+// referencing it is published. Metadata is 4KB-backed in the host
+// (§4.3).
+func (e *engine) syncMetadata(vm int) error {
+	floor, top := e.kerns[vm].Allocator().MetaRegion()
+	prev := e.metaFloor[vm]
+	if prev == 0 {
+		prev = top
+	}
+	for pa := floor; pa < prev; pa = addr.Add(pa, addr.Page4K.Bytes()) {
+		if _, err := e.hyp.EnsureMapped(pa, true); err != nil {
+			return fmt.Errorf("serve: vm %d metadata map %#x: %w", vm, pa, err)
+		}
+	}
+	e.metaFloor[vm] = floor
+	return nil
+}
+
+// run starts the churn mutator and the worker pool, then aggregates
+// the workers' measurements.
+func (e *engine) run(ctx context.Context) (*Summary, error) {
+	churnDone := make(chan struct{})
+	if e.cfg.ChurnPagesPerRound > 0 {
+		go func() {
+			defer close(churnDone)
+			e.churnLoop()
+		}()
+	} else {
+		close(churnDone)
+	}
+
+	if e.cfg.OpsPerWorker == 0 {
+		timer := time.AfterFunc(e.cfg.Duration, func() { e.stop.Store(true) })
+		defer timer.Stop()
+	}
+
+	n := e.cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	tasks := make([]runner.Task[*workerResult], 0, n)
+	for w := 0; w < n; w++ {
+		w := w
+		tasks = append(tasks, runner.Task[*workerResult]{
+			Name: fmt.Sprintf("serve/worker%d", w),
+			Run:  func(ctx context.Context) (*workerResult, error) { return e.worker(ctx, w) },
+		})
+	}
+
+	start := time.Now()
+	results := runner.Run(ctx, tasks, runner.Options{Parallelism: n})
+	elapsed := time.Since(start)
+
+	// Workers are done: stop the mutator and wait for it, making this
+	// goroutine the sole owner of every table again.
+	e.stop.Store(true)
+	<-churnDone
+	if err := runner.FirstError(results); err != nil {
+		return nil, err
+	}
+	if e.churnErr != nil {
+		return nil, e.churnErr
+	}
+
+	// Final publish + collect: with every reader idle, all retired
+	// generations' grace periods have elapsed.
+	e.hyp.ECPTs().Publish()
+	for _, k := range e.kerns {
+		k.ECPTs().Publish()
+	}
+
+	return e.summarize(results, elapsed), nil
+}
+
+// churnLoop is the single writer: each round it demand-maps fresh
+// churn pages (and unmaps old ones) in every guest, host-maps whatever
+// the mutations made reachable, and publishes — host snapshot first,
+// then the guests that reference it.
+func (e *engine) churnLoop() {
+	touched := make([]addr.GVA, 0, e.cfg.ChurnPagesPerRound)
+	for !e.stop.Load() {
+		for vm, k := range e.kerns {
+			touched = touched[:0]
+			for n := 0; n < e.cfg.ChurnPagesPerRound; n++ {
+				if e.churnLive[vm] >= churnWindowPages {
+					oldest := e.churnNext[vm] - e.churnLive[vm]
+					k.Unmap(addr.Add(churnBase, (oldest%churnSpanPages)*addr.Page4K.Bytes()))
+					e.churnLive[vm]--
+				}
+				va := addr.Add(churnBase, (e.churnNext[vm]%churnSpanPages)*addr.Page4K.Bytes())
+				if _, _, err := k.Touch(va); err != nil {
+					e.churnErr = fmt.Errorf("serve: churn vm %d touch %#x: %w", vm, va, err)
+					return
+				}
+				e.churnNext[vm]++
+				e.churnLive[vm]++
+				touched = append(touched, va)
+			}
+			// Host-map the new data pages and any metadata the inserts
+			// or resizes allocated, before any snapshot can refer to
+			// them.
+			for _, va := range touched {
+				gpa, _, ok := k.Translate(va)
+				if !ok {
+					e.churnErr = fmt.Errorf("serve: churn vm %d translate %#x", vm, va)
+					return
+				}
+				if _, err := e.hyp.EnsureMapped(gpa, false); err != nil {
+					e.churnErr = fmt.Errorf("serve: churn vm %d: %w", vm, err)
+					return
+				}
+			}
+			if err := e.syncMetadata(vm); err != nil {
+				e.churnErr = err
+				return
+			}
+		}
+		// Publish order matters: the host snapshot must cover every
+		// guest-physical address the fresh guest snapshots reference.
+		e.hyp.ECPTs().Publish()
+		for _, k := range e.kerns {
+			k.ECPTs().Publish()
+		}
+		e.publishes.Add(1)
+		e.churnOps.Add(uint64(e.cfg.ChurnPagesPerRound * len(e.kerns)))
+		time.Sleep(e.cfg.ChurnInterval)
+	}
+}
+
+// workerResult is one worker's measurements.
+type workerResult struct {
+	ops     []uint64 // per VM
+	retries uint64
+	latency *stats.Histogram
+}
+
+// worker translates round-robin across every VM until the stop
+// condition: its own epoch reader brackets each walk, its own cache
+// hierarchy and per-VM walkers keep all mutable state private, so the
+// only shared reads are the published table snapshots.
+func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
+	rd := e.dom.NewReader()
+	mem := cachesim.NewHierarchy(e.simCfg.Hierarchy)
+	walkers := make([]*core.NestedECPT, len(e.kerns))
+	gens := make([]workload.Generator, len(e.kerns))
+	for vm := range e.kerns {
+		walkers[vm] = core.NewNestedECPT(e.simCfg.NestedECPT, mem, e.kerns[vm], e.hyp)
+		opts := e.simCfg.WorkloadOpts
+		opts.Seed = runner.Seed(e.cfg.Seed, fmt.Sprintf("serve/%s/w%d/vm%d", e.cfg.Workload, id, vm))
+		g, err := workload.New(e.cfg.Workload, opts)
+		if err != nil {
+			return nil, err
+		}
+		gens[vm] = g
+	}
+
+	res := &workerResult{
+		ops:     make([]uint64, len(e.kerns)),
+		latency: stats.NewHistogram(20),
+	}
+	var now uint64
+	var total uint64
+	for {
+		for vm := range walkers {
+			va := gens[vm].Next().VA
+			rd.Enter()
+			wres, err := e.walkRetry(walkers[vm], rd, now, va, &res.retries)
+			rd.Exit()
+			if err != nil {
+				return nil, fmt.Errorf("serve: worker %d vm %d: %w", id, vm, err)
+			}
+			res.latency.Observe(wres.Latency)
+			now += wres.Latency + 1
+			res.ops[vm]++
+			total++
+		}
+		if e.cfg.OpsPerWorker > 0 {
+			if total >= e.cfg.OpsPerWorker {
+				return res, nil
+			}
+		} else if e.stop.Load() {
+			return res, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// walkRetry runs one walk, retrying transient misses: a walk that
+// spans a snapshot publish can observe a torn guest/host view pair and
+// miss a mapping that the next (fresh) snapshot serves. Mapped
+// workload translations are never unmapped or remapped, so a retry
+// against the latest snapshots always converges; MaxRetries bounds
+// pathological schedules.
+func (e *engine) walkRetry(w *core.NestedECPT, rd *ecpt.EpochReader, now uint64, va addr.GVA, retries *uint64) (core.WalkResult, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := w.Walk(now, va)
+		if err == nil {
+			return res, nil
+		}
+		var nm *core.ErrNotMapped
+		if !errors.As(err, &nm) || attempt >= e.cfg.MaxRetries {
+			return res, err
+		}
+		*retries++
+		// Re-pin so the retry reads the newest snapshots and the
+		// writer's reclamation is never stalled behind a retry loop.
+		rd.Exit()
+		rd.Enter()
+	}
+}
+
+// alignUp rounds v up to a multiple of a (a power of two).
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

@@ -205,6 +205,18 @@ func DefaultConfig(design Design, app string, thp bool) Config {
 	return cfg
 }
 
+// Normalized returns the config with every derived field filled in for
+// a workload of the given footprint — the same sizing NewMachine does
+// internally (memory provisioning, TLB/cache scaling, fragmentation
+// defaults). internal/serve uses it to provision multi-VM guests
+// exactly like the single-VM simulator would.
+func (c Config) Normalized(footprint uint64) (Config, error) {
+	if err := c.normalize(footprint); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
 func (c *Config) normalize(footprint uint64) error {
 	c.WorkloadOpts = c.WorkloadOpts.Normalized()
 	if c.Workload == "" {

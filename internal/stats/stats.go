@@ -92,6 +92,30 @@ func (h *Histogram) Observe(v uint64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Merge accumulates another histogram's samples into h. The bin widths
+// must match: merging is how per-worker latency histograms combine into
+// one distribution (internal/serve), and mixed widths would silently
+// smear percentiles.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if o.BinWidth != h.BinWidth {
+		panic(fmt.Sprintf("stats: merging histograms with bin widths %d and %d", h.BinWidth, o.BinWidth))
+	}
+	for len(h.bins) < len(o.bins) {
+		h.bins = append(h.bins, 0)
+	}
+	for i, n := range o.bins {
+		h.bins[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Mean returns the average sample, or 0 when empty.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {

@@ -191,3 +191,54 @@ func TestAverage(t *testing.T) {
 		t.Errorf("Value = %v", a.Value())
 	}
 }
+
+// TestHistogramMerge checks that merging two histograms is equivalent
+// to observing both sample streams into one.
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := NewHistogram(10), NewHistogram(10), NewHistogram(10)
+	for _, v := range []uint64{5, 15, 15, 105} {
+		a.Observe(v)
+		both.Observe(v)
+	}
+	for _, v := range []uint64{7, 205, 1} {
+		b.Observe(v)
+		both.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), both.Count())
+	}
+	if a.Mean() != both.Mean() {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), both.Mean())
+	}
+	if a.Max() != both.Max() {
+		t.Fatalf("merged max %d, want %d", a.Max(), both.Max())
+	}
+	if a.NumBins() != both.NumBins() {
+		t.Fatalf("merged bins %d, want %d", a.NumBins(), both.NumBins())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%.0f: merged %d, want %d", p*100, a.Percentile(p), both.Percentile(p))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Count()
+	a.Merge(NewHistogram(10))
+	if a.Count() != before {
+		t.Fatalf("empty merge changed count %d -> %d", before, a.Count())
+	}
+}
+
+// TestHistogramMergeBinWidthMismatch: merging incompatible bin widths
+// must panic loudly rather than silently misbinning.
+func TestHistogramMergeBinWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge of mismatched bin widths did not panic")
+		}
+	}()
+	a, b := NewHistogram(10), NewHistogram(20)
+	b.Observe(1)
+	a.Merge(b)
+}

@@ -72,6 +72,11 @@ const (
 	// latency, which the auditor bounds between the slowest lane and the
 	// sum of all lanes.
 	KindBatchEnd
+	// KindGenPublish records one concurrent-mode snapshot publication:
+	// an ECPT sealed its generations and swapped the readers' view
+	// pointer (Aux is the epoch the publish advanced to). Never emitted
+	// in sequential mode, so golden traces are unaffected.
+	KindGenPublish
 	numKinds
 )
 
@@ -81,6 +86,7 @@ var kindNames = [numKinds]string{
 	"Invalid", "WalkBegin", "StepBegin", "Probe", "CacheHit", "CacheMiss",
 	"CacheInsert", "Refill", "WalkEnd", "Fault", "ResizeStart", "ResizeEnd",
 	"MigrateLine", "AdaptInterval", "AdaptToggle", "BatchBegin", "BatchEnd",
+	"GenPublish",
 }
 
 // String names the kind as it appears in JSONL.

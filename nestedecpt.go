@@ -29,8 +29,12 @@
 package nestedecpt
 
 import (
+	"context"
+	"io"
+
 	"nestedecpt/internal/core"
 	"nestedecpt/internal/report"
+	"nestedecpt/internal/serve"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/workload"
 )
@@ -113,3 +117,29 @@ func DefaultExperimentSettings() ExperimentSettings { return report.DefaultSetti
 // QuickExperimentSettings runs a reduced evaluation suitable for smoke
 // tests and benchmarks.
 func QuickExperimentSettings() ExperimentSettings { return report.QuickSettings() }
+
+// ServeConfig configures the multi-VM translation service: many
+// guests, each with its own guest ECPT set over one shared host ECPT
+// set, walked lock-free against epoch-versioned snapshots.
+type ServeConfig = serve.Config
+
+// ServeSummary reports one service run: aggregate wall-clock
+// throughput, per-VM fairness, and walk-latency percentiles.
+type ServeSummary = serve.Summary
+
+// Serve runs the multi-VM translation service until its op budget or
+// duration elapses (or ctx is cancelled, which drains the workers and
+// reports what was measured).
+func Serve(ctx context.Context, cfg ServeConfig) (*ServeSummary, error) {
+	return serve.Run(ctx, cfg)
+}
+
+// DefaultServeConfig is a small smoke-test service.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// VMDensityServeConfig is the 48-guest density experiment the
+// nestedserve CLI and CI's throughput smoke job run.
+func VMDensityServeConfig() ServeConfig { return serve.VMDensityConfig() }
+
+// RenderServe prints a ServeSummary in the nestedserve CLI's format.
+func RenderServe(w io.Writer, s *ServeSummary) { report.RenderServe(w, s) }

@@ -1,6 +1,7 @@
 package nestedecpt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -85,5 +86,30 @@ func TestMachineInspection(t *testing.T) {
 	}
 	if m.Walker().Name() != "Nested ECPTs" {
 		t.Errorf("walker = %q", m.Walker().Name())
+	}
+}
+
+// TestPublicAPIServe drives the multi-VM service facade end to end:
+// a tiny fixed-op run over the default smoke config, rendered through
+// the public RenderServe.
+func TestPublicAPIServe(t *testing.T) {
+	if vd := VMDensityServeConfig(); vd.VMs != 48 {
+		t.Errorf("VMDensityServeConfig.VMs = %d, want 48", vd.VMs)
+	}
+	cfg := DefaultServeConfig()
+	cfg.VMs = 2
+	cfg.Workers = 2
+	cfg.OpsPerWorker = 200
+	sum, err := Serve(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalOps < 2*200 {
+		t.Fatalf("TotalOps = %d, want >= 400", sum.TotalOps)
+	}
+	var sb strings.Builder
+	RenderServe(&sb, sum)
+	if !strings.Contains(sb.String(), "translations/sec") {
+		t.Fatalf("RenderServe output missing throughput line:\n%s", sb.String())
 	}
 }
