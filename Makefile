@@ -3,11 +3,18 @@
 #   make check   lint + build + full test suite
 #   make lint    static analysis gate: go vet, staticcheck (when
 #                installed), and cmd/nestedlint — the custom analyzer
-#                suite enforcing the hot-path, determinism, and
+#                suite enforcing the hot-path, determinism,
 #                typed-address (addrspace: no unsanctioned GVA/GPA/HPA
-#                crossings) invariants (README.md, "Static analysis");
-#                `go run ./cmd/nestedlint -analyzer=addrspace -json ./...`
-#                isolates one analyzer with machine-readable output
+#                crossings), and concurrency-discipline (epochguard /
+#                sealedwrite / atomicmix: the epoch/generation
+#                protocol of DESIGN.md §10–11) invariants (README.md,
+#                "Static analysis");
+#                `go run ./cmd/nestedlint -analyzer=NAME[,NAME] -json ./...`
+#                isolates a subset with machine-readable output
+#   make escapes escape-hatch audit: inventories every
+#                //nestedlint:ignore and //nestedlint:domaincast
+#                directive and fails on stale ones (directives that no
+#                longer suppress or whitelist anything)
 #   make race    race-detector tier (small, targeted: the sweep engine,
 #                the simulation core, the trace recorder, and the
 #                lock-free concurrent translation layer — the
@@ -37,7 +44,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test lint race cover bench fuzz profile benchjson benchdrift
+.PHONY: check vet build test lint escapes race cover bench fuzz profile benchjson benchdrift
 
 check: lint build test
 
@@ -62,6 +69,11 @@ lint: build
 	fi
 	$(GO) run ./cmd/nestedlint ./...
 
+# Escape hatches are standing claims; the audit fails when one goes
+# stale (CI runs it in the lint-concurrency job).
+escapes: build
+	$(GO) run ./cmd/nestedlint -escapes ./...
+
 # The race detector slows the simulator by roughly an order of
 # magnitude, so this tier runs only the packages with real concurrency
 # (the runner engine, the simulations it fans out, the trace recorder
@@ -74,8 +86,10 @@ race:
 
 # Coverage ratchet: total statement coverage may grow but not shrink.
 # Raise COVER_BASELINE when a PR meaningfully improves coverage; never
-# lower it to make a failure go away.
-COVER_BASELINE ?= 75.0
+# lower it to make a failure go away. (Measured 76.0% after the
+# concurrency-discipline analyzers and epoch edge tests; the half-point
+# slack absorbs timing-dependent serve/churn paths.)
+COVER_BASELINE ?= 75.5
 
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...

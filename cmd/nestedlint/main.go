@@ -1,19 +1,25 @@
 // Command nestedlint is the repository's multichecker: it runs the
 // internal/analysis suite — hotpathalloc, detrange, scratchalias,
-// statsguard, and addrspace — over the named packages and exits
-// non-zero on any unsuppressed finding. `make lint` runs it over ./...
-// as a tier-1 gate; see README.md ("Static analysis") for the
-// invariants and the //nestedlint:hotpath, //nestedlint:ignore, and
-// //nestedlint:domaincast directives.
+// statsguard, addrspace, epochguard, sealedwrite, and atomicmix — over
+// the named packages and exits non-zero on any unsuppressed finding.
+// `make lint` runs it over ./... as a tier-1 gate; see README.md
+// ("Static analysis") for the invariants and the //nestedlint:hotpath,
+// //nestedlint:ignore, //nestedlint:domaincast, //nestedlint:writer,
+// and //nestedlint:immutable directives.
 //
 // Usage:
 //
-//	nestedlint [-list] [-v] [-analyzer=NAME] [-json] [packages]
+//	nestedlint [-list] [-v] [-analyzer=NAME[,NAME...]] [-json] [-escapes] [packages]
 //
 // Packages default to ./... relative to the enclosing module root.
-// -analyzer restricts the run to one analyzer (CI isolates addrspace
-// this way); -json emits findings as a JSON array on stdout for
-// machine consumption instead of the file:line:col text form.
+// -analyzer restricts the run to a comma-separated subset (CI isolates
+// addrspace and the concurrency trio this way); -json emits findings
+// as a JSON array on stdout for machine consumption instead of the
+// file:line:col text form. -escapes switches from finding violations
+// to inventorying the escape hatches: every //nestedlint:ignore and
+// //nestedlint:domaincast directive with its location, scope, and
+// reason, flagging stale ones (directives that no longer suppress or
+// whitelist anything) — exit status 1 when any escape is stale.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"nestedecpt/internal/analysis"
 )
@@ -38,8 +45,9 @@ type finding struct {
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	verbose := flag.Bool("v", false, "report per-package progress and suppressed-finding counts")
-	only := flag.String("analyzer", "", "run only the named analyzer (default: all)")
+	only := flag.String("analyzer", "", "run only the named analyzers (comma-separated; default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	escapes := flag.Bool("escapes", false, "inventory //nestedlint:ignore and //nestedlint:domaincast escapes instead of reporting findings")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -50,17 +58,34 @@ func main() {
 		return
 	}
 	if *only != "" {
-		var picked []*analysis.Analyzer
+		byName := map[string]*analysis.Analyzer{}
 		for _, a := range analyzers {
-			if a.Name == *only {
-				picked = append(picked, a)
-			}
+			byName[a.Name] = a
 		}
-		if len(picked) == 0 {
-			fmt.Fprintf(os.Stderr, "nestedlint: unknown analyzer %q (see -list)\n", *only)
-			os.Exit(2)
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nestedlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
 		}
 		analyzers = picked
+	}
+
+	if *escapes {
+		stale, err := runEscapes(analyzers, flag.Args(), *jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestedlint:", err)
+			os.Exit(2)
+		}
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "nestedlint: %d stale escape(s) — delete them or re-justify\n", stale)
+			os.Exit(1)
+		}
+		return
 	}
 
 	findings, err := run(analyzers, flag.Args(), *verbose, *jsonOut)
@@ -78,11 +103,7 @@ func main() {
 // unsuppressed diagnostics (as text or JSON), and returns how many
 // there were.
 func run(analyzers []*analysis.Analyzer, patterns []string, verbose, jsonOut bool) (int, error) {
-	moduleRoot, err := analysis.FindModuleRoot(".")
-	if err != nil {
-		return 0, err
-	}
-	pkgs, err := analysis.Load(moduleRoot, patterns...)
+	pkgs, err := loadPackages(patterns)
 	if err != nil {
 		return 0, err
 	}
@@ -142,4 +163,56 @@ func run(analyzers []*analysis.Analyzer, patterns []string, verbose, jsonOut boo
 		}
 	}
 	return findings, nil
+}
+
+// runEscapes inventories the escape-hatch directives of the named
+// packages and returns how many are stale. Text output is one line per
+// escape (file:line, directive, scope, staleness, reason); -json emits
+// the analysis.Escape records verbatim.
+func runEscapes(analyzers []*analysis.Analyzer, patterns []string, jsonOut bool) (int, error) {
+	pkgs, err := loadPackages(patterns)
+	if err != nil {
+		return 0, err
+	}
+	escapes, err := analysis.AuditEscapes(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	stale := 0
+	for _, e := range escapes {
+		if e.Stale {
+			stale++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(escapes); err != nil {
+			return stale, err
+		}
+		return stale, nil
+	}
+	for _, e := range escapes {
+		scope := e.Analyzer
+		if scope == "" {
+			scope = "*"
+		}
+		mark := " "
+		if e.Stale {
+			mark = "!"
+		}
+		fmt.Printf("%s %s:%d: %s[%s]: %s\n", mark, e.File, e.Line, e.Directive, scope, e.Reason)
+	}
+	fmt.Printf("%d escape(s), %d stale\n", len(escapes), stale)
+	return stale, nil
+}
+
+// loadPackages resolves patterns (default ./...) from the enclosing
+// module root.
+func loadPackages(patterns []string) ([]*analysis.Package, error) {
+	moduleRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Load(moduleRoot, patterns...)
 }

@@ -12,6 +12,12 @@
 //
 // The -minrate gate is what CI's throughput smoke job uses: a short
 // run must sustain the floor or the job fails.
+//
+// The engine's epoch/generation protocol (DESIGN.md §10) is enforced
+// statically: nestedlint's epochguard, sealedwrite, and atomicmix
+// analyzers check the //nestedlint:writer annotations on the serve
+// engine's mutator paths and the Enter/Exit bracketing of its workers
+// (DESIGN.md §11).
 package main
 
 import (

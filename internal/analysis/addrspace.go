@@ -165,6 +165,33 @@ func runAddrSpace(pass *Pass) error {
 	// Pass 2: record the argument position every expression occupies in
 	// an ordinary (non-conversion) call, so a conversion used directly
 	// as an argument can name the parameter it launders into.
+	argOf := collectArgContexts(pass)
+
+	// Pass 3: flag unsanctioned conversions and backward Translate
+	// crossings outside domaincast-annotated functions.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && allowed[fd] {
+				continue
+			}
+			ast.Inspect(d, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkTranslateDirection(pass, call)
+				checkConversion(pass, call, argOf)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectArgContexts maps every ordinary call argument to the callee
+// and declared parameter type it feeds. Shared with the escape audit,
+// which re-probes domaincast-annotated bodies.
+func collectArgContexts(pass *Pass) map[ast.Expr]argContext {
 	argOf := make(map[ast.Expr]argContext)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -193,26 +220,7 @@ func runAddrSpace(pass *Pass) error {
 			return true
 		})
 	}
-
-	// Pass 3: flag unsanctioned conversions and backward Translate
-	// crossings outside domaincast-annotated functions.
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && allowed[fd] {
-				continue
-			}
-			ast.Inspect(d, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				checkTranslateDirection(pass, call)
-				checkConversion(pass, call, argOf)
-				return true
-			})
-		}
-	}
-	return nil
+	return argOf
 }
 
 // checkConversion flags call when it is a type conversion that crosses

@@ -9,17 +9,33 @@
 //	    calls within its package) is a steady-state walk path and must
 //	    not heap-allocate. Enforced by the hotpathalloc analyzer.
 //
-//	//nestedlint:ignore <reason>
+//	//nestedlint:ignore [analyzer:] <reason>
 //	    on or immediately above a flagged line: suppress diagnostics on
 //	    that line. The reason is mandatory; a bare ignore is itself a
-//	    finding. Use only where the comment can justify why the
-//	    invariant holds anyway (e.g. "keys are sorted before use").
+//	    finding. An optional leading "analyzer:" token narrows the
+//	    suppression to one analyzer (naming an unknown analyzer is a
+//	    finding) so an escape cannot silently swallow findings from a
+//	    gate it never meant to address. Use only where the comment can
+//	    justify why the invariant holds anyway (e.g. "keys are sorted
+//	    before use").
+//
+//	//nestedlint:writer
+//	    on a function's doc comment: the function belongs to the single
+//	    mutating goroutine of the epoch/generation protocol and may call
+//	    the writer-side ecpt APIs. Enforced by epochguard; doubles as
+//	    the sanctioned-constructor marker sealedwrite honours.
+//
+//	//nestedlint:immutable
+//	    on a type declaration's doc comment: values of the type are
+//	    sealed snapshots once published — no field may be assigned
+//	    outside a //nestedlint:writer constructor. Enforced by
+//	    sealedwrite.
 //
 // The framework exists because the simulator's invariants — an
-// allocation-free walk hot path and byte-deterministic sweep output —
-// are load-bearing for the paper's evaluation but invisible to the
-// compiler. Encoding them as analyzers turns "a test happened to
-// notice" into "the build fails".
+// allocation-free walk hot path, byte-deterministic sweep output, and
+// the lock-free epoch/generation protocol — are load-bearing for the
+// paper's evaluation but invisible to the compiler. Encoding them as
+// analyzers turns "a test happened to notice" into "the build fails".
 package analysis
 
 import (
@@ -27,6 +43,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -94,41 +111,86 @@ func (a *Analyzer) RunPackage(pkg *Package) ([]Diagnostic, error) {
 // `//tool:directive` shape, so gofmt preserves them and godoc hides
 // them.
 const (
-	hotpathDirective = "//nestedlint:hotpath"
-	ignoreDirective  = "//nestedlint:ignore"
+	hotpathDirective   = "//nestedlint:hotpath"
+	ignoreDirective    = "//nestedlint:ignore"
+	writerDirective    = "//nestedlint:writer"
+	immutableDirective = "//nestedlint:immutable"
 )
 
 // HasHotpathDirective reports whether a function declaration carries
 // the //nestedlint:hotpath directive in its doc comment.
 func HasHotpathDirective(decl *ast.FuncDecl) bool {
-	if decl.Doc == nil {
+	return hasDocDirective(decl.Doc, hotpathDirective)
+}
+
+// HasWriterDirective reports whether a function declaration carries
+// the //nestedlint:writer directive in its doc comment. A trailing
+// note after the directive word is allowed ("//nestedlint:writer the
+// churn mutator owns every table") — the annotation is its own
+// justification, unlike ignore's mandatory reason.
+func HasWriterDirective(decl *ast.FuncDecl) bool {
+	return hasDocDirective(decl.Doc, writerDirective)
+}
+
+// hasDocDirective reports whether doc contains directive, alone or
+// followed by a note. "// nestedlint:…" (with a space) is prose, not a
+// directive — exactly the gofmt rule.
+func hasDocDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range decl.Doc.List {
-		if strings.TrimSpace(c.Text) == hotpathDirective {
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
 			return true
 		}
 	}
 	return false
 }
 
+// IgnoreEntry is one well-formed //nestedlint:ignore directive.
+type IgnoreEntry struct {
+	// File and Line locate the directive comment itself.
+	File string
+	Line int
+	Pos  token.Pos
+	// Analyzer is the scope token ("" suppresses every analyzer).
+	Analyzer string
+	Reason   string
+	// used records whether the directive suppressed any diagnostic in
+	// the analyzer runs that consulted this set — the staleness signal
+	// `nestedlint -escapes` reports.
+	used bool
+}
+
+// Used reports whether the directive suppressed at least one
+// diagnostic since the set was built.
+func (e *IgnoreEntry) Used() bool { return e.used }
+
+// ignoreScopeRE matches a leading "analyzer:" scope token in an ignore
+// directive's payload. The token shape is an analyzer name (lowercase
+// alphanumeric), so prose reasons — which start with a real word and a
+// space — never collide with it.
+var ignoreScopeRE = regexp.MustCompile(`^([a-z][a-z0-9]*):\s*(.*)$`)
+
 // IgnoreSet records, per file line, the //nestedlint:ignore directives
 // of one package. A directive suppresses diagnostics on its own line
 // (the trailing-comment form) and on the line that follows (the
 // stand-alone form placed above a long statement).
 type IgnoreSet struct {
-	fset *token.FileSet
-	// lines maps "filename:line" to the directive's reason.
-	lines map[string]string
-	// bare collects directives with no reason: themselves findings.
-	bare []token.Pos
-	// used tracks which directives suppressed something.
-	used map[string]bool
+	fset    *token.FileSet
+	entries []*IgnoreEntry
+	// byKey maps "filename:line" (the directive's line and the one
+	// after) to its entry.
+	byKey map[string]*IgnoreEntry
+	// malformed collects directives that are themselves findings: no
+	// reason, or a scope naming an unknown analyzer.
+	malformed []Diagnostic
 }
 
 // NewIgnoreSet scans every comment of the package's files.
 func NewIgnoreSet(fset *token.FileSet, files []*ast.File) *IgnoreSet {
-	s := &IgnoreSet{fset: fset, lines: map[string]string{}, used: map[string]bool{}}
+	s := &IgnoreSet{fset: fset, byKey: map[string]*IgnoreEntry{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -137,13 +199,31 @@ func NewIgnoreSet(fset *token.FileSet, files []*ast.File) *IgnoreSet {
 					continue
 				}
 				reason := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				scope := ""
+				if m := ignoreScopeRE.FindStringSubmatch(reason); m != nil {
+					if !knownAnalyzers()[m[1]] {
+						s.malformed = append(s.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Message:  fmt.Sprintf("//nestedlint:ignore scope %q names no analyzer (see nestedlint -list); drop the scope or fix the name", m[1]),
+							Analyzer: "nestedlint",
+						})
+						continue
+					}
+					scope, reason = m[1], strings.TrimSpace(m[2])
+				}
 				if reason == "" {
-					s.bare = append(s.bare, c.Pos())
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "//nestedlint:ignore requires a reason explaining why the invariant still holds",
+						Analyzer: "nestedlint",
+					})
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				s.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
-				s.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = reason
+				e := &IgnoreEntry{File: pos.Filename, Line: pos.Line, Pos: c.Pos(), Analyzer: scope, Reason: reason}
+				s.entries = append(s.entries, e)
+				s.byKey[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = e
+				s.byKey[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = e
 			}
 		}
 	}
@@ -155,25 +235,23 @@ func NewIgnoreSet(fset *token.FileSet, files []*ast.File) *IgnoreSet {
 func (s *IgnoreSet) Suppressed(d Diagnostic) bool {
 	pos := s.fset.Position(d.Pos)
 	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-	if _, ok := s.lines[key]; ok {
-		s.used[key] = true
-		return true
+	e, ok := s.byKey[key]
+	if !ok || (e.Analyzer != "" && e.Analyzer != d.Analyzer) {
+		return false
 	}
-	return false
+	e.used = true
+	return true
 }
 
+// Entries returns the well-formed directives in scan order; used bits
+// reflect the analyzer runs performed against this set so far.
+func (s *IgnoreSet) Entries() []*IgnoreEntry { return s.entries }
+
 // BareDirectives returns findings for //nestedlint:ignore directives
-// that carry no reason: the escape hatch must always justify itself.
+// that are malformed — no reason, or an unknown analyzer scope: the
+// escape hatch must always justify itself, precisely.
 func (s *IgnoreSet) BareDirectives() []Diagnostic {
-	var out []Diagnostic
-	for _, pos := range s.bare {
-		out = append(out, Diagnostic{
-			Pos:      pos,
-			Message:  "//nestedlint:ignore requires a reason explaining why the invariant still holds",
-			Analyzer: "nestedlint",
-		})
-	}
-	return out
+	return append([]Diagnostic(nil), s.malformed...)
 }
 
 // deterministicPackages are the packages whose output must be
@@ -195,5 +273,23 @@ func All() []*Analyzer {
 		ScratchAlias,
 		StatsGuard,
 		AddrSpace,
+		EpochGuard,
+		SealedWrite,
+		AtomicMix,
 	}
+}
+
+// knownAnalyzers returns the valid scope tokens for ignore directives:
+// every analyzer name plus the framework's own "nestedlint".
+var knownAnalyzersCache map[string]bool
+
+func knownAnalyzers() map[string]bool {
+	if knownAnalyzersCache == nil {
+		m := map[string]bool{"nestedlint": true}
+		for _, a := range All() {
+			m[a.Name] = true
+		}
+		knownAnalyzersCache = m
+	}
+	return knownAnalyzersCache
 }

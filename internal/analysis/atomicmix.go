@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces the "consistently atomic" half of DESIGN.md §10's
+// ordering argument. The epoch protocol's correctness proof leans on
+// every cross-goroutine field being accessed through sync/atomic: one
+// plain load of an atomically-written counter, and the sequential-
+// consistency reasoning (view store before Advance, epoch load before
+// view load) silently stops applying. Two invariants:
+//
+//   - Mixed access. A field or package variable that is passed to a
+//     sync/atomic function anywhere in the package (the old-style
+//     atomic.AddUint64(&x.f, 1) form) must be accessed through
+//     sync/atomic everywhere in the package; any plain read or write
+//     of the same object is a finding. (The typed atomic.Uint64-style
+//     fields the repo prefers make this unrepresentable — this rule
+//     catches regressions to the address-based style.)
+//
+//   - No value copies. A type that transitively contains sync or
+//     sync/atomic state (a mutex, a WaitGroup, an atomic.Pointer …)
+//     must not be copied: copies duplicate lock words and tear atomic
+//     state. Flagged: value receivers on such types, parameters and
+//     results passing them by value, and assignments whose source is
+//     an existing value (identifier, field, dereference, or element)
+//     of such a type. Composite literals and address-taking stay
+//     legal — construction and aliasing are not copies. Ranging over
+//     a slice of such values is out of scope (vet's copylocks covers
+//     it); keep lock-bearing state behind pointers.
+//
+// Escape hatch: //nestedlint:ignore [atomicmix:] <reason>.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "require consistently-atomic access to atomically-used fields and forbid by-value copies of sync/atomic-bearing types",
+	Run:  runAtomicMix,
+}
+
+const atomicPkgPath = "sync/atomic"
+
+func runAtomicMix(pass *Pass) error {
+	checkMixedAccess(pass)
+	checkLockCopies(pass)
+	return nil
+}
+
+// checkMixedAccess implements the consistently-atomic rule.
+func checkMixedAccess(pass *Pass) {
+	// Pass 1: objects whose address feeds a sync/atomic call, plus the
+	// source positions inside those calls (sanctioned accesses).
+	atomicObjs := map[types.Object]string{} // object -> first atomic call, for the diagnostic
+	sanctioned := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != atomicPkgPath {
+				return true
+			}
+			for _, arg := range call.Args {
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if obj := addressedObject(pass.Info, u.X); obj != nil {
+						if _, seen := atomicObjs[obj]; !seen {
+							atomicObjs[obj] = "atomic." + fn.Name()
+						}
+					}
+				}
+				ast.Inspect(arg, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.Ident:
+						sanctioned[m.Pos()] = true
+					case *ast.SelectorExpr:
+						sanctioned[m.Sel.Pos()] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of the same object is a plain (racy)
+	// access. Uses (not Defs) so declarations are exempt — declaring
+	// the field is not an access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id.Pos()] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if via, ok := atomicObjs[obj]; ok {
+				pass.Reportf(id.Pos(),
+					"%s is accessed via %s elsewhere in this package; this plain access races with it — use sync/atomic here too",
+					obj.Name(), via)
+			}
+			return true
+		})
+	}
+}
+
+// addressedObject resolves &expr's operand to the variable it denotes:
+// a plain identifier or a field selector.
+func addressedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// checkLockCopies implements the no-value-copies rule.
+func checkLockCopies(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				recvType := pass.Info.TypeOf(fd.Recv.List[0].Type)
+				if inner := lockInside(recvType); inner != "" {
+					pass.Reportf(fd.Recv.Pos(),
+						"value receiver of method %s copies %s (contains %s); use a pointer receiver", fd.Name.Name, typeLabel(recvType), inner)
+				}
+			}
+			checkFieldList(pass, fd.Type.Params, "parameter")
+			checkFieldList(pass, fd.Type.Results, "result")
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					if !copiesExistingValue(rhs) {
+						continue
+					}
+					// Assigning to _ discards the value; nothing is copied.
+					if len(as.Lhs) == len(as.Rhs) {
+						if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					t := pass.Info.TypeOf(rhs)
+					if inner := lockInside(t); inner != "" {
+						pass.Reportf(rhs.Pos(),
+							"assignment copies a value of %s, which contains %s; share it through a pointer", typeLabel(t), inner)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFieldList flags by-value lock-bearing parameters or results.
+func checkFieldList(pass *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if inner := lockInside(t); inner != "" {
+			pass.Reportf(field.Type.Pos(),
+				"%s passes %s by value, copying the %s it contains; pass a pointer", kind, typeLabel(t), inner)
+		}
+	}
+}
+
+// copiesExistingValue reports whether rhs denotes an already-existing
+// value whose assignment duplicates it: identifiers, field selections,
+// dereferences, and element reads. Composite literals, calls, and
+// conversions produce fresh values and are allowed (a function
+// returning a lock-bearing value is flagged at its declaration).
+func copiesExistingValue(rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// lockInside reports the first sync/sync-atomic type value reachable
+// inside t by value ("" if none). Pointers, slices, maps, channels,
+// funcs, and interfaces break the chain: copying them shares, not
+// duplicates, the state behind them.
+func lockInside(t types.Type) string {
+	return lockInsideRec(t, map[types.Type]bool{})
+}
+
+func lockInsideRec(t types.Type, visiting map[types.Type]bool) string {
+	if t == nil || visiting[t] {
+		return ""
+	}
+	visiting[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Origin().Obj()
+		if pkg := obj.Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == atomicPkgPath) {
+			return pkg.Path() + "." + obj.Name()
+		}
+		return lockInsideRec(named.Underlying(), visiting)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner := lockInsideRec(u.Field(i).Type(), visiting); inner != "" {
+				return inner
+			}
+		}
+	case *types.Array:
+		return lockInsideRec(u.Elem(), visiting)
+	}
+	return ""
+}
+
+// typeLabel renders t compactly for diagnostics, trimming the module
+// prefix that every in-repo type shares.
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return strings.ReplaceAll(types.TypeString(t, types.RelativeTo(nil)), "nestedecpt/", "")
+}

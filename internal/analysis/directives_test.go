@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -99,5 +100,159 @@ func TestIgnoreSet(t *testing.T) {
 	}
 	if got := fset.Position(bare[0].Pos).Line; got != 20 {
 		t.Errorf("bare directive reported at line %d, want 20", got)
+	}
+}
+
+// scopedSrc exercises the scoped-ignore grammar and the writer and
+// immutable doc directives across well-formed, malformed, and
+// misleading spellings.
+const scopedSrc = `package p
+
+//nestedlint:writer
+func writer() {}
+
+//nestedlint:writer the churn loop owns every table
+func writerWithNote() {}
+
+// nestedlint:writer
+func proseWriter() {}
+
+//nestedlint:immutable
+type sealed struct{ n int }
+
+type open struct{ n int }
+
+func body() {
+	a := 1 //nestedlint:ignore epochguard: scoped to one analyzer
+	b := 2 //nestedlint:ignore atomicmix: scoped to a different analyzer
+	c := 3 //nestedlint:ignore nosuchanalyzer: the scope names nothing
+	d := 4 //nestedlint:ignore epochguard:
+	e := 5 //nestedlint:ignore colons appear: mid-reason without forming a scope
+	_, _, _, _, _ = a, b, c, d, e
+}
+`
+
+func parseScopedFile(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "scoped.go", scopedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestHasWriterDirective(t *testing.T) {
+	_, f := parseScopedFile(t)
+	want := map[string]bool{
+		"writer":         true,
+		"writerWithNote": true, // a trailing note is allowed
+		"proseWriter":    false,
+		"body":           false,
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if got := HasWriterDirective(fd); got != want[fd.Name.Name] {
+			t.Errorf("HasWriterDirective(%s) = %v, want %v", fd.Name.Name, got, want[fd.Name.Name])
+		}
+	}
+}
+
+func TestScopedIgnores(t *testing.T) {
+	fset, f := parseScopedFile(t)
+	ignores := NewIgnoreSet(fset, []*ast.File{f})
+
+	lineOf := func(name string) token.Pos {
+		var pos token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name && pos == token.NoPos {
+				pos = id.Pos()
+			}
+			return true
+		})
+		if pos == token.NoPos {
+			t.Fatalf("identifier %s not found", name)
+		}
+		return pos
+	}
+	suppressed := func(name, analyzer string) bool {
+		return ignores.Suppressed(Diagnostic{Pos: lineOf(name), Message: "m", Analyzer: analyzer})
+	}
+
+	// A scoped ignore suppresses its analyzer and nothing else.
+	if !suppressed("a", "epochguard") {
+		t.Error("epochguard-scoped ignore did not suppress an epochguard diagnostic")
+	}
+	if suppressed("a", "sealedwrite") {
+		t.Error("epochguard-scoped ignore suppressed a sealedwrite diagnostic")
+	}
+	if !suppressed("b", "atomicmix") {
+		t.Error("atomicmix-scoped ignore did not suppress an atomicmix diagnostic")
+	}
+	// Malformed directives (unknown analyzer, scope without reason)
+	// suppress nothing at all.
+	if suppressed("c", "epochguard") || suppressed("d", "epochguard") {
+		t.Error("malformed scoped ignore suppressed a diagnostic")
+	}
+	// A colon later in the reason is prose, not a scope: the directive
+	// is a valid unscoped ignore.
+	if !suppressed("e", "anyanalyzer") {
+		t.Error("reason containing a colon was misparsed as a scope")
+	}
+
+	bare := ignores.BareDirectives()
+	if len(bare) != 2 {
+		t.Fatalf("BareDirectives returned %d findings, want 2 (unknown scope + scope without reason)", len(bare))
+	}
+	for _, d := range bare {
+		if d.Analyzer != "nestedlint" {
+			t.Errorf("malformed-directive finding attributed to %q, want nestedlint", d.Analyzer)
+		}
+	}
+	if got := bare[0].Message; !strings.Contains(got, "nosuchanalyzer") {
+		t.Errorf("unknown-scope finding %q does not name the bad scope", got)
+	}
+	if got := bare[1].Message; !strings.Contains(got, "requires a reason") {
+		t.Errorf("missing-reason finding %q does not demand a reason", got)
+	}
+
+	// Entries exposes only the well-formed directives, with their used
+	// bits reflecting the Suppressed calls above.
+	entries := ignores.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("Entries returned %d directives, want 3 well-formed ones", len(entries))
+	}
+	for _, e := range entries {
+		if !e.Used() {
+			t.Errorf("entry %s:%d (scope %q) not marked used after suppressing", e.File, e.Line, e.Analyzer)
+		}
+	}
+}
+
+func TestImmutableDirectiveParsing(t *testing.T) {
+	_, f := parseScopedFile(t)
+	got := map[string]bool{}
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			doc := ts.Doc
+			if doc == nil && len(gd.Specs) == 1 {
+				doc = gd.Doc
+			}
+			got[ts.Name.Name] = hasDocDirective(doc, immutableDirective)
+		}
+	}
+	if !got["sealed"] || got["open"] {
+		t.Errorf("immutable parsing = %v, want sealed annotated and open not", got)
 	}
 }

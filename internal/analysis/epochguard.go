@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpochGuard turns DESIGN.md §10's hand-enforced epoch/generation
+// protocol into a compile-time gate. The protocol has two roles and
+// one bracket, and all three are invariants `go test -race` can only
+// probe probabilistically:
+//
+//   - Writer role. Advance/Retire/Collect on ecpt.EpochDomain,
+//     Publish/EnterConcurrent on tables and sets, and the staged-state
+//     APIs (Table.Insert/Remove/Lookup, Set.Map/Unmap/Lookup/Translate
+//     — writer-side Lookup reads mutations the readers must not see)
+//     belong to the single mutating goroutine. Each direct call must
+//     sit in a function whose doc comment carries //nestedlint:writer.
+//   - Reader role. A function that uses an ecpt.EpochReader (NewReader,
+//     Enter, Exit, Close) is reader-side: it may consult snapshots
+//     (SnapshotLookup, AppendProbes, CWT.QueryInto) but never the
+//     writer-side APIs above, and it must not itself be annotated
+//     //nestedlint:writer — one goroutine cannot hold both roles.
+//   - Bracket. Every EpochReader.Enter must be matched by an Exit in
+//     the same statement list with no return escaping between them, or
+//     covered by a deferred Exit (the preferred form). An Exit
+//     immediately followed by an Enter is the sanctioned re-pin idiom
+//     (refreshing a caller-owned bracket after a snapshot miss) and is
+//     exempt — the caller owns the surrounding bracket.
+//
+// The writer-role gate only arms in packages that participate in the
+// protocol — internal/ecpt itself, plus any package that touches an
+// EpochDomain or EpochReader. Sequential users of the same APIs (the
+// kernel and hypervisor fault paths, the single-threaded simulator)
+// never see it: with no epochs in the package there is no reader to
+// race with, and annotating every sequential Map call would drown the
+// signal.
+//
+// Escape hatch: //nestedlint:ignore [epochguard:] <reason> on the
+// flagged line. A //nestedlint:writer directive anywhere but a
+// function's doc comment is dead and reported.
+var EpochGuard = &Analyzer{
+	Name: "epochguard",
+	Doc:  "prove Enter/Exit epoch bracketing and restrict writer-side ecpt APIs to //nestedlint:writer functions",
+	Run:  runEpochGuard,
+}
+
+const ecptPkgPath = "nestedecpt/internal/ecpt"
+
+// epochWriterAPIs lists the "Type.Method" keys of internal/ecpt that
+// only the single mutating goroutine may call, each with the reason it
+// is writer-side (used in diagnostics).
+var epochWriterAPIs = map[string]string{
+	"EpochDomain.Advance":   "it publishes a new epoch",
+	"EpochDomain.Retire":    "it schedules reclamation against the current epoch",
+	"EpochDomain.Collect":   "its free callbacks run on the mutating goroutine",
+	"Table.Publish":         "it seals and swaps the published view",
+	"Table.EnterConcurrent": "it switches the table's mode and publishes",
+	"Table.Insert":          "it mutates staged generations",
+	"Table.Remove":          "it mutates staged generations",
+	"Table.Lookup":          "it reads staged, unpublished state (readers use SnapshotLookup)",
+	"Set.Publish":           "it seals and swaps every table's published view",
+	"Set.EnterConcurrent":   "it switches every table's mode and publishes",
+	"Set.Map":               "it mutates staged generations and CWTs",
+	"Set.Unmap":             "it mutates staged generations and CWTs",
+	"Set.Lookup":            "it reads staged, unpublished state (readers use SnapshotLookup)",
+	"Set.Translate":         "it reads staged, unpublished state (readers use SnapshotLookup)",
+}
+
+// epochReaderAPIs are the EpochReader/EpochDomain methods whose use
+// marks a function reader-side.
+var epochReaderAPIs = map[string]bool{
+	"EpochDomain.NewReader": true,
+	"EpochReader.Enter":     true,
+	"EpochReader.Exit":      true,
+	"EpochReader.Close":     true,
+}
+
+// ecptMethodKey resolves a call to its "Type.Method" key when the
+// callee is a method of internal/ecpt, or "" otherwise. Generic
+// instantiations are normalized to their origin.
+func ecptMethodKey(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != ecptPkgPath {
+		return ""
+	}
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+func runEpochGuard(pass *Pass) error {
+	// Directive placement: a writer directive that is not a function's
+	// doc comment whitelists nothing and misleads the reader.
+	docDirectives := map[token.Pos]bool{}
+	writers := map[*ast.FuncDecl]bool{}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			if !HasWriterDirective(fd) {
+				continue
+			}
+			writers[fd] = true
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), writerDirective) {
+					docDirectives[c.Pos()] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if (text == writerDirective || strings.HasPrefix(text, writerDirective+" ")) && !docDirectives[c.Pos()] {
+					pass.Reportf(c.Pos(), "//nestedlint:writer must be the doc comment of the writer-side function")
+				}
+			}
+		}
+	}
+
+	armed := pass.Pkg.Path() == ecptPkgPath || packageUsesEpochs(pass, decls)
+
+	for _, fd := range decls {
+		readerPos := token.NoPos
+		readerAPI := ""
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key := ecptMethodKey(pass.Info, call)
+			if key == "" {
+				return true
+			}
+			if epochReaderAPIs[key] && readerPos == token.NoPos {
+				readerPos, readerAPI = call.Pos(), key
+			}
+			if why, bad := epochWriterAPIs[key]; bad && armed && !writers[fd] {
+				pass.Reportf(call.Pos(),
+					"ecpt.%s is writer-side (%s); call it only from a function annotated //nestedlint:writer",
+					key, why)
+			}
+			return true
+		})
+		if readerPos != token.NoPos && writers[fd] {
+			pass.Reportf(readerPos,
+				"function is annotated //nestedlint:writer but uses ecpt.%s; a goroutine cannot hold both the writer and a reader role",
+				readerAPI)
+		}
+		checkEpochBrackets(pass, fd)
+	}
+	return nil
+}
+
+// packageUsesEpochs reports whether any function touches the epoch
+// protocol — the trigger that arms the writer-role gate.
+func packageUsesEpochs(pass *Pass, decls []*ast.FuncDecl) bool {
+	for _, fd := range decls {
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			switch key := ecptMethodKey(pass.Info, call); {
+			case epochReaderAPIs[key]:
+				found = true
+			case key == "Table.EnterConcurrent" || key == "Set.EnterConcurrent" ||
+				strings.HasPrefix(key, "EpochDomain."):
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// readerKey names the receiver expression of an Enter/Exit call so
+// brackets on distinct readers do not pair with each other.
+func readerKey(info *types.Info, call *ast.CallExpr, want string) (string, bool) {
+	if ecptMethodKey(info, call) != "EpochReader."+want {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// checkEpochBrackets verifies Enter/Exit pairing inside one function:
+// within each statement list, an Enter must be followed by an Exit on
+// the same reader with no return statement escaping in between, unless
+// a deferred Exit for that reader exists (the preferred form) or the
+// Enter re-pins (immediately follows an Exit on the same reader).
+func checkEpochBrackets(pass *Pass, fd *ast.FuncDecl) {
+	deferred := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			if key, ok := readerKey(pass.Info, ds.Call, "Exit"); ok {
+				deferred[key] = true
+			}
+		}
+		return true
+	})
+
+	exprCallKey := func(s ast.Stmt, want string) (string, bool) {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return "", false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		return readerKey(pass.Info, call, want)
+	}
+
+	checkList := func(list []ast.Stmt) {
+		for i, s := range list {
+			key, ok := exprCallKey(s, "Enter")
+			if !ok || deferred[key] {
+				continue
+			}
+			// Re-pin idiom: Exit immediately followed by Enter refreshes
+			// a bracket the caller owns.
+			if i > 0 {
+				if prev, ok := exprCallKey(list[i-1], "Exit"); ok && prev == key {
+					continue
+				}
+			}
+			exitAt := -1
+			for j := i + 1; j < len(list) && exitAt < 0; j++ {
+				if k, ok := exprCallKey(list[j], "Exit"); ok && k == key {
+					exitAt = j
+				}
+			}
+			if exitAt < 0 {
+				pass.Reportf(s.Pos(),
+					"%s.Enter has no matching %s.Exit in this block; defer the Exit so every path unpins the epoch", key, key)
+				continue
+			}
+			for j := i + 1; j < exitAt; j++ {
+				escaped := false
+				ast.Inspect(list[j], func(n ast.Node) bool {
+					if _, ok := n.(*ast.ReturnStmt); ok {
+						escaped = true
+					}
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false // a closure's return does not escape this bracket
+					}
+					return !escaped
+				})
+				if escaped {
+					pass.Reportf(list[j].Pos(),
+						"return may escape the %s.Enter/Exit bracket with the epoch still pinned; defer the Exit", key)
+					break
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			checkList(n.List)
+		case *ast.CaseClause:
+			checkList(n.Body)
+		case *ast.CommClause:
+			checkList(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedecpt/internal/analysis"
+	"nestedecpt/internal/analysis/analysistest"
+)
+
+func TestEpochGuard(t *testing.T) {
+	analysistest.Run(t, analysis.EpochGuard, "testdata/src/epochguardtest")
+}
+
+// TestEpochGuardDisarmedWithoutEpochs: a package that calls writer-side
+// ecpt APIs sequentially, without ever touching an EpochDomain or
+// EpochReader, is outside the protocol — the writer gate must stay
+// quiet there (the kernel and hypervisor fault paths are such users).
+func TestEpochGuardDisarmedWithoutEpochs(t *testing.T) {
+	analysistest.Run(t, analysis.EpochGuard, "testdata/src/epochseqtest")
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Escape is one inventoried escape-hatch directive: a
+// //nestedlint:ignore suppression or a //nestedlint:domaincast
+// whitelist. The inventory is what keeps the escape hatches honest —
+// each one is a standing claim that an invariant holds for reasons the
+// analyzers cannot see, and a claim nobody can list is a claim nobody
+// re-audits.
+type Escape struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Package   string `json:"package"`
+	Directive string `json:"directive"` // "ignore" or "domaincast"
+	// Analyzer is the ignore scope ("" = suppresses every analyzer) or
+	// "addrspace" for domaincast.
+	Analyzer string `json:"analyzer,omitempty"`
+	Reason   string `json:"reason"`
+	// Stale reports that the directive no longer earns its keep: an
+	// ignore that suppressed nothing in this run, or a domaincast on a
+	// function whose body no longer performs any flagged crossing.
+	Stale bool `json:"stale"`
+}
+
+// AuditEscapes runs every applicable analyzer over pkgs purely to
+// exercise the suppression machinery, then inventories the escapes in
+// file:line order. Diagnostics are discarded — `nestedlint -escapes`
+// audits the hatches, not the findings; run without the flag for those.
+func AuditEscapes(pkgs []*Package, analyzers []*Analyzer) ([]Escape, error) {
+	var escapes []Escape
+	for _, pkg := range pkgs {
+		ignores := NewIgnoreSet(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			diags, err := a.RunPackage(pkg)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				ignores.Suppressed(d) // sets the used bit as a side effect
+			}
+		}
+		for _, e := range ignores.Entries() {
+			escapes = append(escapes, Escape{
+				File:      e.File,
+				Line:      e.Line,
+				Package:   pkg.Path,
+				Directive: "ignore",
+				Analyzer:  e.Analyzer,
+				Reason:    e.Reason,
+				Stale:     !e.Used(),
+			})
+		}
+		escapes = append(escapes, auditDomaincasts(pkg)...)
+	}
+	sort.Slice(escapes, func(i, j int) bool {
+		if escapes[i].File != escapes[j].File {
+			return escapes[i].File < escapes[j].File
+		}
+		return escapes[i].Line < escapes[j].Line
+	})
+	return escapes, nil
+}
+
+// auditDomaincasts inventories //nestedlint:domaincast directives. A
+// directive is stale when re-probing the annotated function's body with
+// the addrspace checks finds no crossing to whitelist — the cast it
+// justified has since been removed or routed through addr.Translate.
+func auditDomaincasts(pkg *Package) []Escape {
+	probe := &Pass{
+		Analyzer: AddrSpace,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	argOf := collectArgContexts(probe)
+	var escapes []Escape
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			reason, has := HasDomaincastDirective(fd)
+			if !has || reason == "" {
+				continue // a reasonless directive is already a lint finding
+			}
+			before := len(probe.diags)
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkTranslateDirection(probe, call)
+					checkConversion(probe, call, argOf)
+				}
+				return true
+			})
+			pos := pkg.Fset.Position(fd.Pos())
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(c.Text)
+				if text == domaincastDirective || strings.HasPrefix(text, domaincastDirective+" ") {
+					pos = pkg.Fset.Position(c.Pos())
+					break
+				}
+			}
+			escapes = append(escapes, Escape{
+				File:      pos.Filename,
+				Line:      pos.Line,
+				Package:   pkg.Path,
+				Directive: "domaincast",
+				Analyzer:  AddrSpace.Name,
+				Reason:    reason,
+				Stale:     len(probe.diags) == before,
+			})
+		}
+	}
+	return escapes
+}

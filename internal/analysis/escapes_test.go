@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"nestedecpt/internal/analysis"
+)
+
+// TestAuditEscapes runs the escape audit over a corpus holding one
+// used and one stale specimen of each directive and checks the
+// staleness verdicts, ordering, and locations.
+func TestAuditEscapes(t *testing.T) {
+	moduleRoot, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(moduleRoot, "./internal/analysis/testdata/src/escapetest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	escapes, err := analysis.AuditEscapes(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escapes) != 4 {
+		t.Fatalf("AuditEscapes found %d escapes, want 4: %+v", len(escapes), escapes)
+	}
+	for i, e := range escapes {
+		if i > 0 && (escapes[i-1].File > e.File || (escapes[i-1].File == e.File && escapes[i-1].Line > e.Line)) {
+			t.Errorf("escapes not in file:line order at index %d", i)
+		}
+		if !strings.HasSuffix(e.File, "escapetest.go") {
+			t.Errorf("escape located in %s, want escapetest.go", e.File)
+		}
+		if !strings.HasSuffix(e.Package, "escapetest") {
+			t.Errorf("escape attributed to package %s, want …/escapetest", e.Package)
+		}
+	}
+
+	find := func(reasonFragment string) analysis.Escape {
+		t.Helper()
+		for _, e := range escapes {
+			if strings.Contains(e.Reason, reasonFragment) {
+				return e
+			}
+		}
+		t.Fatalf("no escape with reason containing %q", reasonFragment)
+		return analysis.Escape{}
+	}
+
+	for _, tc := range []struct {
+		fragment  string
+		directive string
+		analyzer  string
+		stale     bool
+	}{
+		{"identity-maps", "domaincast", "addrspace", false},
+		{"long gone", "domaincast", "addrspace", true},
+		{"fixture allocation", "ignore", "hotpathalloc", false},
+		{"allocates nothing", "ignore", "hotpathalloc", true},
+	} {
+		e := find(tc.fragment)
+		if e.Directive != tc.directive || e.Analyzer != tc.analyzer || e.Stale != tc.stale {
+			t.Errorf("escape %q = {%s %s stale=%v}, want {%s %s stale=%v}",
+				tc.fragment, e.Directive, e.Analyzer, e.Stale, tc.directive, tc.analyzer, tc.stale)
+		}
+	}
+}

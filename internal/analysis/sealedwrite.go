@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SealedWrite keeps published snapshots immutable. The lock-free read
+// paths of internal/ecpt work because a view, once stored with the
+// atomic pointer swap in Publish, is never written again — the
+// copy-on-write machinery clones state instead of mutating it. That
+// is a convention the compiler cannot see: Go has no frozen structs,
+// and one stray `v.field = …` on a published view is a data race the
+// race detector only catches if a reader happens to be probing that
+// view at that instant.
+//
+// A type annotated
+//
+//	//nestedlint:immutable
+//
+// in its declaration's doc comment is a sealed snapshot: assignments
+// to its fields (including ++/--, taking a field's address — a write
+// capability — and clobbering a whole value through a pointer) are
+// findings everywhere except inside functions annotated
+// //nestedlint:writer, which are the declaring package's sanctioned
+// COW constructors (Publish and friends build the next view there
+// before it is ever shared). Composite literals are construction, not
+// mutation, and stay legal everywhere.
+//
+// The annotation is only visible in the declaring package — which is
+// exactly where the sealed types of internal/ecpt/view.go are
+// reachable at all (they are unexported); deeper aliasing (mutating a
+// slice element reached through a view) is out of scope and remains
+// the race tier's job.
+//
+// Escape hatch: //nestedlint:ignore [sealedwrite:] <reason>. An
+// immutable directive anywhere but a type declaration's doc comment is
+// dead and reported.
+var SealedWrite = &Analyzer{
+	Name: "sealedwrite",
+	Doc:  "forbid field writes to //nestedlint:immutable snapshot types outside //nestedlint:writer COW constructors",
+	Run:  runSealedWrite,
+}
+
+func runSealedWrite(pass *Pass) error {
+	// Pass 1: collect the annotated type names and validate placement.
+	immutable := map[*types.TypeName]bool{}
+	docDirectives := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasDocDirective(doc, immutableDirective) {
+					continue
+				}
+				for _, c := range doc.List {
+					if strings.HasPrefix(strings.TrimSpace(c.Text), immutableDirective) {
+						docDirectives[c.Pos()] = true
+					}
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					immutable[tn] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if (text == immutableDirective || strings.HasPrefix(text, immutableDirective+" ")) && !docDirectives[c.Pos()] {
+					pass.Reportf(c.Pos(), "//nestedlint:immutable must be the doc comment of the sealed type's declaration")
+				}
+			}
+		}
+	}
+	if len(immutable) == 0 {
+		return nil
+	}
+
+	// immutableName returns the annotated type's name when t (possibly
+	// behind a pointer or a generic instantiation) is one of them.
+	immutableName := func(t types.Type) string {
+		t = types.Unalias(t)
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		if obj := named.Origin().Obj(); immutable[obj] {
+			return obj.Name()
+		}
+		return ""
+	}
+	// fieldWrite resolves expr to (type, field) when it denotes a field
+	// of an annotated type.
+	fieldWrite := func(expr ast.Expr) (string, string, bool) {
+		sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+		if !ok {
+			return "", "", false
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return "", "", false
+		}
+		if name := immutableName(selection.Recv()); name != "" {
+			return name, sel.Sel.Name, true
+		}
+		return "", "", false
+	}
+
+	// Pass 2: flag mutations outside writer-annotated constructors.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || HasWriterDirective(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if tn, field, ok := fieldWrite(lhs); ok {
+							pass.Reportf(lhs.Pos(),
+								"write to field %s of sealed snapshot type %s outside a //nestedlint:writer COW constructor", field, tn)
+							continue
+						}
+						if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+							if tn := immutableName(pass.Info.TypeOf(star.X)); tn != "" {
+								pass.Reportf(lhs.Pos(),
+									"assignment through *%s clobbers a sealed snapshot in place; build a new value in a //nestedlint:writer COW constructor", tn)
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if tn, field, ok := fieldWrite(n.X); ok {
+						pass.Reportf(n.Pos(),
+							"write to field %s of sealed snapshot type %s outside a //nestedlint:writer COW constructor", field, tn)
+					}
+				case *ast.UnaryExpr:
+					// Taking a field's address hands out a write capability.
+					if n.Op == token.AND {
+						if tn, field, ok := fieldWrite(n.X); ok {
+							pass.Reportf(n.Pos(),
+								"&%s.%s hands out a write capability to a sealed snapshot; copy the field instead", tn, field)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nestedecpt/internal/analysis"
+	"nestedecpt/internal/analysis/analysistest"
+)
+
+func TestSealedWrite(t *testing.T) {
+	analysistest.Run(t, analysis.SealedWrite, "testdata/src/sealedtest")
+}

@@ -1,0 +1,94 @@
+// Package atomictest is the golden corpus for the atomicmix analyzer:
+// a field or variable passed to sync/atomic anywhere must be accessed
+// through sync/atomic everywhere, and types holding sync or
+// sync/atomic state by value must not be copied — not by value
+// receiver, by-value parameter or result, or plain assignment from an
+// existing value. Construction (composite literals) and pointer
+// sharing stay legal.
+package atomictest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter mixes an atomically-bumped field with a cold, single-owner
+// one.
+type counter struct {
+	hits uint64
+	cold uint64
+}
+
+// bump is the sanctioned access: through sync/atomic.
+func bump(c *counter) uint64 {
+	atomic.AddUint64(&c.hits, 1)
+	c.cold++ // never touched atomically; plain access is fine
+	return atomic.LoadUint64(&c.hits)
+}
+
+// peek reads the same field without the atomic package.
+func peek(c *counter) uint64 {
+	return c.hits // want `hits is accessed via atomic.AddUint64 elsewhere`
+}
+
+// reset writes it plainly.
+func reset(c *counter) {
+	c.hits = 0 // want `hits is accessed via atomic.AddUint64 elsewhere`
+}
+
+// seq is a package variable with the same split.
+var seq uint64
+
+func next() uint64 { return atomic.AddUint64(&seq, 1) }
+
+func current() uint64 {
+	return seq // want `seq is accessed via atomic.AddUint64 elsewhere`
+}
+
+// guarded holds a mutex by value; gen holds typed atomic state.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type gen struct {
+	epoch atomic.Uint64
+}
+
+// val copies the mutex on every call.
+func (g guarded) val() int { // want `value receiver of method val copies`
+	return g.n
+}
+
+// lock uses a pointer receiver — the legal form.
+func (g *guarded) lock() { g.mu.Lock() }
+
+func byValue(g guarded) int { // want `parameter passes .*guarded by value`
+	return g.n
+}
+
+func sharePointer(g *guarded) *guarded { return g }
+
+func copyAssign(g *guarded) {
+	cp := *g // want `assignment copies a value of .*guarded`
+	_ = cp
+}
+
+func copyGen(g *gen, all []gen) {
+	cp := *g        // want `assignment copies a value of .*gen, which contains sync/atomic.Uint64`
+	first := all[0] // want `assignment copies a value of .*gen`
+	_, _ = cp, first
+}
+
+// construct builds fresh values — composite literals are not copies.
+func construct() *guarded {
+	g := &guarded{}
+	local := guarded{n: 1}
+	_ = local
+	return g
+}
+
+func suppressedCopy(g *guarded) {
+	cp := *g //nestedlint:ignore atomicmix: copied before the value is ever shared across goroutines
+	_ = cp
+}

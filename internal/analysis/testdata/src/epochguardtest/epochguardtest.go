@@ -1,0 +1,99 @@
+// Package epochguardtest is the golden corpus for the epochguard
+// analyzer: writer-side ecpt APIs are only legal inside
+// //nestedlint:writer functions, a function cannot hold both the
+// writer and a reader role, and every EpochReader.Enter needs an Exit
+// on all paths — preferably deferred. The package uses an EpochReader,
+// which arms the writer-role gate.
+package epochguardtest
+
+import "nestedecpt/internal/ecpt"
+
+// churn is a well-annotated mutator: every writer-side API is legal
+// here.
+//
+//nestedlint:writer the single mutating goroutine owns every table
+func churn(t *ecpt.Table[uint64], s *ecpt.Set[uint64, uint64], dom *ecpt.EpochDomain) {
+	t.Insert(7, 42)
+	t.Remove(7)
+	if _, ok := t.Lookup(7); ok {
+		return
+	}
+	s.Map(4096, t.Size(), 8192)
+	s.Publish()
+	t.Publish()
+	dom.Advance()
+	dom.Retire(func() {})
+	dom.Collect()
+}
+
+// deferredReader is the preferred bracket form: defer guarantees the
+// Exit on every path.
+func deferredReader(t *ecpt.Table[uint64], rd *ecpt.EpochReader) uint64 {
+	rd.Enter()
+	defer rd.Exit()
+	if frame, ok := t.SnapshotLookup(7); ok {
+		return frame
+	}
+	return 0
+}
+
+// inlineReader pairs Enter and Exit in the same block with no return
+// between them — legal, if fragile.
+func inlineReader(t *ecpt.Table[uint64], rd *ecpt.EpochReader) {
+	rd.Enter()
+	t.SnapshotLookup(7)
+	rd.Exit()
+}
+
+// repin refreshes a caller-owned bracket: Exit immediately followed by
+// Enter is the sanctioned re-pin idiom.
+func repin(rd *ecpt.EpochReader) {
+	rd.Exit()
+	rd.Enter()
+}
+
+// unannotatedWriter calls writer-side APIs without the directive.
+func unannotatedWriter(t *ecpt.Table[uint64], dom *ecpt.EpochDomain) {
+	t.Insert(7, 42) // want `ecpt.Table.Insert is writer-side`
+	t.Lookup(7)     // want `readers use SnapshotLookup`
+	dom.Advance()   // want `ecpt.EpochDomain.Advance is writer-side`
+	dom.Collect()   // want `ecpt.EpochDomain.Collect is writer-side`
+	t.Publish()     // want `ecpt.Table.Publish is writer-side`
+}
+
+// bothRoles is writer-annotated but registers a reader: one goroutine
+// cannot hold both halves of the protocol.
+//
+//nestedlint:writer claims the writer role
+func bothRoles(dom *ecpt.EpochDomain) {
+	rd := dom.NewReader() // want `cannot hold both the writer and a reader role`
+	_ = rd
+	dom.Advance()
+}
+
+// leakedEnter pins an epoch and never unpins it.
+func leakedEnter(rd *ecpt.EpochReader) {
+	rd.Enter() // want `no matching rd.Exit in this block`
+}
+
+// returnEscapesBracket has a matching Exit, but an early return can
+// skip it, leaving the epoch pinned forever.
+func returnEscapesBracket(t *ecpt.Table[uint64], rd *ecpt.EpochReader) uint64 {
+	rd.Enter()
+	if frame, ok := t.SnapshotLookup(7); ok { // want `return may escape the rd.Enter/Exit bracket`
+		return frame
+	}
+	rd.Exit()
+	return 0
+}
+
+// suppressedWriter exercises the escape hatch: the scoped ignore
+// swallows the writer-side finding.
+func suppressedWriter(dom *ecpt.EpochDomain) {
+	dom.Advance() //nestedlint:ignore epochguard: single-goroutine fixture, no reader is ever registered
+}
+
+func misplacedDirective(t *ecpt.Table[uint64]) {
+	//nestedlint:writer inside a body, not a doc comment // want `must be the doc comment of the writer-side function`
+	_ = t
+}

@@ -1,0 +1,24 @@
+// Package epochseqtest is the negative corpus for epochguard's
+// arming rule: it uses the same Table and Set APIs the serve engine
+// does, but sequentially — no EpochDomain, no EpochReader — so the
+// writer-role gate must not fire. This mirrors the kernel and
+// hypervisor fault paths, which mutate tables single-threaded long
+// before concurrent mode exists.
+package epochseqtest
+
+import "nestedecpt/internal/ecpt"
+
+// faultPath maps and probes without any epoch machinery in sight; none
+// of these calls may be flagged.
+func faultPath(t *ecpt.Table[uint64], s *ecpt.Set[uint64, uint64]) uint64 {
+	t.Insert(7, 42)
+	t.Remove(7)
+	s.Map(4096, t.Size(), 8192)
+	if frame, ok := t.Lookup(7); ok {
+		return frame
+	}
+	if pa, _, ok := s.Translate(4096); ok {
+		return pa
+	}
+	return 0
+}

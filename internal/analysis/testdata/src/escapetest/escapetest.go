@@ -1,0 +1,30 @@
+// Package escapetest is the corpus for the escape audit
+// (nestedlint -escapes / analysis.AuditEscapes): one used and one
+// stale specimen of each escape directive.
+package escapetest
+
+import "nestedecpt/internal/addr"
+
+// usedCast really reinterprets the address space, so its domaincast
+// is load-bearing.
+//
+//nestedlint:domaincast the fixture host identity-maps guest frames
+func usedCast(gpa addr.GPA) addr.HPA { return addr.HPA(gpa) }
+
+// staleCast kept its annotation after the cast it excused was removed.
+//
+//nestedlint:domaincast the cast this excused is long gone
+func staleCast(pa addr.HPA) addr.HPA { return pa }
+
+// hot allocates once under a justified, used ignore, and carries a
+// second ignore on a line that triggers nothing.
+//
+//nestedlint:hotpath
+func hot(n int) int {
+	buf := make([]int, n) //nestedlint:ignore hotpathalloc: fixture allocation, exercised by the audit test
+	sum := 0              //nestedlint:ignore hotpathalloc: stale — this line allocates nothing
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,60 @@
+// Package sealedtest is the golden corpus for the sealedwrite
+// analyzer: fields of //nestedlint:immutable snapshot types may only
+// be assigned inside //nestedlint:writer COW constructors;
+// construction by composite literal is legal everywhere.
+package sealedtest
+
+// snapshot is a sealed view: published once, then read-only.
+//
+//nestedlint:immutable
+type snapshot struct {
+	epoch uint64
+	ways  []uint64
+}
+
+// scratch is an ordinary mutable struct for contrast.
+type scratch struct {
+	epoch uint64
+}
+
+// publish is the sanctioned COW constructor: it builds the next
+// snapshot, so field writes are legal here.
+//
+//nestedlint:writer builds the next view before it is shared
+func publish(prev *snapshot) *snapshot {
+	next := &snapshot{}
+	next.epoch = prev.epoch + 1
+	next.ways = append([]uint64(nil), prev.ways...)
+	return next
+}
+
+// construct shows the always-legal forms: composite literals and
+// reads.
+func construct(prev *snapshot) (*snapshot, uint64) {
+	fresh := &snapshot{epoch: prev.epoch, ways: prev.ways}
+	return fresh, prev.epoch
+}
+
+// mutateScratch: unannotated types stay freely mutable.
+func mutateScratch(s *scratch) {
+	s.epoch = 9
+	s.epoch++
+}
+
+// mutateSealed writes a published snapshot outside any constructor.
+func mutateSealed(v *snapshot, next *snapshot) {
+	v.epoch = 3   // want `write to field epoch of sealed snapshot type snapshot`
+	v.epoch++     // want `write to field epoch of sealed snapshot type snapshot`
+	*v = *next    // want `assignment through \*snapshot clobbers a sealed snapshot`
+	p := &v.epoch // want `&snapshot.epoch hands out a write capability`
+	_ = p
+}
+
+// suppressedMutation exercises the escape hatch.
+func suppressedMutation(v *snapshot) {
+	v.epoch = 0 //nestedlint:ignore sealedwrite: the snapshot is test-local and never published
+}
+
+func misplacedImmutable() {
+	//nestedlint:immutable on a statement, not a type declaration // want `must be the doc comment of the sealed type's declaration`
+}

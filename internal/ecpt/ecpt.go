@@ -437,6 +437,7 @@ func (t *Table[P]) Lookup(vpn uint64) (frame P, ok bool) {
 func (t *Table[P]) SnapshotLookup(vpn uint64) (frame P, ok bool) {
 	v := t.pub.Load()
 	if v == nil {
+		//nestedlint:ignore epochguard: sequential mode has no readers to race with; Lookup is the only state there is
 		return t.Lookup(vpn)
 	}
 	tag, slot := lineTag(vpn), lineSlot(vpn)

@@ -84,6 +84,24 @@ func (r *EpochReader) Exit() {
 	r.pinned.Store(readerIdle)
 }
 
+// Close unregisters the reader from its domain: a worker that exits
+// must not keep gating reclamation forever. Idempotent; the reader
+// must be outside any Enter/Exit bracket. Resources already in limbo
+// stay there until the next Collect — closing a reader never frees
+// anything itself, it only stops the reader from delaying frees.
+func (r *EpochReader) Close() {
+	r.pinned.Store(readerIdle)
+	d := r.dom
+	d.mu.Lock()
+	for i, reg := range d.readers {
+		if reg == r {
+			d.readers = append(d.readers[:i], d.readers[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
 // Epoch returns the current global epoch (diagnostics and tests).
 func (d *EpochDomain) Epoch() uint64 { return d.global.Load() }
 

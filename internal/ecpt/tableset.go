@@ -92,6 +92,8 @@ func (s *Set[V, P]) SetRecorder(r *trace.Recorder) {
 // epoch-versioned views while mutations stay private to the single
 // writing goroutine until Publish. Dead generations are reclaimed
 // through dom's grace periods. See view.go for the protocol.
+//
+//nestedlint:writer the mode switch happens before any reader exists
 func (s *Set[V, P]) EnterConcurrent(dom *EpochDomain) {
 	for _, size := range addr.Sizes() {
 		s.tables[size].EnterConcurrent(dom)
@@ -100,6 +102,8 @@ func (s *Set[V, P]) EnterConcurrent(dom *EpochDomain) {
 
 // Publish makes all mutations since the last Publish visible to
 // concurrent readers, one table (and its CWT) at a time. Writer-side.
+//
+//nestedlint:writer fans Publish out to every table
 func (s *Set[V, P]) Publish() {
 	for _, size := range addr.Sizes() {
 		s.tables[size].Publish()
@@ -109,6 +113,8 @@ func (s *Set[V, P]) Publish() {
 // Map installs a translation at the given size and maintains the
 // hierarchical has-smaller bits in the larger sizes' CWTs so walkers
 // know they must descend.
+//
+//nestedlint:writer mutates staged generations and CWTs
 func (s *Set[V, P]) Map(va V, size addr.PageSize, frame P) {
 	s.tables[size].Insert(addr.VPN(va, size), frame)
 	for _, larger := range addr.Sizes() {
@@ -124,11 +130,17 @@ func (s *Set[V, P]) Map(va V, size addr.PageSize, frame P) {
 // Unmap removes the translation for va at the given size, reporting
 // whether it existed. Has-smaller bits are left sticky (see
 // CWT.MarkSmaller).
+//
+//nestedlint:writer mutates staged generations
 func (s *Set[V, P]) Unmap(va V, size addr.PageSize) bool {
 	return s.tables[size].Remove(addr.VPN(va, size))
 }
 
-// Lookup resolves va functionally across all page sizes.
+// Lookup resolves va functionally across all page sizes. It consults
+// staged state, so in concurrent mode it belongs to the writer;
+// readers go through the tables' SnapshotLookup.
+//
+//nestedlint:writer reads staged, unpublished state
 func (s *Set[V, P]) Lookup(va V) (frame P, size addr.PageSize, ok bool) {
 	// Probe largest first: at most one size can map a given address.
 	for i := addr.NumPageSizes - 1; i >= 0; i-- {
@@ -141,6 +153,9 @@ func (s *Set[V, P]) Lookup(va V) (frame P, size addr.PageSize, ok bool) {
 }
 
 // Translate resolves va to a full physical address (frame | offset).
+// Writer-side for the same reason as Lookup.
+//
+//nestedlint:writer reads staged, unpublished state
 func (s *Set[V, P]) Translate(va V) (pa P, size addr.PageSize, ok bool) {
 	frame, size, ok := s.Lookup(va)
 	if !ok {

@@ -36,6 +36,8 @@ import (
 
 // tableView is one immutable snapshot of a table's probe state:
 // everything the lock-free read paths consult.
+//
+//nestedlint:immutable
 type tableView[P addr.Addr] struct {
 	cur *generation[P]
 	// old is non-nil while the snapshot was taken mid-resize.
@@ -49,6 +51,8 @@ type tableView[P addr.Addr] struct {
 // served from immutable published views, mutations stay private until
 // Publish, and dead generations are reclaimed through dom's grace
 // periods. The switch itself publishes the current state.
+//
+//nestedlint:writer the mode switch happens before any reader exists
 func (t *Table[P]) EnterConcurrent(dom *EpochDomain) {
 	t.dom = dom
 	if t.cwt != nil {
@@ -65,6 +69,8 @@ func (t *Table[P]) Concurrent() bool { return t.dom != nil }
 // pages), stores the new view with one atomic pointer swap, advances
 // the epoch, and retires the backing regions of generations that died
 // since the last publish. No-op in sequential mode.
+//
+//nestedlint:writer the COW constructor sealing and swapping the view
 func (t *Table[P]) Publish() {
 	if t.dom == nil {
 		return
@@ -187,6 +193,8 @@ func (v *tableView[P]) findLine(tag uint64) (g *generation[P], w, idx int, ok bo
 // cwtView is one immutable snapshot of a CWT: the page map as of the
 // last publish. Pages reachable from a view are sealed; the writer
 // replaces (never mutates) them.
+//
+//nestedlint:immutable
 type cwtView[P addr.Addr] struct {
 	pages map[uint64]*cwtPage[P]
 }

@@ -72,6 +72,8 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 
 // build constructs the shared host, the per-VM guests, and pre-maps
 // every translation the steady-state workers will ask for.
+//
+//nestedlint:writer construction precedes every reader goroutine
 func build(cfg Config) (*engine, error) {
 	base := sim.DefaultConfig(sim.DesignNestedECPT, cfg.Workload, cfg.THP)
 	base.WorkloadOpts.Scale = cfg.Scale
@@ -205,7 +207,10 @@ func (e *engine) syncMetadata(vm int) error {
 }
 
 // run starts the churn mutator and the worker pool, then aggregates
-// the workers' measurements.
+// the workers' measurements. The final Publish happens after every
+// worker has returned, when this goroutine is the sole owner again.
+//
+//nestedlint:writer owns the tables before workers start and after they stop
 func (e *engine) run(ctx context.Context) (*Summary, error) {
 	churnDone := make(chan struct{})
 	if e.cfg.ChurnPagesPerRound > 0 {
@@ -264,6 +269,8 @@ func (e *engine) run(ctx context.Context) (*Summary, error) {
 // churn pages (and unmaps old ones) in every guest, host-maps whatever
 // the mutations made reachable, and publishes — host snapshot first,
 // then the guests that reference it.
+//
+//nestedlint:writer the one mutating goroutine of DESIGN.md §10
 func (e *engine) churnLoop() {
 	touched := make([]addr.GVA, 0, e.cfg.ChurnPagesPerRound)
 	for !e.stop.Load() {
@@ -328,6 +335,7 @@ type workerResult struct {
 // only shared reads are the published table snapshots.
 func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
 	rd := e.dom.NewReader()
+	defer rd.Close()
 	mem := cachesim.NewHierarchy(e.simCfg.Hierarchy)
 	walkers := make([]*core.NestedECPT, len(e.kerns))
 	gens := make([]workload.Generator, len(e.kerns))
