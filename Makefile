@@ -11,6 +11,15 @@
 #                "Static analysis");
 #                `go run ./cmd/nestedlint -analyzer=NAME[,NAME] -json ./...`
 #                isolates a subset with machine-readable output
+#   make prove   whole-program proof: `nestedlint -prove` builds the
+#                cross-package call graph (devirtualizing interface and
+#                callback dispatch), re-checks the propagated hot
+#                region interprocedurally, and reconciles it against
+#                the gc compiler's own escape-analysis and
+#                bounds-check diagnostics (-m=2, -d=ssa/check_bce) —
+#                two independent engines that must agree (DESIGN.md
+#                §12). Writes proof.json, the machine-readable proof
+#                artifact CI uploads
 #   make escapes escape-hatch audit: inventories every
 #                //nestedlint:ignore and //nestedlint:domaincast
 #                directive and fails on stale ones (directives that no
@@ -44,9 +53,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test lint escapes race cover bench fuzz profile benchjson benchdrift
+.PHONY: check vet build test lint prove escapes race cover bench fuzz profile benchjson benchdrift
 
-check: lint build test
+check: lint build test prove
 
 vet:
 	$(GO) vet ./...
@@ -69,8 +78,15 @@ lint: build
 	fi
 	$(GO) run ./cmd/nestedlint ./...
 
+# The whole-program proof is the strongest gate: both engines (static
+# interprocedural propagation and the compiler's own diagnostics) must
+# independently find the hot region allocation-free. The compiler
+# engine replays from the build cache, so repeat runs are cheap.
+prove: build
+	$(GO) run ./cmd/nestedlint -prove -proveout=proof.json ./...
+
 # Escape hatches are standing claims; the audit fails when one goes
-# stale (CI runs it in the lint-concurrency job).
+# stale (CI runs it in the lint matrix's concurrency suite).
 escapes: build
 	$(GO) run ./cmd/nestedlint -escapes ./...
 

@@ -214,6 +214,18 @@ func SizeForLeaf(l RadixLevel) PageSize {
 	case L3:
 		return Page1G
 	}
+	panicBadLeaf(l)
+	return 0
+}
+
+// panicBadLeaf keeps the panic-message formatting out of SizeForLeaf's
+// body: SizeForLeaf inlines into hot walk loops, and an inlined
+// fmt.Sprintf would put an escaping allocation inside the hot region.
+//
+//nestedlint:coldpath panic formatting runs once at death, never on a mapped walk
+//
+//go:noinline
+func panicBadLeaf(l RadixLevel) {
 	panic(fmt.Sprintf("addr: level %s does not map pages", l))
 }
 

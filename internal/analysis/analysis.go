@@ -19,6 +19,20 @@
 //	    justify why the invariant holds anyway (e.g. "keys are sorted
 //	    before use").
 //
+//	//nestedlint:coldpath <why>
+//	    on a function's doc comment: the function is a slow path its hot
+//	    callers reach only outside the steady state — first-touch
+//	    allocation, copy-on-write privatization, panic formatting,
+//	    overflow handling. Hot-region propagation (hotpathalloc's
+//	    intra-package fixpoint and `nestedlint -prove`'s whole-program
+//	    graph) stops at it, so its allocations are not findings. The
+//	    trailing justification is mandatory: the directive is a claim
+//	    about dynamic behaviour the static graph cannot see, and the
+//	    claim must be auditable. Pair it with //go:noinline when the
+//	    caller is hot — otherwise the compiler inlines the cold body
+//	    into the hot function and re-attributes its allocations to the
+//	    hot call site, which -prove's compiler engine then flags.
+//
 //	//nestedlint:writer
 //	    on a function's doc comment: the function belongs to the single
 //	    mutating goroutine of the epoch/generation protocol and may call
@@ -112,6 +126,7 @@ func (a *Analyzer) RunPackage(pkg *Package) ([]Diagnostic, error) {
 // them.
 const (
 	hotpathDirective   = "//nestedlint:hotpath"
+	coldpathDirective  = "//nestedlint:coldpath"
 	ignoreDirective    = "//nestedlint:ignore"
 	writerDirective    = "//nestedlint:writer"
 	immutableDirective = "//nestedlint:immutable"
@@ -121,6 +136,39 @@ const (
 // the //nestedlint:hotpath directive in its doc comment.
 func HasHotpathDirective(decl *ast.FuncDecl) bool {
 	return hasDocDirective(decl.Doc, hotpathDirective)
+}
+
+// HasColdpathDirective reports whether a function declaration carries
+// the //nestedlint:coldpath directive in its doc comment with the
+// mandatory justification. A bare directive (no trailing note) does not
+// count as cold — the claim must explain itself — and hotpathalloc
+// reports it as a finding.
+func HasColdpathDirective(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if strings.HasPrefix(text, coldpathDirective+" ") &&
+			strings.TrimSpace(strings.TrimPrefix(text, coldpathDirective)) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBareColdpathDirective reports a //nestedlint:coldpath directive
+// with no justification — itself a finding.
+func HasBareColdpathDirective(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == coldpathDirective {
+			return true
+		}
+	}
+	return false
 }
 
 // HasWriterDirective reports whether a function declaration carries
@@ -285,7 +333,10 @@ var knownAnalyzersCache map[string]bool
 
 func knownAnalyzers() map[string]bool {
 	if knownAnalyzersCache == nil {
-		m := map[string]bool{"nestedlint": true}
+		// "prove" scopes an ignore to the whole-program proof engine
+		// (`nestedlint -prove`), which reuses the per-package analyzers'
+		// checks beyond their package-local reach.
+		m := map[string]bool{"nestedlint": true, "prove": true}
 		for _, a := range All() {
 			m[a.Name] = true
 		}

@@ -1,0 +1,568 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds nestedlint's whole-program view: a static call graph
+// over every loaded package, with interface and function-value call
+// sites devirtualized where the concrete callee set is statically
+// known. The per-package analyzers (hotpathalloc, detrange, statsguard)
+// prove their invariants one compilation unit at a time; the Program
+// graph is what lets `nestedlint -prove` extend the same discipline
+// across package boundaries — a helper in internal/cachesim reached
+// from a hot walker in internal/core is part of the hot region whether
+// or not its own package ever annotated it.
+//
+// Cross-package resolution detail: Load type-checks each target package
+// from source but resolves its imports from compiler export data, so
+// the *types.Func a caller's Info.Uses yields for an imported function
+// is a different object from the one the callee package's own Info.Defs
+// yields. Nodes are therefore keyed by types.Func.FullName(), which is
+// stable across the two views.
+
+// EdgeKind classifies how a call edge was established.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call to a named function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeDevirt is an interface method call resolved to one concrete
+	// implementation found in the loaded program.
+	EdgeDevirt
+	// EdgeFuncArg binds a function literal or function/method value
+	// passed as a call argument to the function receiving it: if the
+	// receiver is hot, the bound function is assumed invoked on the hot
+	// path (callbacks are passed to be called).
+	EdgeFuncArg
+)
+
+// String names the kind for the proof report.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeDevirt:
+		return "devirt"
+	case EdgeFuncArg:
+		return "funcarg"
+	}
+	return "unknown"
+}
+
+// FuncNode is one function in the whole-program graph: a declared
+// function or method (Decl != nil) or a function literal (Lit != nil).
+type FuncNode struct {
+	// Name is the node's stable identity: types.Func.FullName for
+	// declarations, "file:line:func-literal" for literals.
+	Name string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+
+	// Hot reports membership in the propagated hot region; Root is the
+	// annotated root that reached it and HotVia the edge kind that
+	// pulled it in ("root" for annotated functions themselves).
+	Hot    bool
+	Root   *FuncNode
+	HotVia string
+
+	// Annotated records a literal //nestedlint:hotpath directive; Cold
+	// a justified //nestedlint:coldpath one (propagation stops here).
+	Annotated bool
+	Cold      bool
+
+	callees []*Edge
+	callers []*Edge
+}
+
+// ShortName renders the node compactly for diagnostics: the package
+// path plus the method or function name.
+func (n *FuncNode) ShortName() string {
+	if n.Decl != nil {
+		if n.Decl.Recv != nil && len(n.Decl.Recv.List) == 1 {
+			return fmt.Sprintf("%s.(%s).%s", n.Pkg.Path, recvTypeName(n.Decl), n.Decl.Name.Name)
+		}
+		return n.Pkg.Path + "." + n.Decl.Name.Name
+	}
+	return n.Name
+}
+
+// FuncName is the bare declared name ("" for literals).
+func (n *FuncNode) FuncName() string {
+	if n.Decl != nil {
+		return n.Decl.Name.Name
+	}
+	return ""
+}
+
+// Callers returns the in-edges recorded for the node.
+func (n *FuncNode) Callers() []*Edge { return n.callers }
+
+// Callees returns the out-edges recorded for the node.
+func (n *FuncNode) Callees() []*Edge { return n.callees }
+
+// recvTypeName extracts the receiver's base type name from a method
+// declaration.
+func recvTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "*" + id.Name
+	}
+	return "?"
+}
+
+// Edge is one call-graph edge.
+type Edge struct {
+	Caller *FuncNode
+	Callee *FuncNode
+	Pos    token.Pos
+	Kind   EdgeKind
+	// CrossPackage marks edges whose endpoints live in different
+	// packages — the edges the per-package analyzers cannot see.
+	CrossPackage bool
+}
+
+// DevirtSite records one interface call site whose concrete callee set
+// was statically resolved from the loaded program.
+type DevirtSite struct {
+	Pos       token.Pos
+	Caller    *FuncNode
+	Interface string
+	Method    string
+	Callees   []*FuncNode
+}
+
+// Program is the whole-program analysis view over one Load result.
+type Program struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+
+	nodes map[string]*FuncNode // keyed by FuncNode.Name
+	lits  map[*ast.FuncLit]*FuncNode
+	// pkgOf finds the loaded source package for an import path; calls
+	// into packages outside the load set (the standard library) have no
+	// node and form no edge.
+	pkgOf map[string]*Package
+
+	Edges  []*Edge
+	Devirt []DevirtSite
+}
+
+// BuildProgram constructs the call graph over pkgs and propagates the
+// //nestedlint:hotpath region across it.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:  pkgs,
+		nodes: map[string]*FuncNode{},
+		lits:  map[*ast.FuncLit]*FuncNode{},
+		pkgOf: map[string]*Package{},
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		prog.pkgOf[pkg.Path] = pkg
+	}
+
+	// Pass 1: a node per declared function body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.nodes[fn.FullName()] = &FuncNode{
+					Name:      fn.FullName(),
+					Pkg:       pkg,
+					Decl:      fd,
+					Annotated: HasHotpathDirective(fd),
+					Cold:      HasColdpathDirective(fd),
+				}
+			}
+		}
+	}
+
+	// Pass 2: edges. Function literals get nodes lazily as they are
+	// encountered, so a literal's own calls contribute edges too.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.addBodyEdges(prog.nodes[fn.FullName()], pkg, fd.Body)
+			}
+		}
+	}
+
+	prog.propagateHot()
+	return prog
+}
+
+// litNode returns (creating if needed) the node for a function literal.
+func (p *Program) litNode(pkg *Package, lit *ast.FuncLit) *FuncNode {
+	if n, ok := p.lits[lit]; ok {
+		return n
+	}
+	pos := pkg.Fset.Position(lit.Pos())
+	n := &FuncNode{
+		Name: fmt.Sprintf("%s:%d:func-literal", pos.Filename, pos.Line),
+		Pkg:  pkg,
+		Lit:  lit,
+	}
+	p.lits[lit] = n
+	p.nodes[n.Name] = n
+	return n
+}
+
+// addBodyEdges walks one function body and records its out-edges.
+// Nested function literals are visited exactly once, as callees of the
+// enclosing body via their own nodes.
+func (p *Program) addBodyEdges(caller *FuncNode, pkg *Package, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal's body forms its own node; its calls must not
+			// be attributed to the enclosing function (the literal may
+			// run on a different goroutine or not at all).
+			ln := p.litNode(pkg, n)
+			p.addEdge(caller, ln, n.Pos(), EdgeStatic)
+			p.addBodyEdges(ln, pkg, n.Body)
+			return false
+		case *ast.CallExpr:
+			p.addCallEdges(caller, pkg, n)
+		}
+		return true
+	})
+}
+
+// addCallEdges resolves one call expression: static callees, interface
+// devirtualization, and function-valued argument bindings.
+func (p *Program) addCallEdges(caller *FuncNode, pkg *Package, call *ast.CallExpr) {
+	var callees []*FuncNode
+	// staticCallee resolves an interface method call to the *interface's*
+	// types.Func, which declares no body and has no node — those calls
+	// belong to devirtualization, not the static edge.
+	if callee := staticCallee(pkg.Info, call); callee != nil && !isInterfaceMethod(callee) {
+		if target, ok := p.nodes[callee.FullName()]; ok {
+			p.addEdge(caller, target, call.Pos(), EdgeStatic)
+			callees = append(callees, target)
+		}
+	} else if impls, iface, method, ok := p.devirtualize(pkg, call); ok {
+		site := DevirtSite{Pos: call.Pos(), Caller: caller, Interface: iface, Method: method, Callees: impls}
+		p.Devirt = append(p.Devirt, site)
+		for _, target := range impls {
+			p.addEdge(caller, target, call.Pos(), EdgeDevirt)
+		}
+		callees = append(callees, impls...)
+	}
+
+	// Function-shaped arguments bind to every resolved callee: a
+	// callback handed to a hot function is invoked on the hot path.
+	for _, target := range callees {
+		for _, arg := range call.Args {
+			switch a := ast.Unparen(arg).(type) {
+			case *ast.FuncLit:
+				p.addEdge(target, p.litNode(pkg, a), a.Pos(), EdgeFuncArg)
+			case *ast.Ident:
+				p.addFuncRefEdge(target, pkg, a, nil)
+			case *ast.SelectorExpr:
+				p.addFuncRefEdge(target, pkg, a.Sel, a)
+			}
+		}
+	}
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface
+// (abstract — no body, no node).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// addFuncRefEdge binds a function or method value used as an argument
+// (not called) to the receiving function.
+func (p *Program) addFuncRefEdge(receiver *FuncNode, pkg *Package, id *ast.Ident, sel *ast.SelectorExpr) {
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if target, ok := p.nodes[fn.FullName()]; ok {
+		pos := id.Pos()
+		if sel != nil {
+			pos = sel.Pos()
+		}
+		p.addEdge(receiver, target, pos, EdgeFuncArg)
+	}
+}
+
+// devirtualize resolves an interface method call to the concrete
+// implementations declared in the loaded program. Only interfaces
+// declared in a loaded package qualify: for those, the load set holds
+// every implementation the program can construct, so the callee set is
+// statically known; stdlib interfaces (error, io.Writer) are open-world
+// and stay dynamic.
+func (p *Program) devirtualize(pkg *Package, call *ast.CallExpr) (impls []*FuncNode, ifaceName, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	selection, found := pkg.Info.Selections[sel]
+	if !found || selection.Kind() != types.MethodVal {
+		return nil, "", "", false
+	}
+	recv := selection.Recv()
+	if !types.IsInterface(recv) {
+		return nil, "", "", false
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return nil, "", "", false
+	}
+	if _, loaded := p.pkgOf[named.Obj().Pkg().Path()]; !loaded {
+		return nil, "", "", false
+	}
+	iface, isIface := named.Underlying().(*types.Interface)
+	if !isIface {
+		return nil, "", "", false
+	}
+	method = sel.Sel.Name
+	ifaceName = named.Obj().Pkg().Path() + "." + named.Obj().Name()
+
+	for _, ipkg := range p.Pkgs {
+		scope := ipkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, isType := scope.Lookup(name).(*types.TypeName)
+			if !isType || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			ptr := types.NewPointer(t)
+			if !types.Implements(t, iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			msel := ms.Lookup(named.Obj().Pkg(), method)
+			if msel == nil {
+				continue
+			}
+			mfn, isFn := msel.Obj().(*types.Func)
+			if !isFn {
+				continue
+			}
+			if target, has := p.nodes[mfn.FullName()]; has {
+				impls = append(impls, target)
+			}
+		}
+	}
+	if len(impls) == 0 {
+		return nil, "", "", false
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].Name < impls[j].Name })
+	return impls, ifaceName, method, true
+}
+
+// addEdge records one deduplicated edge.
+func (p *Program) addEdge(caller, callee *FuncNode, pos token.Pos, kind EdgeKind) {
+	for _, e := range caller.callees {
+		if e.Callee == callee && e.Kind == kind && e.Pos == pos {
+			return
+		}
+	}
+	e := &Edge{
+		Caller:       caller,
+		Callee:       callee,
+		Pos:          pos,
+		Kind:         kind,
+		CrossPackage: caller.Pkg != callee.Pkg,
+	}
+	caller.callees = append(caller.callees, e)
+	callee.callers = append(callee.callers, e)
+	p.Edges = append(p.Edges, e)
+}
+
+// propagateHot seeds the hot region from //nestedlint:hotpath
+// annotations and spreads it across static, devirtualized, and
+// function-argument edges to a fixpoint.
+func (p *Program) propagateHot() {
+	var queue []*FuncNode
+	for _, n := range p.nodes {
+		if n.Annotated && !n.Cold {
+			n.Hot = true
+			n.Root = n
+			n.HotVia = "root"
+			queue = append(queue, n)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Name < queue[j].Name })
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.callees {
+			t := e.Callee
+			if t.Hot || t.Cold {
+				continue
+			}
+			t.Hot = true
+			t.Root = n.Root
+			t.HotVia = e.Kind.String()
+			queue = append(queue, t)
+		}
+	}
+}
+
+// Node looks a function up by its FullName key.
+func (p *Program) Node(fullName string) *FuncNode { return p.nodes[fullName] }
+
+// Nodes returns every node in deterministic order.
+func (p *Program) Nodes() []*FuncNode {
+	out := make([]*FuncNode, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HotNodes returns the hot region in deterministic order.
+func (p *Program) HotNodes() []*FuncNode {
+	var out []*FuncNode
+	for _, n := range p.Nodes() {
+		if n.Hot {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ReachableFrom computes the closure of nodes reachable from the given
+// roots over static, devirtualized, and function-argument edges.
+func (p *Program) ReachableFrom(roots []*FuncNode) map[*FuncNode]bool {
+	seen := map[*FuncNode]bool{}
+	queue := append([]*FuncNode(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.callees {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// StaleHotAnnotations reports //nestedlint:hotpath annotations the
+// whole-program graph proves idle: unexported functions with the
+// directive that no loaded code path — static call, devirtualized
+// interface dispatch, or function-value binding — ever reaches.
+// Exported functions are exempt (tests and external callers are outside
+// the load set), as are methods that implement a loaded interface's
+// method (the dispatch site may postdate the graph).
+func (p *Program) StaleHotAnnotations() []*FuncNode {
+	var stale []*FuncNode
+	for _, n := range p.Nodes() {
+		if !n.Annotated || n.Decl == nil {
+			continue
+		}
+		if ast.IsExported(n.Decl.Name.Name) {
+			continue
+		}
+		if len(n.callers) > 0 {
+			continue
+		}
+		if p.implementsLoadedInterface(n) {
+			continue
+		}
+		stale = append(stale, n)
+	}
+	return stale
+}
+
+// implementsLoadedInterface reports whether a method node implements a
+// same-name method of any interface declared in the loaded packages.
+func (p *Program) implementsLoadedInterface(n *FuncNode) bool {
+	if n.Decl == nil || n.Decl.Recv == nil {
+		return false
+	}
+	fn, ok := n.Pkg.Info.Defs[n.Decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recvType := sig.Recv().Type()
+	for _, ipkg := range p.Pkgs {
+		scope := ipkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, isType := scope.Lookup(name).(*types.TypeName)
+			if !isType {
+				continue
+			}
+			iface, isIface := tn.Type().Underlying().(*types.Interface)
+			if !isIface {
+				continue
+			}
+			if m := lookupIfaceMethod(iface, fn.Name()); m == nil {
+				continue
+			}
+			if types.Implements(recvType, iface) || types.Implements(types.NewPointer(recvType), iface) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lookupIfaceMethod finds an interface method by name.
+func lookupIfaceMethod(iface *types.Interface, name string) *types.Func {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if m := iface.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// moduleRelative trims an absolute file path to moduleDir-relative form
+// for report output.
+func moduleRelative(moduleDir, file string) string {
+	if rel := strings.TrimPrefix(file, moduleDir+"/"); rel != file {
+		return rel
+	}
+	return file
+}

@@ -37,21 +37,29 @@ var randGlobalAllowed = map[string]bool{
 
 func runDetRange(pass *Pass) error {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.RangeStmt:
-				if _, isMap := pass.Info.TypeOf(n.X).Underlying().(*types.Map); isMap {
-					pass.Reportf(n.Pos(), "map iteration order is nondeterministic; collect and sort keys instead")
-				}
-			case *ast.Ident:
-				// Covers both qualified uses (rand.Intn — the selector's
-				// Sel ident) and dot-imported bare uses.
-				checkDetUse(pass, n)
-			}
-			return true
-		})
+		detInspect(pass, f)
 	}
 	return nil
+}
+
+// detInspect reports every determinism-breaking construct under root.
+// runDetRange applies it to whole files of the deterministic packages;
+// the -prove engine applies it to the bodies of functions any
+// deterministic package reaches, wherever they are declared.
+func detInspect(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if _, isMap := pass.Info.TypeOf(n.X).Underlying().(*types.Map); isMap {
+				pass.Reportf(n.Pos(), "map iteration order is nondeterministic; collect and sort keys instead")
+			}
+		case *ast.Ident:
+			// Covers both qualified uses (rand.Intn — the selector's
+			// Sel ident) and dot-imported bare uses.
+			checkDetUse(pass, n)
+		}
+		return true
+	})
 }
 
 // checkDetUse flags ident when it resolves to time.Now or to a

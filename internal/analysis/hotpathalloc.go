@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 )
 
 // HotpathAlloc enforces the simulator's central performance invariant:
@@ -20,15 +21,37 @@ import (
 // conversions, closures, go statements, and implicit conversions of
 // non-pointer concrete values to interfaces (boxing).
 //
-// Two escapes are deliberate: composite literals of error types are
+// Three escapes are deliberate: composite literals of error types are
 // exempt (fault returns are cold — the simulator pre-faults pages
-// before timed walks), and //nestedlint:ignore suppresses a line with
-// a stated justification. Calls through interfaces and function values
-// are not traced; keep hot interface implementations annotated.
+// before timed walks), //nestedlint:ignore suppresses a line with a
+// stated justification, and //nestedlint:coldpath on a callee stops
+// hot propagation at a justified slow-path boundary (first-touch
+// allocation, copy-on-write, panic formatting). Function literals and method values passed
+// as arguments to a hot function are treated as hot themselves — a
+// callback handed to the hot path is invoked on it. Calls through
+// interfaces are not traced within a package; `nestedlint -prove`
+// devirtualizes them program-wide, so keep hot interface
+// implementations annotated.
 var HotpathAlloc = &Analyzer{
 	Name: "hotpathalloc",
 	Doc:  "forbid heap allocation in //nestedlint:hotpath functions and their intra-package callees",
 	Run:  runHotpathAlloc,
+}
+
+// hotItem is one body the hot-region fixpoint tracks: a declared
+// function, or a function literal bound to a hot callee as a callback.
+type hotItem struct {
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+}
+
+// boundArg records a function-shaped argument at one call site: the
+// statically resolved callee it was passed to, and the argument's own
+// identity (a literal, or the declaration a method/function value
+// names).
+type boundArg struct {
+	callee *types.Func
+	item   hotItem
 }
 
 func runHotpathAlloc(pass *Pass) error {
@@ -45,21 +68,61 @@ func runHotpathAlloc(pass *Pass) error {
 		}
 	}
 
-	// Seed the hot set with annotated functions, then propagate along
-	// static intra-package calls: a helper reached from a hot path is a
-	// hot path.
-	root := map[*ast.FuncDecl]string{}
-	var queue []*ast.FuncDecl
+	// Collect every function-shaped argument in the package up front:
+	// the fixpoint below consults them whenever a callee turns hot, so
+	// a callback reaches the hot set even when its binding site is in a
+	// cold function (w.forEach(func(…){…}) with forEach hot).
+	bindings := collectFuncArgBindings(pass, decls)
+
+	// Seed the hot set with annotated functions, then propagate to a
+	// fixpoint along static intra-package calls and callback bindings:
+	// a helper reached from a hot path is a hot path, and so is a
+	// literal or method value handed to one.
+	root := map[ast.Node]string{}
+	var queue []hotItem
+	markHot := func(it hotItem, from string) {
+		// //nestedlint:coldpath is the sanctioned boundary: first-touch,
+		// copy-on-write, panic, and overflow slow paths stop the fixpoint.
+		if it.decl != nil && HasColdpathDirective(it.decl) {
+			return
+		}
+		key := ast.Node(it.decl)
+		if it.decl == nil {
+			key = it.lit
+		}
+		if _, seen := root[key]; seen {
+			return
+		}
+		root[key] = from
+		queue = append(queue, it)
+	}
 	for _, fd := range order {
+		if HasBareColdpathDirective(fd) {
+			pass.Reportf(fd.Name.Pos(), "//nestedlint:coldpath requires a justification explaining why %s is unreachable in the steady state", fd.Name.Name)
+		}
 		if HasHotpathDirective(fd) {
-			root[fd] = fd.Name.Name
-			queue = append(queue, fd)
+			markHot(hotItem{decl: fd}, fd.Name.Name)
 		}
 	}
 	for len(queue) > 0 {
-		fd := queue[0]
+		it := queue[0]
 		queue = queue[1:]
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
+		key := ast.Node(it.decl)
+		body := ast.Node(nil)
+		if it.decl != nil {
+			body = it.decl.Body
+		} else {
+			key = it.lit
+			body = it.lit.Body
+		}
+		from := root[key]
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit != it.lit {
+				// A literal inside a hot body is already flagged as an
+				// allocation by checkHotBody; its body is not entered
+				// here (the closure may never run on the hot path).
+				return false
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -68,24 +131,77 @@ func runHotpathAlloc(pass *Pass) error {
 			if callee == nil {
 				return true
 			}
-			target, ok := decls[callee]
-			if !ok {
-				return true
-			}
-			if _, seen := root[target]; !seen {
-				root[target] = root[fd]
-				queue = append(queue, target)
+			if target, ok := decls[callee]; ok {
+				markHot(hotItem{decl: target}, from)
 			}
 			return true
 		})
+		// Callbacks bound to this item, if it is a declared function.
+		if it.decl != nil {
+			if fn, ok := pass.Info.Defs[it.decl.Name].(*types.Func); ok {
+				for _, b := range bindings[fn] {
+					markHot(b.item, from)
+				}
+			}
+		}
 	}
 
 	for _, fd := range order {
 		if from, ok := root[fd]; ok {
-			checkHotFunc(pass, fd, from)
+			checkHotDecl(pass, fd, from)
 		}
 	}
+	// Literals in deterministic order: file position.
+	var lits []*ast.FuncLit
+	for key := range root {
+		if lit, ok := key.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+	}
+	sort.Slice(lits, func(i, j int) bool { return lits[i].Pos() < lits[j].Pos() })
+	for _, lit := range lits {
+		checkHotLit(pass, lit, root[lit])
+	}
 	return nil
+}
+
+// collectFuncArgBindings indexes, per statically resolved callee, the
+// function literals and intra-package function/method values passed to
+// it anywhere in the package.
+func collectFuncArgBindings(pass *Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]boundArg {
+	bindings := map[*types.Func][]boundArg{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.FuncLit:
+					bindings[callee] = append(bindings[callee], boundArg{callee: callee, item: hotItem{lit: a}})
+				case *ast.Ident:
+					if fn, ok := pass.Info.Uses[a].(*types.Func); ok {
+						if target, ok := decls[fn]; ok {
+							bindings[callee] = append(bindings[callee], boundArg{callee: callee, item: hotItem{decl: target}})
+						}
+					}
+				case *ast.SelectorExpr:
+					if fn, ok := pass.Info.Uses[a.Sel].(*types.Func); ok {
+						if target, ok := decls[fn]; ok {
+							bindings[callee] = append(bindings[callee], boundArg{callee: callee, item: hotItem{decl: target}})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return bindings
 }
 
 // staticCallee resolves a call to the *types.Func it statically
@@ -104,21 +220,22 @@ func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
-// checkHotFunc reports every allocating construct in one hot function.
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string) {
+// checkHotDecl reports every allocating construct in one hot declared
+// function.
+func checkHotDecl(pass *Pass, fd *ast.FuncDecl, root string) {
 	where := fd.Name.Name
 	if where != root {
 		where += " (reached from hotpath " + root + ")"
 	}
-	report := func(pos token.Pos, what string) {
-		pass.Reportf(pos, "%s in hot path %s", what, where)
-	}
+	params, recv, sig := declHotContext(pass, fd)
+	checkHotBody(pass, fd.Body, where, params, recv, sig)
+}
 
-	// Caller-owned scratch: the receiver, parameters, and fields of the
-	// receiver may be append targets; anything else allocates on growth
-	// with no owner to amortize it.
-	params := map[types.Object]bool{}
-	var recv types.Object
+// declHotContext gathers a declared function's caller-owned scratch
+// set (receiver, parameters, fields of the receiver — the legitimate
+// append targets) and its signature for return-boxing checks.
+func declHotContext(pass *Pass, fd *ast.FuncDecl) (params map[types.Object]bool, recv types.Object, sig *types.Signature) {
+	params = map[types.Object]bool{}
 	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
 		recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
 		params[recv] = true
@@ -128,13 +245,36 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, root string) {
 			params[pass.Info.Defs[name]] = true
 		}
 	}
-
-	var sig *types.Signature
 	if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
 		sig = fn.Type().(*types.Signature)
 	}
+	return params, recv, sig
+}
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// checkHotLit reports every allocating construct in a function literal
+// that reached the hot set as a callback to a hot function. Its own
+// parameters count as caller-owned scratch, exactly as a declared
+// function's do.
+func checkHotLit(pass *Pass, lit *ast.FuncLit, root string) {
+	where := "func literal (reached from hotpath " + root + ")"
+	params := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			params[pass.Info.Defs[name]] = true
+		}
+	}
+	sig, _ := pass.Info.TypeOf(lit).(*types.Signature)
+	checkHotBody(pass, lit.Body, where, params, nil, sig)
+}
+
+// checkHotBody reports the allocating constructs of one hot body —
+// declared function, method, or callback literal.
+func checkHotBody(pass *Pass, body ast.Node, where string, params map[types.Object]bool, recv types.Object, sig *types.Signature) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path %s", what, where)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkHotCall(pass, n, params, recv, report)

@@ -37,13 +37,19 @@ type listPackage struct {
 	Export     string
 	GoFiles    []string
 	DepOnly    bool
+	Standard   bool
 	Error      *struct{ Err string }
 }
 
 // Load lists patterns from moduleDir with the go tool, then parses and
-// type-checks every matched (non-dependency) package. Dependencies are
-// resolved from compiler export data, so loading ./... costs one
-// cached build, not a full source type-check of the world.
+// type-checks every matched package. Module-internal dependencies are
+// type-checked from source too, in dependency order, so that every
+// package in one Load shares one object world — the property the
+// whole-program call graph (BuildProgram) needs for types.Implements
+// and cross-package *types.Func identity to be meaningful. Standard
+// library dependencies are resolved from compiler export data, so
+// loading ./... still costs one cached build, not a source type-check
+// of the world.
 //
 // Only non-test Go files are analyzed: the invariants nestedlint
 // enforces (allocation-free hot paths, deterministic sweep output)
@@ -53,7 +59,7 @@ func Load(moduleDir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	exports, targets, err := goList(moduleDir, patterns)
+	exports, listed, err := goList(moduleDir, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -66,27 +72,52 @@ func Load(moduleDir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(file)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	imp := &sourceFirstImporter{
+		source:   map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "gc", lookup),
+	}
 
+	// go list -deps emits dependencies before dependents, so checking in
+	// listed order guarantees every module-internal import is already
+	// source-checked when its importer asks for it.
 	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
+	for _, t := range listed {
+		if t.Standard || len(t.GoFiles) == 0 {
 			continue
 		}
 		pkg, err := checkPackage(fset, imp, t)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		imp.source[t.ImportPath] = pkg.Types
+		if !t.DepOnly {
+			pkgs = append(pkgs, pkg)
+		}
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
 }
 
+// sourceFirstImporter serves module packages from the source-checked
+// set built up during Load and everything else (the standard library)
+// from compiler export data.
+type sourceFirstImporter struct {
+	source   map[string]*types.Package
+	fallback types.Importer
+}
+
+// Import implements types.Importer.
+func (si *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.source[path]; ok {
+		return p, nil
+	}
+	return si.fallback.Import(path)
+}
+
 // goList runs `go list -json -export -deps` and splits the result into
-// export-data locations (for every listed package) and the target
-// packages the patterns matched directly.
-func goList(moduleDir string, patterns []string) (exports map[string]string, targets []listPackage, err error) {
+// export-data locations (for every listed package) and the full
+// dependency-ordered package list (targets carry DepOnly == false).
+func goList(moduleDir string, patterns []string) (exports map[string]string, listed []listPackage, err error) {
 	args := append([]string{"list", "-json", "-export", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = moduleDir
@@ -112,11 +143,9 @@ func goList(moduleDir string, patterns []string) (exports map[string]string, tar
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			targets = append(targets, p)
-		}
+		listed = append(listed, p)
 	}
-	return exports, targets, nil
+	return exports, listed, nil
 }
 
 // checkPackage parses and type-checks one listed package from source.

@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The tests in this file drive `nestedlint -prove`'s machinery over
+// committed corpora:
+//
+//   - testdata/src/progtest holds a two-package fixture with one seeded
+//     cross-package allocation, one devirtualized interface allocation,
+//     one cross-package callback allocation, one stale annotation, and
+//     one coldpath-justified allocation — the proof must flag exactly
+//     the first four and the compiler engine must independently agree
+//     on the seeded escape;
+//
+//   - testdata/gcdiag/sample.txt pins the diagnostic parser to the
+//     exact gc output format it understands (a live-toolchain test
+//     skips, rather than fails, when the installed compiler's format
+//     has drifted);
+//
+//   - the drift test cross-checks the repository itself: every function
+//     a test pins with testing.AllocsPerRun must be in the static hot
+//     region, so the annotations cannot silently fall behind the
+//     benchmarks.
+
+// progtestPatterns are explicit directories: go list expands `...`
+// wildcards around testdata away, but accepts the paths spelled out.
+var progtestPatterns = []string{
+	"./internal/analysis/testdata/src/progtest/helper",
+	"./internal/analysis/testdata/src/progtest/hot",
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	return dir
+}
+
+func loadProgtest(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := Load(moduleRoot(t), progtestPatterns...)
+	if err != nil {
+		t.Fatalf("loading progtest fixture: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d fixture packages, want 2", len(pkgs))
+	}
+	return pkgs
+}
+
+// seedLine locates a seed marker comment in a fixture file and returns
+// its module-relative path and 1-based line, so the assertions track
+// fixture edits instead of hardcoding line numbers.
+func seedLine(t *testing.T, moduleDir, relFile, marker string) (string, int) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(moduleDir, relFile))
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			return relFile, i + 1
+		}
+	}
+	t.Fatalf("marker %q not found in %s", marker, relFile)
+	return "", 0
+}
+
+// progNode finds the unique node whose full name ends in suffix.
+func progNode(t *testing.T, prog *Program, suffix string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for _, n := range prog.Nodes() {
+		if strings.HasSuffix(n.Name, suffix) {
+			if found != nil {
+				t.Fatalf("node suffix %q is ambiguous: %s and %s", suffix, found.Name, n.Name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with suffix %q", suffix)
+	}
+	return found
+}
+
+// TestProgtestCallGraph pins the whole-program graph the fixture must
+// produce: cross-package static propagation, devirtualization through
+// the loaded Stepper interface, callback binding, and a coldpath stop.
+func TestProgtestCallGraph(t *testing.T) {
+	prog := BuildProgram(loadProgtest(t))
+
+	walk := progNode(t, prog, "progtest/hot.Walk")
+	if !walk.Hot || !walk.Annotated || walk.HotVia != "root" {
+		t.Fatalf("Walk should be an annotated hot root, got hot=%v annotated=%v via=%q", walk.Hot, walk.Annotated, walk.HotVia)
+	}
+
+	for _, tc := range []struct {
+		suffix string
+		via    string
+	}{
+		{"progtest/helper.Sum", "static"},
+		{"progtest/helper.Scratch", "static"},
+		{"progtest/helper.Each", "static"},
+		{"progtest/hot.observe", "funcarg"},
+		{"hot.Fast).Step", "devirt"},
+		{"hot.Slow).Step", "devirt"},
+	} {
+		n := progNode(t, prog, tc.suffix)
+		if !n.Hot {
+			t.Errorf("%s should be hot (via %s)", tc.suffix, tc.via)
+			continue
+		}
+		if n.HotVia != tc.via {
+			t.Errorf("%s is hot via %q, want %q", tc.suffix, n.HotVia, tc.via)
+		}
+		if n.Root != walk {
+			t.Errorf("%s has root %v, want Walk", tc.suffix, n.Root)
+		}
+	}
+
+	refill := progNode(t, prog, "progtest/hot.refill")
+	if refill.Hot || !refill.Cold {
+		t.Errorf("refill should be coldpath-stopped, got hot=%v cold=%v", refill.Hot, refill.Cold)
+	}
+	// idle's annotation makes it a root, but the graph proves the
+	// annotation stale: no edge reaches it.
+	idle := progNode(t, prog, "progtest/hot.idle")
+	if len(idle.Callers()) != 0 {
+		t.Errorf("idle should have no callers, got %d", len(idle.Callers()))
+	}
+
+	// Both literals in Bind / BindDirty bind to helper.Each across the
+	// package boundary and inherit its hotness.
+	hotLits := 0
+	for _, n := range prog.Nodes() {
+		if n.Lit != nil && n.Hot {
+			hotLits++
+			if n.HotVia != "funcarg" {
+				t.Errorf("hot literal %s via %q, want funcarg", n.Name, n.HotVia)
+			}
+		}
+	}
+	if hotLits != 2 {
+		t.Errorf("got %d hot literals, want 2 (Bind and BindDirty callbacks)", hotLits)
+	}
+
+	stale := prog.StaleHotAnnotations()
+	if len(stale) != 1 || stale[0] != idle {
+		t.Errorf("stale annotations = %v, want exactly idle", stale)
+	}
+}
+
+// TestProveCrossPackageFixture runs the full proof — both engines —
+// over the fixture and checks that the seeded allocation is caught by
+// each engine independently, on the same line.
+func TestProveCrossPackageFixture(t *testing.T) {
+	moduleDir := moduleRoot(t)
+	pkgs := loadProgtest(t)
+	modulePath, err := ModulePath(moduleDir)
+	if err != nil {
+		t.Fatalf("module path: %v", err)
+	}
+	rep, err := Prove(pkgs, ProveOptions{
+		ModuleDir:  moduleDir,
+		ModulePath: modulePath,
+		Patterns:   progtestPatterns,
+	})
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if rep.Passed() {
+		t.Fatal("fixture proof passed; the seeded allocations were missed")
+	}
+
+	helperFile, scratchLine := seedLine(t, moduleDir, "internal/analysis/testdata/src/progtest/helper/helper.go", "seed:alloc ")
+	hotFile, devirtLine := seedLine(t, moduleDir, "internal/analysis/testdata/src/progtest/hot/hot.go", "seed:alloc-devirt")
+	_, callbackLine := seedLine(t, moduleDir, "internal/analysis/testdata/src/progtest/hot/hot.go", "seed:alloc-callback")
+	_, staleLine := seedLine(t, moduleDir, "internal/analysis/testdata/src/progtest/hot/hot.go", "seed:stale")
+	_, coldLine := seedLine(t, moduleDir, "internal/analysis/testdata/src/progtest/hot/hot.go", "seed:coldpath-alloc")
+
+	// The interprocedural engine must produce exactly the seeded set:
+	// anything extra is a false positive, anything missing a blind spot.
+	want := map[string]bool{
+		fmt.Sprintf("alloc|%s:%d", helperFile, scratchLine):       true,
+		fmt.Sprintf("alloc|%s:%d", hotFile, devirtLine):           true,
+		fmt.Sprintf("alloc|%s:%d", hotFile, callbackLine):         true,
+		fmt.Sprintf("stale-annotation|%s:%d", hotFile, staleLine): true,
+	}
+	got := map[string]bool{}
+	for _, f := range rep.Findings {
+		if f.Engine != "interproc" {
+			continue
+		}
+		got[fmt.Sprintf("%s|%s:%d", f.Rule, f.File, f.Line)] = true
+		if f.Line == coldLine && f.File == hotFile {
+			t.Errorf("coldpath-justified allocation was flagged: %+v", f)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("interproc findings = %v, want %v", got, want)
+	}
+
+	// The cross-package alloc finding must name its hot root from the
+	// other package.
+	for _, f := range rep.Findings {
+		if f.Engine == "interproc" && f.File == helperFile && f.Line == scratchLine {
+			if !strings.HasSuffix(f.Root, "progtest/hot.Walk") {
+				t.Errorf("Scratch finding root = %q, want progtest/hot.Walk", f.Root)
+			}
+			if !strings.Contains(f.Message, "hot.Walk") {
+				t.Errorf("Scratch finding message %q should name the cross-package root hot.Walk", f.Message)
+			}
+		}
+	}
+
+	if rep.HotRegion.CrossPackageHotEdges < 1 {
+		t.Errorf("cross-package hot edges = %d, want >= 1", rep.HotRegion.CrossPackageHotEdges)
+	}
+	if rep.CallGraph.FuncArgBindings < 2 {
+		t.Errorf("funcarg bindings = %d, want >= 2", rep.CallGraph.FuncArgBindings)
+	}
+
+	var stepSite *DevirtSummary
+	for i := range rep.Devirtualized {
+		d := &rep.Devirtualized[i]
+		if d.Method == "Step" && strings.HasSuffix(d.Interface, "progtest/hot.Stepper") {
+			stepSite = d
+		}
+	}
+	if stepSite == nil {
+		t.Fatal("st.Step was not devirtualized through hot.Stepper")
+	}
+	if !stepSite.Hot || len(stepSite.Callees) != 2 {
+		t.Errorf("Step devirt site hot=%v callees=%v, want hot with both implementations", stepSite.Hot, stepSite.Callees)
+	}
+
+	// Compiler engine: the same Scratch line must carry an escape
+	// finding, making the agreement count nonzero. Skipped (not failed)
+	// when the installed toolchain emits no recognizable escapes at all.
+	if !rep.Compiler.Ran || rep.Compiler.Escapes == 0 {
+		t.Skipf("toolchain %s emitted no recognizable escape diagnostics; skipping compiler-engine assertions", rep.Toolchain)
+	}
+	compilerHit := false
+	for _, f := range rep.Findings {
+		if f.Engine == "compiler" && f.Rule == "escape" && f.File == helperFile && f.Line == scratchLine {
+			compilerHit = true
+		}
+		if f.Engine == "compiler" && f.File == hotFile && f.Line == coldLine {
+			t.Errorf("compiler finding landed in coldpath function: %+v", f)
+		}
+	}
+	if !compilerHit {
+		t.Errorf("compiler engine missed the seeded escape at %s:%d", helperFile, scratchLine)
+	}
+	if rep.Agreement.Both < 1 {
+		t.Errorf("agreement.Both = %d, want >= 1 (both engines on the Scratch line)", rep.Agreement.Both)
+	}
+}
+
+// TestParseGCDiagnosticsSample pins the parser to the committed sample
+// of gc -m=2 / check_bce output, line for line.
+func TestParseGCDiagnosticsSample(t *testing.T) {
+	f, err := os.Open(filepath.Join(moduleRoot(t), "internal/analysis/testdata/gcdiag/sample.txt"))
+	if err != nil {
+		t.Fatalf("opening sample: %v", err)
+	}
+	defer f.Close()
+	diags, stats := ParseGCDiagnostics(f)
+
+	wantStats := GCDiagStats{Lines: 14, Recognized: 13, Escapes: 1, Moved: 1, Bounds: 2}
+	if stats != wantStats {
+		t.Errorf("stats = %+v, want %+v", stats, wantStats)
+	}
+	wantDiags := []CompilerDiag{
+		{File: "internal/demo/demo.go", Line: 21, Col: 12, Kind: DiagEscape, Message: "make([]int, n) escapes to heap"},
+		{File: "internal/demo/demo.go", Line: 30, Col: 2, Kind: DiagMoved, Message: "moved to heap: buf"},
+		{File: "internal/demo/demo.go", Line: 42, Col: 14, Kind: DiagBoundsCheck, Message: "Found IsInBounds"},
+		{File: "internal/demo/demo.go", Line: 55, Col: 3, Kind: DiagBoundsCheck, Message: "Found IsSliceInBounds"},
+	}
+	if !reflect.DeepEqual(diags, wantDiags) {
+		t.Errorf("diags = %+v\nwant %+v", diags, wantDiags)
+	}
+}
+
+// TestCompilerDiagnosticsLive checks that the installed toolchain still
+// speaks the diagnostic dialect the parser expects, skipping on drift
+// so a future compiler cannot fail CI spuriously.
+func TestCompilerDiagnosticsLive(t *testing.T) {
+	moduleDir := moduleRoot(t)
+	modulePath, err := ModulePath(moduleDir)
+	if err != nil {
+		t.Fatalf("module path: %v", err)
+	}
+	diags, stats, err := RunCompilerDiagnostics(moduleDir, modulePath, "./internal/core")
+	if err != nil {
+		t.Fatalf("compiler run: %v", err)
+	}
+	if stats.Lines == 0 || stats.Recognized*2 < stats.Lines {
+		t.Skipf("toolchain diagnostic format drift: recognized %d of %d lines", stats.Recognized, stats.Lines)
+	}
+	if len(diags) == 0 {
+		t.Error("no diagnostics parsed from internal/core, which is known to carry escapes and bounds checks")
+	}
+}
+
+// TestAllocsPerRunPinsAreHot is the benchmark/annotation drift check:
+// every function a test pins at zero allocations with
+// testing.AllocsPerRun must be inside the static hot region, and every
+// loaded-interface implementation of a pinned method likewise (the pin
+// dispatches dynamically, so all implementations run under it).
+func TestAllocsPerRunPinsAreHot(t *testing.T) {
+	moduleDir := moduleRoot(t)
+
+	// Syntactic scan of every test file for AllocsPerRun closures and
+	// the calls they measure.
+	pins := map[string][]string{} // callee name -> pin sites
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(moduleDir, func(p string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, p, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AllocsPerRun" || len(call.Args) != 2 {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			site := fmt.Sprintf("%s:%d", moduleRelative(moduleDir, p), fset.Position(call.Pos()).Line)
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				c, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := c.Fun.(type) {
+				case *ast.SelectorExpr:
+					pins[fun.Sel.Name] = append(pins[fun.Sel.Name], site)
+				case *ast.Ident:
+					pins[fun.Name] = append(pins[fun.Name], site)
+				}
+				return true
+			})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning test files: %v", err)
+	}
+	if len(pins) == 0 {
+		t.Fatal("no testing.AllocsPerRun pins found; the drift check has lost its inputs")
+	}
+
+	pkgs, err := Load(moduleDir)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	prog := BuildProgram(pkgs)
+
+	declared := map[string]bool{}
+	hot := map[string]bool{}
+	for _, n := range prog.Nodes() {
+		name := n.FuncName()
+		if name == "" {
+			continue
+		}
+		declared[name] = true
+		if n.Hot {
+			hot[name] = true
+		}
+	}
+
+	// Weak form: some declaration of each pinned name is hot. Names
+	// with no module declaration (t.Fatal, local closures) are outside
+	// the proof's scope.
+	matched := 0
+	for name, sites := range pins {
+		if !declared[name] {
+			continue
+		}
+		matched++
+		if !hot[name] {
+			t.Errorf("%s is pinned zero-alloc by %s but no declaration of it is in the static hot region; annotate it //nestedlint:hotpath", name, strings.Join(sites, ", "))
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no pinned callee matched a module declaration; the pin scan is broken")
+	}
+
+	// Strong form: the pins call through interfaces (core.Walker), so
+	// every loaded implementation of a pinned method runs under the pin
+	// and must be hot.
+	for _, n := range prog.Nodes() {
+		if n.Decl == nil || n.Hot {
+			continue
+		}
+		name := n.FuncName()
+		sites, pinned := pins[name]
+		if !pinned {
+			continue
+		}
+		if prog.implementsLoadedInterface(n) {
+			t.Errorf("%s implements an interface method pinned zero-alloc by %s but is outside the static hot region; annotate it //nestedlint:hotpath", n.ShortName(), strings.Join(sites, ", "))
+		}
+	}
+}

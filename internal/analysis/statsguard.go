@@ -31,24 +31,33 @@ func runStatsGuard(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range n.Lhs {
-					checkStatsWrite(pass, lhs)
-				}
-			case *ast.IncDecStmt:
-				checkStatsWrite(pass, n.X)
-			case *ast.UnaryExpr:
-				// Taking a field's address hands out a write capability.
-				if n.Op == token.AND {
-					checkStatsWrite(pass, n.X)
-				}
-			}
-			return true
-		})
+		statsInspect(pass, f)
 	}
 	return nil
+}
+
+// statsInspect reports every direct stats-field write under root.
+// runStatsGuard applies it to whole files of every non-stats package;
+// the -prove engine applies it per function body with the sharper
+// semantic exemption (methods of stats-declared types, not "anything
+// in the stats package").
+func statsInspect(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkStatsWrite(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkStatsWrite(pass, n.X)
+		case *ast.UnaryExpr:
+			// Taking a field's address hands out a write capability.
+			if n.Op == token.AND {
+				checkStatsWrite(pass, n.X)
+			}
+		}
+		return true
+	})
 }
 
 // checkStatsWrite flags expr when it denotes a field of a type defined

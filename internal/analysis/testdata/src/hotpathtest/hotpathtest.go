@@ -81,3 +81,34 @@ func preallocated(n int) {
 	buf := make([]int, n)
 	_ = buf
 }
+
+// forEach is a hot iterator: callbacks handed to it run once per probe,
+// so their bodies are hot even though the binding site may be cold.
+//
+//nestedlint:hotpath
+func forEach(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// bindCallbacks is cold, but the literal and the method value it passes
+// to the hot forEach are invoked on the hot path and must be checked.
+func bindCallbacks(w *walker, n int) {
+	forEach(n, func(i int) {
+		_ = make([]uint64, i) // want `make allocates in hot path func literal \(reached from hotpath forEach\)`
+	})
+	forEach(n, w.observe)
+	forEach(n, cleanCallback)
+}
+
+// observe reaches the hot set as a method value bound to forEach.
+func (w *walker) observe(i int) {
+	w.sink = append(w.sink, uint64(i)) // fine: receiver-owned scratch
+	_ = new(probe)                     // want `new allocates in hot path observe \(reached from hotpath forEach\)`
+}
+
+// cleanCallback is hot by binding but allocation-free: no findings.
+func cleanCallback(i int) {
+	_ = i * 2
+}

@@ -1,0 +1,30 @@
+// Package helper is the cross-package half of the progtest proof
+// corpus: nothing here is annotated, so every function is cold under
+// per-package analysis and becomes hot only through the whole-program
+// graph rooted in the progtest/hot package.
+package helper
+
+// Sum is allocation-free and safe to reach from a hot caller.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Scratch is the seeded cross-package allocation: hot.Walk reaches it
+// through a static import edge, and the make below must be caught by
+// BOTH proof engines — interprocedural propagation flags the source
+// construct, the compiler flags the escaping heap allocation.
+func Scratch(n int) []int {
+	return make([]int, n) // seed:alloc seed:escape
+}
+
+// Each hands each index to f — the callback-binding edge: a literal
+// passed to Each from anywhere becomes hot once Each itself is hot.
+func Each(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}

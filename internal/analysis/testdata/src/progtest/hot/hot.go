@@ -1,0 +1,89 @@
+// Package hot is the annotated half of the progtest proof corpus: its
+// one hotpath root reaches the helper package through a static import
+// edge, an interface call, and a callback binding, exercising every
+// cross-package propagation mechanism `nestedlint -prove` claims.
+package hot
+
+import "nestedecpt/internal/analysis/testdata/src/progtest/helper"
+
+// Stepper is a loaded interface: every implementation is in the load
+// set, so -prove may devirtualize call sites through it.
+type Stepper interface {
+	Step(x int) int
+}
+
+// Fast steps without allocating.
+type Fast struct{ acc int }
+
+// Step accumulates in place.
+func (f *Fast) Step(x int) int {
+	f.acc += x
+	return f.acc
+}
+
+// Slow allocates per step — hot only through devirtualization of the
+// st.Step call in Walk.
+type Slow struct{ sum int }
+
+// Step boxes its work through a fresh slice.
+func (s *Slow) Step(x int) int {
+	tmp := make([]int, x) // seed:alloc-devirt
+	s.sum += len(tmp)
+	return s.sum
+}
+
+// Walk is the fixture's hot root: the interface call extends the hot
+// region to both Step implementations, and the helper calls extend it
+// across the package boundary.
+//
+//nestedlint:hotpath
+func Walk(st Stepper, xs []int) int {
+	if len(xs) == 0 {
+		return helper.Sum(refill(4))
+	}
+	t := 0
+	for _, x := range xs {
+		t += st.Step(x)
+	}
+	t += helper.Sum(xs)
+	helper.Each(len(xs), observe)
+	vals := helper.Scratch(len(xs))
+	return t + helper.Sum(vals)
+}
+
+// observe is a clean named callback: handed to helper.Each from Walk,
+// it becomes hot through the function-argument binding without the
+// closure allocation a literal would cost.
+func observe(int) {}
+
+// refill is reached from Walk but justifies itself as a slow path:
+// the coldpath directive stops hot propagation here, so neither
+// engine flags its allocation.
+//
+//nestedlint:coldpath fixture first-touch path: runs once on an empty input, never in the steady-state loop
+func refill(n int) []int {
+	return make([]int, n) // seed:coldpath-alloc (must NOT be flagged)
+}
+
+// Bind is cold itself; the literal it hands to helper.Each becomes hot
+// because Each is reached from Walk. This literal is clean.
+func Bind(out []int) {
+	helper.Each(len(out), func(i int) {
+		out[i] = i
+	})
+}
+
+// BindDirty seeds the callback blind-spot case: the literal allocates,
+// and it runs on the hot path because helper.Each is hot.
+func BindDirty(n int, sink *int) {
+	helper.Each(n, func(i int) {
+		tmp := make([]int, i) // seed:alloc-callback
+		*sink += len(tmp)
+	})
+}
+
+// idle carries a hotpath annotation nothing reaches — the stale case
+// the whole-program graph must report.
+//
+//nestedlint:hotpath
+func idle() int { return 0 } // seed:stale

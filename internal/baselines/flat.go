@@ -33,6 +33,8 @@ type FlatNested struct {
 
 // WalkBatch implements core.Walker via the generic single-stage
 // batcher (the baselines emit no trace events).
+//
+//nestedlint:hotpath
 func (w *FlatNested) WalkBatch(now uint64, gvas []addr.GVA, out []core.WalkResult, errs []error) uint64 {
 	return core.SequentialWalkBatch(w, &w.BatchState, nil, trace.WalkerNone, now, gvas, out, errs)
 }

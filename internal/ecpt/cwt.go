@@ -118,10 +118,23 @@ func (c *CWT[P]) page(key uint64, create bool) *cwtPage[P] {
 		if !create {
 			return nil
 		}
-		pg = &cwtPage[P]{base: c.alloc.MustAlloc(addr.Page4K, memsim.PurposeCWT)}
-		c.pages[idx] = pg
+		pg = c.createPage(idx)
 	}
 	c.lastIdx, c.lastPage = idx, pg
+	return pg
+}
+
+// createPage builds a missing backing page and allocates its frame —
+// the same first-touch allocation point the per-entry layout had, so
+// allocator streams are unchanged. Outlined from page so the hot query
+// path carries no allocation.
+//
+//nestedlint:coldpath first-touch page construction happens on insert (create=true); the walk query path passes create=false
+//
+//go:noinline
+func (c *CWT[P]) createPage(idx uint64) *cwtPage[P] {
+	pg := &cwtPage[P]{base: c.alloc.MustAlloc(addr.Page4K, memsim.PurposeCWT)}
+	c.pages[idx] = pg
 	return pg
 }
 
@@ -154,6 +167,8 @@ func (c *CWT[P]) entry(key uint64, create bool) *cwtEntry {
 // space) of the entry with the given key, allocating backing storage
 // on first touch. Writer-side in concurrent mode (first touch
 // mutates); lock-free readers go through RefillPA.
+//
+//nestedlint:coldpath first-touch allocation point; steady-state refills resolve entries that already exist (RefillPA reads the PA off the page)
 func (c *CWT[P]) EntryPA(key uint64) P {
 	c.entry(key, true)
 	if c.dom != nil {

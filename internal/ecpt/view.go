@@ -246,6 +246,8 @@ func (c *CWT[P]) publish() {
 // mutableEntry is the concurrent-mode counterpart of entry: it
 // privatizes the page map (if a snapshot shares it) and clones sealed
 // pages before handing out a writable entry pointer.
+//
+//nestedlint:coldpath writer-side copy-on-write; concurrent-mode walks read the published snapshot (QueryInto's pub.Load path), never this
 func (c *CWT[P]) mutableEntry(key uint64, create bool) *cwtEntry {
 	idx := key / entriesPerPage
 	pg, ok := c.pages[idx]
@@ -291,6 +293,7 @@ func (c *CWT[P]) privatizeMap() {
 		return
 	}
 	np := make(map[uint64]*cwtPage[P], len(c.pages)+1)
+	//nestedlint:ignore detrange: copying a map into a map is insertion-order-insensitive; no iteration order leaks into output
 	for k, v := range c.pages {
 		np[k] = v
 	}

@@ -255,6 +255,19 @@ func (d *Distribution) Observe(name string) {
 		d.hot++
 		return
 	}
+	d.observeOverflow(name)
+}
+
+// observeOverflow spills a category beyond the fixed hot slots into
+// the overflow map. Outlined (and kept out of line) so the map
+// machinery stays off walkers' inlined Observe fast path: the walker
+// class distributions fit the hot slots, so steady-state walks never
+// come here.
+//
+//nestedlint:coldpath walker category sets fit the fixed hot slots; the overflow map serves only pathological name cardinalities
+//
+//go:noinline
+func (d *Distribution) observeOverflow(name string) {
 	if d.overflow == nil {
 		d.overflow = make(map[string]uint64)
 	}
