@@ -189,10 +189,18 @@ type Table[P addr.Addr] struct {
 	// dead generations (nil = sequential mode, the bit-identical
 	// original paths); pub holds the latest published snapshot; and
 	// deferred collects the region-free callbacks of generations that
-	// died since the last Publish.
+	// died since the last Publish. dirty tracks whether any mutation
+	// landed since the last publish — a clean Publish skips the seal
+	// and view swap entirely (per-table publish batching), so a set
+	// publish only republishes the tables the mutation round touched.
+	// pubGen counts the publishes that actually swapped the view; it is
+	// stamped into each view and reported in KindGenPublish's Aux2,
+	// which is what the serve-mode audit keys its staleness windows on.
 	dom      *EpochDomain
 	pub      atomic.Pointer[tableView[P]]
 	deferred []func()
+	dirty    bool
+	pubGen   uint64
 }
 
 // SetRecorder attaches a trace recorder to the table's structural
@@ -302,6 +310,7 @@ func (t *Table[P]) findLine(tag uint64) (g *generation[P], w, idx int, ok bool) 
 // given frame base. Inserting an existing vpn updates its frame.
 func (t *Table[P]) Insert(vpn uint64, frame P) {
 	t.stats.Inserts++
+	t.dirty = true
 	tag, slot := lineTag(vpn), lineSlot(vpn)
 	if t.cwt != nil {
 		t.cwt.SetPresent(vpn)
@@ -400,6 +409,7 @@ func (t *Table[P]) Remove(vpn uint64) bool {
 	ln.frames[slot] = 0
 	t.entries--
 	t.stats.Removes++
+	t.dirty = true
 	if t.cwt != nil {
 		t.cwt.ClearPresent(vpn)
 	}

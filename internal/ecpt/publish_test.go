@@ -1,0 +1,129 @@
+package ecpt
+
+import (
+	"testing"
+
+	"nestedecpt/internal/memsim"
+)
+
+// These tests pin the per-table publish contract the sharded serve
+// engine depends on (DESIGN.md §10): a clean table's Publish is a
+// no-op for readers (no reseal, no view swap, no epoch advance) but
+// still drains the domain's limbo, and every publish that does swap
+// the view stamps a monotone generation number into it.
+
+// TestCleanPublishIsNoOp proves the per-table batching: publishing a
+// table with no staged mutation leaves the readers' view, the publish
+// generation, and the epoch untouched.
+func TestCleanPublishIsNoOp(t *testing.T) {
+	for _, withCWT := range []bool{false, true} {
+		tb, _, dom := newConcurrentTable(t, 64, withCWT)
+
+		tb.Insert(100, 0xAA000)
+		tb.Publish()
+		gen, epoch, view := tb.PublishedGen(), dom.Epoch(), tb.pub.Load()
+
+		tb.Publish() // nothing staged
+		if tb.pub.Load() != view {
+			t.Fatalf("cwt=%v: clean publish swapped the view", withCWT)
+		}
+		if got := tb.PublishedGen(); got != gen {
+			t.Fatalf("cwt=%v: clean publish bumped gen %d -> %d", withCWT, gen, got)
+		}
+		if got := dom.Epoch(); got != epoch {
+			t.Fatalf("cwt=%v: clean publish advanced epoch %d -> %d", withCWT, epoch, got)
+		}
+
+		// A real mutation republishes: new view, gen+1, epoch advanced.
+		tb.Insert(101, 0xBB000)
+		tb.Publish()
+		if tb.pub.Load() == view {
+			t.Fatalf("cwt=%v: dirty publish did not swap the view", withCWT)
+		}
+		if got := tb.PublishedGen(); got != gen+1 {
+			t.Fatalf("cwt=%v: dirty publish gen = %d, want %d", withCWT, got, gen+1)
+		}
+		if got := dom.Epoch(); got != epoch+1 {
+			t.Fatalf("cwt=%v: dirty publish epoch = %d, want %d", withCWT, got, epoch+1)
+		}
+	}
+}
+
+// TestFailedRemoveKeepsTableClean checks that a Remove which mutates
+// nothing (missing vpn) does not dirty the table.
+func TestFailedRemoveKeepsTableClean(t *testing.T) {
+	tb, _, _ := newConcurrentTable(t, 64, false)
+	tb.Insert(100, 0xAA000)
+	tb.Publish()
+	view := tb.pub.Load()
+
+	if tb.Remove(999) {
+		t.Fatal("Remove of a missing vpn reported success")
+	}
+	tb.Publish()
+	if tb.pub.Load() != view {
+		t.Fatal("no-op Remove dirtied the table: clean publish swapped the view")
+	}
+
+	if !tb.Remove(100) {
+		t.Fatal("Remove of a live vpn failed")
+	}
+	tb.Publish()
+	if tb.pub.Load() == view {
+		t.Fatal("successful Remove did not republish")
+	}
+}
+
+// TestViewGenStamping proves the generation stamped into each view is
+// the table's publish counter, strictly increasing across swaps.
+func TestViewGenStamping(t *testing.T) {
+	tb, _, _ := newConcurrentTable(t, 64, false)
+	if got := tb.pub.Load().gen; got != tb.PublishedGen() {
+		t.Fatalf("initial view gen %d != PublishedGen %d", got, tb.PublishedGen())
+	}
+	last := tb.pub.Load().gen
+	for i := uint64(0); i < 5; i++ {
+		tb.Insert(200+i*8, 0x1000*(i+1))
+		tb.Publish()
+		v := tb.pub.Load()
+		if v.gen != last+1 {
+			t.Fatalf("publish %d: view gen %d, want %d", i, v.gen, last+1)
+		}
+		if v.gen != tb.PublishedGen() {
+			t.Fatalf("publish %d: view gen %d != PublishedGen %d", i, v.gen, tb.PublishedGen())
+		}
+		last = v.gen
+	}
+}
+
+// TestCleanPublishStillCollects proves the clean fast path drains the
+// limbo: retirements owed by an earlier (dirty) publish must be freed
+// by the next Publish after readers quiesce, even if that Publish has
+// nothing of its own to publish.
+func TestCleanPublishStillCollects(t *testing.T) {
+	tb, alloc, dom := newConcurrentTable(t, 64, false)
+
+	rd := dom.NewReader()
+	rd.Enter() // pin the pre-resize epoch
+
+	vpn, frame := uint64(0), uint64(0x1000)
+	for resizes := tb.Stats().Resizes; tb.Stats().Resizes == resizes || tb.Resizing(); {
+		tb.Insert(vpn*8, frame)
+		vpn++
+		frame += 0x1000
+	}
+	held := alloc.Used(memsim.PurposePageTable)
+	tb.Publish() // retires the dead generation; reader blocks the free
+	if dom.Pending() == 0 {
+		t.Fatal("dead generation collected while a reader was pinned")
+	}
+
+	rd.Exit()
+	tb.Publish() // clean: must not swap, but must still collect
+	if dom.Pending() != 0 {
+		t.Fatalf("Pending = %d after clean publish with no readers, want 0", dom.Pending())
+	}
+	if got := alloc.Used(memsim.PurposePageTable); got >= held {
+		t.Fatalf("old generation's region not returned: %d -> %d", held, got)
+	}
+}

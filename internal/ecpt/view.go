@@ -45,6 +45,10 @@ type tableView[P addr.Addr] struct {
 	// migratePtr is the writer's migration frontier at publish time
 	// (copied: the writer keeps mutating its own).
 	migratePtr []int
+	// gen is the table's publish-generation counter at the instant this
+	// view was swapped in (Table.pubGen). Monotone across views of one
+	// table; the serve-mode audit proves translations against it.
+	gen uint64
 }
 
 // EnterConcurrent switches the table into concurrent mode: reads are
@@ -70,9 +74,23 @@ func (t *Table[P]) Concurrent() bool { return t.dom != nil }
 // the epoch, and retires the backing regions of generations that died
 // since the last publish. No-op in sequential mode.
 //
+// Publishing is per-table: a table with no mutation since its last
+// publish skips the seal and swap (its published view is already
+// current), so a set-wide Publish republishes only the tables a churn
+// round touched — the torn-walk window between tables of one set
+// shrinks to the publishes that actually changed something. The clean
+// path still drains the epoch domain's limbo: retirements owed by
+// other tables (or earlier publishes) must not wait for this table to
+// get dirty again.
+//
 //nestedlint:writer the COW constructor sealing and swapping the view
 func (t *Table[P]) Publish() {
 	if t.dom == nil {
+		return
+	}
+	if t.pub.Load() != nil && !t.dirty && len(t.deferred) == 0 &&
+		(t.cwt == nil || !t.cwt.dirty) {
+		t.dom.Collect()
 		return
 	}
 	if t.cwt != nil {
@@ -80,16 +98,18 @@ func (t *Table[P]) Publish() {
 	}
 	t.seal(t.cur)
 	t.seal(t.old)
-	v := &tableView[P]{cur: t.cur, old: t.old}
+	t.pubGen++
+	v := &tableView[P]{cur: t.cur, old: t.old, gen: t.pubGen}
 	if t.migratePtr != nil {
 		v.migratePtr = append([]int(nil), t.migratePtr...)
 	}
 	t.pub.Store(v)
+	t.dirty = false
 	epoch := t.dom.Advance()
 	if t.rec != nil {
 		t.rec.Emit(trace.Event{
 			Kind: trace.KindGenPublish, Space: t.traceSpace(), Size: t.size,
-			Way: trace.WayNone, Aux: epoch,
+			Way: trace.WayNone, Aux: epoch, Aux2: t.pubGen,
 		})
 	}
 	for _, free := range t.deferred {
@@ -98,6 +118,11 @@ func (t *Table[P]) Publish() {
 	t.deferred = t.deferred[:0]
 	t.dom.Collect()
 }
+
+// PublishedGen returns the table's publish-generation counter: how
+// many Publish calls actually swapped the readers' view. Writer-side
+// (reads the writer's own counter); zero before EnterConcurrent.
+func (t *Table[P]) PublishedGen() uint64 { return t.pubGen }
 
 // seal freezes g against in-place mutation: the next write clones it.
 func (t *Table[P]) seal(g *generation[P]) {

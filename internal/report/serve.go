@@ -14,8 +14,8 @@ import (
 // pure function of the Summary (slices are walked in index order, no
 // wall-clock reads), so a deterministic run renders byte-identically.
 func RenderServe(w io.Writer, s *serve.Summary) {
-	fmt.Fprintf(w, "nestedserve       %d VMs x %s (scale 1/%d), %d workers\n",
-		s.VMs, s.Workload, s.Scale, s.Workers)
+	fmt.Fprintf(w, "nestedserve       %d VMs x %s (scale 1/%d), %d workers, %d churn shards\n",
+		s.VMs, s.Workload, s.Scale, s.Workers, s.Shards)
 	fmt.Fprintf(w, "throughput        %.0f translations/sec (%d ops in %v)\n",
 		s.TranslationsPerSec, s.TotalOps, s.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "fairness          %.4f (Jain's index over per-VM ops)\n", s.Fairness)
@@ -28,6 +28,10 @@ func RenderServe(w io.Writer, s *serve.Summary) {
 	}
 	fmt.Fprintf(w, "generation churn  %d publishes, %d page ops, %d torn-walk retries\n",
 		s.Publishes, s.ChurnOps, s.Retries)
+	if s.ChurnProbes > 0 {
+		fmt.Fprintf(w, "churn probes      %d walked, %d translated, %d faulted on unmapped pages\n",
+			s.ChurnProbes, s.ChurnProbeHits, s.ChurnProbes-s.ChurnProbeHits)
+	}
 	fmt.Fprintf(w, "reclamation       %d generations pending after final collect\n", s.PendingReclaims)
 }
 

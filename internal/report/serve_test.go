@@ -16,6 +16,7 @@ func TestRenderServe(t *testing.T) {
 		VMs:                48,
 		Workers:            8,
 		Scale:              1024,
+		Shards:             4,
 		Elapsed:            2 * time.Second,
 		TotalOps:           2_400_000,
 		TranslationsPerSec: 1_200_000,
@@ -28,6 +29,8 @@ func TestRenderServe(t *testing.T) {
 		Retries:            3,
 		Publishes:          920,
 		ChurnOps:           14_720,
+		ChurnProbes:        600,
+		ChurnProbeHits:     410,
 		PendingReclaims:    0,
 	}
 	var a, b strings.Builder
@@ -38,12 +41,13 @@ func TestRenderServe(t *testing.T) {
 	}
 	out := a.String()
 	for _, want := range []string{
-		"48 VMs x GUPS (scale 1/1024), 8 workers",
+		"48 VMs x GUPS (scale 1/1024), 8 workers, 4 churn shards",
 		"1200000 translations/sec",
 		"0.9999",
 		"p50=140 p95=320 p99=480",
 		"min=49999 max=50001 over 3 VMs",
 		"920 publishes, 14720 page ops, 3 torn-walk retries",
+		"600 walked, 410 translated, 190 faulted",
 		"0 generations pending",
 	} {
 		if !strings.Contains(out, want) {
@@ -58,7 +62,8 @@ func TestRenderServeEmpty(t *testing.T) {
 	var sb strings.Builder
 	RenderServe(&sb, &serve.Summary{Workload: "GUPS", Scale: 1024})
 	out := sb.String()
-	if strings.Contains(out, "walk latency") || strings.Contains(out, "min=") {
+	if strings.Contains(out, "walk latency") || strings.Contains(out, "min=") ||
+		strings.Contains(out, "churn probes") {
 		t.Errorf("empty summary rendered data lines:\n%s", out)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,47 +18,92 @@ import (
 	"nestedecpt/internal/runner"
 	"nestedecpt/internal/sim"
 	"nestedecpt/internal/stats"
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/vhash"
 	"nestedecpt/internal/workload"
 )
 
 // Churn-VMA layout: every guest gets one churn-private area above all
 // workload VMAs (the generators' bases top out at 0x6800_...). The
-// mutator demand-maps fresh pages through it and unmaps old ones,
+// mutators demand-map fresh pages through it and unmap old ones,
 // driving cuckoo inserts, removes, and elastic resizes while the
 // workers translate workload addresses — which are never unmapped, so
-// a snapshot can only ever be stale about churn pages no walker asks
-// about.
-const (
-	churnBase addr.GVA = 0x7000_0000_0000
-	// churnWindowPages bounds the live churn pages per guest; beyond
-	// it the mutator unmaps the oldest page per fresh touch.
-	churnWindowPages = 2048
-	// churnSpanPages is the VA span churn cycles through before
-	// wrapping (pages past the window are unmapped by then).
-	churnSpanPages = 8192
-)
+// a snapshot can only ever be stale about churn pages. The churn-probe
+// lane (Config.ProbeEvery) deliberately walks those pages to give the
+// serve-mode audit its staleness witnesses.
+const churnBase addr.GVA = 0x7000_0000_0000
 
 // engine is one fully-built service instance.
+//
+// Writer topology (DESIGN.md §10): each guest's table set has its own
+// epoch domain and exactly one mutating shard (vm % Shards); the
+// shared host set has its own domain and one dedicated host-writer
+// goroutine the shards funnel mapping requests through. Workers hold
+// one epoch reader per domain and pin the guest's and the host's epoch
+// around every walk.
 type engine struct {
-	cfg    Config
-	simCfg sim.Config // normalized single-VM sizing, reused per guest
-	hyp    *hypervisor.Hypervisor
-	kerns  []*kernel.Kernel
-	dom    *ecpt.EpochDomain
+	cfg     Config
+	simCfg  sim.Config // normalized single-VM sizing, reused per guest
+	hyp     *hypervisor.Hypervisor
+	kerns   []*kernel.Kernel
+	hostDom *ecpt.EpochDomain
+	vmDoms  []*ecpt.EpochDomain
+
+	shards int
+	window uint64 // live churn pages per guest
+	span   uint64 // churn VA span in pages
 
 	// metaFloor tracks each guest's metadata-region low-water mark:
 	// gPAs below it are not yet host-mapped, and the churn round that
 	// grows metadata past it pre-maps the new span before publishing.
+	// Owned by the guest's shard after build.
 	metaFloor []addr.GPA
 
-	// churn state, owned by the single mutator goroutine.
+	// churn state, owned by each guest's shard.
 	churnNext []uint64 // next page index to touch, per VM
 	churnLive []uint64 // live churn pages, per VM
+
+	// vmGen counts each guest's publishes; the owning shard increments
+	// it after the guest set's Publish, and readers load it when
+	// pinning and unpinning an epoch — the generation window the
+	// serve-mode audit judges every traced translation against.
+	vmGen []atomic.Uint64
+	// churnHead is each guest's reader-visible churn frontier (the
+	// page index below which churn pages have been published at least
+	// once); the probe lane picks targets under it.
+	churnHead []atomic.Uint64
+
+	// rec receives the serve-lane trace events; nil disables them.
+	rec *trace.Recorder
+
+	// hostReq funnels the shards' host-mapping requests to the host
+	// writer. In replay mode (syncHost) requests apply inline instead —
+	// the whole schedule runs on one goroutine.
+	hostReq  chan *hostRequest
+	syncHost bool
 
 	stop      atomic.Bool
 	publishes atomic.Uint64
 	churnOps  atomic.Uint64
-	churnErr  error
+	shardErrs []error
+}
+
+// hostRequest is one churn round's host-side work: map the round's
+// fresh guest-physical data pages (answering with their host frames)
+// and any metadata-region growth, then publish the host set.
+type hostRequest struct {
+	data   []addr.GPA // fresh data pages to host-map
+	hpas   []addr.HPA // reply: host frame per data page
+	metaLo addr.GPA   // metadata growth [metaLo, metaHi)
+	metaHi addr.GPA
+	done   chan error
+}
+
+// churnOp is one map/unmap of a churn round in program order; data
+// indexes the round's hostRequest.data for maps and is -1 for unmaps.
+type churnOp struct {
+	va   addr.GVA
+	data int
 }
 
 // Run builds the service for cfg and drives it to completion.
@@ -109,10 +155,18 @@ func build(cfg Config) (*engine, error) {
 		simCfg:    simCfg,
 		hyp:       hyp,
 		kerns:     make([]*kernel.Kernel, cfg.VMs),
-		dom:       &ecpt.EpochDomain{},
+		hostDom:   &ecpt.EpochDomain{},
+		vmDoms:    make([]*ecpt.EpochDomain, cfg.VMs),
+		shards:    cfg.Shards,
+		window:    uint64(cfg.ChurnWindowPages),
+		span:      uint64(cfg.ChurnSpanPages),
 		metaFloor: make([]addr.GPA, cfg.VMs),
 		churnNext: make([]uint64, cfg.VMs),
 		churnLive: make([]uint64, cfg.VMs),
+		vmGen:     make([]atomic.Uint64, cfg.VMs),
+		churnHead: make([]atomic.Uint64, cfg.VMs),
+		rec:       cfg.Trace,
+		shardErrs: make([]error, cfg.Shards),
 	}
 	for i := 0; i < cfg.VMs; i++ {
 		kcfg := kernel.Config{
@@ -131,8 +185,9 @@ func build(cfg Config) (*engine, error) {
 		for _, v := range probe.VMAs() {
 			k.DefineVMA(v)
 		}
-		k.DefineVMA(kernel.VMA{Base: churnBase, Size: churnSpanPages * addr.Page4K.Bytes()})
+		k.DefineVMA(kernel.VMA{Base: churnBase, Size: e.span * addr.Page4K.Bytes()})
 		e.kerns[i] = k
+		e.vmDoms[i] = &ecpt.EpochDomain{}
 	}
 
 	if err := e.prepopulate(probe.VMAs()); err != nil {
@@ -143,9 +198,9 @@ func build(cfg Config) (*engine, error) {
 	// published guest snapshot may reference guest-physical table and
 	// CWT addresses, and those must already be translatable through
 	// the published host snapshot.
-	e.hyp.ECPTs().EnterConcurrent(e.dom)
-	for _, k := range e.kerns {
-		k.ECPTs().EnterConcurrent(e.dom)
+	e.hyp.ECPTs().EnterConcurrent(e.hostDom)
+	for i, k := range e.kerns {
+		k.ECPTs().EnterConcurrent(e.vmDoms[i])
 	}
 	return e, nil
 }
@@ -178,48 +233,58 @@ func (e *engine) prepopulate(vmas []kernel.VMA) error {
 				va = addr.Add(base, size.Bytes())
 			}
 		}
-		if err := e.syncMetadata(i); err != nil {
-			return err
+		lo, hi := e.metaSpan(i)
+		for pa := lo; pa < hi; pa = addr.Add(pa, addr.Page4K.Bytes()) {
+			if _, err := e.hyp.EnsureMapped(pa, true); err != nil {
+				return fmt.Errorf("serve: vm %d metadata map %#x: %w", i, pa, err)
+			}
 		}
 	}
 	return nil
 }
 
-// syncMetadata host-maps guest vm's metadata region growth: every
-// page-table or CWT frame the guest allocated since the last sync.
-// Walkers fetch guest table lines and gCWT entries by guest-physical
-// address, so the whole region must be translatable before a snapshot
-// referencing it is published. Metadata is 4KB-backed in the host
-// (§4.3).
-func (e *engine) syncMetadata(vm int) error {
+// metaSpan returns guest vm's metadata-region growth since the last
+// call: the span of page-table/CWT frames the guest allocated that the
+// host has not mapped yet. Walkers fetch guest table lines and gCWT
+// entries by guest-physical address, so the span must be host-mapped
+// before a snapshot referencing it is published. Owned by vm's shard
+// after build.
+func (e *engine) metaSpan(vm int) (lo, hi addr.GPA) {
 	floor, top := e.kerns[vm].Allocator().MetaRegion()
 	prev := e.metaFloor[vm]
 	if prev == 0 {
 		prev = top
 	}
-	for pa := floor; pa < prev; pa = addr.Add(pa, addr.Page4K.Bytes()) {
-		if _, err := e.hyp.EnsureMapped(pa, true); err != nil {
-			return fmt.Errorf("serve: vm %d metadata map %#x: %w", vm, pa, err)
-		}
-	}
 	e.metaFloor[vm] = floor
-	return nil
+	if floor >= prev {
+		return 0, 0
+	}
+	return floor, prev
 }
 
-// run starts the churn mutator and the worker pool, then aggregates
-// the workers' measurements. The final Publish happens after every
-// worker has returned, when this goroutine is the sole owner again.
+// run starts the host writer, the churn shards, and the worker pool,
+// then aggregates the workers' measurements. The final Publish happens
+// after every worker has returned, when this goroutine is the sole
+// owner again.
 //
 //nestedlint:writer owns the tables before workers start and after they stop
 func (e *engine) run(ctx context.Context) (*Summary, error) {
-	churnDone := make(chan struct{})
+	e.hostReq = make(chan *hostRequest)
+	hostDone := make(chan struct{})
+	go func() {
+		defer close(hostDone)
+		e.hostWriter()
+	}()
+
+	var shardWG sync.WaitGroup
 	if e.cfg.ChurnPagesPerRound > 0 {
-		go func() {
-			defer close(churnDone)
-			e.churnLoop()
-		}()
-	} else {
-		close(churnDone)
+		for s := 0; s < e.shards; s++ {
+			shardWG.Add(1)
+			go func(s int) {
+				defer shardWG.Done()
+				e.shardLoop(s)
+			}(s)
+		}
 	}
 
 	if e.cfg.OpsPerWorker == 0 {
@@ -244,15 +309,19 @@ func (e *engine) run(ctx context.Context) (*Summary, error) {
 	results := runner.Run(ctx, tasks, runner.Options{Parallelism: n})
 	elapsed := time.Since(start)
 
-	// Workers are done: stop the mutator and wait for it, making this
-	// goroutine the sole owner of every table again.
+	// Workers are done: stop the shards and the host writer, making
+	// this goroutine the sole owner of every table again.
 	e.stop.Store(true)
-	<-churnDone
+	shardWG.Wait()
+	close(e.hostReq)
+	<-hostDone
 	if err := runner.FirstError(results); err != nil {
 		return nil, err
 	}
-	if e.churnErr != nil {
-		return nil, e.churnErr
+	for _, err := range e.shardErrs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Final publish + collect: with every reader idle, all retired
@@ -265,77 +334,166 @@ func (e *engine) run(ctx context.Context) (*Summary, error) {
 	return e.summarize(results, elapsed), nil
 }
 
-// churnLoop is the single writer: each round it demand-maps fresh
-// churn pages (and unmaps old ones) in every guest, host-maps whatever
-// the mutations made reachable, and publishes — host snapshot first,
-// then the guests that reference it.
+// hostWriter is the host set's single mutator: it serves the shards'
+// mapping requests in arrival order and publishes after each. It keeps
+// draining after an error (the shard that sent the failing request
+// exits; the others must not deadlock on an abandoned channel).
 //
-//nestedlint:writer the one mutating goroutine of DESIGN.md §10
-func (e *engine) churnLoop() {
-	touched := make([]addr.GVA, 0, e.cfg.ChurnPagesPerRound)
+//nestedlint:writer the sole mutating goroutine of the host table set
+func (e *engine) hostWriter() {
+	for req := range e.hostReq {
+		req.done <- e.hostApply(req)
+	}
+}
+
+// hostApply performs one request's host-side mappings and publish.
+//
+//nestedlint:writer the host half of a churn round; called only from the host writer (or inline in single-goroutine replay)
+func (e *engine) hostApply(req *hostRequest) error {
+	for i, gpa := range req.data {
+		if _, err := e.hyp.EnsureMapped(gpa, false); err != nil {
+			return fmt.Errorf("serve: host map %#x: %w", gpa, err)
+		}
+		hpa, _, ok := e.hyp.Translate(gpa)
+		if !ok {
+			return fmt.Errorf("serve: host translate %#x after map", gpa)
+		}
+		req.hpas[i] = hpa
+	}
+	for pa := req.metaLo; pa < req.metaHi; pa = addr.Add(pa, addr.Page4K.Bytes()) {
+		if _, err := e.hyp.EnsureMapped(pa, true); err != nil {
+			return fmt.Errorf("serve: host metadata map %#x: %w", pa, err)
+		}
+	}
+	// The host snapshot must cover every guest-physical address the
+	// requesting shard's next guest snapshot references — publish
+	// before replying.
+	e.hyp.ECPTs().Publish()
+	return nil
+}
+
+// applyHost routes one host request: through the host-writer channel
+// in live mode, inline in single-goroutine replay mode.
+//
+//nestedlint:writer replay's inline path mutates the host set on the scheduler goroutine, which owns every table
+func (e *engine) applyHost(req *hostRequest) error {
+	if e.syncHost {
+		return e.hostApply(req)
+	}
+	e.hostReq <- req
+	return <-req.done
+}
+
+// shardLoop is one churn mutator: it owns the guests with vm % shards
+// == s and runs churn rounds over them until stopped.
+//
+//nestedlint:writer the one mutating goroutine of its guests' table sets
+func (e *engine) shardLoop(s int) {
 	for !e.stop.Load() {
-		for vm, k := range e.kerns {
-			touched = touched[:0]
-			for n := 0; n < e.cfg.ChurnPagesPerRound; n++ {
-				if e.churnLive[vm] >= churnWindowPages {
-					oldest := e.churnNext[vm] - e.churnLive[vm]
-					k.Unmap(addr.Add(churnBase, (oldest%churnSpanPages)*addr.Page4K.Bytes()))
-					e.churnLive[vm]--
-				}
-				va := addr.Add(churnBase, (e.churnNext[vm]%churnSpanPages)*addr.Page4K.Bytes())
-				if _, _, err := k.Touch(va); err != nil {
-					e.churnErr = fmt.Errorf("serve: churn vm %d touch %#x: %w", vm, va, err)
-					return
-				}
-				e.churnNext[vm]++
-				e.churnLive[vm]++
-				touched = append(touched, va)
-			}
-			// Host-map the new data pages and any metadata the inserts
-			// or resizes allocated, before any snapshot can refer to
-			// them.
-			for _, va := range touched {
-				gpa, _, ok := k.Translate(va)
-				if !ok {
-					e.churnErr = fmt.Errorf("serve: churn vm %d translate %#x", vm, va)
-					return
-				}
-				if _, err := e.hyp.EnsureMapped(gpa, false); err != nil {
-					e.churnErr = fmt.Errorf("serve: churn vm %d: %w", vm, err)
-					return
-				}
-			}
-			if err := e.syncMetadata(vm); err != nil {
-				e.churnErr = err
+		for vm := s; vm < len(e.kerns); vm += e.shards {
+			if err := e.churnRound(s, vm); err != nil {
+				e.shardErrs[s] = err
 				return
 			}
 		}
-		// Publish order matters: the host snapshot must cover every
-		// guest-physical address the fresh guest snapshots reference.
-		e.hyp.ECPTs().Publish()
-		for _, k := range e.kerns {
-			k.ECPTs().Publish()
-		}
-		e.publishes.Add(1)
-		e.churnOps.Add(uint64(e.cfg.ChurnPagesPerRound * len(e.kerns)))
 		time.Sleep(e.cfg.ChurnInterval)
 	}
 }
 
+// churnRound runs one guest's churn round: demand-map fresh churn
+// pages (unmapping old ones past the window), host-map whatever the
+// mutations made reachable, publish — host snapshot first, then the
+// guest that references it — and finally stamp the round's generation
+// and emit its publish events.
+//
+//nestedlint:writer runs on vm's owning shard (or the replay scheduler), the set's single mutator
+func (e *engine) churnRound(shard, vm int) error {
+	k := e.kerns[vm]
+	pageBytes := addr.Page4K.Bytes()
+	ops := make([]churnOp, 0, 2*e.cfg.ChurnPagesPerRound)
+	req := &hostRequest{done: make(chan error, 1)}
+	for n := 0; n < e.cfg.ChurnPagesPerRound; n++ {
+		if e.churnLive[vm] >= e.window {
+			oldest := e.churnNext[vm] - e.churnLive[vm]
+			va := addr.Add(churnBase, (oldest%e.span)*pageBytes)
+			k.Unmap(va)
+			e.churnLive[vm]--
+			ops = append(ops, churnOp{va: va, data: -1})
+		}
+		va := addr.Add(churnBase, (e.churnNext[vm]%e.span)*pageBytes)
+		if _, _, err := k.Touch(va); err != nil {
+			return fmt.Errorf("serve: churn vm %d touch %#x: %w", vm, va, err)
+		}
+		e.churnNext[vm]++
+		e.churnLive[vm]++
+		// Resolve the gPA right away: a tight replay window can unmap
+		// this same address later in the round.
+		gpa, _, ok := k.Translate(va)
+		if !ok {
+			return fmt.Errorf("serve: churn vm %d translate %#x", vm, va)
+		}
+		ops = append(ops, churnOp{va: va, data: len(req.data)})
+		req.data = append(req.data, gpa)
+	}
+	req.hpas = make([]addr.HPA, len(req.data))
+	req.metaLo, req.metaHi = e.metaSpan(vm)
+	if err := e.applyHost(req); err != nil {
+		return err
+	}
+	// The host snapshot now covers everything the guest snapshot below
+	// references; publish the guest and stamp the round's generation.
+	k.ECPTs().Publish()
+	gen := e.vmGen[vm].Add(1)
+	e.churnHead[vm].Store(e.churnNext[vm])
+	e.publishes.Add(1)
+	e.churnOps.Add(uint64(len(ops)))
+	if e.rec != nil {
+		id := trace.PackIDs(uint32(shard), uint32(vm))
+		for _, op := range ops {
+			ev := trace.Event{
+				Space: trace.SpaceGuest, Size: addr.Page4K,
+				Way: trace.WayNone, GVA: op.va, Aux: gen, Aux2: id,
+			}
+			if op.data >= 0 {
+				ev.Kind = trace.KindMapPublish
+				ev.GPA = req.data[op.data]
+				ev.HPA = req.hpas[op.data]
+				ev.Flag = true
+			} else {
+				ev.Kind = trace.KindUnmapPublish
+			}
+			e.rec.Emit(ev)
+		}
+	}
+	return nil
+}
+
 // workerResult is one worker's measurements.
 type workerResult struct {
-	ops     []uint64 // per VM
-	retries uint64
-	latency *stats.Histogram
+	ops       []uint64 // per VM
+	retries   uint64
+	probes    uint64
+	probeHits uint64
+	latency   *stats.Histogram
 }
 
 // worker translates round-robin across every VM until the stop
-// condition: its own epoch reader brackets each walk, its own cache
-// hierarchy and per-VM walkers keep all mutable state private, so the
-// only shared reads are the published table snapshots.
+// condition: its own epoch readers (one per guest domain plus the
+// host's) bracket each walk, its own cache hierarchy and per-VM
+// walkers keep all mutable state private, so the only shared reads are
+// the published table snapshots.
 func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
-	rd := e.dom.NewReader()
-	defer rd.Close()
+	rdHost := e.hostDom.NewReader()
+	defer rdHost.Close()
+	rds := make([]*ecpt.EpochReader, len(e.kerns))
+	for vm := range e.kerns {
+		rds[vm] = e.vmDoms[vm].NewReader()
+	}
+	defer func() {
+		for _, rd := range rds {
+			rd.Close()
+		}
+	}()
 	mem := cachesim.NewHierarchy(e.simCfg.Hierarchy)
 	walkers := make([]*core.NestedECPT, len(e.kerns))
 	gens := make([]workload.Generator, len(e.kerns))
@@ -349,6 +507,7 @@ func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
 		}
 		gens[vm] = g
 	}
+	probeRNG := vhash.NewRNG(runner.Seed(e.cfg.Seed, fmt.Sprintf("serve/probe/w%d", id)))
 
 	res := &workerResult{
 		ops:     make([]uint64, len(e.kerns)),
@@ -359,9 +518,19 @@ func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
 	for {
 		for vm := range walkers {
 			va := gens[vm].Next().VA
-			rd.Enter()
-			wres, err := e.walkRetry(walkers[vm], rd, now, va, &res.retries)
-			rd.Exit()
+			sampled := e.rec != nil && e.cfg.TraceSample > 0 &&
+				total%uint64(e.cfg.TraceSample) == 0
+			rds[vm].Enter()
+			rdHost.Enter()
+			if sampled {
+				e.emitTranslateBegin(id, vm, va)
+			}
+			wres, err := e.walkRetry(walkers[vm], rds[vm], rdHost, now, va, &res.retries)
+			if sampled {
+				e.emitTranslateEnd(id, vm, va, &wres, err == nil)
+			}
+			rdHost.Exit()
+			rds[vm].Exit()
 			if err != nil {
 				return nil, fmt.Errorf("serve: worker %d vm %d: %w", id, vm, err)
 			}
@@ -369,6 +538,11 @@ func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
 			now += wres.Latency + 1
 			res.ops[vm]++
 			total++
+			if e.cfg.ProbeEvery > 0 && total%uint64(e.cfg.ProbeEvery) == 0 {
+				if err := e.churnProbe(walkers[vm], rds[vm], rdHost, id, vm, now, probeRNG, res); err != nil {
+					return nil, fmt.Errorf("serve: worker %d vm %d probe: %w", id, vm, err)
+				}
+			}
 		}
 		if e.cfg.OpsPerWorker > 0 {
 			if total >= e.cfg.OpsPerWorker {
@@ -383,13 +557,87 @@ func (e *engine) worker(ctx context.Context, id int) (*workerResult, error) {
 	}
 }
 
+// churnProbe walks one recently-churned address without retries. Churn
+// pages are the only pages a publish can take away, so these walks are
+// the staleness witnesses the serve-mode audit replays: a fault is an
+// expected outcome (the page was unmapped), and what the audit proves
+// is that a success never contradicts the generation window the reader
+// pinned.
+func (e *engine) churnProbe(w *core.NestedECPT, rdG, rdHost *ecpt.EpochReader, id, vm int, now uint64, rng *vhash.RNG, res *workerResult) error {
+	head := e.churnHead[vm].Load()
+	if head == 0 {
+		return nil // nothing published into the churn lane yet
+	}
+	// Reach back past the live window so some probes land on pages the
+	// mutator has already unmapped — successful walks there are exactly
+	// the staleness the audit must rule out.
+	reach := e.window + e.window/2
+	if reach > head {
+		reach = head
+	}
+	idx := head - 1 - uint64(rng.Intn(int(reach)))
+	va := addr.Add(churnBase, (idx%e.span)*addr.Page4K.Bytes())
+
+	rdG.Enter()
+	rdHost.Enter()
+	e.emitTranslateBegin(id, vm, va)
+	wres, err := w.Walk(now, va)
+	e.emitTranslateEnd(id, vm, va, &wres, err == nil)
+	rdHost.Exit()
+	rdG.Exit()
+	res.probes++
+	if err == nil {
+		res.probeHits++
+		return nil
+	}
+	var nm *core.ErrNotMapped
+	if errors.As(err, &nm) {
+		return nil // unmapped churn page: the expected miss
+	}
+	return err
+}
+
+// emitTranslateBegin opens one audited serve translation. Call with
+// the guest and host epochs already pinned: the generation loaded here
+// is the window floor the audit holds the translation to.
+func (e *engine) emitTranslateBegin(id, vm int, va addr.GVA) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Emit(trace.Event{
+		Kind: trace.KindTranslateBegin, Walker: trace.WalkerNestedECPT,
+		Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone,
+		GVA: va, Aux: e.vmGen[vm].Load(),
+		Aux2: trace.PackIDs(uint32(id), uint32(vm)),
+	})
+}
+
+// emitTranslateEnd closes it, recording the outcome and the generation
+// ceiling (loaded while still pinned).
+func (e *engine) emitTranslateEnd(id, vm int, va addr.GVA, wres *core.WalkResult, ok bool) {
+	if e.rec == nil {
+		return
+	}
+	ev := trace.Event{
+		Kind: trace.KindTranslateEnd, Walker: trace.WalkerNestedECPT,
+		Space: trace.SpaceGuest, Size: trace.NoSize, Way: trace.WayNone,
+		GVA: va, Aux: e.vmGen[vm].Load(),
+		Aux2: trace.PackIDs(uint32(id), uint32(vm)), Flag: ok,
+	}
+	if ok {
+		ev.HPA = wres.Frame
+		ev.Size = wres.Size
+	}
+	e.rec.Emit(ev)
+}
+
 // walkRetry runs one walk, retrying transient misses: a walk that
 // spans a snapshot publish can observe a torn guest/host view pair and
 // miss a mapping that the next (fresh) snapshot serves. Mapped
 // workload translations are never unmapped or remapped, so a retry
 // against the latest snapshots always converges; MaxRetries bounds
 // pathological schedules.
-func (e *engine) walkRetry(w *core.NestedECPT, rd *ecpt.EpochReader, now uint64, va addr.GVA, retries *uint64) (core.WalkResult, error) {
+func (e *engine) walkRetry(w *core.NestedECPT, rdG, rdHost *ecpt.EpochReader, now uint64, va addr.GVA, retries *uint64) (core.WalkResult, error) {
 	for attempt := 0; ; attempt++ {
 		res, err := w.Walk(now, va)
 		if err == nil {
@@ -400,10 +648,13 @@ func (e *engine) walkRetry(w *core.NestedECPT, rd *ecpt.EpochReader, now uint64,
 			return res, err
 		}
 		*retries++
-		// Re-pin so the retry reads the newest snapshots and the
-		// writer's reclamation is never stalled behind a retry loop.
-		rd.Exit()
-		rd.Enter()
+		// Re-pin both readers so the retry reads the newest snapshots
+		// and no writer's reclamation is ever stalled behind a retry
+		// loop.
+		rdG.Exit()
+		rdG.Enter()
+		rdHost.Exit()
+		rdHost.Enter()
 	}
 }
 

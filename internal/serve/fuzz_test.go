@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"testing"
+
+	"nestedecpt/internal/traceaudit"
+)
+
+// FuzzServeAudit fuzzes the replay topology — guest count, shard
+// count, worker count, churn mix, and seed — and holds the protocol to
+// its contract on every schedule the fuzzer invents: the replay runs
+// to completion, the Strict serve audit finds nothing, and the auditor
+// never panics on the resulting trace. Any counterexample shrinks to a
+// (topology, seed) pair that replays deterministically.
+func FuzzServeAudit(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(2), uint8(8), uint8(4), uint64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint64(7))
+	f.Add(uint8(6), uint8(3), uint8(4), uint8(16), uint8(2), uint64(1234))
+	f.Add(uint8(9), uint8(5), uint8(3), uint8(3), uint8(7), uint64(99))
+
+	f.Fuzz(func(t *testing.T, vms, shards, workers, churn, window uint8, seed uint64) {
+		cfg := ReplayConfig{
+			// Bound the topology so one fuzz case stays subsecond; the
+			// interesting space is the schedule, not the size.
+			VMs:                int(vms%8) + 1,
+			Shards:             int(shards%8) + 1,
+			Workers:            int(workers%4) + 1,
+			Steps:              150,
+			Seed:               seed,
+			ChurnPagesPerRound: int(churn%16) + 1,
+			WindowPages:        int(window%8) + 1,
+		}
+		res, err := Replay(cfg)
+		if err != nil {
+			t.Fatalf("replay %+v: %v", cfg, err)
+		}
+		v := traceaudit.AuditServe(res.Events, traceaudit.ServeSpec{Strict: true})
+		if len(v) != 0 {
+			t.Fatalf("replay %+v: %d audit findings, first: %s", cfg, len(v), v[0])
+		}
+	})
+}

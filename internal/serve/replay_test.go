@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"testing"
+
+	"nestedecpt/internal/trace"
+	"nestedecpt/internal/traceaudit"
+)
+
+// TestReplayAuditClean proves the generation protocol over several
+// deterministic schedules: whatever order the scheduler interleaves
+// churn rounds and probes in, the Strict serve audit finds nothing.
+func TestReplayAuditClean(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 1234} {
+		res, err := Replay(ReplayConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Probes == 0 {
+			t.Fatalf("seed %d: no churn probes ran", seed)
+		}
+		if res.Publishes == 0 {
+			t.Fatalf("seed %d: no churn rounds published", seed)
+		}
+		if res.StaleServes != 0 {
+			t.Errorf("seed %d: StaleServes = %d without StaleTLB", seed, res.StaleServes)
+		}
+		if v := traceaudit.AuditServe(res.Events, traceaudit.ServeSpec{Strict: true}); len(v) != 0 {
+			t.Errorf("seed %d: %d audit findings, want 0; first: %s", seed, len(v), v[0])
+		}
+	}
+}
+
+// TestReplayDeterministic checks the replay contract: the same config
+// and seed produce the identical event stream, so a flagged
+// interleaving re-executes exactly when committed as a regression.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := ReplayConfig{Seed: 99, Steps: 250}
+	a, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\n  %+v\n  %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.Probes != b.Probes || a.Publishes != b.Publishes {
+		t.Errorf("counters differ: probes %d/%d publishes %d/%d",
+			a.Probes, b.Probes, a.Publishes, b.Publishes)
+	}
+}
+
+// TestReplayStaleTLBRegression is the committed flagged interleaving:
+// seed 7 under the deliberately broken StaleTLB probe cache serves
+// dozens of dead translations, and the Strict audit must flag every
+// one as stale-translation or pa-mismatch. A protocol regression that
+// stops the audit from seeing staleness fails here deterministically.
+func TestReplayStaleTLBRegression(t *testing.T) {
+	res, err := Replay(ReplayConfig{Seed: 7, StaleTLB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaleServes == 0 {
+		t.Fatal("fault injection served no stale translations; the regression scenario is dead")
+	}
+	v := traceaudit.AuditServe(res.Events, traceaudit.ServeSpec{Strict: true})
+	if len(v) == 0 {
+		t.Fatalf("audit missed all %d stale serves", res.StaleServes)
+	}
+	for _, x := range v {
+		if x.Rule != "stale-translation" && x.Rule != "pa-mismatch" {
+			t.Errorf("unexpected rule %q: %s", x.Rule, x)
+		}
+	}
+	if uint64(len(v)) > res.StaleServes {
+		t.Errorf("%d findings exceed %d injected stale serves", len(v), res.StaleServes)
+	}
+	// The injected cache only corrupts probe serves; the audit must
+	// catch most of them (a stale frame can coincide with a republished
+	// frame for the same page, so exact equality is not guaranteed).
+	if uint64(len(v))*2 < res.StaleServes {
+		t.Errorf("audit flagged %d of %d stale serves, want at least half", len(v), res.StaleServes)
+	}
+}
+
+// TestReplayShardTopology checks the publish events carry the static
+// vm % shards ownership the audit's publish-owner rule relies on.
+func TestReplayShardTopology(t *testing.T) {
+	res, err := Replay(ReplayConfig{VMs: 6, Shards: 3, Seed: 5, Steps: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, ev := range res.Events {
+		if ev.Kind != trace.KindMapPublish && ev.Kind != trace.KindUnmapPublish {
+			continue
+		}
+		seen++
+		shard, vm := trace.UnpackIDs(ev.Aux2)
+		if vm%3 != shard {
+			t.Fatalf("vm %d published by shard %d, want %d", vm, shard, vm%3)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no publish events traced")
+	}
+}
+
+// TestReplayConfigNormalize pins the replay defaults.
+func TestReplayConfigNormalize(t *testing.T) {
+	c := ReplayConfig{}.normalized()
+	if c.VMs != 4 || c.Shards != 2 || c.Workers != 2 || c.Steps != 400 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.WindowPages != 4 || c.SpanPages != 16 || c.ChurnPagesPerRound != 8 {
+		t.Errorf("churn defaults = %+v", c)
+	}
+	if got := (ReplayConfig{VMs: 2, Shards: 8}).normalized().Shards; got != 2 {
+		t.Errorf("Shards not clamped to VMs: %d", got)
+	}
+	if got := (ReplayConfig{WindowPages: 10, SpanPages: 10}).normalized().SpanPages; got != 40 {
+		t.Errorf("SpanPages not widened past window: %d", got)
+	}
+}

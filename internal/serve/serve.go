@@ -16,6 +16,8 @@ package serve
 
 import (
 	"time"
+
+	"nestedecpt/internal/trace"
 )
 
 // Config configures one service run.
@@ -58,6 +60,42 @@ type Config struct {
 	// the fresh snapshot). Zero means 64, mirroring the simulator's
 	// fault-convergence bound.
 	MaxRetries int
+
+	// Shards is the number of independent churn mutators. Guests are
+	// partitioned round-robin (vm % Shards); each shard mutates and
+	// publishes only its own guests' table sets, so one slow shard
+	// never delays another's publishes. Host-side mappings still funnel
+	// through one dedicated host writer (the host set keeps a single
+	// mutator). Zero means 1 — the original single-mutator engine;
+	// values above VMs are clamped to VMs.
+	Shards int
+
+	// ChurnWindowPages bounds the live churn pages per guest and
+	// ChurnSpanPages the VA span churn cycles through before wrapping.
+	// Zero means 2048 / 8192. Replay schedules shrink them to force
+	// rapid unmap/remap of the same addresses.
+	ChurnWindowPages int
+	ChurnSpanPages   int
+
+	// ProbeEvery, when non-zero, makes each worker walk one
+	// recently-churned address after every ProbeEvery workload
+	// translations. Churn pages are the only pages a publish can take
+	// away, so these probes are the serve-mode audit's staleness
+	// witnesses: they may fault (the page was unmapped — expected), but
+	// a success must agree with the generation window the reader
+	// pinned. Probes are always traced, never retried, and counted
+	// separately from workload ops.
+	ProbeEvery int
+
+	// Trace, when non-nil, receives the serve-lane events
+	// (TranslateBegin/End, MapPublish/UnmapPublish) that
+	// traceaudit.AuditServe replays. Nil disables serve tracing.
+	Trace *trace.Recorder
+	// TraceSample emits TranslateBegin/End for one in every TraceSample
+	// workload translations per worker — sampling keeps a long run's
+	// trace bounded. Zero traces no workload walks (churn probes are
+	// always traced).
+	TraceSample int
 }
 
 // DefaultConfig returns a small smoke-test service: a handful of
@@ -107,6 +145,18 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Shards > c.VMs {
+		c.Shards = c.VMs
+	}
+	if c.ChurnWindowPages <= 0 {
+		c.ChurnWindowPages = 2048
+	}
+	if c.ChurnSpanPages <= c.ChurnWindowPages {
+		c.ChurnSpanPages = 4 * c.ChurnWindowPages
 	}
 	return c
 }

@@ -11,11 +11,13 @@ import (
 // clock, per-VM fairness, and walk-latency percentiles in simulated
 // core cycles.
 type Summary struct {
-	// Workload / VMs / Workers / Scale echo the configuration.
+	// Workload / VMs / Workers / Scale / Shards echo the configuration
+	// (Shards is the effective writer-shard count after clamping).
 	Workload string
 	VMs      int
 	Workers  int
 	Scale    uint64
+	Shards   int
 
 	// Elapsed is the wall-clock worker-pool runtime.
 	Elapsed time.Duration
@@ -47,9 +49,16 @@ type Summary struct {
 	// ChurnOps how many page map/unmap operations drove them.
 	Publishes uint64
 	ChurnOps  uint64
+	// ChurnProbes is how many churn-lane audit probes the workers ran
+	// (Config.ProbeEvery); ChurnProbeHits how many of them translated
+	// successfully (the rest faulted on already-unmapped pages — the
+	// expected outcome the audit checks for staleness).
+	ChurnProbes    uint64
+	ChurnProbeHits uint64
 	// PendingReclaims is how many retired generations still awaited
-	// their grace period after the final collect — 0 means every dead
-	// generation was reclaimed.
+	// their grace period after the final collect, summed over the host
+	// and every guest epoch domain — 0 means every dead generation was
+	// reclaimed.
 	PendingReclaims int
 }
 
@@ -60,6 +69,7 @@ func (e *engine) summarize(results []runner.Result[*workerResult], elapsed time.
 		VMs:       e.cfg.VMs,
 		Workers:   len(results),
 		Scale:     e.cfg.Scale,
+		Shards:    e.shards,
 		Elapsed:   elapsed,
 		PerVMOps:  make([]uint64, e.cfg.VMs),
 		Latency:   stats.NewHistogram(20),
@@ -73,6 +83,8 @@ func (e *engine) summarize(results []runner.Result[*workerResult], elapsed time.
 			s.TotalOps += n
 		}
 		s.Retries += w.retries
+		s.ChurnProbes += w.probes
+		s.ChurnProbeHits += w.probeHits
 		s.Latency.Merge(w.latency)
 	}
 	if elapsed > 0 {
@@ -83,7 +95,10 @@ func (e *engine) summarize(results []runner.Result[*workerResult], elapsed time.
 	s.P95 = s.Latency.Percentile(0.95)
 	s.P99 = s.Latency.Percentile(0.99)
 	s.MeanLatency = s.Latency.Mean()
-	s.PendingReclaims = e.dom.Pending()
+	s.PendingReclaims = e.hostDom.Pending()
+	for _, dom := range e.vmDoms {
+		s.PendingReclaims += dom.Pending()
+	}
 	return s
 }
 

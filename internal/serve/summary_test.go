@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"nestedecpt/internal/runner"
+	"nestedecpt/internal/stats"
+)
+
+// newSummarizeEngine builds an engine just far enough to exercise
+// summarize against synthetic worker results.
+func newSummarizeEngine(t *testing.T, cfg Config) *engine {
+	t.Helper()
+	e, err := build(cfg.normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// synthetic wraps a workerResult for summarize.
+func synthetic(w *workerResult) runner.Result[*workerResult] {
+	return runner.Result[*workerResult]{Value: w}
+}
+
+// synthWorker builds a workerResult with the given per-VM ops and
+// latency samples.
+func synthWorker(ops []uint64, latencies ...uint64) *workerResult {
+	w := &workerResult{ops: ops, latency: stats.NewHistogram(20)}
+	for _, l := range latencies {
+		w.latency.Observe(l)
+	}
+	return w
+}
+
+// TestSummarizeMergesWorkers checks the merge paths: per-VM op sums,
+// histogram merge across workers, retry and probe accumulation.
+func TestSummarizeMergesWorkers(t *testing.T) {
+	e := newSummarizeEngine(t, Config{VMs: 3, Shards: 2, OpsPerWorker: 1})
+	a := synthWorker([]uint64{10, 20, 30}, 100, 200, 300)
+	a.retries = 2
+	a.probes = 5
+	a.probeHits = 3
+	b := synthWorker([]uint64{5, 5, 5}, 400, 500)
+	b.retries = 1
+	b.probes = 7
+	b.probeHits = 7
+	s := e.summarize([]runner.Result[*workerResult]{synthetic(a), synthetic(b)}, time.Second)
+
+	if s.TotalOps != 75 {
+		t.Errorf("TotalOps = %d, want 75", s.TotalOps)
+	}
+	want := []uint64{15, 25, 35}
+	for vm, n := range s.PerVMOps {
+		if n != want[vm] {
+			t.Errorf("PerVMOps[%d] = %d, want %d", vm, n, want[vm])
+		}
+	}
+	if s.Latency.Count() != 5 {
+		t.Errorf("merged latency samples = %d, want 5", s.Latency.Count())
+	}
+	if got := s.Latency.Mean(); got != 300 {
+		t.Errorf("merged latency mean = %v, want 300", got)
+	}
+	if s.Retries != 3 || s.ChurnProbes != 12 || s.ChurnProbeHits != 10 {
+		t.Errorf("accumulators = retries %d probes %d hits %d, want 3/12/10",
+			s.Retries, s.ChurnProbes, s.ChurnProbeHits)
+	}
+	if s.Shards != 2 {
+		t.Errorf("Shards = %d, want 2", s.Shards)
+	}
+	if s.TranslationsPerSec != 75 {
+		t.Errorf("TranslationsPerSec = %v, want 75", s.TranslationsPerSec)
+	}
+}
+
+// TestSummarizeZeroTrafficVM checks fairness with a starved guest:
+// Jain must drop below 1 but stay above the monopoly floor 1/VMs.
+func TestSummarizeZeroTrafficVM(t *testing.T) {
+	e := newSummarizeEngine(t, Config{VMs: 3, OpsPerWorker: 1})
+	w := synthWorker([]uint64{50, 50, 0}, 10)
+	s := e.summarize([]runner.Result[*workerResult]{synthetic(w)}, time.Second)
+	if s.Fairness >= 1 {
+		t.Errorf("Fairness = %v with a zero-traffic VM, want < 1", s.Fairness)
+	}
+	if s.Fairness <= 1.0/3 {
+		t.Errorf("Fairness = %v, want > monopoly floor 1/3", s.Fairness)
+	}
+	if s.PerVMOps[2] != 0 {
+		t.Errorf("PerVMOps[2] = %d, want 0", s.PerVMOps[2])
+	}
+}
+
+// TestSummarizeSingleWorker checks the degenerate single-worker merge:
+// the summary is that worker's numbers verbatim.
+func TestSummarizeSingleWorker(t *testing.T) {
+	e := newSummarizeEngine(t, Config{VMs: 2, OpsPerWorker: 1})
+	w := synthWorker([]uint64{7, 9}, 40, 60, 80)
+	s := e.summarize([]runner.Result[*workerResult]{synthetic(w)}, 0)
+	if s.Workers != 1 {
+		t.Errorf("Workers = %d, want 1", s.Workers)
+	}
+	if s.TotalOps != 16 {
+		t.Errorf("TotalOps = %d, want 16", s.TotalOps)
+	}
+	// Zero elapsed must not divide by zero.
+	if s.TranslationsPerSec != 0 {
+		t.Errorf("TranslationsPerSec = %v with zero elapsed, want 0", s.TranslationsPerSec)
+	}
+	if s.MeanLatency != 60 {
+		t.Errorf("MeanLatency = %v, want 60", s.MeanLatency)
+	}
+	if s.P50 == 0 || s.P99 < s.P50 {
+		t.Errorf("percentiles p50=%d p99=%d", s.P50, s.P99)
+	}
+}
+
+// TestSummarizeNoWorkers pins the empty-results edge: all-zero
+// summary, fairness 1 by convention.
+func TestSummarizeNoWorkers(t *testing.T) {
+	e := newSummarizeEngine(t, Config{VMs: 2, OpsPerWorker: 1})
+	s := e.summarize(nil, time.Second)
+	if s.TotalOps != 0 || s.Fairness != 1 {
+		t.Errorf("empty summary: ops=%d fairness=%v", s.TotalOps, s.Fairness)
+	}
+	if s.Latency.Count() != 0 {
+		t.Errorf("latency samples = %d, want 0", s.Latency.Count())
+	}
+}
+
+// TestJainAllZero pins the all-idle edge (sq == 0): fairness 1.
+func TestJainAllZero(t *testing.T) {
+	if got := jain([]uint64{0, 0, 0, 0}); got != 1 {
+		t.Errorf("all-zero jain = %v, want 1", got)
+	}
+}

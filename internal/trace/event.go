@@ -74,9 +74,31 @@ const (
 	KindBatchEnd
 	// KindGenPublish records one concurrent-mode snapshot publication:
 	// an ECPT sealed its generations and swapped the readers' view
-	// pointer (Aux is the epoch the publish advanced to). Never emitted
-	// in sequential mode, so golden traces are unaffected.
+	// pointer (Aux is the epoch the publish advanced to, Aux2 the
+	// table's publish-generation counter). Never emitted in sequential
+	// mode, so golden traces are unaffected.
 	KindGenPublish
+	// The serve lane (internal/serve): the events the serve-mode
+	// conformance audit replays (traceaudit.AuditServe). Identity
+	// packing uses PackIDs: Aux2 is worker<<32|vm for translate events
+	// and shard<<32|vm for publish events.
+	//
+	// KindTranslateBegin opens one audited serve translation: GVA is
+	// the probed address, Aux the VM's publish generation loaded after
+	// the reader pinned its epoch.
+	KindTranslateBegin
+	// KindTranslateEnd closes it: Flag reports success, HPA/Size carry
+	// the served frame on success, Aux the VM's publish generation
+	// loaded before the reader unpinned.
+	KindTranslateEnd
+	// KindMapPublish records that a churn mutator's map of GVA→GPA→HPA
+	// became reader-visible: Aux is the VM publish generation whose
+	// snapshot first contains the mapping.
+	KindMapPublish
+	// KindUnmapPublish records that an unmap of GVA became
+	// reader-visible: Aux is the VM publish generation whose snapshot
+	// first lacks the mapping.
+	KindUnmapPublish
 	numKinds
 )
 
@@ -86,7 +108,8 @@ var kindNames = [numKinds]string{
 	"Invalid", "WalkBegin", "StepBegin", "Probe", "CacheHit", "CacheMiss",
 	"CacheInsert", "Refill", "WalkEnd", "Fault", "ResizeStart", "ResizeEnd",
 	"MigrateLine", "AdaptInterval", "AdaptToggle", "BatchBegin", "BatchEnd",
-	"GenPublish",
+	"GenPublish", "TranslateBegin", "TranslateEnd", "MapPublish",
+	"UnmapPublish",
 }
 
 // String names the kind as it appears in JSONL.
@@ -251,6 +274,13 @@ type Event struct {
 	// direction).
 	Flag bool
 }
+
+// PackIDs packs two 32-bit identities (e.g. worker and VM, shard and
+// VM) into one Aux payload; UnpackIDs inverts it.
+func PackIDs(hi, lo uint32) uint64 { return uint64(hi)<<32 | uint64(lo) }
+
+// UnpackIDs splits a PackIDs payload back into its halves.
+func UnpackIDs(v uint64) (hi, lo uint32) { return uint32(v >> 32), uint32(v) }
 
 // SetAddr stores v in the event field matching its address space. It
 // is how generic code (the elastic tables, the MMU caches) records a

@@ -1,0 +1,272 @@
+package traceaudit
+
+import (
+	"fmt"
+	"sort"
+
+	"nestedecpt/internal/addr"
+	"nestedecpt/internal/trace"
+)
+
+// This file audits the serve lane (internal/serve): the
+// TranslateBegin/End and MapPublish/UnmapPublish events a sharded
+// multi-VM serve run emits. Where traceaudit.Audit proves structural
+// walk invariants, AuditServe proves the service-level coherence claim
+// of DESIGN.md §10: no reader is ever served a translation that
+// contradicts the publish-generation window it pinned.
+//
+// The generation protocol under audit: each guest's churn shard
+// publishes the guest's snapshot, then increments the VM's publish
+// generation counter; a reader pins its epoch, loads the counter (the
+// window floor P), walks, and loads the counter again (the ceiling E).
+// SC atomics order the stores (view before counter) and the loads
+// (counter before views before counter), so every snapshot the walk
+// consulted was published by a generation in [P, E] — plus, in a live
+// run, one generation of slack: the reader may observe a view whose
+// counter store has not landed yet. A deterministic replay
+// (serve.Replay) interleaves whole steps, so Strict mode drops the
+// slack and judges against exactly [P, E].
+
+// ServeSpec configures one serve-lane audit.
+type ServeSpec struct {
+	// Strict tightens the rules for single-schedule deterministic
+	// replays: the generation window is exactly [pin, end] (no
+	// one-generation slack), and a fault on a page that was mapped
+	// across the whole window is itself a finding (lost-translation).
+	Strict bool
+}
+
+// servePageKey identifies one churned page: the VM and its guest
+// virtual address.
+type servePageKey struct {
+	vm uint32
+	va addr.GVA
+}
+
+// servePub is one publish-ledger entry: at generation gen, the page
+// became mapped (to host frame hpa) or unmapped.
+type servePub struct {
+	gen    uint64
+	mapped bool
+	hpa    addr.HPA
+}
+
+// AuditServe replays the serve lane of a trace and returns every rule
+// violation, ordered by the offending event's sequence number. Events
+// outside the serve lane are ignored, so a full mixed trace can be fed
+// directly. Like Audit, it never panics: fuzz-mutated streams must
+// degrade into violations.
+//
+// Rules:
+//   - publish-monotone: a VM's publish generations never decrease, and
+//     generation zero is never published (readers use 0 as "nothing
+//     published yet")
+//   - publish-owner: all of a VM's publishes come from one shard (the
+//     vm % shards partition is static)
+//   - publish-alternation: per page, map and unmap publishes strictly
+//     alternate, starting with a map
+//   - serve-pair: every TranslateEnd matches one open TranslateBegin
+//     of the same worker, on the same VM and address
+//   - gen-window: a translation's end generation is >= its pin
+//     generation
+//   - stale-translation: a successful translation of a page that was
+//     unmapped across the reader's whole generation window — the
+//     reader was served a translation whose unmap publish
+//     happened-before its epoch pin
+//   - pa-mismatch: a successful translation serving a host frame that
+//     no generation in the window published for that page
+//   - lost-translation (Strict only): a fault on a page that was
+//     mapped across the whole window
+func AuditServe(events []trace.Event, spec ServeSpec) []Violation {
+	a := &serveAuditor{
+		spec:   spec,
+		ledger: make(map[servePageKey][]servePub),
+		gen:    make(map[uint32]uint64),
+		owner:  make(map[uint32]uint32),
+		open:   make(map[uint32]trace.Event),
+	}
+	// Pass 1 builds the publish ledger (and checks the publish rules):
+	// a reader's trace events interleave with the writers' by wall
+	// clock, so a translation may be judged against publishes recorded
+	// after it in the stream.
+	for i := range events {
+		a.publishEvent(&events[i])
+	}
+	// Pass 2 replays the translations against the complete ledger.
+	for i := range events {
+		a.translateEvent(&events[i])
+	}
+	a.finish()
+	sort.SliceStable(a.out, func(i, j int) bool { return a.out[i].Seq < a.out[j].Seq })
+	return a.out
+}
+
+// serveAuditor carries the two-pass replay state.
+type serveAuditor struct {
+	spec ServeSpec
+	out  []Violation
+
+	// ledger holds each page's publish history in stream order; gen is
+	// each VM's last seen publish generation, owner its publishing
+	// shard.
+	ledger map[servePageKey][]servePub
+	gen    map[uint32]uint64
+	owner  map[uint32]uint32
+
+	// open holds each worker's unclosed TranslateBegin.
+	open    map[uint32]trace.Event
+	hasOpen []uint32 // workers with an open begin, in first-open order
+}
+
+func (a *serveAuditor) fail(ev *trace.Event, rule, format string, args ...any) {
+	a.out = append(a.out, Violation{Seq: ev.Seq, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// publishEvent is pass 1: ledger construction and publish-side rules.
+func (a *serveAuditor) publishEvent(ev *trace.Event) {
+	if ev.Kind != trace.KindMapPublish && ev.Kind != trace.KindUnmapPublish {
+		return
+	}
+	shard, vm := trace.UnpackIDs(ev.Aux2)
+	gen := ev.Aux
+	if gen == 0 {
+		a.fail(ev, "publish-monotone", "vm %d published generation 0", vm)
+	} else if last, ok := a.gen[vm]; ok && gen < last {
+		a.fail(ev, "publish-monotone", "vm %d publish generation %d after %d", vm, gen, last)
+	} else {
+		a.gen[vm] = gen
+	}
+	if own, ok := a.owner[vm]; ok {
+		if own != shard {
+			a.fail(ev, "publish-owner", "vm %d published by shard %d and shard %d", vm, own, shard)
+		}
+	} else {
+		a.owner[vm] = shard
+	}
+	key := servePageKey{vm: vm, va: ev.GVA}
+	mapped := ev.Kind == trace.KindMapPublish
+	hist := a.ledger[key]
+	if n := len(hist); n > 0 {
+		if hist[n-1].mapped == mapped {
+			a.fail(ev, "publish-alternation", "vm %d page %#x: consecutive %s publishes", vm, ev.GVA, mapWord(mapped))
+		}
+	} else if !mapped {
+		a.fail(ev, "publish-alternation", "vm %d page %#x: unmap published before any map", vm, ev.GVA)
+	}
+	a.ledger[key] = append(hist, servePub{gen: gen, mapped: mapped, hpa: ev.HPA})
+}
+
+// translateEvent is pass 2: pairing and window rules.
+func (a *serveAuditor) translateEvent(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.KindTranslateBegin:
+		w, _ := trace.UnpackIDs(ev.Aux2)
+		if prev, ok := a.open[w]; ok {
+			a.fail(&prev, "serve-pair", "worker %d: TranslateBegin (page %#x) never closed", w, prev.GVA)
+		} else {
+			a.hasOpen = append(a.hasOpen, w)
+		}
+		a.open[w] = *ev
+
+	case trace.KindTranslateEnd:
+		w, vm := trace.UnpackIDs(ev.Aux2)
+		begin, ok := a.open[w]
+		if !ok {
+			a.fail(ev, "serve-pair", "worker %d: TranslateEnd without a TranslateBegin", w)
+			return
+		}
+		delete(a.open, w)
+		for i, ow := range a.hasOpen {
+			if ow == w {
+				a.hasOpen = append(a.hasOpen[:i], a.hasOpen[i+1:]...)
+				break
+			}
+		}
+		_, bvm := trace.UnpackIDs(begin.Aux2)
+		if bvm != vm || begin.GVA != ev.GVA {
+			a.fail(ev, "serve-pair", "worker %d: TranslateEnd (vm %d page %#x) does not match its TranslateBegin (vm %d page %#x)",
+				w, vm, ev.GVA, bvm, begin.GVA)
+			return
+		}
+		a.checkWindow(ev, &begin, vm)
+	}
+}
+
+// checkWindow judges one closed translation against the publish
+// ledger.
+func (a *serveAuditor) checkWindow(end, begin *trace.Event, vm uint32) {
+	p, e := begin.Aux, end.Aux
+	if e < p {
+		a.fail(end, "gen-window", "vm %d page %#x: end generation %d below pin generation %d", vm, end.GVA, e, p)
+		return
+	}
+	hi := e
+	if !a.spec.Strict {
+		hi++ // live runs: the view/counter store race grants one generation of slack
+	}
+	hist := a.ledger[servePageKey{vm: vm, va: end.GVA}]
+	if len(hist) == 0 {
+		return // never-churned page (sampled workload walk): out of scope
+	}
+	// The page's state across [p, hi]: the entry in force at p, plus
+	// every publish inside the window. The ledger is in stream order,
+	// which publish-monotone has already checked is generation order.
+	start := -1
+	for i := range hist {
+		if hist[i].gen > p {
+			break
+		}
+		start = i
+	}
+	if start < 0 {
+		// The window opens before the page's first recorded publish;
+		// its prior state is unknown (the trace may be truncated), so
+		// the window rules stay quiet for this translation.
+		return
+	}
+	mappedAny, unmappedAny := false, false
+	servedOK := false
+	served := end.HPA
+	for i := start; i < len(hist) && hist[i].gen <= hi; i++ {
+		if hist[i].mapped {
+			mappedAny = true
+			if hist[i].hpa == served {
+				servedOK = true
+			}
+		} else {
+			unmappedAny = true
+		}
+	}
+	switch {
+	case end.Flag && !mappedAny:
+		a.fail(end, "stale-translation",
+			"vm %d page %#x translated at generations [%d,%d] but its unmap published at or before generation %d",
+			vm, end.GVA, p, hi, p)
+	case end.Flag && !servedOK:
+		a.fail(end, "pa-mismatch",
+			"vm %d page %#x served frame %#x, which no generation in [%d,%d] published",
+			vm, end.GVA, served, p, hi)
+	case !end.Flag && a.spec.Strict && !unmappedAny:
+		a.fail(end, "lost-translation",
+			"vm %d page %#x faulted though mapped across generations [%d,%d]",
+			vm, end.GVA, p, hi)
+	}
+}
+
+// finish flags translations left open at end of trace.
+func (a *serveAuditor) finish() {
+	for _, w := range a.hasOpen {
+		begin, ok := a.open[w]
+		if !ok {
+			continue
+		}
+		a.fail(&begin, "serve-pair", "worker %d: TranslateBegin (page %#x) still open at end of trace", w, begin.GVA)
+	}
+}
+
+func mapWord(mapped bool) string {
+	if mapped {
+		return "map"
+	}
+	return "unmap"
+}
